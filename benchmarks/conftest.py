@@ -1,0 +1,67 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables/figures through
+the experiment registry, times the regeneration, prints the table the
+paper's figure would be plotted from, and asserts the paper's *shape*
+claims (who wins where) on the freshly produced numbers.
+
+Scale control: set ``REPRO_SCALE=smoke|quick|paper`` (default ``quick``).
+The shape assertions are written to hold from ``quick`` upwards; at
+``smoke`` they are skipped (too noisy) and only the regeneration runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.scale import Scale
+from repro.experiments.tables import ExperimentResult
+
+#: Master seed for all benchmark runs (reproducible output).
+BENCH_SEED = 2006
+
+
+def bench_scale() -> Scale:
+    """The scale benchmarks run at (env-controlled, default quick)."""
+    return Scale.from_env(default=os.environ.get("REPRO_SCALE", "quick"))
+
+
+def assertions_enabled() -> bool:
+    """Shape assertions need at least quick scale to be reliable."""
+    return bench_scale().label != "smoke"
+
+
+def regenerate(benchmark, experiment_id: str) -> ExperimentResult:
+    """Time one experiment regeneration and print its tables."""
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, scale),
+        kwargs={"seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format_text())
+    return result
+
+
+def series_mean(series, loads) -> float:
+    """Mean of a curve over the given x values (missing points skipped)."""
+    values = [series.points[x] for x in loads if x in series.points]
+    if not values:
+        raise AssertionError(f"series {series.label!r} has no points in {loads}")
+    return sum(values) / len(values)
+
+
+def high_loads(result_table) -> list:
+    """The x values at or above 8 CPUs present in the table."""
+    return [x for x in result_table.xs() if x >= 8.0]
+
+
+def low_loads(result_table) -> list:
+    """The x values at or below 2 CPUs present in the table."""
+    return [x for x in result_table.xs() if x <= 2.0]

@@ -1,0 +1,49 @@
+"""Ablations -- sensitivity of the reproduction to modelling choices."""
+
+from conftest import assertions_enabled, regenerate
+
+
+def _series(table, label):
+    return table.get_series(label)
+
+
+def test_ablations(benchmark):
+    result = regenerate(benchmark, "ablations")
+    if not assertions_enabled():
+        return
+    (
+        queue_table,
+        gc_table,
+        downtime_table,
+        schedule_table,
+        service_table,
+    ) = result.tables
+    # Dropping queued transactions at rejuvenation raises the high-load
+    # loss fraction (each trigger discards the whole backlog).
+    kept = _series(queue_table, "queue survives (default) loss").value_at(9.0)
+    dropped = _series(queue_table, "queue dropped loss").value_at(9.0)
+    assert dropped > kept
+    # A fully stop-the-world GC can only worsen the high-load RT.
+    default_rt = _series(
+        gc_table, "running threads only (default) RT"
+    ).value_at(9.0)
+    frozen_rt = _series(gc_table, "freezes new threads too RT").value_at(9.0)
+    assert frozen_rt >= default_rt * 0.9  # noisy, but never much better
+    # A 60 s downtime adds refused arrivals to the loss at high load.
+    instant = _series(
+        downtime_table, "instantaneous (default) loss"
+    ).value_at(9.0)
+    slow = _series(
+        downtime_table, "60 s downtime, arrivals refused loss"
+    ).value_at(9.0)
+    assert slow > instant
+    # The acceleration schedules all keep the system under control.
+    for label in ("linear (paper) RT", "none RT", "geometric RT"):
+        assert _series(schedule_table, label).value_at(9.0) < 60.0
+    # D1 probe: CLTA's high-load advantage persists under every
+    # service-time law -- memorylessness is not what causes the
+    # divergence from the paper's Fig. 16 ordering.
+    for prefix in ("exp", "det", "lognormal-cv3"):
+        clta_rt = _series(service_table, f"{prefix}/CLTA RT").value_at(9.0)
+        sraa_rt = _series(service_table, f"{prefix}/SRAA RT").value_at(9.0)
+        assert clta_rt < sraa_rt * 1.1

@@ -1,0 +1,30 @@
+"""Run-length analysis (analytical, beyond the paper)."""
+
+from conftest import regenerate
+
+#: Table indices from the arl experiment's notes.
+K1_INDICES = (2, 4, 6)          # (3,1,5), (5,1,3), (15,1,1)
+MULTI_INDICES = (0, 1, 3)       # (1,3,5), (1,5,3), (3,5,1)
+DOUBLED_PAIRS = ((6, 13), (4, 11), (2, 9))  # n doubled: 15->30 family
+
+
+def test_run_length_analysis(benchmark):
+    result = regenerate(benchmark, "arl")
+    table = result.tables[0]
+    healthy = table.get_series("healthy ARL")
+    severe = table.get_series("delay @ +4 sigma")
+    # K=1: short healthy ARLs (false triggers -> Fig. 10's low-load
+    # loss) but minimal detection delays.
+    for index in K1_INDICES:
+        assert healthy.value_at(index) < 1_000
+    # Multi-bucket: healthy ARL effectively infinite (negligible
+    # low-load loss), at the price of longer severe-shift delays.
+    for index in MULTI_INDICES:
+        assert healthy.value_at(index) >= 1e10
+    avg_k1_delay = sum(severe.value_at(i) for i in K1_INDICES) / 3
+    avg_multi_delay = sum(severe.value_at(i) for i in MULTI_INDICES) / 3
+    assert avg_k1_delay < avg_multi_delay
+    # Doubling n doubles the K=1 detection delay exactly (Fig. 11's
+    # mechanism: the delay is (D+1)*K batches regardless of n).
+    for base, doubled in DOUBLED_PAIRS:
+        assert severe.value_at(doubled) == 2 * severe.value_at(base)

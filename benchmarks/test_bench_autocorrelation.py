@@ -1,0 +1,20 @@
+"""E3 -- Section 4.1: lag-1 autocorrelation of simulated M/M/16 RTs."""
+
+from conftest import assertions_enabled, regenerate
+
+
+def test_autocorrelation_study(benchmark):
+    result = regenerate(benchmark, "autocorr")
+    if not assertions_enabled():
+        return
+    gamma = result.tables[0].get_series("gamma_hat")
+    threshold = result.tables[0].get_series("threshold 1.96/sqrt(N)")
+    # Paper: at most 1 of 5 replications significant -- first-order
+    # correlation plays a minor role even at the maximum load.
+    significant = sum(
+        abs(g) > threshold.value_at(rep)
+        for rep, g in gamma.points.items()
+    )
+    assert significant <= len(gamma.points) // 2
+    # The coefficients themselves are tiny.
+    assert all(abs(g) < 0.05 for g in gamma.points.values())

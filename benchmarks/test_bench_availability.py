@@ -1,0 +1,23 @@
+"""Huang availability planning (analytical, ref. [9])."""
+
+from conftest import regenerate
+
+
+def test_availability_planning(benchmark):
+    result = regenerate(benchmark, "availability")
+    table, optimal = result.tables
+    fast = table.get_series("10-min restart")
+    slow = table.get_series("2-h restart")
+    # Fast restarts: availability rises monotonically with the rate.
+    values = [fast.value_at(r) for r in (0.0, 0.05, 0.2, 1.0, 5.0)]
+    assert values == sorted(values)
+    # Aggressive 10-min restarts cut the no-rejuvenation downtime by
+    # more than 5x (302 -> ~38 h/yr for these parameters).
+    assert (1.0 - values[-1]) < (1.0 - values[0]) / 5
+    # Restarts as slow as repairs cannot raise availability.
+    assert slow.value_at(5.0) <= slow.value_at(0.0) + 1e-9
+    # Cost optima: aggressive when crashes dominate, never when
+    # restarts do.
+    rates = optimal.get_series("optimal rate")
+    assert rates.value_at(0) > 1.0
+    assert rates.value_at(2) == 0.0

@@ -1,0 +1,38 @@
+"""Cluster deployment (beyond the paper; companion work [2])."""
+
+from conftest import assertions_enabled, regenerate
+
+UNMANAGED = "no rejuvenation / RR"
+SRAA_RR = "SRAA(2,5,3) / RR"
+SRAA_JSQ = "SRAA(2,5,3) / JSQ"
+ROLLING = "SRAA + 30s downtime / rolling"
+HIGH = 9.0
+LOW = 2.0
+
+
+def test_cluster_deployment(benchmark):
+    result = regenerate(benchmark, "cluster")
+    if not assertions_enabled():
+        return
+    rt, loss = result.tables
+    # The unmanaged cluster melts down at high per-node load; per-node
+    # SRAA controls it.
+    assert rt.get_series(UNMANAGED).value_at(HIGH) > 3 * rt.get_series(
+        SRAA_RR
+    ).value_at(HIGH)
+    # Managed clusters pay a bounded loss for that control.
+    assert 0.0 < loss.get_series(SRAA_RR).value_at(HIGH) < 0.2
+    assert loss.get_series(UNMANAGED).value_at(HIGH) == 0.0
+    # JSQ never hurts much relative to round-robin.
+    assert rt.get_series(SRAA_JSQ).value_at(HIGH) <= 1.3 * rt.get_series(
+        SRAA_RR
+    ).value_at(HIGH)
+    # At low load everything behaves and nothing is lost (multi-bucket
+    # burst tolerance carries over to the cluster).
+    for label in (SRAA_RR, SRAA_JSQ):
+        assert rt.get_series(label).value_at(LOW) < 8.0
+        assert loss.get_series(label).value_at(LOW) < 0.005
+    # Rolling restarts with downtime still control the response time.
+    assert rt.get_series(ROLLING).value_at(HIGH) < rt.get_series(
+        UNMANAGED
+    ).value_at(HIGH)

@@ -1,0 +1,28 @@
+"""Eroding-capacity substrate (ref. [3], beyond the paper)."""
+
+from conftest import assertions_enabled, regenerate
+
+FAST = 60.0
+SLOW = 600.0
+
+
+def test_degradation_substrate(benchmark):
+    result = regenerate(benchmark, "degradation")
+    if not assertions_enabled():
+        return
+    rt, loss = result.tables
+    unmanaged = rt.get_series("none")
+    # Unmanaged drift blows up, and faster erosion is worse.
+    assert unmanaged.value_at(FAST) > unmanaged.value_at(SLOW)
+    assert unmanaged.value_at(FAST) > 50.0
+    # Every detector family controls the drift at every erosion speed.
+    for label in ("SRAA(2,3,3)", "trend(10,10)", "CUSUM(.5,5)"):
+        series = rt.get_series(label)
+        for period in (FAST, SLOW):
+            assert series.value_at(period) < unmanaged.value_at(period) / 2
+            assert series.value_at(period) < 15.0
+        # ... and pays a bounded loss for it.
+        loss_series = loss.get_series(label)
+        assert 0.0 < loss_series.value_at(FAST) < 0.3
+    # No policy, no loss.
+    assert all(v == 0.0 for v in loss.get_series("none").points.values())

@@ -1,0 +1,17 @@
+"""E2 -- Section 4.1: exact CLTA false-alarm probabilities."""
+
+import pytest
+
+from conftest import regenerate
+
+
+def test_false_alarm_probabilities(benchmark):
+    result = regenerate(benchmark, "false_alarm")
+    exact = result.tables[0].get_series("exact tail [eq. 4 chain]")
+    # Paper values: 3.69 % (n=15) and 3.37 % (n=30).
+    assert exact.value_at(15) == pytest.approx(0.0369, abs=0.0005)
+    assert exact.value_at(30) == pytest.approx(0.0337, abs=0.0005)
+    # Inflated above the nominal 2.5 %, decreasing in n.
+    values = [exact.value_at(n) for n in (5, 15, 30, 60)]
+    assert all(v > 0.025 for v in values)
+    assert values == sorted(values, reverse=True)

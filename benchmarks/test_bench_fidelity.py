@@ -1,0 +1,35 @@
+"""Fidelity: the Section-5 quoted numbers, measured live."""
+
+from conftest import assertions_enabled, regenerate
+from repro.experiments.paper_values import QUOTED_VALUES
+
+
+def test_fidelity_against_quoted_values(benchmark):
+    result = regenerate(benchmark, "fidelity")
+    if not assertions_enabled():
+        return
+    ratios = result.tables[0].get_series("measured/paper")
+    checked = 0
+    for index, quoted in enumerate(QUOTED_VALUES):
+        if quoted.diverges or quoted.metric != "avg_rt_s":
+            continue
+        ratio = ratios.value_at(index)
+        # Response-time quotes land within a small factor; the D2
+        # regime (deep-bucket configs beyond 9 CPUs) allows up to ~4x.
+        assert 0.3 < ratio < 4.0, f"{quoted.key}: ratio {ratio}"
+        checked += 1
+    assert checked >= 12
+    # The majority of RT quotes land much tighter.
+    tight = sum(
+        1
+        for index, quoted in enumerate(QUOTED_VALUES)
+        if quoted.metric == "avg_rt_s"
+        and not quoted.diverges
+        and 0.5 < ratios.value_at(index) < 1.5
+    )
+    assert tight >= 10
+    # The CLTA low-load loss lands in the paper's order of magnitude.
+    clta_loss_index = next(
+        i for i, q in enumerate(QUOTED_VALUES) if q.key == "clta-30@0.5-loss"
+    )
+    assert 0.1 < ratios.value_at(clta_loss_index) < 10.0

@@ -1,0 +1,19 @@
+"""E1 -- Fig. 5: density of the sample-mean RT vs its normal limit."""
+
+from conftest import regenerate
+
+
+def test_fig05_density(benchmark):
+    result = regenerate(benchmark, "fig05")
+    summary = result.tables[-1]
+    sup = summary.get_series("sup |f_exact - f_normal|")
+    kolmogorov = summary.get_series("sup |F_exact - F_normal|")
+    # Paper: the approximation is visibly poor at n=1 and reasonable by
+    # n=15-30; both distances must shrink monotonically.
+    for series in (sup, kolmogorov):
+        values = [series.value_at(n) for n in (1, 5, 15, 30)]
+        assert values[0] > values[1] > values[2] > values[3]
+    # "Reasonably approximated ... for sample sizes as low as 30 or
+    # even 15": the Kolmogorov distance is small there.
+    assert kolmogorov.value_at(15) < 0.05
+    assert kolmogorov.value_at(30) < 0.04

@@ -1,0 +1,37 @@
+"""E4/E5 -- Figures 9 and 10: SRAA with n*K*D = 15."""
+
+from conftest import (
+    assertions_enabled,
+    high_loads,
+    low_loads,
+    regenerate,
+    series_mean,
+)
+
+K1_LABELS = ["(n=3, K=1, D=5)", "(n=5, K=1, D=3)", "(n=15, K=1, D=1)"]
+MULTI_LABELS = ["(n=1, K=3, D=5)", "(n=1, K=5, D=3)", "(n=3, K=5, D=1)",
+                "(n=5, K=3, D=1)"]
+
+
+def test_fig09_10_sraa_nkd15(benchmark):
+    result = regenerate(benchmark, "fig09_10")
+    if not assertions_enabled():
+        return
+    rt, loss = result.tables
+    highs = high_loads(rt)
+    lows = low_loads(loss)
+    # Fig. 9 dichotomy: K=1 configurations give better high-load RTs
+    # than multi-bucket ones.
+    k1_rt = sum(series_mean(rt.get_series(l), highs) for l in K1_LABELS) / 3
+    multi_rt = sum(
+        series_mean(rt.get_series(l), highs) for l in MULTI_LABELS
+    ) / len(MULTI_LABELS)
+    assert k1_rt < multi_rt
+    # Fig. 10: the K=1 improvement costs loss at low loads, where
+    # multi-bucket configurations lose (essentially) nothing.
+    k1_loss = sum(series_mean(loss.get_series(l), lows) for l in K1_LABELS) / 3
+    multi_loss = sum(
+        series_mean(loss.get_series(l), lows) for l in MULTI_LABELS
+    ) / len(MULTI_LABELS)
+    assert k1_loss > multi_loss
+    assert multi_loss < 0.002

@@ -1,0 +1,41 @@
+"""E6 -- Figure 11: SRAA with the sample size doubled (n*K*D = 30).
+
+The shape claim compares against the Fig. 9 family run under the same
+seeds: doubling n worsens the high-load response time.
+"""
+
+from conftest import (
+    BENCH_SEED,
+    assertions_enabled,
+    bench_scale,
+    high_loads,
+    regenerate,
+    series_mean,
+)
+from repro.experiments.registry import run_experiment
+
+#: (base config label, doubled-n config label) pairs across the figures.
+PAIRS = [
+    ("(n=15, K=1, D=1)", "(n=30, K=1, D=1)"),
+    ("(n=3, K=5, D=1)", "(n=6, K=5, D=1)"),
+    ("(n=5, K=3, D=1)", "(n=10, K=3, D=1)"),
+    ("(n=1, K=5, D=3)", "(n=2, K=5, D=3)"),
+]
+
+
+def test_fig11_sample_size_doubled(benchmark):
+    result = regenerate(benchmark, "fig11")
+    if not assertions_enabled():
+        return
+    base = run_experiment("fig09_10", bench_scale(), seed=BENCH_SEED)
+    doubled_rt = result.tables[0]
+    base_rt = base.tables[0]
+    highs = high_loads(doubled_rt)
+    # Doubling the sample size worsens high-load RT for a clear
+    # majority of configuration pairs (sampling noise allows one flip).
+    worse = sum(
+        series_mean(doubled_rt.get_series(after), highs)
+        > series_mean(base_rt.get_series(before), highs)
+        for before, after in PAIRS
+    )
+    assert worse >= len(PAIRS) - 1

@@ -1,0 +1,51 @@
+"""E7/E8 -- Figures 12 and 13: SRAA with the bucket depth doubled."""
+
+from conftest import (
+    BENCH_SEED,
+    assertions_enabled,
+    bench_scale,
+    high_loads,
+    low_loads,
+    regenerate,
+    series_mean,
+)
+from repro.experiments.registry import run_experiment
+
+#: Configurations Section 5.3 singles out as losing nothing at 0.5 CPUs.
+NEGLIGIBLE_LOSS = ["(n=1, K=3, D=10)", "(n=1, K=5, D=6)", "(n=5, K=3, D=2)"]
+#: ... and as showing measurable low-load loss.
+MEASURABLE_LOSS = ["(n=3, K=1, D=10)", "(n=5, K=1, D=6)", "(n=15, K=1, D=2)"]
+
+#: Matched (n-doubled, D-doubled) pairs sharing the Fig. 9 base config.
+N_VS_D_PAIRS = [
+    ("(n=30, K=1, D=1)", "(n=15, K=1, D=2)"),
+    ("(n=6, K=5, D=1)", "(n=3, K=5, D=2)"),
+    ("(n=10, K=3, D=1)", "(n=5, K=3, D=2)"),
+]
+
+
+def test_fig12_13_depth_doubled(benchmark):
+    result = regenerate(benchmark, "fig12_13")
+    if not assertions_enabled():
+        return
+    rt, loss = result.tables
+    lows = low_loads(loss)
+    # Fig. 13: multi-bucket deep configurations lose nothing at low
+    # loads; K=1 configurations lose measurably.
+    for label in NEGLIGIBLE_LOSS:
+        assert series_mean(loss.get_series(label), lows) < 0.002
+    measurable = [
+        series_mean(loss.get_series(label), lows) for label in MEASURABLE_LOSS
+    ]
+    assert max(measurable) > 0.002
+    # Fig. 12 vs Fig. 11: doubling D hurts high-load RT less than
+    # doubling n, on the matched configuration pairs (majority vote).
+    sample_doubled = run_experiment("fig11", bench_scale(), seed=BENCH_SEED)
+    n_rt = sample_doubled.tables[0]
+    highs = high_loads(rt)
+    gentler = sum(
+        series_mean(rt.get_series(d_label), highs)
+        <= series_mean(n_rt.get_series(n_label), highs)
+        for n_label, d_label in N_VS_D_PAIRS
+    )
+    assert gentler >= 2

@@ -1,0 +1,45 @@
+"""E9 -- Figure 14: SRAA with the number of buckets doubled."""
+
+from conftest import (
+    BENCH_SEED,
+    assertions_enabled,
+    bench_scale,
+    high_loads,
+    low_loads,
+    regenerate,
+    series_mean,
+)
+from repro.experiments.registry import run_experiment
+
+#: (Fig. 9 base, K-doubled) configuration pairs from Section 5.4.
+PAIRS = [
+    ("(n=15, K=1, D=1)", "(n=15, K=2, D=1)"),
+    ("(n=3, K=5, D=1)", "(n=3, K=10, D=1)"),
+    ("(n=5, K=3, D=1)", "(n=5, K=6, D=1)"),
+    ("(n=1, K=3, D=5)", "(n=1, K=6, D=5)"),
+    ("(n=1, K=5, D=3)", "(n=1, K=10, D=3)"),
+]
+
+
+def test_fig14_buckets_doubled(benchmark):
+    result = regenerate(benchmark, "fig14")
+    if not assertions_enabled():
+        return
+    rt, loss = result.tables
+    base = run_experiment("fig09_10", bench_scale(), seed=BENCH_SEED)
+    base_rt = base.tables[0]
+    highs = high_loads(rt)
+    # Doubling K worsens high-load RT for a clear majority of pairs.
+    worse = sum(
+        series_mean(rt.get_series(after), highs)
+        > series_mean(base_rt.get_series(before), highs)
+        for before, after in PAIRS
+    )
+    assert worse >= len(PAIRS) - 1
+    # Section 5.4: (3,2,5) is the best trade-off -- negligible loss at
+    # low loads with a reasonable high-load RT.
+    best = "(n=3, K=2, D=5)"
+    assert series_mean(loss.get_series(best), low_loads(loss)) < 0.002
+    assert series_mean(rt.get_series(best), highs) < series_mean(
+        rt.get_series("(n=3, K=10, D=1)"), highs
+    )

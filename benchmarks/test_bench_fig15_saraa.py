@@ -1,0 +1,32 @@
+"""E10 -- Figure 15: SARAA improves on SRAA at n*K*D = 30."""
+
+from conftest import (
+    assertions_enabled,
+    high_loads,
+    low_loads,
+    regenerate,
+    series_mean,
+)
+from repro.experiments.saraa_fig import CONFIGS_FIG15
+
+
+def test_fig15_saraa_vs_sraa(benchmark):
+    result = regenerate(benchmark, "fig15")
+    if not assertions_enabled():
+        return
+    rt, loss = result.tables
+    highs = high_loads(rt)
+    lows = low_loads(loss)
+    # SARAA's high-load RT improves on SRAA at the same (n, K, D) for a
+    # majority of the four configurations (paper: all four improve).
+    improved = 0
+    for n, K, D in CONFIGS_FIG15:
+        saraa = rt.get_series(f"SARAA (n={n}, K={K}, D={D})")
+        sraa = rt.get_series(f"(n={n}, K={K}, D={D})")
+        if series_mean(saraa, highs) < series_mean(sraa, highs):
+            improved += 1
+    assert improved >= 3
+    # While keeping the multi-bucket negligible loss at low loads.
+    for n, K, D in CONFIGS_FIG15:
+        saraa_loss = loss.get_series(f"SARAA (n={n}, K={K}, D={D})")
+        assert series_mean(saraa_loss, lows) < 0.005

@@ -1,0 +1,44 @@
+"""E11 -- Figure 16 / Section 5.6: SRAA vs SARAA vs CLTA.
+
+Reproduced shape: SARAA beats SRAA on high-load response time, and CLTA
+is the only contender with measurable transaction loss at low load
+(paper: 0.001406 at 0.5 CPUs).  The paper's third claim -- CLTA also has
+the *worst* high-load response time -- does not reproduce in this
+substrate (see EXPERIMENTS.md, divergence D1; the effect survives
+non-memoryless service, ablation 5), so we assert the two claims that
+are mechanism-driven rather than artefacts of unspecified simulator
+details.
+"""
+
+from conftest import (
+    assertions_enabled,
+    high_loads,
+    regenerate,
+    series_mean,
+)
+
+CLTA = "CLTA (n=30, K=1, D=1)"
+SRAA = "SRAA (n=2, K=5, D=3)"
+SARAA = "SARAA (n=2, K=5, D=3)"
+
+
+def test_fig16_three_way_comparison(benchmark):
+    result = regenerate(benchmark, "fig16")
+    if not assertions_enabled():
+        return
+    rt, loss = result.tables
+    highs = high_loads(rt)
+    # Section 5.6: SARAA 10.5 s < SRAA 11.94 s at 9.0 CPUs.
+    assert series_mean(rt.get_series(SARAA), highs) < series_mean(
+        rt.get_series(SRAA), highs
+    )
+    # Low-load loss: CLTA measurable (0.001406 in the paper), SRAA and
+    # SARAA negligible.
+    clta_loss = loss.get_series(CLTA).value_at(0.5)
+    assert 0.0002 < clta_loss < 0.01
+    assert loss.get_series(SRAA).value_at(0.5) < clta_loss / 2
+    assert loss.get_series(SARAA).value_at(0.5) < clta_loss / 2
+    # All three keep the high-load RT far below the unmanaged system
+    # (which diverges into the hundreds of seconds).
+    for label in (CLTA, SRAA, SARAA):
+        assert series_mean(rt.get_series(label), highs) < 60.0

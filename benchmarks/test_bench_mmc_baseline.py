@@ -1,0 +1,22 @@
+"""E12 -- Section 4.1 analytical baseline: eq. 2-3 across loads."""
+
+import pytest
+
+from conftest import regenerate
+
+
+def test_mmc_baseline(benchmark):
+    result = regenerate(benchmark, "mmc_baseline")
+    table = result.tables[0]
+    mean = table.get_series("E[RT] (eq. 2)")
+    std = table.get_series("sd[RT] (sqrt eq. 3)")
+    # Paper: below 1 transaction/second (load < 5 CPUs) both stay at 5.
+    for load in (0.5, 1, 2, 3, 4):
+        assert mean.value_at(load) == pytest.approx(5.0, abs=0.01)
+        assert std.value_at(load) == pytest.approx(5.0, abs=0.01)
+    # ... and diverge beyond it.
+    assert mean.value_at(15) > 5.9
+    assert std.value_at(15) > std.value_at(0.5) * 1.05
+    # At the maximum load of interest the values the SLO assumes hold.
+    assert mean.value_at(8) == pytest.approx(5.0056, abs=0.001)
+    assert std.value_at(8) == pytest.approx(5.0007, abs=0.001)

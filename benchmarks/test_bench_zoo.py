@@ -1,0 +1,32 @@
+"""Policy zoo (integration study, beyond the paper)."""
+
+from conftest import assertions_enabled, regenerate
+
+HIGH = 9.0
+LOW = 0.5
+
+
+def test_policy_zoo(benchmark):
+    result = regenerate(benchmark, "zoo")
+    if not assertions_enabled():
+        return
+    rt, loss = result.tables
+    # The unmanaged system melts down at high load.
+    never_rt = rt.get_series("never").value_at(HIGH)
+    assert never_rt > 50.0
+    # The paper's three algorithms all control it.
+    for label in ("SRAA(2,5,3)", "SARAA(2,5,3)", "CLTA(30,z=1.96)"):
+        assert rt.get_series(label).value_at(HIGH) < never_rt / 3
+        assert 0.0 < loss.get_series(label).value_at(HIGH) < 0.25
+    # The naive threshold is burst-fragile: it loses measurably at low
+    # load, where the multi-bucket rules lose nothing.
+    assert loss.get_series("threshold(>20s)").value_at(LOW) > 0.0
+    assert loss.get_series("SRAA(2,5,3)").value_at(LOW) == 0.0
+    # Requiring threshold AND bucket agreement cuts the low-load loss
+    # relative to the bare threshold.
+    assert (
+        loss.get_series("threshold AND sraa").value_at(LOW)
+        <= loss.get_series("threshold(>20s)").value_at(LOW)
+    )
+    # The composed rule still controls the high-load melt-down.
+    assert rt.get_series("threshold AND sraa").value_at(HIGH) < never_rt / 3

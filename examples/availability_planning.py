@@ -1,0 +1,98 @@
+"""Availability planning: from measured triggers to downtime budgets.
+
+The simulation-based policies answer *when* to rejuvenate; the Huang
+et al. (1995) CTMC (the paper's ref. [9]) answers the planning-level
+questions around them.  This example connects the two layers:
+
+1. price rejuvenation analytically -- availability and yearly downtime
+   as a function of the rejuvenation rate, and the cost-optimal rate
+   under different outage pricings;
+2. measure the rejuvenation rate SRAA actually produces on the
+   simulated system, and read off what that operating point means in
+   availability terms if each restart cost a 30-second outage.
+
+Run:  python examples/availability_planning.py
+"""
+
+from repro import (
+    PAPER_CONFIG,
+    PAPER_SLO,
+    SRAA,
+    HuangRejuvenationModel,
+    PoissonArrivals,
+    run_once,
+)
+
+# Rates per hour: the system ages over ~2 days, an aged system crashes
+# within ~8 hours, a crash costs 2 h of repair, a rejuvenation 30 min
+# (a slow, conservative restart -- fast restarts make rejuvenation
+# dominate trivially).
+MODEL = HuangRejuvenationModel(
+    aging_rate=1 / 48,
+    failure_rate=1 / 8,
+    repair_rate=1 / 2,
+    rejuvenation_completion_rate=2.0,
+)
+
+
+def analytical_table() -> None:
+    print("Huang model: availability vs rejuvenation rate (per hour)")
+    print(f"{'rate':>8} {'availability':>13} {'downtime h/yr':>14}")
+    for rate in (0.0, 0.05, 0.2, 1.0, 5.0):
+        print(
+            f"{rate:>8.2f} {MODEL.availability(rate):>13.6f} "
+            f"{MODEL.downtime_hours_per_year(rate):>14.2f}"
+        )
+    for c_fail, c_rej, story in (
+        (100.0, 1.0, "crash 100x costlier than a planned restart"),
+        (1.0, 3.0, "restart hours priced 3x crash hours"),
+        (1.0, 4.0, "restart hours priced 4x crash hours"),
+    ):
+        rate = MODEL.optimal_rejuvenation_rate(c_fail, c_rej, max_rate=30.0)
+        verdict = f"{rate:.3f}/h" if rate > 0 else "never"
+        print(f"  optimal rate when {story}: {verdict}")
+    print(
+        "  (the policy is bang-bang: for this model the cost rate is "
+        "monotone in the\n   rejuvenation rate, so the optimum sits at "
+        "'as fast as allowed' or 'never' --\n   the interesting control "
+        "is *when*, which is the simulation-based policies' job)"
+    )
+
+
+def measured_operating_point() -> None:
+    print("\nMeasured SRAA(2,5,3) operating point at 9 CPUs:")
+    result = run_once(
+        PAPER_CONFIG,
+        PoissonArrivals(1.8),
+        SRAA(PAPER_SLO, 2, 5, 3),
+        n_transactions=20_000,
+        seed=33,
+    )
+    hours = result.sim_duration_s / 3600.0
+    rate_per_hour = result.rejuvenations / hours
+    print(
+        f"  {result.rejuvenations} rejuvenations over {hours:.2f} simulated "
+        f"hours -> {rate_per_hour:.2f}/hour"
+    )
+    outage_s = 30.0
+    scheduled_downtime = result.rejuvenations * outage_s
+    fraction = scheduled_downtime / result.sim_duration_s
+    print(
+        f"  if each restart cost {outage_s:.0f} s, scheduled downtime "
+        f"would be {fraction * 100:.2f} % of wall clock"
+        f" ({fraction * 8760:.1f} h/year)"
+    )
+    print(
+        "  -> the measurement-driven trigger earns that budget back by "
+        "preventing the soft-failure\n     episodes that would otherwise "
+        "dominate both response time and unscheduled downtime."
+    )
+
+
+def main() -> None:
+    analytical_table()
+    measured_operating_point()
+
+
+if __name__ == "__main__":
+    main()

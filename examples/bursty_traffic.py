@@ -1,0 +1,89 @@
+"""Bursts vs aging: what the multi-bucket design is for.
+
+The paper's central design goal is "to distinguish between performance
+degradation that occurs as a result of burstiness in the arrival
+process and software degradation that occurs as a result of software
+aging".  This example drives the e-commerce system with Markov-modulated
+(bursty) traffic and compares:
+
+* a naive single-observation threshold (Bobbio-style deterministic
+  policy) -- rejuvenates on every burst;
+* multi-bucket SRAA -- rides out the bursts, still catches the GC-driven
+  aging.
+
+Run:  python examples/bursty_traffic.py
+"""
+
+import dataclasses
+
+from repro import (
+    PAPER_CONFIG,
+    PAPER_SLO,
+    SRAA,
+    DeterministicThreshold,
+    run_once,
+)
+from repro.ecommerce.workload import MMPPArrivals
+
+TRANSACTIONS = 12_000
+
+
+def bursty_arrivals() -> MMPPArrivals:
+    """Quiet 0.4/s traffic with 1.9/s bursts lasting ~2 min."""
+    return MMPPArrivals(
+        base_rate=0.4,
+        burst_rate=1.9,
+        mean_quiet_s=1_800.0,
+        mean_burst_s=120.0,
+    )
+
+
+def run(policy, config=PAPER_CONFIG, seed=11):
+    return run_once(
+        config, bursty_arrivals(), policy, TRANSACTIONS, seed=seed
+    )
+
+
+def main() -> None:
+    print(
+        f"MMPP traffic: mean rate {bursty_arrivals().mean_rate():.3f}/s "
+        f"with bursts to 1.9/s, {TRANSACTIONS} transactions\n"
+    )
+    contenders = [
+        ("threshold > 15 s", DeterministicThreshold(15.0)),
+        ("SRAA (3,5,1) multi-bucket", SRAA(PAPER_SLO, 3, 5, 1)),
+        ("SRAA (15,1,1) single-bucket", SRAA(PAPER_SLO, 15, 1, 1)),
+    ]
+    header = f"{'policy':<28} {'avg RT':>7} {'loss':>8} {'rejuvenations':>14}"
+    print(header)
+    print("-" * len(header))
+    for name, policy in contenders:
+        result = run(policy)
+        print(
+            f"{name:<28} {result.avg_response_time:>7.2f} "
+            f"{result.loss_fraction:>8.4f} {result.rejuvenations:>14d}"
+        )
+
+    # Same policies on a system that cannot age (GC disabled): a
+    # burst-tolerant policy should now trigger (almost) never.
+    print("\nSame traffic, aging disabled (no GC -- bursts are the only")
+    print("source of long response times):")
+    no_aging = dataclasses.replace(PAPER_CONFIG, enable_gc=False)
+    for name, policy in [
+        ("threshold > 15 s", DeterministicThreshold(15.0)),
+        ("SRAA (3,5,1) multi-bucket", SRAA(PAPER_SLO, 3, 5, 1)),
+    ]:
+        result = run(policy, config=no_aging)
+        print(
+            f"{name:<28} {result.avg_response_time:>7.2f} "
+            f"{result.loss_fraction:>8.4f} {result.rejuvenations:>14d}"
+        )
+    print(
+        "\nReading: the naive threshold pays a rejuvenation for every "
+        "burst even when nothing\nis wrong, while the multi-bucket chain "
+        "requires a sustained multi-sigma shift."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Analytical capacity planning with the M/M/c and CTMC machinery.
+
+Answers the questions an operator of the paper's system would ask
+without running a single simulation:
+
+1. How do response-time mean/std move with offered load (eq. 2-3)?
+2. What is P(RT > 10 s), the SLA's maximum acceptable response time?
+3. How large must the CLTA batch be for a target false-alarm rate,
+   accounting for the exact (non-normal) law of the batch mean (eq. 4)?
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import MMcModel, SampleMeanChain, clt_false_alarm_probability
+
+SERVICE_RATE = 0.2
+SERVERS = 16
+MAX_ACCEPTABLE_RT = 10.0
+
+
+def load_table() -> None:
+    print("Load sweep (eq. 2-3 and the SLA tail):")
+    print(f"{'load (CPUs)':>12} {'E[RT]':>8} {'sd[RT]':>8} {'P(RT>10s)':>10}")
+    for load in (0.5, 2, 4, 6, 8, 10, 12, 14, 15):
+        model = MMcModel.from_offered_load(load, SERVICE_RATE, SERVERS)
+        tail = 1.0 - model.response_time_cdf(MAX_ACCEPTABLE_RT)
+        print(
+            f"{load:>12.1f} {model.response_time_mean():>8.3f} "
+            f"{model.response_time_std():>8.3f} {tail:>10.4f}"
+        )
+
+
+def clta_design() -> None:
+    model = MMcModel(arrival_rate=1.6, service_rate=SERVICE_RATE, servers=SERVERS)
+    print(
+        "\nCLTA design at the maximum load of interest (lambda = 1.6/s):\n"
+        "exact false-alarm probability of the z = 1.96 rule vs batch size"
+    )
+    print(f"{'n':>4} {'threshold (s)':>14} {'exact FA':>9} {'nominal':>8}")
+    for n in (5, 10, 15, 30, 60, 120):
+        chain = SampleMeanChain(model, n)
+        threshold = chain.normal_quantile(0.975)
+        fa = chain.false_alarm_probability(0.975)
+        print(f"{n:>4} {threshold:>14.3f} {fa:>9.4f} {0.025:>8.3f}")
+    print(
+        "\nThe skew of the response-time law inflates the real rate above "
+        "the nominal 2.5 %\n(paper: 3.69 % at n=15, 3.37 % at n=30); "
+        "pick n, or adjust z, from this table."
+    )
+    # Find the smallest n whose exact rate is within 0.5 pp of nominal.
+    for n in range(15, 500, 15):
+        if clt_false_alarm_probability(model, n) < 0.030:
+            print(f"Smallest multiple of 15 with exact FA < 3.0 %: n = {n}")
+            break
+
+
+def main() -> None:
+    load_table()
+    clta_design()
+
+
+if __name__ == "__main__":
+    main()

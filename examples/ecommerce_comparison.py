@@ -1,0 +1,76 @@
+"""Compare rejuvenation policies on the paper's e-commerce system.
+
+Reproduces the Section-5 methodology at a small scale: the 16-CPU Java
+system with garbage-collection stalls and kernel overhead, driven at a
+high offered load (9 CPUs), under every policy the library ships --
+including the do-nothing baseline, which shows why rejuvenation matters
+at all: above 50 concurrent threads the kernel overhead halves capacity
+below the arrival rate, so one GC backlog never drains (a "soft
+failure").
+
+Run:  python examples/ecommerce_comparison.py
+"""
+
+from repro import (
+    CLTA,
+    PAPER_CONFIG,
+    PAPER_SLO,
+    SARAA,
+    SRAA,
+    DeterministicThreshold,
+    NeverRejuvenate,
+    PeriodicRejuvenation,
+    PoissonArrivals,
+    run_replications,
+)
+
+LOAD_CPUS = 9.0
+TRANSACTIONS = 10_000
+REPLICATIONS = 3
+
+
+def policy_zoo():
+    """(name, factory) for every contender."""
+    return [
+        ("no rejuvenation", NeverRejuvenate),
+        ("threshold > 20 s", lambda: DeterministicThreshold(20.0)),
+        ("periodic (500 tx)", lambda: PeriodicRejuvenation(period=500)),
+        ("SRAA (2,5,3)", lambda: SRAA(PAPER_SLO, 2, 5, 3)),
+        ("SARAA (2,5,3)", lambda: SARAA(PAPER_SLO, 2, 5, 3)),
+        ("CLTA (n=30)", lambda: CLTA(PAPER_SLO, 30, 1.96)),
+    ]
+
+
+def main() -> None:
+    arrival_rate = PAPER_CONFIG.arrival_rate_for_load(LOAD_CPUS)
+    print(
+        f"Offered load {LOAD_CPUS} CPUs (lambda = {arrival_rate:.2f}/s), "
+        f"{REPLICATIONS} x {TRANSACTIONS} transactions\n"
+    )
+    header = f"{'policy':<20} {'avg RT (s)':>10} {'loss':>8} {'rejuv':>6} {'GCs':>5}"
+    print(header)
+    print("-" * len(header))
+    for name, factory in policy_zoo():
+        result = run_replications(
+            PAPER_CONFIG,
+            arrival_factory=lambda: PoissonArrivals(arrival_rate),
+            policy_factory=factory,
+            n_transactions=TRANSACTIONS,
+            replications=REPLICATIONS,
+            seed=42,
+        )
+        print(
+            f"{name:<20} {result.avg_response_time:>10.2f} "
+            f"{result.loss_fraction:>8.4f} {result.rejuvenations:>6.0f} "
+            f"{result.gc_count:>5.0f}"
+        )
+    print(
+        "\nReading: without rejuvenation the GC backlog never drains and "
+        "the average RT explodes;\nthe measurement-driven policies keep it "
+        "within a few seconds of the healthy 5 s baseline\nat the cost of "
+        "a few percent of transactions lost."
+    )
+
+
+if __name__ == "__main__":
+    main()

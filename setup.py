@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Exists so that offline environments without the ``wheel`` package can
+still do an editable install via
+``pip install -e . --no-build-isolation --no-use-pep517``.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

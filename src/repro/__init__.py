@@ -1,0 +1,127 @@
+"""repro -- software rejuvenation triggered by customer-affecting metrics.
+
+A complete, from-scratch reproduction of
+
+    Avritzer, Bondi, Grottke, Trivedi, Weyuker:
+    "Performance Assurance via Software Rejuvenation: Monitoring,
+    Statistics and Algorithms", Proc. DSN 2006, pp. 435-444.
+
+The library contains the paper's three rejuvenation algorithms (SRAA,
+SARAA, CLTA) plus every substrate its evaluation depends on: a
+discrete-event simulation kernel, the Section-3 e-commerce system model,
+analytical M/M/c queueing, a CTMC engine standing in for SHARPE, and the
+statistics of Section 4.1.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import SRAA, PAPER_SLO, RejuvenationMonitor
+
+    policy = SRAA(PAPER_SLO, sample_size=3, n_buckets=2, depth=5)
+    monitor = RejuvenationMonitor(policy, on_rejuvenate=my_restart_hook)
+    for response_time in live_metric_stream:
+        monitor.feed(response_time)
+"""
+
+from repro.cluster import (
+    ClusterSystem,
+    JoinShortestQueue,
+    RollingCoordinator,
+    RoundRobin,
+    WeightedRoundRobin,
+)
+from repro.core import (
+    CLTA,
+    PAPER_SLO,
+    SARAA,
+    SRAA,
+    BucketChain,
+    CUSUMPolicy,
+    DeterministicThreshold,
+    EWMAPolicy,
+    NeverRejuvenate,
+    PeriodicRejuvenation,
+    QuantilePolicy,
+    RejuvenationPolicy,
+    ResourceExhaustionPolicy,
+    RiskBasedThreshold,
+    ServiceLevelObjective,
+    StaticRejuvenation,
+    TrendPolicy,
+    available_policies,
+    make_policy,
+)
+from repro.ctmc import SampleMeanChain, clt_false_alarm_probability
+from repro.degradation import DegradableSystem
+from repro.ecommerce import (
+    ECommerceSystem,
+    PAPER_CONFIG,
+    PoissonArrivals,
+    SystemConfig,
+    Telemetry,
+    run_once,
+    run_replications,
+    simulate_mmc_response_times,
+)
+from repro.experiments import Scale, run_experiment
+from repro.availability import HuangRejuvenationModel
+from repro.monitoring import (
+    AdaptiveSLO,
+    RejuvenationMonitor,
+    calibrate_slo,
+    robust_calibrate_slo,
+)
+from repro.queueing import MMcModel
+from repro.tuning import ParameterAdvisor, ParameterScore, default_grid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSLO",
+    "BucketChain",
+    "CLTA",
+    "CUSUMPolicy",
+    "ClusterSystem",
+    "DegradableSystem",
+    "DeterministicThreshold",
+    "ECommerceSystem",
+    "EWMAPolicy",
+    "HuangRejuvenationModel",
+    "JoinShortestQueue",
+    "MMcModel",
+    "NeverRejuvenate",
+    "PAPER_CONFIG",
+    "PAPER_SLO",
+    "ParameterAdvisor",
+    "ParameterScore",
+    "PeriodicRejuvenation",
+    "PoissonArrivals",
+    "QuantilePolicy",
+    "RejuvenationMonitor",
+    "RejuvenationPolicy",
+    "ResourceExhaustionPolicy",
+    "RiskBasedThreshold",
+    "RollingCoordinator",
+    "RoundRobin",
+    "SARAA",
+    "SRAA",
+    "SampleMeanChain",
+    "Scale",
+    "ServiceLevelObjective",
+    "StaticRejuvenation",
+    "SystemConfig",
+    "Telemetry",
+    "TrendPolicy",
+    "WeightedRoundRobin",
+    "available_policies",
+    "default_grid",
+    "calibrate_slo",
+    "clt_false_alarm_probability",
+    "make_policy",
+    "robust_calibrate_slo",
+    "run_experiment",
+    "run_once",
+    "run_replications",
+    "simulate_mmc_response_times",
+    "__version__",
+]

@@ -1,0 +1,259 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+
+``repro list``
+    Show every registered experiment with its description.
+``repro run EXPERIMENT [--scale quick|smoke|paper] [--seed N]``
+    Run one experiment (or ``all``) and print its tables.
+``repro mmc --load CPUS``
+    Print the analytical M/M/16 response-time facts at one load.
+``repro policies``
+    List the policy names the factory accepts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.core.factory import available_policies
+from repro.experiments.registry import (
+    describe,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.scale import Scale
+from repro.queueing.mmc import MMcModel
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Performance Assurance via Software "
+            "Rejuvenation' (DSN 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+    sub.add_parser("policies", help="list available policy names")
+
+    run = sub.add_parser("run", help="run an experiment and print its tables")
+    run.add_argument(
+        "experiment",
+        help="experiment id from 'repro list', or 'all'",
+    )
+    run.add_argument(
+        "--scale",
+        choices=("smoke", "quick", "paper"),
+        default=None,
+        help="simulation scale (default: REPRO_SCALE env or 'quick')",
+    )
+    run.add_argument("--seed", type=int, default=0, help="master seed")
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the result(s) as JSON (directory when "
+        "running 'all', file otherwise)",
+    )
+    run.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each table as CSV into this directory",
+    )
+
+    mmc = sub.add_parser("mmc", help="analytical M/M/16 facts at one load")
+    mmc.add_argument(
+        "--load", type=float, required=True, help="offered load in CPUs"
+    )
+    mmc.add_argument("--servers", type=int, default=16)
+    mmc.add_argument("--service-rate", type=float, default=0.2)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="one-off simulation of the Section-3 system under a policy",
+    )
+    simulate.add_argument(
+        "--policy",
+        default="sraa",
+        help="policy name from 'repro policies', or 'none'",
+    )
+    simulate.add_argument(
+        "-p",
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="policy parameter (repeatable), e.g. -p n=2 -p K=5 -p D=3",
+    )
+    simulate.add_argument(
+        "--load", type=float, default=9.0, help="offered load in CPUs"
+    )
+    simulate.add_argument("--transactions", type=int, default=20_000)
+    simulate.add_argument("--replications", type=int, default=1)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--warmup", type=int, default=0, help="transactions excluded from stats"
+    )
+    return parser
+
+
+def _resolve_scale(name: Optional[str]) -> Scale:
+    if name is None:
+        return Scale.from_env()
+    return {"smoke": Scale.smoke, "quick": Scale.quick, "paper": Scale.paper}[
+        name
+    ]()
+
+
+def _cmd_list() -> int:
+    width = max(len(eid) for eid in experiment_ids())
+    for eid in experiment_ids():
+        print(f"{eid.ljust(width)}  {describe(eid)}")
+    return 0
+
+
+def _cmd_policies() -> int:
+    for name in available_policies():
+        print(name)
+    return 0
+
+
+def _cmd_run(
+    experiment: str,
+    scale: Scale,
+    seed: int,
+    json_path: Optional[str] = None,
+    csv_dir: Optional[str] = None,
+) -> int:
+    from repro.experiments.io import save_csv, save_json
+
+    targets = experiment_ids() if experiment == "all" else (experiment,)
+    many = len(targets) > 1
+    for eid in targets:
+        result = run_experiment(eid, scale, seed)
+        print(result.format_text())
+        print()
+        if json_path is not None:
+            if many:
+                os.makedirs(json_path, exist_ok=True)
+                destination = os.path.join(json_path, f"{eid}.json")
+            else:
+                destination = json_path
+            save_json(result, destination)
+            print(f"wrote {destination}")
+        if csv_dir is not None:
+            for path in save_csv(result, csv_dir):
+                print(f"wrote {path}")
+    return 0
+
+
+def _cmd_mmc(load: float, servers: int, service_rate: float) -> int:
+    model = MMcModel.from_offered_load(load, service_rate, servers)
+    if not model.is_stable:
+        print(
+            f"load {load} CPUs on {servers} servers is unstable "
+            f"(rho = {model.traffic_intensity:.3f} >= 1)"
+        )
+        return 1
+    print(f"offered load        : {load} CPUs (lambda = {model.arrival_rate:g}/s)")
+    print(f"traffic intensity   : {model.traffic_intensity:.4f}")
+    print(f"W_c (no-wait prob.) : {model.wc():.6f}")
+    print(f"E[RT]   (eq. 2)     : {model.response_time_mean():.4f} s")
+    print(f"sd[RT]  (eq. 3)     : {model.response_time_std():.4f} s")
+    print(f"P(RT > 10 s)        : {1.0 - model.response_time_cdf(10.0):.6f}")
+    return 0
+
+
+def _parse_params(pairs: List[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad --param {pair!r}; expected KEY=VALUE")
+        try:
+            params[key] = float(value) if "." in value else int(value)
+        except ValueError:
+            raise SystemExit(
+                f"bad --param value {value!r}; expected a number"
+            ) from None
+    return params
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.factory import make_policy
+    from repro.core.sla import PAPER_SLO
+    from repro.ecommerce.config import PAPER_CONFIG
+    from repro.ecommerce.runner import run_replications
+    from repro.ecommerce.workload import PoissonArrivals
+
+    params = _parse_params(args.param)
+    if args.policy == "none":
+        policy_factory = lambda: None  # noqa: E731 - tiny local factory
+        description = "no rejuvenation"
+    else:
+        policy_factory = lambda: make_policy(  # noqa: E731
+            args.policy, PAPER_SLO, **params
+        )
+        description = policy_factory().describe()
+    rate = PAPER_CONFIG.arrival_rate_for_load(args.load)
+    result = run_replications(
+        PAPER_CONFIG,
+        arrival_factory=lambda: PoissonArrivals(rate),
+        policy_factory=policy_factory,
+        n_transactions=args.transactions,
+        replications=args.replications,
+        seed=args.seed,
+        warmup=args.warmup,
+    )
+    rt_mean, rt_low, rt_high = result.response_time_interval()
+    loss_mean, loss_low, loss_high = result.loss_interval()
+    print(f"policy            : {description}")
+    print(
+        f"load              : {args.load} CPUs (lambda = {rate:g}/s), "
+        f"{args.replications} x {args.transactions} transactions"
+    )
+    print(
+        f"avg response time : {rt_mean:.3f} s "
+        f"[{rt_low:.3f}, {rt_high:.3f}]"
+    )
+    print(
+        f"loss fraction     : {loss_mean:.5f} "
+        f"[{loss_low:.5f}, {loss_high:.5f}]"
+    )
+    print(f"rejuvenations     : {result.rejuvenations:g} per replication")
+    print(f"garbage collections: {result.gc_count:g} per replication")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "policies":
+        return _cmd_policies()
+    if args.command == "run":
+        return _cmd_run(
+            args.experiment,
+            _resolve_scale(args.scale),
+            args.seed,
+            json_path=args.json,
+            csv_dir=args.csv,
+        )
+    if args.command == "mmc":
+        return _cmd_mmc(args.load, args.servers, args.service_rate)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

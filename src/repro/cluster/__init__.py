@@ -1,0 +1,39 @@
+"""Cluster deployment of the rejuvenation algorithms.
+
+The companion paper ([2], Avritzer, Bondi & Weyuker, *Journal of Systems
+and Software* 2006) extends the single-server algorithms "to clusters of
+hosts".  This package provides that deployment on top of the shared
+:class:`~repro.ecommerce.node.ProcessingNode` mechanics:
+
+* :mod:`~repro.cluster.balancer` -- dispatching policies (round-robin,
+  random, join-shortest-queue, weighted round-robin);
+* :class:`~repro.cluster.system.ClusterSystem` -- N nodes behind a
+  balancer, each with its own rejuvenation policy watching its own
+  response times;
+* :class:`~repro.cluster.coordinator.RollingCoordinator` -- cluster-wide
+  constraints so rejuvenations roll through the cluster instead of
+  taking several nodes out simultaneously.
+"""
+
+from repro.cluster.balancer import (
+    JoinShortestQueue,
+    LoadBalancer,
+    RandomBalancer,
+    RoundRobin,
+    WeightedRoundRobin,
+)
+from repro.cluster.coordinator import RollingCoordinator
+from repro.cluster.metrics import ClusterResult, NodeStats
+from repro.cluster.system import ClusterSystem
+
+__all__ = [
+    "ClusterResult",
+    "ClusterSystem",
+    "JoinShortestQueue",
+    "LoadBalancer",
+    "NodeStats",
+    "RandomBalancer",
+    "RollingCoordinator",
+    "RoundRobin",
+    "WeightedRoundRobin",
+]

@@ -1,0 +1,93 @@
+"""Cluster-wide coordination of rejuvenation events.
+
+With several nodes, uncoordinated triggers can restart half the cluster
+in the same minute and crater its capacity.  The coordinator arbitrates
+trigger *requests*: a node whose policy fires asks for permission, and
+the coordinator enforces rolling-restart discipline:
+
+* at most ``max_nodes_down`` nodes may be inside their rejuvenation
+  downtime simultaneously;
+* consecutive rejuvenations (cluster-wide) are spaced at least
+  ``min_gap_s`` apart.
+
+A denied request is simply dropped: the node's policy has already reset
+itself, so if the degradation is real the evidence re-accumulates and
+the node asks again once the window opens -- which is exactly the
+behaviour an operator wants from a flapping detector.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class RollingCoordinator:
+    """Arbitrates rejuvenation requests across a cluster.
+
+    Parameters
+    ----------
+    min_gap_s:
+        Minimum simulated time between any two granted rejuvenations.
+    max_nodes_down:
+        Maximum number of nodes simultaneously inside rejuvenation
+        downtime (only binding when the system config has a positive
+        ``rejuvenation_downtime_s``).
+
+    Examples
+    --------
+    >>> coordinator = RollingCoordinator(min_gap_s=60.0)
+    >>> coordinator.request(node=0, now=0.0, downtime_s=0.0)
+    True
+    >>> coordinator.request(node=1, now=30.0, downtime_s=0.0)
+    False
+    >>> coordinator.request(node=1, now=61.0, downtime_s=0.0)
+    True
+    """
+
+    def __init__(self, min_gap_s: float = 0.0, max_nodes_down: int = 1):
+        if min_gap_s < 0:
+            raise ValueError("minimum gap must be non-negative")
+        if max_nodes_down < 1:
+            raise ValueError("at least one node must be allowed down")
+        self.min_gap_s = float(min_gap_s)
+        self.max_nodes_down = int(max_nodes_down)
+        self._last_grant: float = -float("inf")
+        self._down_until: List[float] = []
+        self.granted = 0
+        self.denied = 0
+
+    def reset(self) -> None:
+        """Forget history between runs."""
+        self._last_grant = -float("inf")
+        self._down_until = []
+        self.granted = 0
+        self.denied = 0
+
+    def nodes_down(self, now: float) -> int:
+        """Nodes currently inside their rejuvenation downtime."""
+        self._down_until = [t for t in self._down_until if t > now]
+        return len(self._down_until)
+
+    def request(self, node: int, now: float, downtime_s: float) -> bool:
+        """May ``node`` rejuvenate at time ``now``?
+
+        Grants update the coordinator's history; denials do not.
+        """
+        if now - self._last_grant < self.min_gap_s:
+            self.denied += 1
+            return False
+        if downtime_s > 0.0 and self.nodes_down(now) >= self.max_nodes_down:
+            self.denied += 1
+            return False
+        self._last_grant = now
+        if downtime_s > 0.0:
+            self._down_until.append(now + downtime_s)
+        self.granted += 1
+        return True
+
+
+class UnrestrictedCoordinator(RollingCoordinator):
+    """Grant every request (independent per-node rejuvenation)."""
+
+    def __init__(self) -> None:
+        super().__init__(min_gap_s=0.0, max_nodes_down=10**9)

@@ -1,0 +1,60 @@
+"""Result containers for cluster runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Per-node outcome of a cluster run."""
+
+    name: str
+    dispatched: int
+    completed: int
+    lost: int
+    avg_response_time: float
+    rejuvenations: int
+    gc_count: int
+
+    @property
+    def loss_fraction(self) -> float:
+        """Lost over dispatched for this node (0 for an idle node)."""
+        if self.dispatched == 0:
+            return 0.0
+        return self.lost / self.dispatched
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Aggregate outcome of a cluster run."""
+
+    arrivals: int
+    completed: int
+    lost: int
+    refused: int
+    avg_response_time: float
+    rt_std: float
+    loss_fraction: float
+    rejuvenations: int
+    gc_count: int
+    sim_duration_s: float
+    nodes: Tuple[NodeStats, ...]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def imbalance(self) -> float:
+        """Max/min ratio of per-node dispatched counts (1.0 = perfect).
+
+        Returns ``inf`` if any node received nothing while others did.
+        """
+        counts = [node.dispatched for node in self.nodes]
+        low, high = min(counts), max(counts)
+        if high == 0:
+            return 1.0
+        if low == 0:
+            return float("inf")
+        return high / low

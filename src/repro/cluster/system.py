@@ -1,0 +1,267 @@
+"""A cluster of Section-3 nodes behind a load balancer.
+
+Arrivals hit a front-end balancer which dispatches each transaction to
+one node; each node runs the full Section-3 mechanics (its own CPUs,
+heap, GC clock) and has its *own* rejuvenation policy watching its own
+response times -- the deployment studied in the companion paper [2].
+A :class:`~repro.cluster.coordinator.RollingCoordinator` arbitrates
+triggers so restarts roll through the cluster.
+
+Transactions arriving while every node is down (only possible with a
+positive rejuvenation downtime) are refused and counted lost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.base import RejuvenationPolicy
+from repro.cluster.balancer import LoadBalancer, RoundRobin
+from repro.cluster.coordinator import RollingCoordinator, UnrestrictedCoordinator
+from repro.cluster.metrics import ClusterResult, NodeStats
+from repro.des.engine import Simulator
+from repro.des.random_streams import RandomStreams
+from repro.ecommerce.config import SystemConfig
+from repro.ecommerce.node import Job, ProcessingNode
+from repro.ecommerce.workload import ArrivalProcess
+from repro.stats.running import OnlineMoments
+
+PolicyFactory = Callable[[], Optional[RejuvenationPolicy]]
+
+
+class _NodeAccounting:
+    """Mutable per-node counters (frozen into NodeStats at the end)."""
+
+    __slots__ = ("dispatched", "completed", "lost", "moments", "down_until")
+
+    def __init__(self) -> None:
+        self.dispatched = 0
+        self.completed = 0
+        self.lost = 0
+        self.moments = OnlineMoments()
+        self.down_until = 0.0
+
+
+class ClusterSystem:
+    """N e-commerce nodes behind a balancer with per-node policies.
+
+    Parameters
+    ----------
+    config:
+        Per-node system parameters -- one ``SystemConfig`` applied to
+        every node (the homogeneous cluster of [2]), or a sequence of
+        ``n_nodes`` configs for a heterogeneous cluster (e.g. one node
+        with a smaller heap that ages faster, paired with a
+        :class:`~repro.cluster.balancer.WeightedRoundRobin` matching
+        the capacities).
+    n_nodes:
+        Cluster size.
+    arrivals:
+        The aggregate arrival process hitting the front end.
+    policy_factory:
+        Builds one fresh policy per node (or returns ``None``).
+    balancer:
+        Dispatching strategy; defaults to round-robin.
+    coordinator:
+        Trigger arbitration; defaults to unrestricted (independent
+        nodes).
+    seed:
+        Master seed; each node gets an independent service stream.
+
+    Examples
+    --------
+    >>> from repro.core import SRAA, PAPER_SLO
+    >>> from repro.ecommerce import PAPER_CONFIG, PoissonArrivals
+    >>> cluster = ClusterSystem(
+    ...     PAPER_CONFIG,
+    ...     n_nodes=4,
+    ...     arrivals=PoissonArrivals(rate=4 * 1.6),
+    ...     policy_factory=lambda: SRAA(PAPER_SLO, 2, 5, 3),
+    ...     seed=1,
+    ... )
+    >>> result = cluster.run(4_000)
+    >>> result.completed + result.lost
+    4000
+    """
+
+    def __init__(
+        self,
+        config: "SystemConfig | Sequence[SystemConfig]",
+        n_nodes: int,
+        arrivals: ArrivalProcess,
+        policy_factory: PolicyFactory,
+        balancer: Optional[LoadBalancer] = None,
+        coordinator: Optional[RollingCoordinator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        if isinstance(config, SystemConfig):
+            self.node_configs: List[SystemConfig] = [config] * n_nodes
+        else:
+            self.node_configs = list(config)
+            if len(self.node_configs) != n_nodes:
+                raise ValueError(
+                    f"got {len(self.node_configs)} configs for "
+                    f"{n_nodes} nodes"
+                )
+        self.arrivals = arrivals
+        self.balancer = balancer if balancer is not None else RoundRobin()
+        self.coordinator = (
+            coordinator if coordinator is not None else UnrestrictedCoordinator()
+        )
+        self.streams = RandomStreams(seed)
+        self.sim = Simulator()
+        self.nodes: List[ProcessingNode] = []
+        self.policies: List[Optional[RejuvenationPolicy]] = []
+        self._accounting: List[_NodeAccounting] = []
+        for i in range(n_nodes):
+            node = ProcessingNode(
+                self.node_configs[i],
+                self.sim,
+                self.streams[f"service.{i}"],
+                on_complete=lambda job, rt, i=i: self._on_complete(i, job, rt),
+                on_loss=lambda job, i=i: self._on_loss(i, job),
+                name=f"node{i}",
+            )
+            self.nodes.append(node)
+            self.policies.append(policy_factory())
+            self._accounting.append(_NodeAccounting())
+        self._reset_counters()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def _reset_counters(self) -> None:
+        self._arrivals_generated = 0
+        self._n_target = 0
+        self._completed = 0
+        self._lost = 0
+        self._refused = 0
+        self._warmup = 0
+        self._measured_lost = 0
+        self._moments = OnlineMoments()
+
+    def _eligible_nodes(self) -> List[int]:
+        now = self.sim.now
+        return [
+            i
+            for i, acc in enumerate(self._accounting)
+            if acc.down_until <= now
+        ]
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _schedule_next_arrival(self) -> None:
+        if self._arrivals_generated >= self._n_target:
+            return
+        gap = self.arrivals.interarrival(self.streams["arrivals"])
+        self.sim.schedule(gap, self._on_arrival, kind="arrival")
+
+    def _on_arrival(self) -> None:
+        now = self.sim.now
+        index = self._arrivals_generated
+        self._arrivals_generated += 1
+        self._schedule_next_arrival()
+        eligible = self._eligible_nodes()
+        if not eligible:
+            # Whole cluster in downtime: the request is refused.
+            self._refused += 1
+            self._count_loss(index, node_index=None)
+            return
+        target = self.balancer.select(self.nodes, eligible, self.streams["lb"])
+        if target not in eligible:
+            raise AssertionError(
+                f"balancer picked ineligible node {target}"
+            )  # pragma: no cover - balancer contract
+        self._accounting[target].dispatched += 1
+        self.nodes[target].submit(Job(now, index))
+
+    def _on_complete(self, node_index: int, job: Job, response_time: float):
+        accounting = self._accounting[node_index]
+        accounting.completed += 1
+        accounting.moments.push(response_time)
+        self._completed += 1
+        if job.index >= self._warmup:
+            self._moments.push(response_time)
+        policy = self.policies[node_index]
+        if policy is not None and policy.observe(response_time):
+            self._request_rejuvenation(node_index)
+
+    def _on_loss(self, node_index: int, job: Job) -> None:
+        self._count_loss(job.index, node_index)
+
+    def _count_loss(self, index: int, node_index: Optional[int]) -> None:
+        self._lost += 1
+        if node_index is not None:
+            self._accounting[node_index].lost += 1
+        if index >= self._warmup:
+            self._measured_lost += 1
+
+    def _request_rejuvenation(self, node_index: int) -> None:
+        now = self.sim.now
+        downtime = self.node_configs[node_index].rejuvenation_downtime_s
+        if not self.coordinator.request(node_index, now, downtime):
+            return
+        self.nodes[node_index].rejuvenate()
+        if downtime > 0.0:
+            self._accounting[node_index].down_until = now + downtime
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, n_transactions: int, warmup: int = 0) -> ClusterResult:
+        """Generate ``n_transactions`` arrivals; run until all resolve."""
+        if n_transactions < 1:
+            raise ValueError("need at least one transaction")
+        if not 0 <= warmup < n_transactions:
+            raise ValueError("warmup must lie in [0, n_transactions)")
+        self.sim.reset()
+        self.arrivals.reset()
+        self.balancer.reset()
+        self.coordinator.reset()
+        for i, node in enumerate(self.nodes):
+            node.reset()
+            policy = self.policies[i]
+            if policy is not None:
+                policy.reset()
+            self._accounting[i] = _NodeAccounting()
+        self._reset_counters()
+        self._warmup = warmup
+        self._n_target = n_transactions
+        self._schedule_next_arrival()
+        self.sim.run()
+        resolved = self._completed + self._lost
+        if resolved != n_transactions:  # pragma: no cover - invariant
+            raise AssertionError(
+                f"cluster run resolved {resolved} of {n_transactions}"
+            )
+        node_stats = tuple(
+            NodeStats(
+                name=node.name,
+                dispatched=acc.dispatched,
+                completed=acc.completed,
+                lost=acc.lost,
+                avg_response_time=acc.moments.mean if acc.moments.count else 0.0,
+                rejuvenations=node.rejuvenations,
+                gc_count=node.gc_count,
+            )
+            for node, acc in zip(self.nodes, self._accounting)
+        )
+        measured_total = n_transactions - warmup
+        return ClusterResult(
+            arrivals=self._arrivals_generated,
+            completed=self._completed,
+            lost=self._lost,
+            refused=self._refused,
+            avg_response_time=self._moments.mean if self._moments.count else 0.0,
+            rt_std=self._moments.std,
+            loss_fraction=self._measured_lost / measured_total,
+            rejuvenations=sum(node.rejuvenations for node in self.nodes),
+            gc_count=sum(node.gc_count for node in self.nodes),
+            sim_duration_s=self.sim.now,
+            nodes=node_stats,
+        )

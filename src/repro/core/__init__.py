@@ -1,0 +1,67 @@
+"""The paper's contribution: rejuvenation-triggering decision rules.
+
+Three algorithms from the paper --
+
+* :class:`~repro.core.sraa.SRAA` -- static rejuvenation with averaging
+  (Fig. 6); with ``sample_size=1`` it degenerates to the original static
+  algorithm of [1], exposed as
+  :class:`~repro.core.sraa.StaticRejuvenation`.
+* :class:`~repro.core.saraa.SARAA` -- sampling-acceleration rejuvenation
+  with averaging (Fig. 7).
+* :class:`~repro.core.clta.CLTA` -- the central-limit-theorem rule
+  (Fig. 8).
+
+-- plus the baselines the literature suggests (Bobbio-style thresholds,
+periodic, never), all behind the common
+:class:`~repro.core.base.RejuvenationPolicy` streaming interface.
+"""
+
+from repro.core.base import BatchBuffer, RejuvenationPolicy
+from repro.core.baselines import NeverRejuvenate, PeriodicRejuvenation
+from repro.core.buckets import BucketChain, Transition
+from repro.core.clta import CLTA
+from repro.core.composite import AllOf, AnyOf, MajorityOf
+from repro.core.control_charts import CUSUMPolicy, EWMAPolicy
+from repro.core.factory import available_policies, make_policy
+from repro.core.proactive import ResourceExhaustionPolicy
+from repro.core.quantile import QuantilePolicy
+from repro.core.saraa import (
+    SARAA,
+    geometric_acceleration,
+    linear_acceleration,
+    no_acceleration,
+)
+from repro.core.sla import PAPER_SLO, ServiceLevelObjective
+from repro.core.sraa import SRAA, StaticRejuvenation
+from repro.core.threshold import DeterministicThreshold, RiskBasedThreshold
+from repro.core.trend import TrendPolicy
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BatchBuffer",
+    "BucketChain",
+    "CLTA",
+    "CUSUMPolicy",
+    "EWMAPolicy",
+    "MajorityOf",
+    "DeterministicThreshold",
+    "NeverRejuvenate",
+    "PAPER_SLO",
+    "PeriodicRejuvenation",
+    "QuantilePolicy",
+    "RejuvenationPolicy",
+    "ResourceExhaustionPolicy",
+    "RiskBasedThreshold",
+    "SARAA",
+    "SRAA",
+    "ServiceLevelObjective",
+    "StaticRejuvenation",
+    "Transition",
+    "TrendPolicy",
+    "available_policies",
+    "geometric_acceleration",
+    "linear_acceleration",
+    "make_policy",
+    "no_acceleration",
+]

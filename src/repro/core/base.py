@@ -1,0 +1,116 @@
+"""Policy interface and the batch-averaging buffer.
+
+Every decision rule in this library is a :class:`RejuvenationPolicy`: a
+stateful object that consumes the customer-affecting metric one
+observation at a time and answers, for each observation, whether software
+rejuvenation must be triggered *now*.  The simulator, the monitoring
+framework and the experiment harness all program against this interface,
+so the paper's algorithms and every baseline are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional
+
+
+class RejuvenationPolicy(abc.ABC):
+    """A streaming trigger rule over a customer-affecting metric."""
+
+    #: Short machine-readable identifier (used by the factory and tables).
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def observe(self, value: float) -> bool:
+        """Consume one metric observation.
+
+        Returns
+        -------
+        bool
+            ``True`` when rejuvenation must be carried out now.  The
+            policy resets its own detection state before returning
+            ``True`` (the paper's pseudo-code does the same), so the
+            caller only has to perform the rejuvenation itself.
+        """
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all detection state (called on external rejuvenation)."""
+
+    def observe_many(self, values: Iterable[float]) -> List[int]:
+        """Feed a sequence; return the indices at which triggers fired.
+
+        A convenience for offline/trace analysis -- the simulator uses
+        :meth:`observe` directly.
+        """
+        triggers: List[int] = []
+        for index, value in enumerate(values):
+            if self.observe(value):
+                triggers.append(index)
+        return triggers
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return self.name
+
+
+class BatchBuffer:
+    """Accumulates raw observations into means of ``n`` (the paper's x̄_u).
+
+    SRAA, SARAA and CLTA all decide on *batch means* rather than raw
+    values; this buffer implements the shared bookkeeping, including the
+    batch-size changes required by SARAA's sampling acceleration.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("batch size must be >= 1")
+        self.size = int(size)
+        self._sum = 0.0
+        self._count = 0
+        self.batches_completed = 0
+
+    @property
+    def pending(self) -> int:
+        """Observations accumulated towards the current batch."""
+        return self._count
+
+    def push(self, value: float) -> Optional[float]:
+        """Add one observation; return the batch mean if it completed."""
+        self._sum += float(value)
+        self._count += 1
+        if self._count < self.size:
+            return None
+        # Divide by the actual count: after a carry_partial resize to a
+        # smaller n, the completing batch may hold more than `size` values.
+        mean = self._sum / self._count
+        self._sum = 0.0
+        self._count = 0
+        self.batches_completed += 1
+        return mean
+
+    def resize(self, new_size: int, carry_partial: bool = False) -> None:
+        """Change the batch size.
+
+        Parameters
+        ----------
+        new_size:
+            The new ``n``.
+        carry_partial:
+            If ``True``, observations already accumulated keep counting
+            towards the next batch (which may complete immediately on the
+            next push); if ``False`` (the default, matching the paper's
+            pseudo-code which only ever indexes whole batches), the
+            partial batch is discarded.
+        """
+        if new_size < 1:
+            raise ValueError("batch size must be >= 1")
+        self.size = int(new_size)
+        if not carry_partial:
+            self._sum = 0.0
+            self._count = 0
+
+    def clear(self) -> None:
+        """Drop any partially accumulated batch."""
+        self._sum = 0.0
+        self._count = 0

@@ -1,0 +1,61 @@
+"""Trivial reference policies.
+
+``NeverRejuvenate`` measures the raw, un-managed system (the upper bound
+on response-time degradation and the zero point for rejuvenation cost);
+``PeriodicRejuvenation`` is the classical time/count-based rejuvenation
+from the software-aging literature (Huang et al. 1995), which the
+measurement-driven policies of this paper are meant to improve on.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import RejuvenationPolicy
+
+
+class NeverRejuvenate(RejuvenationPolicy):
+    """Never trigger; the do-nothing baseline."""
+
+    name = "never"
+
+    def observe(self, value: float) -> bool:
+        return False
+
+    def reset(self) -> None:
+        """Stateless; nothing to reset."""
+
+    def describe(self) -> str:
+        return "Never()"
+
+
+class PeriodicRejuvenation(RejuvenationPolicy):
+    """Trigger every ``period`` observations, blind to the metric.
+
+    Parameters
+    ----------
+    period:
+        Number of observations between triggers (``>= 1``).
+    """
+
+    name = "periodic"
+
+    def __init__(self, period: int) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = int(period)
+        self._seen = 0
+        self.triggers = 0
+
+    def observe(self, value: float) -> bool:
+        self._seen += 1
+        if self._seen >= self.period:
+            self._seen = 0
+            self.triggers += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Restart the countdown."""
+        self._seen = 0
+
+    def describe(self) -> str:
+        return f"Periodic(every={self.period})"

@@ -1,0 +1,127 @@
+"""The ball-and-bucket counter shared by the static, SRAA and SARAA rules.
+
+Section 4.2 describes the metaphor: ``K`` buckets of depth ``D``.  The
+current bucket ``N`` receives a ball whenever the (averaged) observation
+exceeds that bucket's target and loses one otherwise.  When the count
+exceeds the depth the bucket *overflows* and the algorithm advances to
+bucket ``N + 1`` with a higher target; when the count would go negative
+while ``N > 0`` the bucket *underflows* and the algorithm falls back to
+bucket ``N - 1`` (refilled to ``D``).  Overflow of the last bucket
+triggers rejuvenation and resets the chain.
+
+We follow the paper's pseudo-code (Fig. 6) exactly, including two details
+the prose glosses over:
+
+* overflow occurs when the count becomes *strictly greater* than ``D``
+  (so a bucket absorbs ``D + 1`` net exceedances, not ``D``);
+* falling back to the previous bucket restores its count to the *full*
+  depth ``D``, so a fresh underflow there requires ``D + 1`` further
+  non-exceedances.
+
+The minimum delay before rejuvenation is therefore ``(D + 1) * K``
+(averaged) observations, which realises the paper's "at least D * K
+observations" burst tolerance.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Transition(enum.Enum):
+    """What a single :meth:`BucketChain.record` call did to the chain."""
+
+    NONE = "none"          #: ball added/removed within the current bucket
+    LEVEL_UP = "up"        #: current bucket overflowed; moved to N + 1
+    LEVEL_DOWN = "down"    #: current bucket underflowed; moved to N - 1
+    TRIGGER = "trigger"    #: last bucket overflowed; rejuvenate and reset
+
+
+class BucketChain:
+    """The ``K``-bucket, depth-``D`` degradation counter of Fig. 6.
+
+    Parameters
+    ----------
+    n_buckets:
+        ``K >= 1`` -- how many standard deviations of shift must be
+        confirmed before rejuvenation (burst tolerance).
+    depth:
+        ``D >= 1`` -- how many net exceedances fill one bucket
+        (degradation-detection accuracy).
+
+    Examples
+    --------
+    >>> chain = BucketChain(n_buckets=1, depth=1)
+    >>> chain.record(True)            # d: 0 -> 1, not yet > D
+    <Transition.NONE: 'none'>
+    >>> chain.record(True)            # d -> 2 > 1: overflow of last bucket
+    <Transition.TRIGGER: 'trigger'>
+    >>> (chain.level, chain.fill)     # reset after trigger
+    (0, 0)
+    """
+
+    def __init__(self, n_buckets: int, depth: int) -> None:
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket (K >= 1)")
+        if depth < 1:
+            raise ValueError("bucket depth must be >= 1 (D >= 1)")
+        self.n_buckets = int(n_buckets)
+        self.depth = int(depth)
+        self.level = 0  # the paper's N, index of the current bucket
+        self.fill = 0   # the paper's d, balls in the current bucket
+        self.triggers = 0
+
+    def record(self, exceeded: bool) -> Transition:
+        """Fold one comparison outcome into the chain.
+
+        Parameters
+        ----------
+        exceeded:
+            Whether the (averaged) observation exceeded the current
+            bucket's target value.
+
+        Returns
+        -------
+        Transition
+            ``TRIGGER`` means rejuvenation must be carried out now; the
+            chain has already reset itself.
+        """
+        if exceeded:
+            self.fill += 1
+        else:
+            self.fill -= 1
+        if self.fill > self.depth:
+            self.fill = 0
+            self.level += 1
+            if self.level == self.n_buckets:
+                self.level = 0
+                self.triggers += 1
+                return Transition.TRIGGER
+            return Transition.LEVEL_UP
+        if self.fill < 0:
+            if self.level > 0:
+                self.fill = self.depth
+                self.level -= 1
+                return Transition.LEVEL_DOWN
+            self.fill = 0
+        return Transition.NONE
+
+    def reset(self) -> None:
+        """Return to the initial state (level 0, empty bucket)."""
+        self.level = 0
+        self.fill = 0
+
+    @property
+    def min_observations_to_trigger(self) -> int:
+        """Fewest (averaged) observations that can cause a trigger.
+
+        Each bucket needs ``D + 1`` net exceedances under the Fig. 6
+        semantics, and there are ``K`` buckets.
+        """
+        return (self.depth + 1) * self.n_buckets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BucketChain(K={self.n_buckets}, D={self.depth}, "
+            f"N={self.level}, d={self.fill})"
+        )

@@ -1,0 +1,129 @@
+"""Combining decision rules.
+
+Operators sometimes want rejuvenation only when *several* independent
+detectors agree (cut false alarms), or when *any* of a family fires
+(cut detection latency).  These combinators compose any
+:class:`~repro.core.base.RejuvenationPolicy` objects behind the same
+streaming interface, so a combined rule drops into the simulator, the
+monitor and the cluster unchanged.
+
+Semantics: every member policy sees every observation (members keep
+their own batching).  ``AnyOf`` fires when at least one member fires on
+an observation; ``AllOf`` requires every member to be *concurrently*
+alarmed -- since triggers are instantaneous events, each member's
+firing raises a latch that stays up for ``memory`` observations, and
+``AllOf`` fires when all latches are up simultaneously.  ``MajorityOf``
+generalises to k-of-n.  After a combined trigger every member is reset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.base import RejuvenationPolicy
+
+
+class _Latched:
+    """A member policy plus the fired-recently latch."""
+
+    __slots__ = ("policy", "remaining")
+
+    def __init__(self, policy: RejuvenationPolicy) -> None:
+        self.policy = policy
+        self.remaining = 0
+
+    def observe(self, value: float, memory: int) -> None:
+        if self.policy.observe(value):
+            self.remaining = memory
+        elif self.remaining > 0:
+            self.remaining -= 1
+
+    @property
+    def alarmed(self) -> bool:
+        return self.remaining > 0
+
+
+class _CompositePolicy(RejuvenationPolicy):
+    """Shared machinery for the combinators."""
+
+    def __init__(
+        self,
+        policies: Sequence[RejuvenationPolicy],
+        quorum: int,
+        memory: int,
+    ) -> None:
+        if not policies:
+            raise ValueError("need at least one member policy")
+        if not 1 <= quorum <= len(policies):
+            raise ValueError(
+                f"quorum must lie in [1, {len(policies)}], got {quorum}"
+            )
+        if memory < 1:
+            raise ValueError("latch memory must be >= 1 observation")
+        self._members: List[_Latched] = [_Latched(p) for p in policies]
+        self.quorum = int(quorum)
+        self.memory = int(memory)
+
+    @property
+    def members(self) -> List[RejuvenationPolicy]:
+        """The member policies (in construction order)."""
+        return [member.policy for member in self._members]
+
+    def alarmed_count(self) -> int:
+        """Members whose latch is currently up."""
+        return sum(member.alarmed for member in self._members)
+
+    def observe(self, value: float) -> bool:
+        for member in self._members:
+            member.observe(value, self.memory)
+        if self.alarmed_count() >= self.quorum:
+            self.reset()
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Reset every member and drop all latches."""
+        for member in self._members:
+            member.policy.reset()
+            member.remaining = 0
+
+    def describe(self) -> str:
+        inner = ", ".join(m.policy.describe() for m in self._members)
+        return (
+            f"{type(self).__name__}(quorum={self.quorum}/"
+            f"{len(self._members)}, memory={self.memory}, [{inner}])"
+        )
+
+
+class AnyOf(_CompositePolicy):
+    """Fire when any member fires (union of detectors)."""
+
+    name = "any-of"
+
+    def __init__(self, policies: Sequence[RejuvenationPolicy]) -> None:
+        super().__init__(policies, quorum=1, memory=1)
+
+
+class AllOf(_CompositePolicy):
+    """Fire when every member has fired within the latch window."""
+
+    name = "all-of"
+
+    def __init__(
+        self, policies: Sequence[RejuvenationPolicy], memory: int = 50
+    ) -> None:
+        super().__init__(policies, quorum=len(policies), memory=memory)
+
+
+class MajorityOf(_CompositePolicy):
+    """Fire when at least ``quorum`` members have fired within the window."""
+
+    name = "majority-of"
+
+    def __init__(
+        self,
+        policies: Sequence[RejuvenationPolicy],
+        quorum: int,
+        memory: int = 50,
+    ) -> None:
+        super().__init__(policies, quorum=quorum, memory=memory)

@@ -1,0 +1,140 @@
+"""Control-chart detectors: CUSUM and the EWMA chart.
+
+The bucket chain is, structurally, a discretised change detector; the
+statistical-process-control literature the run-length analysis of
+:mod:`repro.core.arl` borrows from has two canonical continuous
+counterparts, included here as baselines:
+
+* **CUSUM** (Page 1954): accumulate one-sided deviations above a
+  reference value, trigger when the cumulative sum crosses a decision
+  interval.  Optimal (in the Lorden sense) for detecting a sustained
+  mean shift of known size.
+* **EWMA chart** (Roberts 1959): an exponentially weighted moving
+  average with control limits scaled by its asymptotic standard
+  deviation; favours small persistent shifts.
+
+Both are one-sided here (only *increases* of a response time are
+degradations) and self-reset on trigger like every policy in this
+library.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import RejuvenationPolicy
+from repro.core.sla import ServiceLevelObjective
+
+
+class CUSUMPolicy(RejuvenationPolicy):
+    """One-sided CUSUM on the monitored metric.
+
+    The statistic ``S`` follows ``S <- max(0, S + (x - mu - k))`` and a
+    trigger fires when ``S > h``.  The reference offset ``k`` is
+    conventionally half the shift one wants to detect quickly
+    (``k = delta/2`` in sigma units); the decision interval ``h`` sets
+    the in-control ARL.
+
+    Parameters
+    ----------
+    slo:
+        Healthy-behaviour mean and standard deviation.
+    k_sigmas:
+        Reference offset in standard deviations (default 0.5: tuned for
+        a one-sigma shift).
+    h_sigmas:
+        Decision interval in standard deviations (default 5, the
+        textbook choice).
+
+    Examples
+    --------
+    >>> from repro.core.sla import PAPER_SLO
+    >>> policy = CUSUMPolicy(PAPER_SLO)
+    >>> any(policy.observe(50.0) for _ in range(10))
+    True
+    """
+
+    name = "cusum"
+
+    def __init__(
+        self,
+        slo: ServiceLevelObjective,
+        k_sigmas: float = 0.5,
+        h_sigmas: float = 5.0,
+    ) -> None:
+        if k_sigmas < 0:
+            raise ValueError("reference offset must be non-negative")
+        if h_sigmas <= 0:
+            raise ValueError("decision interval must be positive")
+        self.slo = slo
+        self.reference = slo.mean + k_sigmas * slo.std
+        self.decision_interval = h_sigmas * slo.std
+        self.statistic = 0.0
+
+    def observe(self, value: float) -> bool:
+        self.statistic = max(0.0, self.statistic + value - self.reference)
+        if self.statistic > self.decision_interval:
+            self.reset()
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Zero the cumulative sum."""
+        self.statistic = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"CUSUM(ref={self.reference:g}, h={self.decision_interval:g})"
+        )
+
+
+class EWMAPolicy(RejuvenationPolicy):
+    """One-sided EWMA control chart.
+
+    ``z <- lam * x + (1 - lam) * z`` starting at ``mu``; a trigger fires
+    when ``z`` exceeds the upper control limit
+    ``mu + L * sigma * sqrt(lam / (2 - lam))`` (the asymptotic standard
+    deviation of the EWMA under i.i.d. observations).
+
+    Parameters
+    ----------
+    slo:
+        Healthy-behaviour mean and standard deviation.
+    lam:
+        Smoothing weight in (0, 1]; small values favour small shifts.
+    L_sigmas:
+        Control-limit width (default 3, the textbook choice).
+    """
+
+    name = "ewma"
+
+    def __init__(
+        self,
+        slo: ServiceLevelObjective,
+        lam: float = 0.2,
+        L_sigmas: float = 3.0,
+    ) -> None:
+        if not 0.0 < lam <= 1.0:
+            raise ValueError("smoothing weight must lie in (0, 1]")
+        if L_sigmas <= 0:
+            raise ValueError("control-limit width must be positive")
+        self.slo = slo
+        self.lam = float(lam)
+        self.limit = slo.mean + L_sigmas * slo.std * math.sqrt(
+            lam / (2.0 - lam)
+        )
+        self.statistic = slo.mean
+
+    def observe(self, value: float) -> bool:
+        self.statistic = self.lam * value + (1.0 - self.lam) * self.statistic
+        if self.statistic > self.limit:
+            self.reset()
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Re-centre the average on the healthy mean."""
+        self.statistic = self.slo.mean
+
+    def describe(self) -> str:
+        return f"EWMA(lam={self.lam:g}, limit={self.limit:g})"

@@ -1,0 +1,152 @@
+"""String-keyed construction of policies (CLI and config files)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.core.base import RejuvenationPolicy
+from repro.core.baselines import NeverRejuvenate, PeriodicRejuvenation
+from repro.core.clta import CLTA
+from repro.core.control_charts import CUSUMPolicy, EWMAPolicy
+from repro.core.quantile import QuantilePolicy
+from repro.core.saraa import SARAA
+from repro.core.sla import ServiceLevelObjective
+from repro.core.sraa import SRAA, StaticRejuvenation
+from repro.core.threshold import DeterministicThreshold, RiskBasedThreshold
+from repro.core.trend import TrendPolicy
+
+
+def _build_sraa(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
+    return SRAA(
+        slo,
+        sample_size=int(kw.get("n", 1)),
+        n_buckets=int(kw.get("K", 1)),
+        depth=int(kw.get("D", 1)),
+    )
+
+
+def _build_saraa(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
+    return SARAA(
+        slo,
+        sample_size=int(kw.get("n", 5)),
+        n_buckets=int(kw.get("K", 1)),
+        depth=int(kw.get("D", 1)),
+    )
+
+
+def _build_clta(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
+    return CLTA(slo, sample_size=int(kw.get("n", 30)), z=float(kw.get("z", 1.96)))
+
+
+def _build_static(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
+    return StaticRejuvenation(
+        slo, n_buckets=int(kw.get("K", 1)), depth=int(kw.get("D", 1))
+    )
+
+
+def _build_never(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
+    return NeverRejuvenate()
+
+
+def _build_periodic(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
+    return PeriodicRejuvenation(period=int(kw.get("period", 1000)))
+
+
+def _build_threshold(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
+    default_limit = slo.shift_threshold(3)
+    return DeterministicThreshold(threshold=float(kw.get("limit", default_limit)))
+
+
+def _build_risk(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
+    soft = float(kw.get("soft", slo.shift_threshold(1)))
+    hard = float(kw.get("hard", slo.shift_threshold(4)))
+    return RiskBasedThreshold(soft_limit=soft, hard_limit=hard)
+
+
+def _build_trend(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
+    return TrendPolicy(
+        sample_size=int(kw.get("n", 5)),
+        window=int(kw.get("window", 12)),
+        alpha=float(kw.get("alpha", 0.05)),
+        min_slope=float(kw.get("min_slope", 0.0)),
+    )
+
+
+def _build_quantile(
+    slo: ServiceLevelObjective, **kw: Any
+) -> RejuvenationPolicy:
+    # Default limit: the paper's 10 s maximum acceptable response time.
+    return QuantilePolicy(
+        quantile=float(kw.get("q", 0.95)),
+        limit=float(kw.get("limit", 10.0)),
+        window=int(kw.get("window", 100)),
+        patience=int(kw.get("patience", 2)),
+    )
+
+
+def _build_cusum(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
+    return CUSUMPolicy(
+        slo,
+        k_sigmas=float(kw.get("k", 0.5)),
+        h_sigmas=float(kw.get("h", 5.0)),
+    )
+
+
+def _build_ewma(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
+    return EWMAPolicy(
+        slo,
+        lam=float(kw.get("lam", 0.2)),
+        L_sigmas=float(kw.get("L", 3.0)),
+    )
+
+
+_BUILDERS: Dict[str, Callable[..., RejuvenationPolicy]] = {
+    "cusum": _build_cusum,
+    "ewma": _build_ewma,
+    "quantile": _build_quantile,
+    "trend": _build_trend,
+    "sraa": _build_sraa,
+    "saraa": _build_saraa,
+    "clta": _build_clta,
+    "static": _build_static,
+    "never": _build_never,
+    "periodic": _build_periodic,
+    "threshold": _build_threshold,
+    "risk-threshold": _build_risk,
+}
+
+
+def available_policies() -> tuple[str, ...]:
+    """Names accepted by :func:`make_policy`."""
+    return tuple(sorted(_BUILDERS))
+
+
+def make_policy(
+    name: str, slo: ServiceLevelObjective, **params: Any
+) -> RejuvenationPolicy:
+    """Build a policy by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_policies`.
+    slo:
+        The service-level objective (ignored by the stateless baselines).
+    params:
+        Algorithm parameters using the paper's letters: ``n``, ``K``,
+        ``D``, ``z`` -- plus baseline-specific keys (``period``,
+        ``limit``, ``soft``, ``hard``).
+
+    Examples
+    --------
+    >>> from repro.core.sla import PAPER_SLO
+    >>> make_policy("sraa", PAPER_SLO, n=2, K=5, D=3).describe()
+    'SRAA(n=2, K=5, D=3)'
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        ) from None
+    return builder(slo, **params)

@@ -1,0 +1,110 @@
+"""Proactive resource-exhaustion rejuvenation (after Castelli et al. 2001).
+
+The related work describes IBM Director's approach: "proactive software
+rejuvenation using statistical estimation of resource exhaustion".
+Instead of the customer-affecting metric, this policy watches a
+*resource* signal (e.g. free heap) sampled over time, fits a linear
+trend, extrapolates when the resource crosses its critical level, and
+triggers rejuvenation when that predicted exhaustion falls within the
+planning horizon.
+
+It deliberately embodies the strategy the paper argues is insufficient
+on its own (resource metrics were being watched while response time
+degraded unnoticed) -- making it the baseline that shows what
+customer-affecting-metric monitoring adds.  The e-commerce simulator can
+drive it through :meth:`ECommerceSystem` telemetry or any caller can
+feed ``observe_resource`` directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.core.base import RejuvenationPolicy
+from repro.stats.trend import time_to_level
+
+
+class ResourceExhaustionPolicy(RejuvenationPolicy):
+    """Trigger when extrapolated resource exhaustion is imminent.
+
+    Parameters
+    ----------
+    critical_level:
+        The resource level that counts as exhausted (e.g. the GC
+        threshold of 100 MB free heap).
+    horizon_s:
+        Trigger when the predicted crossing lies within this many
+        seconds of now.
+    window:
+        Number of recent ``(time, level)`` samples fitted (>= 3).
+    direction:
+        ``"falling"`` (default) treats the level as a floor the
+        resource drains towards; ``"rising"`` as a ceiling a usage
+        metric climbs towards.
+
+    Notes
+    -----
+    This policy consumes *resource* samples via
+    :meth:`observe_resource`; the :meth:`observe` method of the common
+    interface accepts plain metric values only for API compatibility and
+    never triggers (a response time carries no resource information).
+    """
+
+    name = "resource-exhaustion"
+
+    def __init__(
+        self,
+        critical_level: float,
+        horizon_s: float,
+        window: int = 20,
+        direction: str = "falling",
+    ) -> None:
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        if window < 3:
+            raise ValueError("window must hold at least 3 samples")
+        if direction not in ("falling", "rising"):
+            raise ValueError("direction must be 'falling' or 'rising'")
+        self.critical_level = float(critical_level)
+        self.horizon_s = float(horizon_s)
+        self.window = int(window)
+        self.direction = direction
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=self.window)
+        self.last_prediction_s = float("inf")
+
+    # ------------------------------------------------------------------
+    def observe_resource(self, time_s: float, level: float) -> bool:
+        """Feed one ``(time, resource level)`` sample; decide."""
+        if self._samples and time_s < self._samples[-1][0]:
+            raise ValueError("resource samples must arrive in time order")
+        self._samples.append((float(time_s), float(level)))
+        if len(self._samples) < self.window:
+            return False
+        times = [t for t, _ in self._samples]
+        levels = [v for _, v in self._samples]
+        if len(set(times)) < 2:
+            return False
+        crossing = time_to_level(
+            times, levels, self.critical_level, direction=self.direction
+        )
+        self.last_prediction_s = crossing
+        if crossing - time_s <= self.horizon_s:
+            self.reset()
+            return True
+        return False
+
+    def observe(self, value: float) -> bool:
+        """Metric observations carry no resource signal: never trigger."""
+        return False
+
+    def reset(self) -> None:
+        """Drop all samples and the cached prediction."""
+        self._samples.clear()
+        self.last_prediction_s = float("inf")
+
+    def describe(self) -> str:
+        return (
+            f"ResourceExhaustion(level={self.critical_level:g}, "
+            f"horizon={self.horizon_s:g}s, window={self.window})"
+        )

@@ -1,0 +1,143 @@
+"""SARAA -- sampling-acceleration rejuvenation with averaging (Fig. 7).
+
+SARAA changes two things relative to SRAA:
+
+1. **Paradigm.**  Targets use the standard error of the batch mean,
+   ``mu_X + N * sigma_X / sqrt(n)``: the rule tries to *falsify the
+   hypothesis that the distribution has not shifted at all*, rather than
+   to verify a shift of a specific size.
+2. **Acceleration.**  Whenever the bucket level changes, the batch size
+   is recomputed with the paper's linear schedule
+
+       n = floor(1 + (n_orig - 1) * (1 - N / K))
+
+   so that deeper degradation is confirmed from fewer samples -- the time
+   to gather a batch is proportional to ``n``, so the time to trigger
+   shrinks exactly when the system is getting worse.  After a trigger the
+   batch size returns to ``n_orig``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.core.base import BatchBuffer, RejuvenationPolicy
+from repro.core.buckets import BucketChain, Transition
+from repro.core.sla import ServiceLevelObjective
+
+
+def linear_acceleration(n_orig: int, level: int, n_buckets: int) -> int:
+    """The paper's batch-size schedule: linear in ``N/K``, floored, >= 1."""
+    if n_orig < 1:
+        raise ValueError("original sample size must be >= 1")
+    if not 0 <= level <= n_buckets:
+        raise ValueError("bucket level out of range")
+    return math.floor(1 + (n_orig - 1) * (1 - level / n_buckets))
+
+
+def no_acceleration(n_orig: int, level: int, n_buckets: int) -> int:
+    """Ablation schedule: keep ``n = n_orig`` at every level."""
+    return n_orig
+
+
+def geometric_acceleration(n_orig: int, level: int, n_buckets: int) -> int:
+    """Ablation schedule: halve the batch size per level (floor at 1)."""
+    return max(1, n_orig >> level)
+
+
+class SARAA(RejuvenationPolicy):
+    """Sampling-acceleration rejuvenation with averaging.
+
+    Parameters
+    ----------
+    slo:
+        Healthy-behaviour mean and standard deviation.
+    sample_size:
+        ``n_orig`` -- the batch size used at bucket 0 (and after reset).
+    n_buckets, depth:
+        ``K`` and ``D`` as in SRAA.
+    schedule:
+        Batch-size schedule ``(n_orig, level, K) -> n``; defaults to the
+        paper's :func:`linear_acceleration`.  Alternatives are provided
+        for the ablation benchmarks.
+    carry_partial:
+        Whether observations already gathered survive a batch resize
+        (the paper's pseudo-code discards them; default ``False``).
+    """
+
+    name = "saraa"
+
+    def __init__(
+        self,
+        slo: ServiceLevelObjective,
+        sample_size: int,
+        n_buckets: int,
+        depth: int,
+        schedule: Optional[Callable[[int, int, int], int]] = None,
+        carry_partial: bool = False,
+    ) -> None:
+        if sample_size < 1:
+            raise ValueError("sample size must be >= 1")
+        self.slo = slo
+        self.original_sample_size = int(sample_size)
+        self.schedule = schedule if schedule is not None else linear_acceleration
+        self.carry_partial = bool(carry_partial)
+        self.chain = BucketChain(n_buckets=n_buckets, depth=depth)
+        self.current_sample_size = self.schedule(
+            self.original_sample_size, 0, self.chain.n_buckets
+        )
+        self.buffer = BatchBuffer(self.current_sample_size)
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Current bucket index ``N``."""
+        return self.chain.level
+
+    def current_target(self) -> float:
+        """Active threshold ``mu_X + N * sigma_X / sqrt(n_current)``."""
+        return self.slo.sampling_threshold(
+            self.chain.level, self.current_sample_size
+        )
+
+    def _apply_schedule(self) -> None:
+        new_size = self.schedule(
+            self.original_sample_size, self.chain.level, self.chain.n_buckets
+        )
+        if new_size != self.current_sample_size:
+            self.current_sample_size = new_size
+            self.buffer.resize(new_size, carry_partial=self.carry_partial)
+
+    def observe(self, value: float) -> bool:
+        """Feed one raw observation; decide on each completed batch mean."""
+        batch_mean = self.buffer.push(value)
+        if batch_mean is None:
+            return False
+        exceeded = batch_mean > self.current_target()
+        transition = self.chain.record(exceeded)
+        if transition is Transition.TRIGGER:
+            self.current_sample_size = self.schedule(
+                self.original_sample_size, 0, self.chain.n_buckets
+            )
+            self.buffer.resize(self.current_sample_size, carry_partial=False)
+            self.buffer.clear()
+            return True
+        if transition in (Transition.LEVEL_UP, Transition.LEVEL_DOWN):
+            self._apply_schedule()
+        return False
+
+    def reset(self) -> None:
+        """Forget buckets, partial batch, and acceleration state."""
+        self.chain.reset()
+        self.current_sample_size = self.schedule(
+            self.original_sample_size, 0, self.chain.n_buckets
+        )
+        self.buffer.resize(self.current_sample_size, carry_partial=False)
+        self.buffer.clear()
+
+    def describe(self) -> str:
+        return (
+            f"SARAA(n_orig={self.original_sample_size}, "
+            f"K={self.chain.n_buckets}, D={self.chain.depth})"
+        )

@@ -1,0 +1,60 @@
+"""The service-level objective that anchors every decision rule.
+
+Section 4.2: "We assume that the service level agreement specifies the
+mean ``mu_X`` and the standard deviation ``sigma_X`` of the RT under
+normal system behavior."  For the paper's experiments both are 5 seconds
+(the M/M/16 values at low load, eq. 2-3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceLevelObjective:
+    """Normal-behaviour mean and standard deviation of the monitored metric.
+
+    Parameters
+    ----------
+    mean:
+        ``mu_X``, the expected metric value when the system is healthy.
+    std:
+        ``sigma_X``, its standard deviation when healthy.
+
+    Examples
+    --------
+    >>> slo = ServiceLevelObjective(mean=5.0, std=5.0)
+    >>> slo.shift_threshold(2)          # SRAA bucket-2 target
+    15.0
+    >>> round(slo.sampling_threshold(1.96, n=30), 3)   # CLTA threshold
+    6.789
+    """
+
+    mean: float
+    std: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.mean):
+            raise ValueError("mean must be finite")
+        if not math.isfinite(self.std) or self.std < 0:
+            raise ValueError("std must be finite and non-negative")
+
+    def shift_threshold(self, multiplier: float) -> float:
+        """``mu_X + multiplier * sigma_X`` -- the SRAA bucket target."""
+        return self.mean + multiplier * self.std
+
+    def sampling_threshold(self, multiplier: float, n: int) -> float:
+        """``mu_X + multiplier * sigma_X / sqrt(n)`` -- SARAA/CLTA target.
+
+        Uses the standard error of the mean of ``n`` observations, i.e.
+        the threshold of a test against the *sampling* distribution.
+        """
+        if n < 1:
+            raise ValueError("sample size must be >= 1")
+        return self.mean + multiplier * self.std / math.sqrt(n)
+
+
+#: The SLO used throughout the paper's evaluation (Section 5).
+PAPER_SLO = ServiceLevelObjective(mean=5.0, std=5.0)

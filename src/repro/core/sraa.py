@@ -1,0 +1,111 @@
+"""SRAA -- the static rejuvenation algorithm with averaging (Fig. 6).
+
+SRAA tracks the *batch mean* of every ``n`` consecutive observations
+through the :class:`~repro.core.buckets.BucketChain`.  Bucket ``N`` uses
+the target value ``mu_X + N * sigma_X`` -- one full standard deviation of
+the *underlying* metric per bucket, independent of the batch size -- so a
+trigger always certifies evidence for a right-shift of the metric's
+distribution by ``K - 1`` standard deviations.  Setting ``n = 1``
+recovers the original static rejuvenation algorithm of Avritzer, Bondi &
+Weyuker (WOSP 2005), which this paper uses as its starting point.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BatchBuffer, RejuvenationPolicy
+from repro.core.buckets import BucketChain, Transition
+from repro.core.sla import ServiceLevelObjective
+
+
+class SRAA(RejuvenationPolicy):
+    """Static rejuvenation with averaging.
+
+    Parameters
+    ----------
+    slo:
+        Healthy-behaviour mean and standard deviation (``mu_X, sigma_X``).
+    sample_size:
+        ``n`` -- observations averaged per decision.
+    n_buckets:
+        ``K`` -- buckets to climb before triggering.
+    depth:
+        ``D`` -- bucket depth.
+
+    Examples
+    --------
+    The paper's best trade-off configuration (Section 5.4):
+
+    >>> from repro.core.sla import PAPER_SLO
+    >>> policy = SRAA(PAPER_SLO, sample_size=3, n_buckets=2, depth=5)
+    >>> policy.observe(20.0)        # first of a batch of 3: no decision yet
+    False
+    """
+
+    name = "sraa"
+
+    def __init__(
+        self,
+        slo: ServiceLevelObjective,
+        sample_size: int,
+        n_buckets: int,
+        depth: int,
+    ) -> None:
+        if sample_size < 1:
+            raise ValueError("sample size must be >= 1")
+        self.slo = slo
+        self.sample_size = int(sample_size)
+        self.buffer = BatchBuffer(self.sample_size)
+        self.chain = BucketChain(n_buckets=n_buckets, depth=depth)
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Current bucket index ``N``."""
+        return self.chain.level
+
+    def current_target(self) -> float:
+        """The active decision threshold ``mu_X + N * sigma_X``."""
+        return self.slo.shift_threshold(self.chain.level)
+
+    def observe(self, value: float) -> bool:
+        """Feed one raw observation; decide on each completed batch mean."""
+        batch_mean = self.buffer.push(value)
+        if batch_mean is None:
+            return False
+        exceeded = batch_mean > self.current_target()
+        transition = self.chain.record(exceeded)
+        if transition is Transition.TRIGGER:
+            # The chain reset itself; also drop the (empty) buffer so an
+            # external caller sees a pristine policy.
+            self.buffer.clear()
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Forget buckets and any partial batch."""
+        self.chain.reset()
+        self.buffer.clear()
+
+    def describe(self) -> str:
+        return (
+            f"SRAA(n={self.sample_size}, K={self.chain.n_buckets}, "
+            f"D={self.chain.depth})"
+        )
+
+
+class StaticRejuvenation(SRAA):
+    """The original static algorithm of [1]: SRAA with ``n = 1``.
+
+    Kept as a distinct class so experiments can name the baseline
+    explicitly.
+    """
+
+    name = "static"
+
+    def __init__(
+        self, slo: ServiceLevelObjective, n_buckets: int, depth: int
+    ) -> None:
+        super().__init__(slo, sample_size=1, n_buckets=n_buckets, depth=depth)
+
+    def describe(self) -> str:
+        return f"Static(K={self.chain.n_buckets}, D={self.chain.depth})"

@@ -1,0 +1,93 @@
+"""Trend-based rejuvenation (after Trivedi et al. 2000, ref. [15]).
+
+The paper's related work motivates "practical policies based on actual
+measurements" via time-series trend detection.  ``TrendPolicy`` is that
+baseline: it keeps a sliding window of batch means and triggers when the
+Mann-Kendall test finds a significant *upward* trend whose Theil-Sen
+slope is steep enough to matter.  Unlike the bucket algorithms it needs
+no SLO mean/std -- only the window -- which makes it the natural
+comparison point for systems without a calibrated SLA.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.core.base import BatchBuffer, RejuvenationPolicy
+from repro.stats.trend import mann_kendall
+
+
+class TrendPolicy(RejuvenationPolicy):
+    """Trigger on a significant, material upward trend of batch means.
+
+    Parameters
+    ----------
+    sample_size:
+        Observations per batch mean (smooths short-term noise exactly as
+        in SRAA).
+    window:
+        Number of recent batch means tested for a trend (>= 5).
+    alpha:
+        Mann-Kendall significance level.
+    min_slope:
+        Minimum Theil-Sen slope (metric units per batch) for a trigger;
+        guards against statistically significant but operationally
+        irrelevant drifts.
+
+    Examples
+    --------
+    >>> policy = TrendPolicy(sample_size=2, window=10, min_slope=0.5)
+    >>> rising = [float(v) for v in range(40)]
+    >>> any(policy.observe(v) for v in rising)
+    True
+    """
+
+    name = "trend"
+
+    def __init__(
+        self,
+        sample_size: int = 5,
+        window: int = 12,
+        alpha: float = 0.05,
+        min_slope: float = 0.0,
+    ) -> None:
+        if window < 5:
+            raise ValueError("trend window must hold at least 5 batch means")
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must lie in (0, 1)")
+        if min_slope < 0.0:
+            raise ValueError("minimum slope must be non-negative")
+        self.buffer = BatchBuffer(sample_size)
+        self.window = int(window)
+        self.alpha = float(alpha)
+        self.min_slope = float(min_slope)
+        self._means: Deque[float] = deque(maxlen=self.window)
+
+    def observe(self, value: float) -> bool:
+        batch_mean = self.buffer.push(value)
+        if batch_mean is None:
+            return False
+        self._means.append(batch_mean)
+        if len(self._means) < self.window:
+            return False
+        result = mann_kendall(list(self._means))
+        if (
+            result.increasing
+            and result.significant(self.alpha)
+            and result.slope >= self.min_slope
+        ):
+            self.reset()
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Drop the window and any partial batch."""
+        self._means.clear()
+        self.buffer.clear()
+
+    def describe(self) -> str:
+        return (
+            f"Trend(n={self.buffer.size}, window={self.window}, "
+            f"alpha={self.alpha:g})"
+        )

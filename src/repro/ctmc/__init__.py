@@ -1,0 +1,41 @@
+"""Continuous-time Markov chain analysis (the SHARPE substitute).
+
+The paper uses the SHARPE tool to obtain the exact distribution of the
+average response time ``X̄n`` as a time to absorption in the concatenated
+CTMC of Fig. 4, and from it the exact density (eq. 4) and the exact
+false-alarm probabilities of the CLT-based decision rule (3.69 % for
+``n = 15`` and 3.37 % for ``n = 30`` at the 97.5 % normal quantile).
+
+This package re-implements the needed machinery from scratch:
+
+* :class:`~repro.ctmc.chain.CTMC` -- generator-matrix representation with
+  validation, steady-state solution and transient solution.
+* :mod:`~repro.ctmc.transient` -- Jensen's uniformization (the algorithm
+  SHARPE itself uses) and a ``scipy.linalg.expm`` cross-check.
+* :class:`~repro.ctmc.absorption.AbsorbingCTMC` -- time-to-absorption
+  cdf/pdf and expected absorption times.
+* :class:`~repro.ctmc.sample_mean.SampleMeanChain` -- builds the
+  ``2n + 1``-state chain of Fig. 4 for the mean of ``n`` response times
+  and exposes the exact density of eq. (4), its cdf, tail probabilities
+  and the normal approximation used by CLTA.
+"""
+
+from repro.ctmc.absorption import AbsorbingCTMC
+from repro.ctmc.birth_death import (
+    MMcQueueLengthProcess,
+    birth_death_generator,
+)
+from repro.ctmc.chain import CTMC
+from repro.ctmc.sample_mean import SampleMeanChain, clt_false_alarm_probability
+from repro.ctmc.transient import transient_expm, transient_uniformization
+
+__all__ = [
+    "AbsorbingCTMC",
+    "CTMC",
+    "MMcQueueLengthProcess",
+    "SampleMeanChain",
+    "birth_death_generator",
+    "clt_false_alarm_probability",
+    "transient_expm",
+    "transient_uniformization",
+]

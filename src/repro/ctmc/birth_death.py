@@ -1,0 +1,132 @@
+"""Birth-death chains and the M/M/c queue-length process (Fig. 1).
+
+The paper's Fig. 1 is the Markovian state diagram of the M/M/c queue:
+births at rate ``lambda``, deaths at rate ``min(k, c) mu``.  This module
+builds that chain (truncated at a configurable capacity) so the CTMC
+machinery can answer *transient* questions the closed-form M/M/c model
+cannot -- how fast does the queue length distribution settle, what does
+the ramp after an empty start look like -- and cross-validates the
+steady state against :class:`~repro.queueing.mmc.MMcModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ctmc.chain import CTMC
+
+
+def birth_death_generator(
+    birth_rates: Sequence[float], death_rates: Sequence[float]
+) -> np.ndarray:
+    """Generator of a birth-death chain on ``{0, ..., n}``.
+
+    Parameters
+    ----------
+    birth_rates:
+        ``n`` rates; ``birth_rates[k]`` moves ``k -> k + 1``.
+    death_rates:
+        ``n`` rates; ``death_rates[k]`` moves ``k + 1 -> k``.
+    """
+    births = [float(r) for r in birth_rates]
+    deaths = [float(r) for r in death_rates]
+    if len(births) != len(deaths):
+        raise ValueError("need equally many birth and death rates")
+    if any(r < 0 for r in births + deaths):
+        raise ValueError("rates must be non-negative")
+    n_states = len(births) + 1
+    Q = np.zeros((n_states, n_states))
+    for k, rate in enumerate(births):
+        Q[k, k + 1] = rate
+        Q[k, k] -= rate
+    for k, rate in enumerate(deaths):
+        Q[k + 1, k] = rate
+        Q[k + 1, k + 1] -= rate
+    return Q
+
+
+class MMcQueueLengthProcess:
+    """The number-in-system process of an M/M/c queue, truncated.
+
+    Parameters
+    ----------
+    arrival_rate, service_rate, servers:
+        The queue parameters (Fig. 1 of the paper).
+    capacity:
+        Truncation level; states are ``0..capacity``.  For a stable
+        queue, a capacity a few times ``c/(1-rho)`` makes the truncation
+        error negligible (checked in the tests).
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        service_rate: float,
+        servers: int,
+        capacity: int = 200,
+    ) -> None:
+        if arrival_rate < 0:
+            raise ValueError("arrival rate must be non-negative")
+        if service_rate <= 0:
+            raise ValueError("service rate must be positive")
+        if servers < 1:
+            raise ValueError("at least one server is required")
+        if capacity < servers:
+            raise ValueError("capacity must be at least the server count")
+        self.arrival_rate = float(arrival_rate)
+        self.service_rate = float(service_rate)
+        self.servers = int(servers)
+        self.capacity = int(capacity)
+        births = [self.arrival_rate] * self.capacity
+        deaths = [
+            min(k + 1, self.servers) * self.service_rate
+            for k in range(self.capacity)
+        ]
+        self.chain = CTMC(birth_death_generator(births, deaths))
+
+    # ------------------------------------------------------------------
+    def initial_empty(self) -> np.ndarray:
+        """Distribution with mass 1 on the empty system."""
+        p0 = np.zeros(self.capacity + 1)
+        p0[0] = 1.0
+        return p0
+
+    def transient_distribution(
+        self, t: float, p0: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Queue-length distribution at time ``t``."""
+        initial = p0 if p0 is not None else self.initial_empty()
+        return self.chain.transient(initial, t)
+
+    def transient_mean(self, t: float, p0: np.ndarray | None = None) -> float:
+        """Expected number in system at time ``t``."""
+        distribution = self.transient_distribution(t, p0)
+        return float(np.arange(self.capacity + 1) @ distribution)
+
+    def steady_state(self) -> np.ndarray:
+        """Stationary queue-length distribution of the truncated chain."""
+        return self.chain.steady_state()
+
+    def time_to_near_steady_state(
+        self, tolerance: float = 0.01, horizon: float = 1e6
+    ) -> float:
+        """First probe time with L1 distance below ``tolerance``.
+
+        A coarse relaxation-time estimate via doubling probes from an
+        empty start; used to choose simulation warm-up lengths.
+        """
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        target = self.steady_state()
+        t = 1.0
+        while t <= horizon:
+            distribution = self.transient_distribution(t)
+            if float(np.abs(distribution - target).sum()) < tolerance:
+                return t
+            t *= 2.0
+        raise ArithmeticError(
+            f"no convergence within horizon {horizon} "
+            "(is the queue nearly saturated?)"
+        )

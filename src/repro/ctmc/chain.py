@@ -1,0 +1,152 @@
+"""Generator-matrix representation of a continuous-time Markov chain."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ctmc.transient import transient_expm, transient_uniformization
+
+_METHODS = ("uniformization", "expm")
+
+
+class CTMC:
+    """A finite continuous-time Markov chain.
+
+    Parameters
+    ----------
+    generator:
+        Square generator matrix ``Q``: non-negative off-diagonal rates,
+        rows summing to zero (absorbing states have all-zero rows).
+    state_names:
+        Optional labels, used for lookups and error messages.
+
+    Examples
+    --------
+    A two-state on/off chain:
+
+    >>> chain = CTMC([[-1.0, 1.0], [2.0, -2.0]], state_names=("on", "off"))
+    >>> pi = chain.steady_state()
+    >>> [round(x, 6) for x in pi]
+    [0.666667, 0.333333]
+    """
+
+    def __init__(
+        self,
+        generator: Sequence[Sequence[float]],
+        state_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        Q = np.asarray(generator, dtype=float)
+        if Q.ndim != 2 or Q.shape[0] != Q.shape[1]:
+            raise ValueError("generator must be a square matrix")
+        off_diagonal = Q - np.diag(np.diag(Q))
+        if np.any(off_diagonal < -1e-12):
+            raise ValueError("off-diagonal rates must be non-negative")
+        row_sums = Q.sum(axis=1)
+        if np.any(np.abs(row_sums) > 1e-8 * max(1.0, np.abs(Q).max())):
+            raise ValueError("generator rows must sum to zero")
+        self.Q = Q
+        if state_names is None:
+            state_names = tuple(str(i) for i in range(Q.shape[0]))
+        if len(state_names) != Q.shape[0]:
+            raise ValueError("one name per state is required")
+        self.state_names: Tuple[str, ...] = tuple(state_names)
+        self._index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.state_names)
+        }
+        if len(self._index) != len(self.state_names):
+            raise ValueError("state names must be unique")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self.Q.shape[0]
+
+    def state_index(self, name: str) -> int:
+        """Index of the state called ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"unknown state {name!r}") from None
+
+    def absorbing_states(self) -> Tuple[int, ...]:
+        """Indices of states with no outgoing rate."""
+        return tuple(
+            int(i)
+            for i in range(self.n_states)
+            if np.all(np.abs(self.Q[i]) < 1e-15)
+        )
+
+    # ------------------------------------------------------------------
+    # Solutions
+    # ------------------------------------------------------------------
+    def transient(
+        self,
+        p0: Sequence[float],
+        t: float,
+        method: str = "uniformization",
+        tol: float = 1e-12,
+    ) -> np.ndarray:
+        """State distribution at time ``t`` from initial distribution ``p0``."""
+        initial = self._check_distribution(p0)
+        if method == "uniformization":
+            return transient_uniformization(self.Q, initial, t, tol=tol)
+        if method == "expm":
+            return transient_expm(self.Q, initial, t)
+        raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
+
+    def steady_state(self) -> np.ndarray:
+        """The stationary distribution ``pi`` with ``pi Q = 0``.
+
+        Requires an irreducible chain (no absorbing states); solved by
+        replacing one balance equation with the normalisation constraint.
+        """
+        if self.absorbing_states():
+            raise ValueError(
+                "steady state of a chain with absorbing states is trivial; "
+                "use AbsorbingCTMC for absorption analysis"
+            )
+        n = self.n_states
+        A = self.Q.T.copy()
+        A[-1, :] = 1.0
+        b = np.zeros(n)
+        b[-1] = 1.0
+        pi = np.linalg.solve(A, b)
+        if np.any(pi < -1e-9):
+            raise ArithmeticError("chain appears reducible; pi has negatives")
+        pi = np.clip(pi, 0.0, None)
+        return pi / pi.sum()
+
+    # ------------------------------------------------------------------
+    def _check_distribution(self, p0: Sequence[float]) -> np.ndarray:
+        initial = np.asarray(p0, dtype=float)
+        if initial.shape != (self.n_states,):
+            raise ValueError(
+                f"initial distribution must have length {self.n_states}"
+            )
+        if np.any(initial < -1e-12) or abs(float(initial.sum()) - 1.0) > 1e-9:
+            raise ValueError("initial vector must be a probability distribution")
+        return np.clip(initial, 0.0, None)
+
+    @classmethod
+    def from_rates(
+        cls,
+        n_states: int,
+        rates: Iterable[Tuple[int, int, float]],
+        state_names: Optional[Sequence[str]] = None,
+    ) -> "CTMC":
+        """Build a chain from ``(source, destination, rate)`` triples."""
+        Q = np.zeros((n_states, n_states))
+        for src, dst, rate in rates:
+            if src == dst:
+                raise ValueError("self-loops are meaningless in a CTMC")
+            if rate < 0:
+                raise ValueError("rates must be non-negative")
+            Q[src, dst] += rate
+            Q[src, src] -= rate
+        return cls(Q, state_names=state_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CTMC(n_states={self.n_states})"

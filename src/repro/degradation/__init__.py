@@ -1,0 +1,22 @@
+"""The smoothly degrading system of Avritzer & Weyuker (ref. [3]).
+
+The paper's opening citation -- "Monitoring smoothly degrading systems
+for increased dependability" (*Empirical Software Engineering* 1997) --
+studies telecommunication systems whose *capacity* erodes gradually
+(leaked resources disable worker capacity one unit at a time) under
+predictably periodic traffic, and which operators restore with software
+procedures that "free allocated memory, release database locks, and
+reinitialize operating system tables".
+
+:class:`~repro.degradation.system.DegradableSystem` implements that
+model on the shared DES kernel: an M/M/c queue whose server count
+decays stochastically and is restored by rejuvenation.  It is a second,
+independent substrate for the decision rules of :mod:`repro.core` --
+aging here attacks *capacity* (queueing delay grows smoothly) rather
+than stalling everything at once like the e-commerce model's garbage
+collector, so it exercises the detectors on slow-drift degradation.
+"""
+
+from repro.degradation.system import DegradableSystem, DegradationResult
+
+__all__ = ["DegradableSystem", "DegradationResult"]

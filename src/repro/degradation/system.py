@@ -1,0 +1,253 @@
+"""An M/M/c queue whose capacity erodes until rejuvenated.
+
+Model (after ref. [3]):
+
+* ``c_max`` servers; exponential service at rate ``mu`` each.
+* *Degradation events* arrive as a Poisson process of rate
+  ``degradation_rate``; each disables one server (down to a floor of
+  ``min_capacity``), modelling leaked resources claiming capacity.  A
+  disabled server finishes its current job first (capacity is taken as
+  servers free up, never by killing work).
+* Arrivals from any :class:`~repro.ecommerce.workload.ArrivalProcess`
+  -- the telecom setting of [3] uses predictably periodic traffic
+  (:class:`~repro.ecommerce.workload.PeriodicArrivals`).
+* A rejuvenation policy observes every response time; a trigger
+  restores full capacity and terminates the transactions in execution
+  (the same cost accounting as the Section-3 model).
+
+Because capacity decays smoothly, the response time drifts up gradually
+-- the regime trend-based and bucket detectors are meant for, in
+contrast to the e-commerce model's abrupt GC stalls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Set, Tuple
+
+from repro.core.base import RejuvenationPolicy
+from repro.des.engine import Simulator
+from repro.des.events import Event
+from repro.des.random_streams import RandomStreams
+from repro.ecommerce.workload import ArrivalProcess
+from repro.stats.running import OnlineMoments
+
+
+class _Job:
+    __slots__ = ("arrival_time", "index", "completion_event")
+
+    def __init__(self, arrival_time: float, index: int) -> None:
+        self.arrival_time = arrival_time
+        self.index = index
+        self.completion_event: Optional[Event] = None
+
+
+@dataclass(frozen=True)
+class DegradationResult:
+    """Outcome of one degradable-system run."""
+
+    arrivals: int
+    completed: int
+    lost: int
+    avg_response_time: float
+    rt_std: float
+    max_response_time: float
+    loss_fraction: float
+    degradation_events: int
+    rejuvenations: int
+    final_capacity: int
+    sim_duration_s: float
+    response_times: Optional[Tuple[float, ...]] = None
+
+
+class DegradableSystem:
+    """The capacity-erosion model of ref. [3].
+
+    Parameters
+    ----------
+    c_max:
+        Full capacity (servers) after a rejuvenation.
+    service_rate:
+        Per-server exponential service rate ``mu``.
+    degradation_rate:
+        Poisson rate at which one unit of capacity is lost.
+    min_capacity:
+        Floor the erosion cannot cross (>= 1: the system degrades,
+        it does not die -- the "soft failure" of the paper).
+    arrivals:
+        The workload (periodic traffic in the telecom setting).
+    policy:
+        Rejuvenation rule fed with every response time, or ``None``.
+    seed:
+        Master seed for the arrival/service/degradation streams.
+
+    Examples
+    --------
+    >>> from repro.ecommerce.workload import PoissonArrivals
+    >>> system = DegradableSystem(
+    ...     c_max=8, service_rate=0.5, degradation_rate=1 / 400.0,
+    ...     min_capacity=2, arrivals=PoissonArrivals(2.0), seed=3,
+    ... )
+    >>> result = system.run(2_000)
+    >>> result.completed
+    2000
+    """
+
+    def __init__(
+        self,
+        c_max: int,
+        service_rate: float,
+        degradation_rate: float,
+        arrivals: ArrivalProcess,
+        min_capacity: int = 1,
+        policy: Optional[RejuvenationPolicy] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if c_max < 1:
+            raise ValueError("need at least one server")
+        if service_rate <= 0:
+            raise ValueError("service rate must be positive")
+        if degradation_rate < 0:
+            raise ValueError("degradation rate must be non-negative")
+        if not 1 <= min_capacity <= c_max:
+            raise ValueError("min capacity must lie in [1, c_max]")
+        self.c_max = int(c_max)
+        self.service_rate = float(service_rate)
+        self.degradation_rate = float(degradation_rate)
+        self.min_capacity = int(min_capacity)
+        self.arrivals = arrivals
+        self.policy = policy
+        self.streams = RandomStreams(seed)
+        self.sim = Simulator()
+        self._reset_state()
+
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self.capacity = self.c_max
+        self._queue: Deque[_Job] = deque()
+        self._in_service: Set[_Job] = set()
+        self._arrivals_generated = 0
+        self._n_target = 0
+        self._completed = 0
+        self._lost = 0
+        self.rejuvenations = 0
+        self.degradation_events = 0
+        self.rejuvenation_times: List[float] = []
+        self._moments = OnlineMoments()
+        self._collected: Optional[List[float]] = None
+
+    @property
+    def busy_servers(self) -> int:
+        """Transactions currently in service."""
+        return len(self._in_service)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def _schedule_next_arrival(self) -> None:
+        if self._arrivals_generated >= self._n_target:
+            return
+        gap = self.arrivals.interarrival(self.streams["arrivals"])
+        self.sim.schedule(gap, self._on_arrival, kind="arrival")
+
+    def _schedule_next_degradation(self) -> None:
+        if self.degradation_rate <= 0:
+            return
+        gap = float(
+            self.streams["degradation"].exponential(
+                1.0 / self.degradation_rate
+            )
+        )
+        self.sim.schedule(gap, self._on_degradation, kind="degrade")
+
+    def _on_arrival(self) -> None:
+        index = self._arrivals_generated
+        self._arrivals_generated += 1
+        self._schedule_next_arrival()
+        self._queue.append(_Job(self.sim.now, index))
+        self._dispatch()
+
+    def _on_degradation(self) -> None:
+        # Only rearm while transactions remain (otherwise the run would
+        # never drain); capacity erodes to the floor and stays.
+        if self.capacity > self.min_capacity:
+            self.capacity -= 1
+            self.degradation_events += 1
+        if self.sim.queue:
+            self._schedule_next_degradation()
+
+    def _dispatch(self) -> None:
+        while len(self._in_service) < self.capacity and self._queue:
+            job = self._queue.popleft()
+            self._in_service.add(job)
+            service = float(
+                self.streams["service"].exponential(1.0 / self.service_rate)
+            )
+            job.completion_event = self.sim.schedule(
+                service, lambda j=job: self._on_completion(j), kind="done"
+            )
+
+    def _on_completion(self, job: _Job) -> None:
+        self._in_service.discard(job)
+        response_time = self.sim.now - job.arrival_time
+        self._completed += 1
+        self._moments.push(response_time)
+        if self._collected is not None:
+            self._collected.append(response_time)
+        if self.policy is not None and self.policy.observe(response_time):
+            self._rejuvenate()
+        self._dispatch()
+
+    def _rejuvenate(self) -> None:
+        """Restore full capacity; transactions in execution are lost."""
+        self.rejuvenations += 1
+        self.rejuvenation_times.append(self.sim.now)
+        for job in self._in_service:
+            if job.completion_event is not None:
+                self.sim.cancel(job.completion_event)
+            self._lost += 1
+        self._in_service.clear()
+        self.capacity = self.c_max
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    def run(
+        self, n_transactions: int, collect_response_times: bool = False
+    ) -> DegradationResult:
+        """Generate ``n_transactions`` arrivals; run until all resolve."""
+        if n_transactions < 1:
+            raise ValueError("need at least one transaction")
+        self.sim.reset()
+        self.arrivals.reset()
+        if self.policy is not None:
+            self.policy.reset()
+        self._reset_state()
+        self._n_target = n_transactions
+        if collect_response_times:
+            self._collected = []
+        self._schedule_next_arrival()
+        self._schedule_next_degradation()
+        self.sim.run()
+        resolved = self._completed + self._lost
+        if resolved != n_transactions:  # pragma: no cover - invariant
+            raise AssertionError(
+                f"run resolved {resolved} of {n_transactions}"
+            )
+        moments = self._moments
+        return DegradationResult(
+            arrivals=self._arrivals_generated,
+            completed=self._completed,
+            lost=self._lost,
+            avg_response_time=moments.mean if moments.count else 0.0,
+            rt_std=moments.std,
+            max_response_time=moments.maximum if moments.count else 0.0,
+            loss_fraction=self._lost / n_transactions,
+            degradation_events=self.degradation_events,
+            rejuvenations=self.rejuvenations,
+            final_capacity=self.capacity,
+            sim_duration_s=self.sim.now,
+            response_times=(
+                tuple(self._collected) if self._collected is not None else None
+            ),
+        )

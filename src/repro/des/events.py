@@ -1,0 +1,131 @@
+"""Event objects and the pending-event set.
+
+The event queue is a binary heap ordered by ``(time, sequence)``.  The
+monotonically increasing sequence number gives deterministic FIFO ordering
+for events scheduled at the same simulated time, which keeps replications
+bit-for-bit reproducible for a given seed.
+
+Cancellation is *lazy*: :meth:`EventQueue.cancel` marks the event and the
+heap discards cancelled entries when they surface.  This is the standard
+technique for discrete-event kernels where reschedules are common (e.g. a
+garbage-collection stall postponing every in-service completion).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Optional
+
+
+class Event:
+    """A scheduled occurrence in simulated time.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulated time at which the event fires.
+    action:
+        Zero-argument callable invoked when the event fires.
+    kind:
+        Free-form tag used for introspection and tracing (e.g. ``"arrival"``).
+    payload:
+        Arbitrary data carried by the event; not interpreted by the kernel.
+    """
+
+    __slots__ = ("time", "action", "kind", "payload", "sequence", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        action: Callable[[], None],
+        kind: str = "",
+        payload: Any = None,
+    ) -> None:
+        self.time = float(time)
+        self.action = action
+        self.kind = kind
+        self.payload = payload
+        self.sequence = -1  # assigned by the queue on scheduling
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the queue will skip it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6g}, kind={self.kind!r}, {state})"
+
+
+class EventQueue:
+    """A time-ordered set of pending events with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *non-cancelled* events still pending."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> Event:
+        """Schedule ``event`` and return it (for later cancellation)."""
+        if event.cancelled:
+            raise ValueError("cannot schedule a cancelled event")
+        if event.sequence != -1:
+            raise ValueError("event is already scheduled")
+        event.sequence = self._sequence
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event.
+
+        Cancelling an already-cancelled or already-fired event is a no-op,
+        which makes caller-side bookkeeping simpler.
+        """
+        if not event.cancelled and event.sequence != -1:
+            event.cancelled = True
+            self._live -= 1
+
+    def peek(self) -> Optional[Event]:
+        """Return the next live event without removing it, or ``None``."""
+        self._drop_cancelled()
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Iterate over live events in an unspecified order (for tests)."""
+        return (event for event in self._heap if not event.cancelled)

@@ -1,0 +1,55 @@
+"""The simulated e-commerce system of Section 3.
+
+A 16-CPU Java system with a 3 GB heap whose two degradation mechanisms
+-- kernel overhead above 50 concurrent threads, and 60-second
+stop-the-world garbage collections forced by leaked per-transaction
+allocations -- reproduce the performance behaviour of the industrial
+system the paper studied.
+"""
+
+from repro.ecommerce.config import PAPER_CONFIG, SystemConfig
+from repro.ecommerce.metrics import ReplicatedResult, RunResult
+from repro.ecommerce.runner import (
+    run_once,
+    run_replications,
+    simulate_mmc_response_times,
+)
+from repro.ecommerce.system import ECommerceSystem
+from repro.ecommerce.telemetry import Telemetry, TelemetrySample
+from repro.ecommerce.trace import (
+    RecordingArrivals,
+    ReplayReport,
+    load_trace,
+    replay_policy,
+    save_trace,
+)
+from repro.ecommerce.workload import (
+    ArrivalProcess,
+    MMPPArrivals,
+    PeriodicArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "ECommerceSystem",
+    "MMPPArrivals",
+    "PAPER_CONFIG",
+    "PeriodicArrivals",
+    "PoissonArrivals",
+    "RecordingArrivals",
+    "ReplayReport",
+    "ReplicatedResult",
+    "RunResult",
+    "SystemConfig",
+    "Telemetry",
+    "TelemetrySample",
+    "TraceArrivals",
+    "load_trace",
+    "replay_policy",
+    "run_once",
+    "run_replications",
+    "save_trace",
+    "simulate_mmc_response_times",
+]

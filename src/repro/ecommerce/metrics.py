@@ -1,0 +1,88 @@
+"""Result containers for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.stats.intervals import mean_confidence_interval
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulation replication.
+
+    ``avg_response_time`` and ``rt_std`` cover *completed* transactions
+    after the warm-up cut; ``loss_fraction`` is lost transactions over all
+    measured transactions -- the paper's rejuvenation cost metric.
+    """
+
+    arrivals: int
+    completed: int
+    lost: int
+    avg_response_time: float
+    rt_std: float
+    max_response_time: float
+    loss_fraction: float
+    gc_count: int
+    rejuvenations: int
+    sim_duration_s: float
+    response_times: Optional[Tuple[float, ...]] = None
+
+    @property
+    def throughput(self) -> float:
+        """Completed transactions per second of simulated time."""
+        if self.sim_duration_s <= 0.0:
+            return 0.0
+        return self.completed / self.sim_duration_s
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Aggregate over independent replications of the same scenario."""
+
+    runs: Tuple[RunResult, ...]
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ValueError("need at least one replication")
+
+    @property
+    def n_replications(self) -> int:
+        return len(self.runs)
+
+    @property
+    def avg_response_time(self) -> float:
+        """Mean over replications of the per-replication average RT."""
+        return sum(r.avg_response_time for r in self.runs) / len(self.runs)
+
+    @property
+    def loss_fraction(self) -> float:
+        """Mean over replications of the per-replication loss fraction."""
+        return sum(r.loss_fraction for r in self.runs) / len(self.runs)
+
+    @property
+    def rejuvenations(self) -> float:
+        """Mean rejuvenation count per replication."""
+        return sum(r.rejuvenations for r in self.runs) / len(self.runs)
+
+    @property
+    def gc_count(self) -> float:
+        """Mean GC count per replication."""
+        return sum(r.gc_count for r in self.runs) / len(self.runs)
+
+    def response_time_interval(
+        self, confidence: float = 0.95
+    ) -> Tuple[float, float, float]:
+        """``(mean, low, high)`` t-interval over replication average RTs."""
+        return mean_confidence_interval(
+            [r.avg_response_time for r in self.runs], confidence
+        )
+
+    def loss_interval(
+        self, confidence: float = 0.95
+    ) -> Tuple[float, float, float]:
+        """``(mean, low, high)`` t-interval over replication loss fractions."""
+        return mean_confidence_interval(
+            [r.loss_fraction for r in self.runs], confidence
+        )

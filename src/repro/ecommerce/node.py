@@ -1,0 +1,233 @@
+"""One processing node: CPUs, heap, queue -- the Section-3 mechanics.
+
+``ProcessingNode`` owns steps 2-7 of the paper's model for a single
+host: FCFS queueing for a CPU pool, exponential service with the kernel
+overhead rule, per-transaction heap allocation with full-GC stalls, and
+capacity restoration.  It is deliberately ignorant of *arrivals* and of
+*decision making*: the single-server :class:`~repro.ecommerce.system.ECommerceSystem`
+and the cluster :class:`~repro.cluster.system.ClusterSystem` both drive
+it through :meth:`submit` and the completion/loss callbacks, so the two
+deployments share one implementation of the mechanics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Set
+
+import numpy as np
+
+from repro.des.engine import Simulator
+from repro.des.events import Event
+from repro.ecommerce.config import SystemConfig
+from repro.ecommerce.service_times import make_service_sampler
+
+
+class Job:
+    """One transaction travelling through a node."""
+
+    __slots__ = ("arrival_time", "index", "completion_event")
+
+    def __init__(self, arrival_time: float, index: int) -> None:
+        self.arrival_time = arrival_time
+        self.index = index
+        self.completion_event: Optional[Event] = None
+
+
+class ProcessingNode:
+    """The CPU/heap/queue mechanics of one host.
+
+    Parameters
+    ----------
+    config:
+        System parameters (CPU count, heap, GC, overhead).
+    sim:
+        The simulator whose clock and event set this node lives in --
+        shared across nodes in a cluster.
+    service_rng:
+        Random stream for service-time draws (one per node keeps
+        common-random-number discipline across scenarios).
+    on_complete:
+        Called with ``(job, response_time)`` when a transaction
+        finishes.  The owner records the metric, feeds policies, and may
+        call :meth:`rejuvenate` from inside the callback.
+    on_loss:
+        Called with ``(job)`` for every transaction killed by a
+        rejuvenation.
+    on_allocation:
+        Optional; called with ``(time, free_heap_mb)`` after each heap
+        allocation -- the resource-policy hook.
+    name:
+        Label used in repr/diagnostics.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        sim: Simulator,
+        service_rng: np.random.Generator,
+        on_complete: Callable[[Job, float], None],
+        on_loss: Callable[[Job], None],
+        on_allocation: Optional[Callable[[float, float], None]] = None,
+        name: str = "node0",
+    ) -> None:
+        self.config = config
+        self.sim = sim
+        self.service_rng = service_rng
+        self._draw_service = make_service_sampler(
+            config.service_distribution,
+            mean=1.0 / config.service_rate,
+            cv=config.service_cv,
+            rng=service_rng,
+        )
+        self.on_complete = on_complete
+        self.on_loss = on_loss
+        self.on_allocation = on_allocation
+        self.name = name
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to a pristine node (used between runs)."""
+        self.queue: Deque[Job] = deque()
+        self.in_service: Set[Job] = set()
+        self.free_cpus = self.config.cpus
+        self.in_system = 0
+        self.live_mb = 0.0
+        self.garbage_mb = 0.0
+        self.gc_end = 0.0
+        self.gc_count = 0
+        self.rejuvenations = 0
+
+    @property
+    def free_heap_mb(self) -> float:
+        """Heap neither held live nor awaiting collection."""
+        return self.config.heap_mb - self.live_mb - self.garbage_mb
+
+    @property
+    def queue_length(self) -> int:
+        """Transactions waiting for a CPU."""
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    # Work intake
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Accept one transaction (step 2: queue for a CPU)."""
+        self.in_system += 1
+        self.queue.append(job)
+        self.dispatch()
+
+    def dispatch(self) -> None:
+        """Start service on free CPUs while the queue is non-empty."""
+        while self.free_cpus > 0 and self.queue:
+            self._start_service(self.queue.popleft())
+
+    def _start_service(self, job: Job) -> None:
+        cfg = self.config
+        now = self.sim.now
+        self.free_cpus -= 1
+        self.in_service.add(job)
+        # Step 3: processing time (exponential in the paper).
+        service = self._draw_service()
+        # Step 4: kernel overhead above the concurrency threshold.
+        if cfg.enable_overhead and self.in_system > cfg.overhead_threshold:
+            service *= cfg.overhead_factor
+        # Steps 5-6: allocation, possibly forcing a full GC first.
+        allocated = False
+        if cfg.enable_gc and cfg.alloc_mb > 0.0:
+            if self.free_heap_mb < cfg.gc_threshold_mb:
+                self._run_gc()
+            self.live_mb += cfg.alloc_mb
+            allocated = True
+        completion_time = now + service
+        # A thread starting mid-GC stalls until the GC ends (only when
+        # the stop-the-world variant is configured; the paper's default
+        # delays running threads only).
+        if cfg.gc_freezes_new_threads and now < self.gc_end:
+            completion_time += self.gc_end - now
+        job.completion_event = self.sim.schedule_at(
+            completion_time, lambda j=job: self._on_completion(j), kind="done"
+        )
+        if allocated and self.on_allocation is not None:
+            self.on_allocation(now, self.free_heap_mb)
+
+    def _run_gc(self) -> None:
+        """Full GC: reclaim garbage, stall every running thread."""
+        cfg = self.config
+        now = self.sim.now
+        self.gc_count += 1
+        if cfg.gc_pause_model == "proportional":
+            # A collector whose pause tracks the amount reclaimed:
+            # gc_pause_s is the cost of sweeping a completely full heap.
+            pause = cfg.gc_pause_s * (self.garbage_mb / cfg.heap_mb)
+        else:
+            pause = cfg.gc_pause_s
+        self.garbage_mb = 0.0
+        self.gc_end = now + pause
+        if pause <= 0.0:
+            return
+        for running in self.in_service:
+            event = running.completion_event
+            if event is None:  # pragma: no cover - defensive
+                continue
+            self.sim.cancel(event)
+            running.completion_event = self.sim.schedule_at(
+                event.time + pause,
+                lambda j=running: self._on_completion(j),
+                kind="done",
+            )
+
+    def _on_completion(self, job: Job) -> None:
+        cfg = self.config
+        self.in_service.discard(job)
+        self.free_cpus += 1
+        self.in_system -= 1
+        if cfg.enable_gc and cfg.alloc_mb > 0.0:
+            # The allocation leaks: reclaimed only by GC/rejuvenation.
+            self.live_mb -= cfg.alloc_mb
+            self.garbage_mb += cfg.alloc_mb
+        response_time = self.sim.now - job.arrival_time
+        # Step 7-8: hand the measurement to the owner, which may decide
+        # to rejuvenate this node from inside the callback.
+        self.on_complete(job, response_time)
+        self.dispatch()
+
+    # ------------------------------------------------------------------
+    # Capacity restoration
+    # ------------------------------------------------------------------
+    def rejuvenate(self) -> int:
+        """Kill executing work, release resources; return jobs lost.
+
+        Honours ``config.rejuvenation_kills_queued`` for the queued
+        transactions; surviving queued work re-enters service at once.
+        """
+        self.rejuvenations += 1
+        lost = 0
+        for job in self.in_service:
+            if job.completion_event is not None:
+                self.sim.cancel(job.completion_event)
+            self.on_loss(job)
+            lost += 1
+        self.in_system -= len(self.in_service)
+        self.in_service.clear()
+        if self.config.rejuvenation_kills_queued:
+            for job in self.queue:
+                self.on_loss(job)
+                lost += 1
+            self.in_system -= len(self.queue)
+            self.queue.clear()
+        self.free_cpus = self.config.cpus
+        self.live_mb = 0.0
+        self.garbage_mb = 0.0
+        self.gc_end = self.sim.now  # an in-progress GC dies with the JVM
+        self.dispatch()
+        return lost
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessingNode({self.name}: in_system={self.in_system}, "
+            f"free_cpus={self.free_cpus})"
+        )

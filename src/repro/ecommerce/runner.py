@@ -1,0 +1,112 @@
+"""Replication harness over the e-commerce simulator.
+
+The paper's evaluation protocol is five independent replications of
+100,000 transactions per scenario (Section 5).  ``run_replications``
+implements it: each replication gets an independent random-stream family
+derived from the master seed, and a *fresh* policy instance built by the
+supplied factory so no detection state leaks between replications.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.base import RejuvenationPolicy
+from repro.ecommerce.config import SystemConfig
+from repro.ecommerce.metrics import ReplicatedResult, RunResult
+from repro.ecommerce.system import ECommerceSystem
+from repro.ecommerce.workload import ArrivalProcess, PoissonArrivals
+
+PolicyFactory = Callable[[], Optional[RejuvenationPolicy]]
+ArrivalFactory = Callable[[], ArrivalProcess]
+
+
+def run_once(
+    config: SystemConfig,
+    arrivals: ArrivalProcess,
+    policy: Optional[RejuvenationPolicy],
+    n_transactions: int,
+    seed: Optional[int] = None,
+    warmup: int = 0,
+    collect_response_times: bool = False,
+) -> RunResult:
+    """One replication of the Section-3 model."""
+    system = ECommerceSystem(config, arrivals, policy=policy, seed=seed)
+    return system.run(
+        n_transactions,
+        warmup=warmup,
+        collect_response_times=collect_response_times,
+    )
+
+
+def run_replications(
+    config: SystemConfig,
+    arrival_factory: ArrivalFactory,
+    policy_factory: PolicyFactory,
+    n_transactions: int,
+    replications: int,
+    seed: int = 0,
+    warmup: int = 0,
+) -> ReplicatedResult:
+    """Independent replications of one scenario.
+
+    Parameters
+    ----------
+    config:
+        System parameters.
+    arrival_factory:
+        Builds a fresh arrival process per replication (arrival processes
+        may be stateful, e.g. MMPP).
+    policy_factory:
+        Builds a fresh policy per replication (or returns ``None``).
+    n_transactions, replications:
+        The paper uses 100,000 x 5.
+    seed:
+        Master seed; replication ``i`` uses ``seed + i`` as its own
+        master, giving independent streams.
+    warmup:
+        Per-replication warm-up transactions excluded from statistics.
+    """
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    runs = []
+    for i in range(replications):
+        runs.append(
+            run_once(
+                config,
+                arrival_factory(),
+                policy_factory(),
+                n_transactions,
+                seed=seed + i,
+                warmup=warmup,
+            )
+        )
+    return ReplicatedResult(runs=tuple(runs))
+
+
+def simulate_mmc_response_times(
+    arrival_rate: float,
+    n_transactions: int,
+    seed: Optional[int] = None,
+    config: Optional[SystemConfig] = None,
+) -> np.ndarray:
+    """Response times of the pure M/M/c reduction, in completion order.
+
+    This is the Section-4.1 configuration for the autocorrelation study:
+    the Section-3 model with kernel overhead (step 4), memory leaks
+    (steps 5-6) and rejuvenation (step 8) removed.
+    """
+    base = config if config is not None else SystemConfig()
+    reduced = base.without_degradation()
+    result = run_once(
+        reduced,
+        PoissonArrivals(arrival_rate),
+        policy=None,
+        n_transactions=n_transactions,
+        seed=seed,
+        collect_response_times=True,
+    )
+    assert result.response_times is not None
+    return np.asarray(result.response_times)

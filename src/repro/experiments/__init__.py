@@ -1,0 +1,40 @@
+"""Per-figure experiment definitions and the sweep harness.
+
+Every table and figure in the paper's evaluation has a registered
+experiment here (see DESIGN.md's per-experiment index).  Run them from
+Python::
+
+    from repro.experiments import Scale, run_experiment
+    print(run_experiment("fig16", Scale.quick()).format_text())
+
+or from the command line: ``python -m repro run fig16 --scale quick``.
+"""
+
+from repro.experiments.registry import (
+    describe,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.scale import PAPER_LOADS, Scale
+from repro.experiments.sweep import (
+    PolicyConfig,
+    SweepResult,
+    sraa_config,
+    sweep_policies,
+)
+from repro.experiments.tables import ExperimentResult, Series, Table
+
+__all__ = [
+    "ExperimentResult",
+    "PAPER_LOADS",
+    "PolicyConfig",
+    "Scale",
+    "Series",
+    "SweepResult",
+    "Table",
+    "describe",
+    "experiment_ids",
+    "run_experiment",
+    "sraa_config",
+    "sweep_policies",
+]

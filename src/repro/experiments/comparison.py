@@ -1,0 +1,66 @@
+"""Figure 16 (Section 5.6): SRAA vs SARAA vs CLTA at ``n * K * D = 30``.
+
+CLTA runs at ``(30, 1, 1)`` with ``z = 1.96``; SRAA and SARAA at
+``(2, 5, 3)``.  The paper's verdict: CLTA degrades performance at both
+ends -- measurable loss at low loads (0.001406 at 0.5 CPUs against a
+negligible fraction for SRAA/SARAA) and the worst response time at high
+loads (12.8 s at 9.0 CPUs vs 11.94 s for SRAA and 10.5 s for SARAA).
+"""
+
+from __future__ import annotations
+
+from repro.core.clta import CLTA
+from repro.core.saraa import SARAA
+from repro.core.sla import PAPER_SLO
+from repro.core.sraa import SRAA
+from repro.experiments.scale import Scale
+from repro.experiments.sweep import PolicyConfig, sweep_policies
+from repro.experiments.tables import ExperimentResult
+
+
+def fig16_configs() -> list[PolicyConfig]:
+    """The three Fig. 16 contenders."""
+    return [
+        PolicyConfig(
+            label="CLTA (n=30, K=1, D=1)",
+            factory=lambda: CLTA(PAPER_SLO, sample_size=30, z=1.96),
+        ),
+        PolicyConfig(
+            label="SRAA (n=2, K=5, D=3)",
+            factory=lambda: SRAA(PAPER_SLO, sample_size=2, n_buckets=5, depth=3),
+        ),
+        PolicyConfig(
+            label="SARAA (n=2, K=5, D=3)",
+            factory=lambda: SARAA(
+                PAPER_SLO, sample_size=2, n_buckets=5, depth=3
+            ),
+        ),
+    ]
+
+
+def run_fig16(scale: Scale, seed: int = 0) -> ExperimentResult:
+    """Figure 16 and the Section-5.6 loss comparison."""
+    sweep = sweep_policies(fig16_configs(), scale, seed=seed)
+    rt_table = sweep.response_time_table(
+        "Fig. 16: SRAA vs SARAA vs CLTA average response time, n*K*D = 30"
+    )
+    loss_table = sweep.loss_table(
+        "Section 5.6: loss fractions for the Fig. 16 contenders"
+    )
+    return ExperimentResult(
+        experiment_id="fig16",
+        description="Head-to-head comparison of the three algorithms",
+        tables=[rt_table, loss_table],
+        paper_expectations=[
+            "at 0.5 CPUs SRAA and SARAA drop a negligible fraction of "
+            "transactions while CLTA drops 0.001406",
+            "at 9.0 CPUs the paper reports 10.5 s (SARAA) < 11.94 s "
+            "(SRAA) < 12.8 s (CLTA)",
+            "SARAA < SRAA reproduces in this substrate; CLTA's high-load "
+            "response time comes out *lower* than both here (divergence "
+            "D1 in EXPERIMENTS.md: its single-test rule cuts each "
+            "soft-failure episode shortest, paying in loss instead -- "
+            "and the effect survives non-memoryless service, see "
+            "ablation 5)",
+        ],
+    )

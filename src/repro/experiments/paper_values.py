@@ -1,0 +1,71 @@
+"""Every number the paper's Section 5 quotes, as structured data.
+
+The evaluation section states a handful of exact values in prose (most
+results are only plotted).  This module records all of them so the
+``fidelity`` experiment can put paper-vs-measured ratios in one
+machine-checkable table, and EXPERIMENTS.md stays honest by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class QuotedValue:
+    """One number quoted in the paper's text."""
+
+    key: str               #: short identifier used in tables
+    section: str           #: where the paper states it
+    algorithm: str         #: "sraa" | "saraa" | "clta"
+    n: int
+    K: int
+    D: int
+    load_cpus: float       #: offered load of the quote
+    metric: str            #: "avg_rt_s" | "loss_fraction"
+    value: float           #: the paper's number
+    diverges: bool = False  #: documented divergence (EXPERIMENTS.md)
+
+
+#: All values quoted in Sections 5.2-5.6.
+QUOTED_VALUES: Tuple[QuotedValue, ...] = (
+    # Section 5.2 -- impact of sample-size doubling at 9.0 CPUs.
+    QuotedValue("sraa-15-1-1@9", "5.2", "sraa", 15, 1, 1, 9.0, "avg_rt_s", 6.2),
+    QuotedValue("sraa-30-1-1@9", "5.2", "sraa", 30, 1, 1, 9.0, "avg_rt_s", 9.9),
+    QuotedValue("sraa-3-5-1@9", "5.2", "sraa", 3, 5, 1, 9.0, "avg_rt_s", 10.45),
+    QuotedValue("sraa-6-5-1@9", "5.2", "sraa", 6, 5, 1, 9.0, "avg_rt_s", 14.3),
+    # Section 5.4 -- impact of bucket doubling; best trade-off config.
+    QuotedValue("sraa-15-2-1@9", "5.4", "sraa", 15, 2, 1, 9.0, "avg_rt_s", 11.05),
+    QuotedValue("sraa-3-10-1@9", "5.4", "sraa", 3, 10, 1, 9.0, "avg_rt_s", 14.9),
+    QuotedValue("sraa-3-2-5@9", "5.4", "sraa", 3, 2, 5, 9.0, "avg_rt_s", 10.3),
+    QuotedValue(
+        "sraa-3-2-5@0.5-loss", "5.4", "sraa", 3, 2, 5, 0.5,
+        "loss_fraction", 0.000026,
+    ),
+    QuotedValue("sraa-5-2-3@9", "5.4", "sraa", 5, 2, 3, 9.0, "avg_rt_s", 10.4),
+    # Section 5.5 -- SARAA improvements at 9.0 CPUs.
+    QuotedValue("saraa-2-5-3@9", "5.5", "saraa", 2, 5, 3, 9.0, "avg_rt_s", 10.5),
+    QuotedValue("saraa-2-3-5@9", "5.5", "saraa", 2, 3, 5, 9.0, "avg_rt_s", 9.8),
+    QuotedValue("saraa-6-5-1@9", "5.5", "saraa", 6, 5, 1, 9.0, "avg_rt_s", 11.0),
+    QuotedValue("sraa-2-5-3@9", "5.5", "sraa", 2, 5, 3, 9.0, "avg_rt_s", 11.94),
+    QuotedValue("sraa-2-3-5@9", "5.5", "sraa", 2, 3, 5, 9.0, "avg_rt_s", 11.05),
+    # Section 5.6 -- the head-to-head comparison.
+    QuotedValue(
+        "clta-30@9", "5.6", "clta", 30, 1, 1, 9.0, "avg_rt_s", 12.8,
+        diverges=True,
+    ),
+    QuotedValue(
+        "clta-30@0.5-loss", "5.6", "clta", 30, 1, 1, 0.5,
+        "loss_fraction", 0.001406,
+    ),
+)
+
+
+def quoted_by_key(key: str) -> QuotedValue:
+    """Lookup by identifier."""
+    for quoted in QUOTED_VALUES:
+        if quoted.key == key:
+            return quoted
+    raise KeyError(f"no quoted value {key!r}")

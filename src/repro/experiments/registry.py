@@ -1,0 +1,122 @@
+"""Name -> experiment lookup used by the CLI and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.analytical import (
+    run_false_alarm,
+    run_fig05,
+    run_mmc_baseline,
+)
+from repro.experiments.arl_exp import run_arl
+from repro.experiments.autocorr import run_autocorrelation
+from repro.experiments.availability_exp import run_availability
+from repro.experiments.cluster_exp import run_cluster
+from repro.experiments.comparison import run_fig16
+from repro.experiments.degradation_exp import run_degradation
+from repro.experiments.fidelity import run_fidelity
+from repro.experiments.saraa_fig import run_fig15
+from repro.experiments.scale import Scale
+from repro.experiments.sraa_figs import (
+    run_fig09_10,
+    run_fig11,
+    run_fig12_13,
+    run_fig14,
+)
+from repro.experiments.tables import ExperimentResult
+from repro.experiments.zoo import run_zoo
+
+ExperimentRunner = Callable[[Scale, int], ExperimentResult]
+
+_REGISTRY: Dict[str, Tuple[str, ExperimentRunner]] = {
+    "fig05": (
+        "Density of the sample-mean RT vs normal approximation (Fig. 5)",
+        run_fig05,
+    ),
+    "false_alarm": (
+        "Exact CLTA false-alarm probabilities (Section 4.1)",
+        run_false_alarm,
+    ),
+    "mmc_baseline": (
+        "Analytical M/M/16 RT moments across loads (Section 4.1)",
+        run_mmc_baseline,
+    ),
+    "autocorr": (
+        "Lag-1 autocorrelation of simulated RTs (Section 4.1)",
+        run_autocorrelation,
+    ),
+    "fig09_10": (
+        "SRAA sweep, n*K*D = 15: RT (Fig. 9) and loss (Fig. 10)",
+        run_fig09_10,
+    ),
+    "fig11": ("SRAA sweep, sample size doubled (Fig. 11)", run_fig11),
+    "fig12_13": (
+        "SRAA sweep, bucket depth doubled: RT (Fig. 12) and loss (Fig. 13)",
+        run_fig12_13,
+    ),
+    "fig14": ("SRAA sweep, number of buckets doubled (Fig. 14)", run_fig14),
+    "fig15": ("SARAA vs SRAA sweep, n*K*D = 30 (Fig. 15)", run_fig15),
+    "fig16": ("SRAA vs SARAA vs CLTA comparison (Fig. 16)", run_fig16),
+    "ablations": (
+        "Sensitivity to under-specified modelling choices",
+        run_ablations,
+    ),
+    "cluster": (
+        "Cluster deployment: balancing and rolling restarts (beyond "
+        "the paper; companion work [2])",
+        run_cluster,
+    ),
+    "zoo": (
+        "Every policy in the library at a low and a high load "
+        "(integration study, beyond the paper)",
+        run_zoo,
+    ),
+    "arl": (
+        "Exact false-trigger intervals and detection delays of SRAA "
+        "configurations (run-length analysis, beyond the paper)",
+        run_arl,
+    ),
+    "fidelity": (
+        "Every Section-5 quoted number measured live vs the paper",
+        run_fidelity,
+    ),
+    "degradation": (
+        "Detector families on the eroding-capacity substrate of "
+        "ref. [3] (beyond the paper)",
+        run_degradation,
+    ),
+    "availability": (
+        "Huang et al. availability planning (analytical, ref. [9]; "
+        "beyond the paper)",
+        run_availability,
+    ),
+}
+
+
+def experiment_ids() -> Tuple[str, ...]:
+    """All registered experiment identifiers, in registry order."""
+    return tuple(_REGISTRY)
+
+
+def describe(experiment_id: str) -> str:
+    """One-line description of an experiment."""
+    return _lookup(experiment_id)[0]
+
+
+def run_experiment(
+    experiment_id: str, scale: Scale, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment at the given scale."""
+    return _lookup(experiment_id)[1](scale, seed)
+
+
+def _lookup(experiment_id: str) -> Tuple[str, ExperimentRunner]:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(experiment_ids())
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None

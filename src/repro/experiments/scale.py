@@ -1,0 +1,93 @@
+"""Experiment scale presets.
+
+The paper's protocol (Section 5) is five replications of 100,000
+transactions at each of ~20 offered-load points, for each of ~7
+configurations per figure -- tens of millions of simulated transactions
+per figure.  That is perfectly feasible but slow in pure Python, so every
+experiment takes a :class:`Scale` and three presets are provided:
+
+* ``Scale.paper()`` -- the full protocol.
+* ``Scale.quick()`` -- the default: a reduced sweep that preserves every
+  qualitative feature (orderings, crossovers) at ~1/50 of the cost.
+* ``Scale.smoke()`` -- minimal, for CI and pytest-benchmark runs.
+
+The environment variable ``REPRO_SCALE`` (``smoke``/``quick``/``paper``)
+overrides the default globally.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+#: The paper's offered-load axis (in CPUs, i.e. lambda/mu).
+PAPER_LOADS: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0,
+)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How much simulation to spend on an experiment."""
+
+    transactions: int
+    replications: int
+    loads: Tuple[float, ...]
+    label: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.transactions < 100:
+            raise ValueError("need at least 100 transactions")
+        if self.replications < 1:
+            raise ValueError("need at least one replication")
+        if not self.loads:
+            raise ValueError("need at least one load point")
+        if any(load <= 0 for load in self.loads):
+            raise ValueError("loads must be positive")
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        """The paper's full protocol: 5 x 100,000 per load point."""
+        return cls(
+            transactions=100_000,
+            replications=5,
+            loads=PAPER_LOADS,
+            label="paper",
+        )
+
+    @classmethod
+    def quick(cls) -> "Scale":
+        """Reduced sweep preserving the qualitative shape (default)."""
+        return cls(
+            transactions=12_000,
+            replications=2,
+            loads=(0.5, 2.0, 4.0, 6.0, 8.0, 9.0, 10.0),
+            label="quick",
+        )
+
+    @classmethod
+    def smoke(cls) -> "Scale":
+        """Minimal scale for CI smoke tests and timing benchmarks."""
+        return cls(
+            transactions=3_000,
+            replications=1,
+            loads=(0.5, 6.0, 9.0),
+            label="smoke",
+        )
+
+    @classmethod
+    def from_env(cls, default: str = "quick") -> "Scale":
+        """Resolve the scale from ``REPRO_SCALE`` or the given default."""
+        name = os.environ.get("REPRO_SCALE", default).strip().lower()
+        presets = {
+            "paper": cls.paper,
+            "quick": cls.quick,
+            "smoke": cls.smoke,
+        }
+        try:
+            return presets[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scale {name!r}; expected one of {sorted(presets)}"
+            ) from None

@@ -1,0 +1,111 @@
+"""Load sweeps over (configuration x offered load), the Section-5 design.
+
+Every Section-5 figure is produced the same way: for each policy
+configuration and each offered load, run ``replications`` independent
+simulations of ``transactions`` transactions and plot the mean response
+time (or mean loss fraction) against the load.  ``sweep_policies``
+performs exactly that and returns both metrics so that figure pairs
+(9/10, 12/13) share one simulation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import RejuvenationPolicy
+from repro.core.sla import PAPER_SLO, ServiceLevelObjective
+from repro.core.sraa import SRAA
+from repro.ecommerce.config import PAPER_CONFIG, SystemConfig
+from repro.ecommerce.metrics import ReplicatedResult
+from repro.ecommerce.runner import run_replications
+from repro.ecommerce.workload import PoissonArrivals
+from repro.experiments.scale import Scale
+from repro.experiments.tables import Series, Table
+
+PolicyFactory = Callable[[], Optional[RejuvenationPolicy]]
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """A labelled policy factory, e.g. ``(n=2, K=5, D=3)`` for SRAA."""
+
+    label: str
+    factory: PolicyFactory
+
+
+def sraa_config(
+    n: int, K: int, D: int, slo: ServiceLevelObjective = PAPER_SLO
+) -> PolicyConfig:
+    """An SRAA configuration labelled the way the paper labels curves."""
+    return PolicyConfig(
+        label=f"(n={n}, K={K}, D={D})",
+        factory=lambda: SRAA(slo, sample_size=n, n_buckets=K, depth=D),
+    )
+
+
+@dataclass
+class SweepResult:
+    """Results of one (configurations x loads) sweep."""
+
+    results: Dict[str, Dict[float, ReplicatedResult]]
+    loads: Tuple[float, ...]
+
+    def response_time_table(self, title: str) -> Table:
+        """The figure's 'Average Response Time' panel."""
+        table = Table(
+            title=title,
+            x_label="load_cpus",
+            y_label="avg_response_time_s",
+        )
+        for label, by_load in self.results.items():
+            series = Series(label=label)
+            for load, replicated in by_load.items():
+                series.add(load, replicated.avg_response_time)
+            table.add_series(series)
+        return table
+
+    def loss_table(self, title: str) -> Table:
+        """The figure's 'Average Fraction of Transaction Loss' panel."""
+        table = Table(
+            title=title,
+            x_label="load_cpus",
+            y_label="loss_fraction",
+        )
+        for label, by_load in self.results.items():
+            series = Series(label=label)
+            for load, replicated in by_load.items():
+                series.add(load, replicated.loss_fraction)
+            table.add_series(series)
+        return table
+
+
+def sweep_policies(
+    configs: Sequence[PolicyConfig],
+    scale: Scale,
+    system_config: SystemConfig = PAPER_CONFIG,
+    seed: int = 0,
+    warmup: int = 0,
+) -> SweepResult:
+    """Run every configuration at every load of the scale.
+
+    Seeds are common across configurations at the same (load,
+    replication) pair -- common random numbers, so that curve differences
+    reflect the policies and not the draws.
+    """
+    results: Dict[str, Dict[float, ReplicatedResult]] = {}
+    for config in configs:
+        by_load: Dict[float, ReplicatedResult] = {}
+        for load_index, load in enumerate(scale.loads):
+            arrival_rate = system_config.arrival_rate_for_load(load)
+            by_load[load] = run_replications(
+                system_config,
+                arrival_factory=lambda rate=arrival_rate: PoissonArrivals(rate),
+                policy_factory=config.factory,
+                n_transactions=scale.transactions,
+                replications=scale.replications,
+                seed=seed + 1_000 * load_index,
+                warmup=warmup,
+            )
+        results[config.label] = by_load
+    return SweepResult(results=results, loads=tuple(scale.loads))

@@ -1,0 +1,120 @@
+"""Result containers that render like the paper's figures.
+
+Each figure in the paper is a family of curves over the offered-load
+axis; :class:`Series` is one curve, :class:`Table` one figure.  The
+text renderer prints the exact rows a plotting tool would consume, so
+``repro run fig09`` output can be compared line-by-line with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """One labelled curve: x (offered load) -> y (metric)."""
+
+    label: str
+    points: Dict[float, float] = field(default_factory=dict)
+
+    def add(self, x: float, y: float) -> None:
+        """Record one point."""
+        self.points[float(x)] = float(y)
+
+    def xs(self) -> List[float]:
+        """Sorted x values."""
+        return sorted(self.points)
+
+    def value_at(self, x: float) -> float:
+        """The y value at ``x`` (must exist)."""
+        return self.points[float(x)]
+
+
+@dataclass
+class Table:
+    """A figure-shaped result: several series over a common x axis."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, series: Series) -> None:
+        """Attach one curve."""
+        self.series.append(series)
+
+    def get_series(self, label: str) -> Series:
+        """Find a curve by label."""
+        for candidate in self.series:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no series labelled {label!r}")
+
+    def xs(self) -> List[float]:
+        """Union of all x values, sorted."""
+        values = set()
+        for series in self.series:
+            values.update(series.points)
+        return sorted(values)
+
+    def to_rows(self) -> List[Tuple[float, ...]]:
+        """Rows of ``(x, y_series1, y_series2, ...)`` with NaN for gaps."""
+        rows = []
+        for x in self.xs():
+            row = [x]
+            for series in self.series:
+                row.append(series.points.get(x, float("nan")))
+            rows.append(tuple(row))
+        return rows
+
+    def format_text(self, precision: int = 4) -> str:
+        """Render as an aligned text table."""
+        header = [self.x_label] + [series.label for series in self.series]
+        rows = [
+            [f"{value:.{precision}g}" for value in row]
+            for row in self.to_rows()
+        ]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in rows))
+            if rows
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, ""]
+        lines.append(
+            "  ".join(h.rjust(w) for h, w in zip(header, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produced."""
+
+    experiment_id: str
+    description: str
+    tables: List[Table]
+    paper_expectations: List[str] = field(default_factory=list)
+
+    def format_text(self) -> str:
+        """Render all tables plus the paper's expected findings."""
+        parts = [f"== {self.experiment_id}: {self.description} =="]
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.format_text())
+        if self.paper_expectations:
+            parts.append("")
+            parts.append("Paper expectations:")
+            parts.extend(f"  * {line}" for line in self.paper_expectations)
+        return "\n".join(parts)

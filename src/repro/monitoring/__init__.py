@@ -1,0 +1,27 @@
+"""Monitoring framework: metric stream -> policy -> rejuvenation action.
+
+The paper's premise is that the *customer-affecting* metric (response
+time) must be monitored directly; CPU or memory counters missed a severe
+field fault for months.  This package provides the glue a deployment
+needs:
+
+* :class:`~repro.monitoring.monitor.RejuvenationMonitor` -- feeds every
+  metric observation to a policy, invokes a rejuvenation callback on a
+  trigger, and keeps an auditable event log (trigger times, inter-trigger
+  gaps, counts).
+* :mod:`~repro.monitoring.calibration` -- estimates the healthy-behaviour
+  ``(mu_X, sigma_X)`` from measured data when no SLA supplies them
+  (classical or robust median/MAD estimators, with warm-up discard).
+"""
+
+from repro.monitoring.adaptive import AdaptiveSLO
+from repro.monitoring.calibration import calibrate_slo, robust_calibrate_slo
+from repro.monitoring.monitor import MonitorReport, RejuvenationMonitor
+
+__all__ = [
+    "AdaptiveSLO",
+    "MonitorReport",
+    "RejuvenationMonitor",
+    "calibrate_slo",
+    "robust_calibrate_slo",
+]

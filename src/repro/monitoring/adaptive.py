@@ -1,0 +1,100 @@
+"""On-line SLO tracking (the conclusion's "real-time estimation").
+
+The paper closes with: "we plan to consider statistical estimation
+techniques to determine optimal algorithm parameters in real-time."
+:class:`AdaptiveSLO` is the estimation primitive that programme needs: an
+exponentially weighted moving estimate of the metric's mean and standard
+deviation that *freezes while the system looks degraded*, so the
+baseline is learned from healthy traffic only and does not chase the
+degradation it exists to detect.
+
+The guard is self-referential by design: a sample is folded into the
+estimate only if it lies within ``guard_sigmas`` standard deviations of
+the current mean (one-sided -- low values are always healthy for a
+response time).  This is the standard EWMA-with-clamping construction
+from statistical process control.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.sla import ServiceLevelObjective
+
+
+class AdaptiveSLO:
+    """EWMA estimate of (mu_X, sigma_X) that ignores degraded samples.
+
+    Parameters
+    ----------
+    initial:
+        Starting SLO (e.g. from offline calibration).
+    alpha:
+        EWMA weight of each new healthy sample (small = slow drift;
+        the estimate fluctuates around the true mean with standard
+        deviation ``sigma * sqrt(alpha / (2 - alpha))``).
+    guard_sigmas:
+        Samples above ``mean + guard_sigmas * std`` are considered
+        degraded and not learned from.  Keep this generous for
+        right-skewed metrics: a tight guard truncates the healthy
+        tail and biases the estimate low.  The default (8) rejects a
+        10x degradation while truncating less than 0.05 % of an
+        exponential's mass.
+
+    Examples
+    --------
+    >>> from repro.core.sla import ServiceLevelObjective
+    >>> slo = AdaptiveSLO(ServiceLevelObjective(5.0, 5.0), alpha=0.05)
+    >>> for _ in range(200):
+    ...     slo.update(6.0)       # the healthy mean drifted to 6
+    >>> 5.5 < slo.current().mean < 6.5
+    True
+    >>> slo.update(500.0)         # a degraded sample is not absorbed
+    False
+    """
+
+    def __init__(
+        self,
+        initial: ServiceLevelObjective,
+        alpha: float = 0.01,
+        guard_sigmas: float = 8.0,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        if guard_sigmas <= 0:
+            raise ValueError("guard must be positive")
+        self.alpha = float(alpha)
+        self.guard_sigmas = float(guard_sigmas)
+        self._mean = initial.mean
+        self._variance = initial.std ** 2
+        self.accepted = 0
+        self.rejected = 0
+
+    def update(self, value: float) -> bool:
+        """Fold one sample in; return whether it was accepted as healthy."""
+        guard = self._mean + self.guard_sigmas * math.sqrt(self._variance)
+        if value > guard:
+            self.rejected += 1
+            return False
+        delta = value - self._mean
+        self._mean += self.alpha * delta
+        # EWMA of the squared deviation around the updated mean.
+        self._variance = (1.0 - self.alpha) * (
+            self._variance + self.alpha * delta * delta
+        )
+        self.accepted += 1
+        return True
+
+    def current(self) -> ServiceLevelObjective:
+        """The present estimate as an immutable SLO."""
+        return ServiceLevelObjective(
+            mean=self._mean, std=math.sqrt(max(self._variance, 0.0))
+        )
+
+    @property
+    def rejection_fraction(self) -> float:
+        """Fraction of samples the guard classified as degraded."""
+        total = self.accepted + self.rejected
+        if total == 0:
+            return 0.0
+        return self.rejected / total

@@ -1,0 +1,66 @@
+"""Estimating the healthy-behaviour SLO from measured data.
+
+The paper assumes a service-level agreement hands the algorithms
+``mu_X`` and ``sigma_X``.  Real deployments often have to *measure* them
+during a known-healthy period instead; the paper's conclusion lists
+"statistical estimation techniques to determine optimal algorithm
+parameters in real-time" as future work.  This module provides the
+estimation half: classical moment estimates and a robust median/MAD
+variant that tolerates contamination by occasional degraded samples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.sla import ServiceLevelObjective
+
+#: Consistency factor making the MAD unbiased for a normal population.
+MAD_TO_SIGMA = 1.4826
+
+
+def calibrate_slo(
+    values: Sequence[float], warmup: int = 0
+) -> ServiceLevelObjective:
+    """Classical calibration: sample mean and (n-1) standard deviation.
+
+    Parameters
+    ----------
+    values:
+        Metric observations from a healthy period.
+    warmup:
+        Leading observations to discard (simulation or restart
+        transient).
+    """
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    data = np.asarray(values, dtype=float)[warmup:]
+    if data.size < 2:
+        raise ValueError("need at least two observations after warm-up")
+    return ServiceLevelObjective(
+        mean=float(data.mean()), std=float(data.std(ddof=1))
+    )
+
+
+def robust_calibrate_slo(
+    values: Sequence[float], warmup: int = 0
+) -> ServiceLevelObjective:
+    """Robust calibration: median and scaled median absolute deviation.
+
+    Resistant to a minority of degraded observations contaminating the
+    "healthy" window -- useful when calibration data cannot be guaranteed
+    clean.  Note that for a *skewed* healthy distribution (like the
+    exponential response times of the paper's system at low load) the
+    median is below the mean, which makes the resulting policy more
+    trigger-happy; prefer :func:`calibrate_slo` for clean data.
+    """
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    data = np.asarray(values, dtype=float)[warmup:]
+    if data.size < 2:
+        raise ValueError("need at least two observations after warm-up")
+    median = float(np.median(data))
+    mad = float(np.median(np.abs(data - median)))
+    return ServiceLevelObjective(mean=median, std=MAD_TO_SIGMA * mad)

@@ -1,0 +1,131 @@
+"""The finite-buffer ``M/M/c/K`` queue and Erlang-B.
+
+Rejuvenation sheds load by killing transactions; the classical
+alternative is *admission control*: bound the number of admitted jobs at
+``K`` and refuse the rest.  The M/M/c/K model gives the exact price of
+that alternative -- blocking probability and the response time of
+admitted jobs -- so the simulated rejuvenation loss can be put side by
+side with an analytical loss baseline (see
+``examples/capacity_planning.py`` and the admission-control tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def erlang_b(offered_load: float, servers: int) -> float:
+    """Erlang-B blocking probability of an ``M/M/c/c`` loss system.
+
+    Computed with the numerically stable recurrence
+    ``B(a, c) = a B(a, c-1) / (c + a B(a, c-1))``.
+    """
+    if offered_load < 0:
+        raise ValueError("offered load must be non-negative")
+    if servers < 1:
+        raise ValueError("at least one server is required")
+    blocking = 1.0
+    for c in range(1, servers + 1):
+        blocking = offered_load * blocking / (c + offered_load * blocking)
+    return blocking
+
+
+@dataclass(frozen=True)
+class MMcKModel:
+    """An ``M/M/c/K`` queue (``K`` = total capacity, including servers).
+
+    Always stable: excess arrivals are blocked, never queued without
+    bound.
+
+    Parameters
+    ----------
+    arrival_rate, service_rate, servers:
+        As in :class:`~repro.queueing.mmc.MMcModel`.
+    capacity:
+        Maximum jobs in the system (``K >= servers``); ``K == servers``
+        is the Erlang loss system.
+
+    Examples
+    --------
+    >>> model = MMcKModel(1.6, 0.2, servers=16, capacity=16)
+    >>> abs(model.blocking_probability() - erlang_b(8.0, 16)) < 1e-12
+    True
+    """
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError("arrival rate must be non-negative")
+        if self.service_rate <= 0:
+            raise ValueError("service rate must be positive")
+        if self.servers < 1:
+            raise ValueError("at least one server is required")
+        if self.capacity < self.servers:
+            raise ValueError("capacity must be at least the server count")
+
+    # ------------------------------------------------------------------
+    @property
+    def offered_load(self) -> float:
+        """``a = lambda / mu`` in Erlangs."""
+        return self.arrival_rate / self.service_rate
+
+    def _unnormalised_probabilities(self) -> np.ndarray:
+        a = self.offered_load
+        c = self.servers
+        terms = np.empty(self.capacity + 1)
+        term = 1.0
+        terms[0] = term
+        for k in range(1, self.capacity + 1):
+            divisor = k if k <= c else c
+            term *= a / divisor
+            terms[k] = term
+        return terms
+
+    def state_probability(self, k: int) -> float:
+        """Steady-state probability of ``k`` jobs in the system."""
+        if not 0 <= k <= self.capacity:
+            raise ValueError(
+                f"state must lie in [0, {self.capacity}], got {k}"
+            )
+        terms = self._unnormalised_probabilities()
+        return float(terms[k] / terms.sum())
+
+    def blocking_probability(self) -> float:
+        """Probability an arrival is refused (PASTA: ``p_K``)."""
+        terms = self._unnormalised_probabilities()
+        return float(terms[-1] / terms.sum())
+
+    def effective_arrival_rate(self) -> float:
+        """Rate of *admitted* transactions."""
+        return self.arrival_rate * (1.0 - self.blocking_probability())
+
+    def mean_jobs_in_system(self) -> float:
+        """Expected number of jobs present."""
+        terms = self._unnormalised_probabilities()
+        probabilities = terms / terms.sum()
+        return float(np.arange(self.capacity + 1) @ probabilities)
+
+    def response_time_mean(self) -> float:
+        """Expected response time of an admitted transaction (Little)."""
+        effective = self.effective_arrival_rate()
+        if effective == 0.0:
+            return 1.0 / self.service_rate
+        return self.mean_jobs_in_system() / effective
+
+    def throughput(self) -> float:
+        """Completed transactions per second (equals the admitted rate)."""
+        return self.effective_arrival_rate()
+
+    @classmethod
+    def loss_system(
+        cls, arrival_rate: float, service_rate: float, servers: int
+    ) -> "MMcKModel":
+        """The Erlang loss system ``M/M/c/c`` (no waiting room)."""
+        return cls(arrival_rate, service_rate, servers, capacity=servers)

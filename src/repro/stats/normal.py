@@ -1,0 +1,45 @@
+"""Standard-normal quantiles and the algorithms' decision thresholds."""
+
+from __future__ import annotations
+
+import math
+
+from scipy.stats import norm
+
+
+def normal_quantile(q: float) -> float:
+    """The standard-normal quantile ``z_q`` (e.g. ``z_0.975 = 1.96``)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError("quantile level must lie in (0, 1)")
+    return float(norm.ppf(q))
+
+
+def two_sided_z(confidence: float) -> float:
+    """Two-sided critical value at the given confidence (0.95 -> 1.96)."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    return normal_quantile(0.5 + confidence / 2.0)
+
+
+def sample_mean_threshold(
+    mean: float, std: float, n: int, multiplier: float
+) -> float:
+    """The SARAA/CLTA target value ``mu + multiplier * sigma / sqrt(n)``.
+
+    For SRAA the multiplier is the bucket index ``N`` and the ``sqrt(n)``
+    factor is *not* applied (SRAA tests a shift of the underlying
+    distribution, not of the sampling distribution); use
+    :func:`shift_threshold` for that.
+    """
+    if n < 1:
+        raise ValueError("sample size must be >= 1")
+    if std < 0:
+        raise ValueError("standard deviation must be non-negative")
+    return mean + multiplier * std / math.sqrt(n)
+
+
+def shift_threshold(mean: float, std: float, multiplier: float) -> float:
+    """The SRAA target value ``mu + multiplier * sigma``."""
+    if std < 0:
+        raise ValueError("standard deviation must be non-negative")
+    return mean + multiplier * std

@@ -1,0 +1,154 @@
+"""Streaming quantile estimation (the P-squared algorithm).
+
+Modern service-level objectives are stated on percentiles ("p95 latency
+under 10 s"), not means.  Tracking a percentile over an unbounded
+stream without storing it needs a streaming estimator; this module
+implements Jain & Chlamtac's P² algorithm (CACM 1985) from scratch:
+five markers whose heights approximate the quantile via piecewise-
+parabolic interpolation, O(1) memory and time per observation.
+
+Used by :class:`repro.core.quantile.QuantilePolicy` and usable on its
+own for telemetry summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+class P2Quantile:
+    """P² estimator of a single quantile over a stream.
+
+    Parameters
+    ----------
+    quantile:
+        The target probability ``p`` in (0, 1), e.g. 0.95.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> estimator = P2Quantile(0.5)
+    >>> for value in rng.normal(10.0, 2.0, size=20_000):
+    ...     estimator.update(float(value))
+    >>> abs(estimator.value() - 10.0) < 0.15
+    True
+    """
+
+    def __init__(self, quantile: float) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must lie in (0, 1)")
+        self.quantile = float(quantile)
+        self._initial: List[float] = []
+        # Marker state after initialisation.
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments: List[float] = []
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    def update(self, value: float) -> None:
+        """Fold one observation into the estimate."""
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot update with NaN")
+        self.count += 1
+        if self._heights:
+            self._update_markers(value)
+            return
+        self._initial.append(value)
+        if len(self._initial) == 5:
+            self._initialise()
+
+    def _initialise(self) -> None:
+        p = self.quantile
+        self._heights = sorted(self._initial)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [
+            1.0,
+            1.0 + 2.0 * p,
+            1.0 + 4.0 * p,
+            3.0 + 2.0 * p,
+            5.0,
+        ]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self._initial = []
+
+    def _update_markers(self, value: float) -> None:
+        heights = self._heights
+        positions = self._positions
+        # Locate the cell and update the extreme markers.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust the three interior markers.
+        for i in (1, 2, 3):
+            drift = self._desired[i] - positions[i]
+            step_up = positions[i + 1] - positions[i]
+            step_down = positions[i - 1] - positions[i]
+            if (drift >= 1.0 and step_up > 1.0) or (
+                drift <= -1.0 and step_down < -1.0
+            ):
+                direction = 1.0 if drift >= 1.0 else -1.0
+                candidate = self._parabolic(i, direction)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, direction)
+                positions[i] += direction
+
+    def _parabolic(self, i: int, direction: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + direction / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + direction)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - direction)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, direction: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(direction)
+        return h[i] + direction * (h[j] - h[i]) / (n[j] - n[i])
+
+    # ------------------------------------------------------------------
+    def value(self) -> float:
+        """The current quantile estimate.
+
+        Before five observations have arrived, falls back to the exact
+        order statistic of what has been seen (and raises if empty).
+        """
+        if self._heights:
+            return self._heights[2]
+        if not self._initial:
+            raise ValueError("no observations yet")
+        ordered = sorted(self._initial)
+        rank = min(
+            len(ordered) - 1,
+            max(0, math.ceil(self.quantile * len(ordered)) - 1),
+        )
+        return ordered[rank]
+
+    def reset(self) -> None:
+        """Forget everything."""
+        self._initial = []
+        self._heights = []
+        self._positions = []
+        self._desired = []
+        self._increments = []
+        self.count = 0

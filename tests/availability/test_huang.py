@@ -1,0 +1,135 @@
+"""Huang et al. (1995) availability model against renewal-reward forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability.huang import HuangRejuvenationModel
+
+rates = st.floats(min_value=1e-3, max_value=10.0)
+
+
+@pytest.fixture
+def model() -> HuangRejuvenationModel:
+    # Ages over ~10 days, fails ~3 days later, 2 h repair, 10 min
+    # rejuvenation (rates per hour).
+    return HuangRejuvenationModel(
+        aging_rate=1 / 240,
+        failure_rate=1 / 72,
+        repair_rate=1 / 2,
+        rejuvenation_completion_rate=6.0,
+    )
+
+
+def closed_form_availability(model, rho):
+    r = model.aging_rate
+    lam = model.failure_rate
+    up = 1 / r + 1 / (lam + rho) if rho > 0 else 1 / r + 1 / lam
+    if rho > 0:
+        down = (lam / (lam + rho)) / model.repair_rate + (
+            rho / (lam + rho)
+        ) / model.rejuvenation_completion_rate
+    else:
+        down = 1 / model.repair_rate
+    return up / (up + down)
+
+
+class TestSteadyState:
+    def test_probabilities_sum_to_one(self, model):
+        for rho in (0.0, 0.1, 2.0):
+            pi = model.steady_state(rho)
+            assert pi.sum() == pytest.approx(1.0)
+            assert np.all(pi >= 0)
+
+    def test_no_rejuvenation_state_unused_at_rate_zero(self, model):
+        pi = model.steady_state(0.0)
+        assert pi[3] == 0.0
+
+    def test_matches_renewal_reward(self, model):
+        for rho in (0.0, 0.05, 0.5, 5.0):
+            assert model.availability(rho) == pytest.approx(
+                closed_form_availability(model, rho), rel=1e-10
+            )
+
+    @given(rates, rates, rates, rates, st.floats(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_closed_form(self, r, lam, muf, mur, rho):
+        model = HuangRejuvenationModel(r, lam, muf, mur)
+        assert model.availability(rho) == pytest.approx(
+            closed_form_availability(model, rho), rel=1e-8
+        )
+
+
+class TestAvailability:
+    def test_fast_rejuvenation_improves_availability(self, model):
+        assert model.availability(1.0) > model.availability(0.0)
+
+    def test_downtime_quantities_consistent(self, model):
+        rho = 0.3
+        fraction = model.downtime_fraction(rho)
+        assert fraction == pytest.approx(1.0 - model.availability(rho))
+        assert model.downtime_hours_per_year(rho) == pytest.approx(
+            8_760.0 * fraction
+        )
+
+    def test_slow_rejuvenation_can_hurt(self):
+        # If the scheduled outage is as slow as the repair, rejuvenating
+        # cannot raise availability (it only adds outages).
+        model = HuangRejuvenationModel(
+            aging_rate=0.1,
+            failure_rate=0.01,
+            repair_rate=0.5,
+            rejuvenation_completion_rate=0.5,
+        )
+        assert model.availability(1.0) <= model.availability(0.0) + 1e-12
+
+
+class TestCostOptimisation:
+    def test_costly_rejuvenation_means_never(self, model):
+        assert model.optimal_rejuvenation_rate(
+            cost_failure=1.0, cost_rejuvenation=100.0
+        ) == 0.0
+        assert not model.rejuvenation_worthwhile(1.0, 100.0)
+
+    def test_cheap_rejuvenation_means_aggressive(self, model):
+        rate = model.optimal_rejuvenation_rate(
+            cost_failure=100.0, cost_rejuvenation=1.0, max_rate=50.0
+        )
+        assert rate > 1.0
+        assert model.rejuvenation_worthwhile(100.0, 1.0)
+
+    def test_optimum_beats_neighbours(self, model):
+        cost = lambda rho: model.downtime_cost_rate(rho, 20.0, 3.0)  # noqa: E731
+        best = model.optimal_rejuvenation_rate(20.0, 3.0, max_rate=10.0)
+        if best > 0:
+            assert cost(best) <= cost(best * 0.5) + 1e-9
+            assert cost(best) <= cost(min(best * 2, 10.0)) + 1e-9
+        assert cost(best) <= cost(0.0) + 1e-9
+
+    def test_cost_rate_components(self, model):
+        pi = model.steady_state(0.4)
+        expected = 7.0 * pi[2] + 2.0 * pi[3]
+        assert model.downtime_cost_rate(0.4, 7.0, 2.0) == pytest.approx(
+            expected
+        )
+
+
+class TestValidation:
+    def test_positive_rates_required(self):
+        with pytest.raises(ValueError):
+            HuangRejuvenationModel(0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            HuangRejuvenationModel(1.0, -1.0, 1.0, 1.0)
+
+    def test_negative_rejuvenation_rate_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.availability(-0.1)
+
+    def test_negative_costs_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.downtime_cost_rate(0.1, -1.0, 1.0)
+
+    def test_bad_max_rate(self, model):
+        with pytest.raises(ValueError):
+            model.optimal_rejuvenation_rate(1.0, 1.0, max_rate=0.0)

@@ -1,0 +1,117 @@
+"""Load-balancer strategies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.balancer import (
+    JoinShortestQueue,
+    RandomBalancer,
+    RoundRobin,
+    WeightedRoundRobin,
+)
+from repro.des.engine import Simulator
+from repro.ecommerce.config import SystemConfig
+from repro.ecommerce.node import Job, ProcessingNode
+
+
+def make_nodes(n, sim=None):
+    sim = sim if sim is not None else Simulator()
+    rng = np.random.default_rng(0)
+    return [
+        ProcessingNode(
+            SystemConfig(),
+            sim,
+            rng,
+            on_complete=lambda job, rt: None,
+            on_loss=lambda job: None,
+            name=f"node{i}",
+        )
+        for i in range(n)
+    ]
+
+
+RNG = np.random.default_rng(1)
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        nodes = make_nodes(3)
+        balancer = RoundRobin()
+        picks = [balancer.select(nodes, [0, 1, 2], RNG) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_ineligible(self):
+        nodes = make_nodes(3)
+        balancer = RoundRobin()
+        picks = [balancer.select(nodes, [0, 2], RNG) for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_reset(self):
+        nodes = make_nodes(3)
+        balancer = RoundRobin()
+        balancer.select(nodes, [0, 1, 2], RNG)
+        balancer.reset()
+        assert balancer.select(nodes, [0, 1, 2], RNG) == 0
+
+
+class TestRandom:
+    def test_uniform_over_eligible(self):
+        nodes = make_nodes(4)
+        balancer = RandomBalancer()
+        rng = np.random.default_rng(2)
+        picks = [balancer.select(nodes, [1, 3], rng) for _ in range(2_000)]
+        assert set(picks) == {1, 3}
+        assert abs(picks.count(1) / 2_000 - 0.5) < 0.05
+
+
+class TestJoinShortestQueue:
+    def test_picks_least_loaded(self):
+        sim = Simulator()
+        nodes = make_nodes(3, sim)
+        nodes[0].submit(Job(0.0, 0))
+        nodes[0].submit(Job(0.0, 1))
+        nodes[2].submit(Job(0.0, 2))
+        balancer = JoinShortestQueue()
+        assert balancer.select(nodes, [0, 1, 2], RNG) == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        nodes = make_nodes(3)
+        assert JoinShortestQueue().select(nodes, [0, 1, 2], RNG) == 0
+
+    def test_respects_eligibility(self):
+        sim = Simulator()
+        nodes = make_nodes(3, sim)
+        nodes[1].submit(Job(0.0, 0))  # node 1 busier but node 0 down
+        assert JoinShortestQueue().select(nodes, [1, 2], RNG) in (1, 2)
+
+
+class TestWeightedRoundRobin:
+    def test_respects_weights(self):
+        nodes = make_nodes(2)
+        balancer = WeightedRoundRobin([3.0, 1.0])
+        picks = [balancer.select(nodes, [0, 1], RNG) for _ in range(8)]
+        assert picks.count(0) == 6
+        assert picks.count(1) == 2
+
+    def test_smooth_interleaving(self):
+        # The nginx algorithm spreads the heavy node's picks out.
+        nodes = make_nodes(2)
+        balancer = WeightedRoundRobin([2.0, 1.0])
+        picks = [balancer.select(nodes, [0, 1], RNG) for _ in range(6)]
+        assert picks == [0, 1, 0, 0, 1, 0] or picks.count(0) == 4
+
+    def test_eligibility_subset(self):
+        nodes = make_nodes(3)
+        balancer = WeightedRoundRobin([1.0, 1.0, 5.0])
+        picks = [balancer.select(nodes, [0, 1], RNG) for _ in range(4)]
+        assert set(picks) <= {0, 1}
+        assert picks.count(0) == picks.count(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedRoundRobin([])
+        with pytest.raises(ValueError):
+            WeightedRoundRobin([1.0, 0.0])
+        nodes = make_nodes(3)
+        with pytest.raises(ValueError):
+            WeightedRoundRobin([1.0]).select(nodes, [0], RNG)

@@ -1,0 +1,77 @@
+"""Rolling-restart coordination."""
+
+import pytest
+
+from repro.cluster.coordinator import (
+    RollingCoordinator,
+    UnrestrictedCoordinator,
+)
+
+
+class TestMinimumGap:
+    def test_enforced(self):
+        coordinator = RollingCoordinator(min_gap_s=60.0)
+        assert coordinator.request(0, now=0.0, downtime_s=0.0)
+        assert not coordinator.request(1, now=59.9, downtime_s=0.0)
+        assert coordinator.request(1, now=60.0, downtime_s=0.0)
+
+    def test_denials_do_not_push_the_window(self):
+        coordinator = RollingCoordinator(min_gap_s=60.0)
+        coordinator.request(0, now=0.0, downtime_s=0.0)
+        coordinator.request(1, now=30.0, downtime_s=0.0)  # denied
+        # The gap still counts from the last *grant*.
+        assert coordinator.request(1, now=60.0, downtime_s=0.0)
+
+    def test_counters(self):
+        coordinator = RollingCoordinator(min_gap_s=10.0)
+        coordinator.request(0, now=0.0, downtime_s=0.0)
+        coordinator.request(1, now=1.0, downtime_s=0.0)
+        assert coordinator.granted == 1
+        assert coordinator.denied == 1
+
+
+class TestMaxNodesDown:
+    def test_enforced_with_downtime(self):
+        coordinator = RollingCoordinator(min_gap_s=0.0, max_nodes_down=1)
+        assert coordinator.request(0, now=0.0, downtime_s=100.0)
+        assert not coordinator.request(1, now=50.0, downtime_s=100.0)
+        # Node 0 is back up at t=100.
+        assert coordinator.request(1, now=101.0, downtime_s=100.0)
+
+    def test_two_allowed(self):
+        coordinator = RollingCoordinator(min_gap_s=0.0, max_nodes_down=2)
+        assert coordinator.request(0, now=0.0, downtime_s=100.0)
+        assert coordinator.request(1, now=1.0, downtime_s=100.0)
+        assert not coordinator.request(2, now=2.0, downtime_s=100.0)
+
+    def test_not_binding_without_downtime(self):
+        coordinator = RollingCoordinator(min_gap_s=0.0, max_nodes_down=1)
+        for i in range(5):
+            assert coordinator.request(i, now=float(i), downtime_s=0.0)
+
+    def test_nodes_down_expires(self):
+        coordinator = RollingCoordinator(max_nodes_down=1)
+        coordinator.request(0, now=0.0, downtime_s=10.0)
+        assert coordinator.nodes_down(5.0) == 1
+        assert coordinator.nodes_down(10.1) == 0
+
+
+class TestLifecycle:
+    def test_reset(self):
+        coordinator = RollingCoordinator(min_gap_s=60.0)
+        coordinator.request(0, now=0.0, downtime_s=100.0)
+        coordinator.reset()
+        assert coordinator.request(1, now=1.0, downtime_s=0.0)
+        assert coordinator.granted == 1
+        assert coordinator.nodes_down(1.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingCoordinator(min_gap_s=-1.0)
+        with pytest.raises(ValueError):
+            RollingCoordinator(max_nodes_down=0)
+
+    def test_unrestricted_grants_everything(self):
+        coordinator = UnrestrictedCoordinator()
+        for i in range(20):
+            assert coordinator.request(i % 3, now=0.0, downtime_s=1e6)

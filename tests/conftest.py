@@ -1,0 +1,25 @@
+"""Shared fixtures: the paper's canonical model objects."""
+
+import pytest
+
+from repro.core.sla import ServiceLevelObjective
+from repro.ecommerce.config import SystemConfig
+from repro.queueing.mmc import MMcModel
+
+
+@pytest.fixture
+def paper_model() -> MMcModel:
+    """M/M/16 at the paper's maximum load of interest (lambda = 1.6)."""
+    return MMcModel(arrival_rate=1.6, service_rate=0.2, servers=16)
+
+
+@pytest.fixture
+def paper_slo() -> ServiceLevelObjective:
+    """The SLO used throughout Section 5 (mu_X = sigma_X = 5)."""
+    return ServiceLevelObjective(mean=5.0, std=5.0)
+
+
+@pytest.fixture
+def paper_config() -> SystemConfig:
+    """The Section-3 system configuration."""
+    return SystemConfig()

@@ -1,0 +1,48 @@
+"""Never/periodic reference policies."""
+
+import pytest
+
+from repro.core.baselines import NeverRejuvenate, PeriodicRejuvenation
+
+
+class TestNever:
+    def test_never_triggers(self):
+        policy = NeverRejuvenate()
+        assert policy.observe_many([1e9] * 100) == []
+
+    def test_reset_is_noop(self):
+        policy = NeverRejuvenate()
+        policy.reset()
+        assert policy.observe(1e9) is False
+
+
+class TestPeriodic:
+    def test_triggers_every_period(self):
+        policy = PeriodicRejuvenation(period=3)
+        assert policy.observe_many([0.0] * 10) == [2, 5, 8]
+        assert policy.triggers == 3
+
+    def test_period_one_triggers_always(self):
+        policy = PeriodicRejuvenation(period=1)
+        assert policy.observe_many([0.0] * 3) == [0, 1, 2]
+
+    def test_metric_value_is_ignored(self):
+        policy = PeriodicRejuvenation(period=2)
+        assert policy.observe(1e9) is False
+        assert policy.observe(0.0) is True
+
+    def test_reset_restarts_countdown(self):
+        policy = PeriodicRejuvenation(period=3)
+        policy.observe(0.0)
+        policy.observe(0.0)
+        policy.reset()
+        assert policy.observe(0.0) is False
+        assert policy.observe(0.0) is False
+        assert policy.observe(0.0) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicRejuvenation(period=0)
+
+    def test_describe(self):
+        assert PeriodicRejuvenation(period=7).describe() == "Periodic(every=7)"

@@ -1,0 +1,68 @@
+"""String-keyed policy construction."""
+
+import pytest
+
+from repro.core.baselines import NeverRejuvenate, PeriodicRejuvenation
+from repro.core.clta import CLTA
+from repro.core.factory import available_policies, make_policy
+from repro.core.saraa import SARAA
+from repro.core.sla import PAPER_SLO
+from repro.core.sraa import SRAA, StaticRejuvenation
+from repro.core.threshold import DeterministicThreshold, RiskBasedThreshold
+
+
+class TestFactory:
+    def test_available_policies_sorted_and_complete(self):
+        names = available_policies()
+        assert names == tuple(sorted(names))
+        assert {"sraa", "saraa", "clta", "static", "never"} <= set(names)
+
+    def test_every_listed_policy_constructs(self):
+        for name in available_policies():
+            policy = make_policy(name, PAPER_SLO)
+            assert policy.observe(5.0) in (True, False)
+
+    def test_sraa_parameters(self):
+        policy = make_policy("sraa", PAPER_SLO, n=2, K=5, D=3)
+        assert isinstance(policy, SRAA)
+        assert policy.sample_size == 2
+        assert policy.chain.n_buckets == 5
+        assert policy.chain.depth == 3
+
+    def test_saraa_parameters(self):
+        policy = make_policy("saraa", PAPER_SLO, n=10, K=3, D=1)
+        assert isinstance(policy, SARAA)
+        assert policy.original_sample_size == 10
+
+    def test_clta_parameters(self):
+        policy = make_policy("clta", PAPER_SLO, n=15, z=2.33)
+        assert isinstance(policy, CLTA)
+        assert policy.sample_size == 15
+        assert policy.z == 2.33
+
+    def test_static(self):
+        policy = make_policy("static", PAPER_SLO, K=3, D=5)
+        assert isinstance(policy, StaticRejuvenation)
+        assert policy.sample_size == 1
+
+    def test_baselines(self):
+        assert isinstance(make_policy("never", PAPER_SLO), NeverRejuvenate)
+        periodic = make_policy("periodic", PAPER_SLO, period=50)
+        assert isinstance(periodic, PeriodicRejuvenation)
+        assert periodic.period == 50
+
+    def test_thresholds(self):
+        det = make_policy("threshold", PAPER_SLO, limit=12.0)
+        assert isinstance(det, DeterministicThreshold)
+        assert det.threshold == 12.0
+        risk = make_policy("risk-threshold", PAPER_SLO, soft=8.0, hard=30.0)
+        assert isinstance(risk, RiskBasedThreshold)
+        assert (risk.soft_limit, risk.hard_limit) == (8.0, 30.0)
+
+    def test_threshold_defaults_derive_from_slo(self):
+        det = make_policy("threshold", PAPER_SLO)
+        assert det.threshold == PAPER_SLO.shift_threshold(3)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("quantum", PAPER_SLO)

@@ -1,0 +1,112 @@
+"""Proactive resource-exhaustion policy (Castelli-style baseline)."""
+
+import pytest
+
+from repro.core.proactive import ResourceExhaustionPolicy
+
+
+def drain(policy, start=3000.0, rate=10.0, dt=1.0, steps=400):
+    """Feed a linearly draining resource; return the trigger step."""
+    for i in range(steps):
+        t = i * dt
+        if policy.observe_resource(t, start - rate * t):
+            return i
+    return None
+
+
+class TestPrediction:
+    def test_triggers_before_exhaustion(self):
+        # 3000 MB draining at 10 MB/s hits the 100 MB level at t=290;
+        # a 60 s horizon should fire near t=230.
+        policy = ResourceExhaustionPolicy(
+            critical_level=100.0, horizon_s=60.0, window=10
+        )
+        step = drain(policy)
+        assert step is not None
+        assert 200 <= step <= 290
+
+    def test_longer_horizon_fires_earlier(self):
+        early = ResourceExhaustionPolicy(100.0, horizon_s=120.0, window=10)
+        late = ResourceExhaustionPolicy(100.0, horizon_s=30.0, window=10)
+        assert drain(early) < drain(late)
+
+    def test_stable_resource_never_triggers(self):
+        policy = ResourceExhaustionPolicy(100.0, horizon_s=60.0, window=5)
+        for i in range(200):
+            assert not policy.observe_resource(float(i), 2000.0)
+        assert policy.last_prediction_s == float("inf")
+
+    def test_recovering_resource_never_triggers(self):
+        policy = ResourceExhaustionPolicy(100.0, horizon_s=60.0, window=5)
+        for i in range(100):
+            assert not policy.observe_resource(float(i), 500.0 + 10.0 * i)
+
+    def test_prediction_exposed(self):
+        policy = ResourceExhaustionPolicy(0.0, horizon_s=1.0, window=3)
+        for i, level in enumerate([1000.0, 990.0, 980.0]):
+            policy.observe_resource(float(i), level)
+        assert policy.last_prediction_s == pytest.approx(100.0)
+
+    def test_no_decision_before_window_fills(self):
+        policy = ResourceExhaustionPolicy(100.0, horizon_s=1e9, window=5)
+        for i in range(4):
+            assert not policy.observe_resource(float(i), 1000.0 - i)
+
+
+class TestInterface:
+    def test_metric_observations_never_trigger(self):
+        policy = ResourceExhaustionPolicy(100.0, horizon_s=60.0)
+        assert policy.observe(1e9) is False
+
+    def test_out_of_order_samples_rejected(self):
+        policy = ResourceExhaustionPolicy(100.0, horizon_s=60.0, window=3)
+        policy.observe_resource(10.0, 500.0)
+        with pytest.raises(ValueError):
+            policy.observe_resource(5.0, 400.0)
+
+    def test_reset(self):
+        policy = ResourceExhaustionPolicy(100.0, horizon_s=60.0, window=3)
+        policy.observe_resource(0.0, 500.0)
+        policy.reset()
+        assert len(policy._samples) == 0
+        assert policy.last_prediction_s == float("inf")
+
+    def test_identical_timestamps_are_safe(self):
+        policy = ResourceExhaustionPolicy(100.0, horizon_s=60.0, window=3)
+        for _ in range(5):
+            assert not policy.observe_resource(1.0, 500.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceExhaustionPolicy(100.0, horizon_s=0.0)
+        with pytest.raises(ValueError):
+            ResourceExhaustionPolicy(100.0, horizon_s=1.0, window=2)
+
+    def test_describe(self):
+        text = ResourceExhaustionPolicy(100.0, horizon_s=60.0).describe()
+        assert "horizon=60" in text
+
+
+class TestOnSimulatedSystem:
+    def test_prevents_garbage_collections(self):
+        # Rejuvenating ahead of heap exhaustion means the GC threshold
+        # is never reached: zero GC events, some rejuvenations.
+        from repro.ecommerce.config import PAPER_CONFIG
+        from repro.ecommerce.system import ECommerceSystem
+        from repro.ecommerce.workload import PoissonArrivals
+
+        policy = ResourceExhaustionPolicy(
+            critical_level=PAPER_CONFIG.gc_threshold_mb,
+            horizon_s=120.0,
+            window=30,
+        )
+        system = ECommerceSystem(
+            PAPER_CONFIG,
+            PoissonArrivals(1.0),
+            seed=9,
+            resource_policy=policy,
+        )
+        result = system.run(4_000)
+        assert result.gc_count == 0
+        assert result.rejuvenations > 5
+        assert result.completed + result.lost == 4_000

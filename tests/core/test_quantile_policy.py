@@ -1,0 +1,84 @@
+"""The percentile-SLO policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantile import QuantilePolicy
+
+
+class TestTriggering:
+    def test_healthy_traffic_never_triggers(self):
+        rng = np.random.default_rng(0)
+        policy = QuantilePolicy(0.95, limit=20.0, window=50, patience=2)
+        # Exponential(5): p95 ~ 15 < 20.
+        assert policy.observe_many(rng.exponential(5.0, size=5_000)) == []
+
+    def test_degraded_tail_triggers(self):
+        rng = np.random.default_rng(1)
+        policy = QuantilePolicy(0.95, limit=20.0, window=50, patience=2)
+        degraded = rng.exponential(15.0, size=500)  # p95 ~ 45
+        triggers = policy.observe_many(degraded)
+        assert triggers
+        # Needs patience * window observations at minimum.
+        assert triggers[0] >= 100 - 1
+
+    def test_patience_filters_single_bad_window(self):
+        rng = np.random.default_rng(2)
+        policy = QuantilePolicy(0.95, limit=20.0, window=50, patience=2)
+        one_bad_window = list(rng.exponential(30.0, size=50)) + list(
+            rng.exponential(5.0, size=400)
+        )
+        assert policy.observe_many(one_bad_window) == []
+
+    def test_patience_one_is_eager(self):
+        rng = np.random.default_rng(3)
+        policy = QuantilePolicy(0.95, limit=20.0, window=50, patience=1)
+        triggers = policy.observe_many(rng.exponential(30.0, size=100))
+        assert triggers and triggers[0] == 49
+
+    def test_mean_shift_without_tail_shift_ignored(self):
+        # Constant 9.9s traffic: mean doubled vs a 5s baseline, but the
+        # p95 stays under the limit -- a tail SLO does not care.
+        policy = QuantilePolicy(0.95, limit=10.0, window=50, patience=1)
+        assert policy.observe_many([9.9] * 500) == []
+
+    def test_trigger_resets_state(self):
+        policy = QuantilePolicy(0.9, limit=1.0, window=10, patience=1)
+        values = [5.0] * 10
+        assert policy.observe_many(values) == [9]
+        assert policy._violations == 0
+        assert policy._in_window == 0
+
+
+class TestDiagnostics:
+    def test_last_estimate_exposed(self):
+        policy = QuantilePolicy(0.5, limit=100.0, window=20, patience=1)
+        policy.observe_many([float(i) for i in range(20)])
+        assert policy.last_estimate is not None
+        assert 5.0 <= policy.last_estimate <= 15.0
+
+    def test_describe(self):
+        text = QuantilePolicy(0.95, 10.0, window=60, patience=3).describe()
+        assert "p=0.95" in text
+        assert "patience=3" in text
+
+    def test_reset(self):
+        policy = QuantilePolicy(0.9, limit=1.0, window=10, patience=2)
+        policy.observe_many([5.0] * 15)
+        policy.reset()
+        assert policy._in_window == 0
+        assert policy._violations == 0
+
+
+class TestValidation:
+    def test_window_floor(self):
+        with pytest.raises(ValueError):
+            QuantilePolicy(0.9, 10.0, window=5)
+
+    def test_patience_floor(self):
+        with pytest.raises(ValueError):
+            QuantilePolicy(0.9, 10.0, patience=0)
+
+    def test_quantile_range(self):
+        with pytest.raises(ValueError):
+            QuantilePolicy(1.0, 10.0)

@@ -1,0 +1,48 @@
+"""Service-level objective thresholds."""
+
+import math
+
+import pytest
+
+from repro.core.sla import PAPER_SLO, ServiceLevelObjective
+
+
+class TestServiceLevelObjective:
+    def test_paper_slo(self):
+        assert PAPER_SLO.mean == 5.0
+        assert PAPER_SLO.std == 5.0
+
+    def test_shift_threshold(self):
+        slo = ServiceLevelObjective(5.0, 5.0)
+        assert slo.shift_threshold(0) == 5.0
+        assert slo.shift_threshold(3) == 20.0
+
+    def test_sampling_threshold(self):
+        slo = ServiceLevelObjective(5.0, 5.0)
+        assert slo.sampling_threshold(1.96, 30) == pytest.approx(
+            5.0 + 1.96 * 5.0 / math.sqrt(30)
+        )
+
+    def test_sampling_threshold_n1_equals_shift(self):
+        slo = ServiceLevelObjective(5.0, 5.0)
+        assert slo.sampling_threshold(2.0, 1) == slo.shift_threshold(2.0)
+
+    def test_zero_std_collapses_thresholds(self):
+        slo = ServiceLevelObjective(5.0, 0.0)
+        assert slo.shift_threshold(10) == 5.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_SLO.mean = 6.0  # type: ignore[misc]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceLevelObjective(float("nan"), 1.0)
+        with pytest.raises(ValueError):
+            ServiceLevelObjective(5.0, -1.0)
+        with pytest.raises(ValueError):
+            ServiceLevelObjective(5.0, float("inf"))
+
+    def test_sampling_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_SLO.sampling_threshold(1.0, 0)

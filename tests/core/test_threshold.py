@@ -1,0 +1,66 @@
+"""Bobbio-style threshold baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.threshold import DeterministicThreshold, RiskBasedThreshold
+
+
+class TestDeterministic:
+    def test_triggers_above_threshold(self):
+        policy = DeterministicThreshold(10.0)
+        assert policy.observe(10.1) is True
+        assert policy.observe(10.0) is False
+        assert policy.observe(3.0) is False
+
+    def test_burst_fragility(self):
+        # One outlier in otherwise healthy traffic triggers -- the
+        # weakness the bucket approach addresses.
+        policy = DeterministicThreshold(10.0)
+        triggers = policy.observe_many([5.0] * 50 + [60.0] + [5.0] * 50)
+        assert triggers == [50]
+
+    def test_reset_is_noop(self):
+        policy = DeterministicThreshold(10.0)
+        policy.reset()
+        assert policy.observe(11.0) is True
+
+    def test_describe(self):
+        assert "10" in DeterministicThreshold(10.0).describe()
+
+
+class TestRiskBased:
+    def test_zero_risk_below_soft_limit(self):
+        policy = RiskBasedThreshold(10.0, 20.0, rng=np.random.default_rng(0))
+        assert policy.risk(9.9) == 0.0
+        assert policy.observe(9.9) is False
+
+    def test_certain_above_hard_limit(self):
+        policy = RiskBasedThreshold(10.0, 20.0, rng=np.random.default_rng(0))
+        assert policy.risk(20.0) == 1.0
+        assert policy.observe(25.0) is True
+
+    def test_linear_in_between(self):
+        policy = RiskBasedThreshold(10.0, 20.0)
+        assert policy.risk(15.0) == pytest.approx(0.5)
+        assert policy.risk(12.5) == pytest.approx(0.25)
+
+    def test_trigger_frequency_matches_risk(self):
+        policy = RiskBasedThreshold(
+            10.0, 20.0, rng=np.random.default_rng(42)
+        )
+        trials = 10_000
+        triggers = sum(policy.observe(15.0) for _ in range(trials))
+        assert triggers / trials == pytest.approx(0.5, abs=0.03)
+
+    def test_seeded_rng_reproducible(self):
+        a = RiskBasedThreshold(10.0, 20.0, rng=np.random.default_rng(5))
+        b = RiskBasedThreshold(10.0, 20.0, rng=np.random.default_rng(5))
+        values = [12.0, 18.0, 14.0, 19.0] * 10
+        assert a.observe_many(values) == b.observe_many(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RiskBasedThreshold(20.0, 10.0)
+        with pytest.raises(ValueError):
+            RiskBasedThreshold(10.0, 10.0)

@@ -1,0 +1,71 @@
+"""The trend-based rejuvenation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.trend import TrendPolicy
+
+
+class TestTriggering:
+    def test_steady_ramp_triggers(self):
+        policy = TrendPolicy(sample_size=2, window=8)
+        ramp = [float(v) for v in range(64)]
+        assert policy.observe_many(ramp)
+
+    def test_stationary_noise_rarely_triggers(self):
+        rng = np.random.default_rng(0)
+        policy = TrendPolicy(sample_size=5, window=12, alpha=0.01)
+        triggers = policy.observe_many(rng.exponential(5.0, size=6_000))
+        # The window slides one batch at a time, so the ~1200 tests are
+        # heavily overlapping; the realised false-trigger rate per
+        # observation must still stay small.
+        assert len(triggers) <= 12
+
+    def test_downward_trend_never_triggers(self):
+        policy = TrendPolicy(sample_size=1, window=6)
+        falling = [float(v) for v in range(100, 0, -1)]
+        assert policy.observe_many(falling) == []
+
+    def test_min_slope_filters_shallow_drift(self):
+        shallow = [5.0 + 0.001 * v for v in range(200)]
+        eager = TrendPolicy(sample_size=1, window=10, min_slope=0.0)
+        guarded = TrendPolicy(sample_size=1, window=10, min_slope=1.0)
+        assert eager.observe_many(list(shallow))
+        assert guarded.observe_many(list(shallow)) == []
+
+    def test_trigger_resets_window(self):
+        policy = TrendPolicy(sample_size=1, window=5)
+        ramp = [float(v) for v in range(30)]
+        first = None
+        for i, value in enumerate(ramp):
+            if policy.observe(value):
+                first = i
+                break
+        assert first is not None
+        assert len(policy._means) == 0
+        assert policy.buffer.pending == 0
+
+    def test_no_decision_before_window_fills(self):
+        policy = TrendPolicy(sample_size=1, window=10)
+        assert policy.observe_many([float(v) for v in range(9)]) == []
+
+
+class TestLifecycle:
+    def test_reset(self):
+        policy = TrendPolicy(sample_size=2, window=5)
+        policy.observe_many([1.0, 2.0, 3.0, 4.0])
+        policy.reset()
+        assert len(policy._means) == 0
+        assert policy.buffer.pending == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrendPolicy(window=4)
+        with pytest.raises(ValueError):
+            TrendPolicy(alpha=0.0)
+        with pytest.raises(ValueError):
+            TrendPolicy(min_slope=-1.0)
+
+    def test_describe(self):
+        text = TrendPolicy(sample_size=3, window=8).describe()
+        assert "window=8" in text

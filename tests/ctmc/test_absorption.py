@@ -1,0 +1,125 @@
+"""Absorption-time analysis against phase-type closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc.absorption import AbsorbingCTMC
+from repro.ctmc.chain import CTMC
+from repro.queueing.distributions import hypoexponential
+
+
+@pytest.fixture
+def exponential_chain() -> AbsorbingCTMC:
+    """One transient state with rate 2 into absorption: Exp(2)."""
+    return AbsorbingCTMC(CTMC([[-2.0, 2.0], [0.0, 0.0]]))
+
+
+@pytest.fixture
+def hypo_chain() -> AbsorbingCTMC:
+    """Two sequential stages (rates 0.2, 1.6): the paper's Fig. 3 shape."""
+    chain = CTMC(
+        [[-0.2, 0.2, 0.0], [0.0, -1.6, 1.6], [0.0, 0.0, 0.0]],
+        state_names=("one", "two", "absorbed"),
+    )
+    return AbsorbingCTMC(chain)
+
+
+class TestConstruction:
+    def test_requires_absorbing_state(self):
+        with pytest.raises(ValueError):
+            AbsorbingCTMC(CTMC([[-1.0, 1.0], [1.0, -1.0]]))
+
+    def test_requires_transient_state(self):
+        with pytest.raises(ValueError):
+            AbsorbingCTMC(CTMC([[0.0]]))
+
+    def test_initial_mass_on_absorbing_rejected(self):
+        chain = CTMC([[-1.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ValueError):
+            AbsorbingCTMC(chain, initial=[0.0, 1.0])
+
+    def test_bad_initial_rejected(self):
+        chain = CTMC([[-1.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ValueError):
+            AbsorbingCTMC(chain, initial=[0.5, 0.0])
+
+    def test_identifies_state_partition(self, hypo_chain):
+        assert hypo_chain.absorbing == (2,)
+        assert hypo_chain.transient_states == (0, 1)
+
+
+class TestExponentialAbsorption:
+    def test_cdf(self, exponential_chain):
+        for t in (0.1, 0.5, 2.0):
+            assert exponential_chain.cdf(t) == pytest.approx(
+                1 - math.exp(-2 * t), abs=1e-10
+            )
+
+    def test_pdf(self, exponential_chain):
+        for t in (0.1, 1.0):
+            assert exponential_chain.pdf(t) == pytest.approx(
+                2 * math.exp(-2 * t), abs=1e-10
+            )
+
+    def test_mean_and_var(self, exponential_chain):
+        assert exponential_chain.mean_time_to_absorption() == pytest.approx(0.5)
+        assert exponential_chain.var() == pytest.approx(0.25)
+
+    def test_negative_time(self, exponential_chain):
+        assert exponential_chain.cdf(-1.0) == 0.0
+        assert exponential_chain.pdf(-1.0) == 0.0
+        assert exponential_chain.sf(-1.0) == 1.0
+
+
+class TestHypoexponentialAbsorption:
+    def test_matches_phase_type(self, hypo_chain):
+        reference = hypoexponential([0.2, 1.6])
+        for t in (0.5, 3.0, 10.0):
+            assert hypo_chain.cdf(t) == pytest.approx(
+                reference.cdf(t), abs=1e-9
+            )
+            assert hypo_chain.pdf(t) == pytest.approx(
+                reference.pdf(t), abs=1e-9
+            )
+
+    def test_moments_match_phase_type(self, hypo_chain):
+        reference = hypoexponential([0.2, 1.6])
+        assert hypo_chain.moment(1) == pytest.approx(reference.moment(1))
+        assert hypo_chain.moment(2) == pytest.approx(reference.moment(2))
+        assert hypo_chain.var() == pytest.approx(reference.var())
+
+    def test_moment_validation(self, hypo_chain):
+        assert hypo_chain.moment(0) == 1.0
+        with pytest.raises(ValueError):
+            hypo_chain.moment(-1)
+
+    def test_quantile_inverts_cdf(self, hypo_chain):
+        for q in (0.25, 0.5, 0.9):
+            t = hypo_chain.quantile(q)
+            assert hypo_chain.cdf(t) == pytest.approx(q, abs=1e-6)
+
+    def test_quantile_validation(self, hypo_chain):
+        with pytest.raises(ValueError):
+            hypo_chain.quantile(1.0)
+
+
+class TestCustomInitialDistribution:
+    def test_mixture_start(self):
+        # Starting in stage two with probability 1 skips the first stage.
+        chain = CTMC(
+            [[-0.2, 0.2, 0.0], [0.0, -1.6, 1.6], [0.0, 0.0, 0.0]]
+        )
+        absorbing = AbsorbingCTMC(chain, initial=[0.0, 1.0, 0.0])
+        assert absorbing.mean_time_to_absorption() == pytest.approx(1 / 1.6)
+
+    def test_multiple_absorbing_states(self):
+        # Competing absorption: Exp(1) vs Exp(3) from one state.
+        chain = CTMC(
+            [[-4.0, 1.0, 3.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]]
+        )
+        absorbing = AbsorbingCTMC(chain)
+        assert absorbing.absorbing == (1, 2)
+        assert absorbing.mean_time_to_absorption() == pytest.approx(0.25)
+        assert absorbing.cdf(0.5) == pytest.approx(1 - math.exp(-2.0))

@@ -1,0 +1,99 @@
+"""Birth-death chains and the transient M/M/c queue-length process."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.birth_death import MMcQueueLengthProcess, birth_death_generator
+from repro.queueing.mmc import MMcModel
+
+
+class TestGenerator:
+    def test_structure(self):
+        Q = birth_death_generator([1.0, 2.0], [3.0, 4.0])
+        assert Q.shape == (3, 3)
+        assert Q[0, 1] == 1.0
+        assert Q[1, 2] == 2.0
+        assert Q[1, 0] == 3.0
+        assert Q[2, 1] == 4.0
+        assert np.allclose(Q.sum(axis=1), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            birth_death_generator([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            birth_death_generator([-1.0], [1.0])
+
+
+class TestSteadyState:
+    def test_matches_mmc_formulas(self):
+        process = MMcQueueLengthProcess(1.6, 0.2, 16, capacity=120)
+        model = MMcModel(1.6, 0.2, 16)
+        pi = process.steady_state()
+        for k in (0, 5, 16, 30):
+            assert pi[k] == pytest.approx(
+                model.state_probability(k), abs=1e-9
+            )
+
+    def test_mm1_geometric(self):
+        process = MMcQueueLengthProcess(0.5, 1.0, 1, capacity=80)
+        pi = process.steady_state()
+        for k in range(6):
+            assert pi[k] == pytest.approx(0.5 * 0.5**k, abs=1e-9)
+
+
+class TestTransient:
+    def test_starts_empty(self):
+        process = MMcQueueLengthProcess(1.6, 0.2, 16, capacity=60)
+        p = process.transient_distribution(0.0)
+        assert p[0] == 1.0
+
+    def test_mean_ramps_towards_steady_state(self):
+        process = MMcQueueLengthProcess(1.6, 0.2, 16, capacity=120)
+        model = MMcModel(1.6, 0.2, 16)
+        means = [process.transient_mean(t) for t in (1.0, 5.0, 20.0, 200.0)]
+        assert all(a <= b + 1e-9 for a, b in zip(means, means[1:]))
+        assert means[-1] == pytest.approx(
+            model.mean_jobs_in_system(), rel=1e-3
+        )
+
+    def test_distribution_remains_valid(self):
+        process = MMcQueueLengthProcess(1.6, 0.2, 16, capacity=60)
+        p = process.transient_distribution(7.3)
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(p >= -1e-12)
+
+    def test_custom_initial_distribution(self):
+        process = MMcQueueLengthProcess(0.0, 0.2, 4, capacity=10)
+        p0 = np.zeros(11)
+        p0[8] = 1.0
+        # Pure death process drains towards empty.
+        p = process.transient_distribution(200.0, p0=p0)
+        assert p[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_relaxation_time_estimate(self):
+        process = MMcQueueLengthProcess(1.6, 0.2, 16, capacity=120)
+        t_relax = process.time_to_near_steady_state(tolerance=0.05)
+        before = process.transient_distribution(t_relax / 8)
+        target = process.steady_state()
+        assert float(np.abs(before - target).sum()) > 0.05
+
+    def test_warmup_choice_consistent_with_paper(self):
+        # The paper discards 10,000 of 100,000 transactions at
+        # lambda = 1.6 (~6,250 s).  The relaxation time of the
+        # queue-length process is far below that.
+        process = MMcQueueLengthProcess(1.6, 0.2, 16, capacity=120)
+        assert process.time_to_near_steady_state(tolerance=0.01) < 6_250.0
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MMcQueueLengthProcess(-1.0, 0.2, 16)
+        with pytest.raises(ValueError):
+            MMcQueueLengthProcess(1.0, 0.0, 16)
+        with pytest.raises(ValueError):
+            MMcQueueLengthProcess(1.0, 0.2, 16, capacity=15)
+        with pytest.raises(ValueError):
+            MMcQueueLengthProcess(1.0, 0.2, 16).time_to_near_steady_state(
+                tolerance=0.0
+            )

@@ -1,0 +1,135 @@
+"""CTMC construction, validation, steady state, transient solutions."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.chain import CTMC
+
+
+@pytest.fixture
+def onoff() -> CTMC:
+    return CTMC([[-1.0, 1.0], [2.0, -2.0]], state_names=("on", "off"))
+
+
+class TestValidation:
+    def test_rows_must_sum_to_zero(self):
+        with pytest.raises(ValueError):
+            CTMC([[-1.0, 0.5], [0.0, 0.0]])
+
+    def test_off_diagonal_non_negative(self):
+        with pytest.raises(ValueError):
+            CTMC([[1.0, -1.0], [2.0, -2.0]])
+
+    def test_must_be_square(self):
+        with pytest.raises(ValueError):
+            CTMC([[-1.0, 1.0]])
+
+    def test_state_names_must_match(self):
+        with pytest.raises(ValueError):
+            CTMC([[-1.0, 1.0], [1.0, -1.0]], state_names=("a",))
+
+    def test_state_names_must_be_unique(self):
+        with pytest.raises(ValueError):
+            CTMC([[-1.0, 1.0], [1.0, -1.0]], state_names=("a", "a"))
+
+    def test_absorbing_rows_allowed(self):
+        chain = CTMC([[-1.0, 1.0], [0.0, 0.0]])
+        assert chain.absorbing_states() == (1,)
+
+
+class TestLookup:
+    def test_state_index(self, onoff):
+        assert onoff.state_index("off") == 1
+
+    def test_unknown_state(self, onoff):
+        with pytest.raises(KeyError):
+            onoff.state_index("nope")
+
+    def test_default_names(self):
+        chain = CTMC([[-1.0, 1.0], [1.0, -1.0]])
+        assert chain.state_names == ("0", "1")
+
+
+class TestSteadyState:
+    def test_onoff_balance(self, onoff):
+        pi = onoff.steady_state()
+        # Balance: pi_on * 1 = pi_off * 2.
+        assert pi[0] == pytest.approx(2.0 / 3.0)
+        assert pi[1] == pytest.approx(1.0 / 3.0)
+
+    def test_birth_death_matches_geometric(self):
+        # M/M/1-like truncated chain.
+        lam, mu, n = 1.0, 2.0, 6
+        chain = CTMC.from_rates(
+            n,
+            [(i, i + 1, lam) for i in range(n - 1)]
+            + [(i + 1, i, mu) for i in range(n - 1)],
+        )
+        pi = chain.steady_state()
+        expected = np.array([(lam / mu) ** k for k in range(n)])
+        expected /= expected.sum()
+        assert np.allclose(pi, expected)
+
+    def test_absorbing_chain_rejected(self):
+        chain = CTMC([[-1.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ValueError):
+            chain.steady_state()
+
+
+class TestTransient:
+    def test_t_zero_returns_initial(self, onoff):
+        p = onoff.transient([0.3, 0.7], 0.0)
+        assert np.allclose(p, [0.3, 0.7])
+
+    def test_two_state_closed_form(self, onoff):
+        # p_on(t) = pi_on + (1 - pi_on) exp(-(a+b) t) from state on.
+        t = 0.8
+        p = onoff.transient([1.0, 0.0], t)
+        pi_on = 2.0 / 3.0
+        expected = pi_on + (1 - pi_on) * np.exp(-3.0 * t)
+        assert p[0] == pytest.approx(expected, abs=1e-10)
+
+    def test_methods_agree(self, onoff):
+        for t in (0.1, 1.0, 10.0):
+            uni = onoff.transient([1.0, 0.0], t, method="uniformization")
+            exp = onoff.transient([1.0, 0.0], t, method="expm")
+            assert np.allclose(uni, exp, atol=1e-9)
+
+    def test_converges_to_steady_state(self, onoff):
+        p = onoff.transient([0.0, 1.0], 100.0)
+        assert np.allclose(p, onoff.steady_state(), atol=1e-10)
+
+    def test_distribution_preserved(self, onoff):
+        p = onoff.transient([0.5, 0.5], 2.7)
+        assert p.sum() == pytest.approx(1.0, abs=1e-10)
+        assert np.all(p >= 0)
+
+    def test_unknown_method_rejected(self, onoff):
+        with pytest.raises(ValueError):
+            onoff.transient([1.0, 0.0], 1.0, method="magic")
+
+    def test_bad_initial_rejected(self, onoff):
+        with pytest.raises(ValueError):
+            onoff.transient([0.5, 0.6], 1.0)
+        with pytest.raises(ValueError):
+            onoff.transient([1.0], 1.0)
+
+
+class TestFromRates:
+    def test_builds_expected_generator(self):
+        chain = CTMC.from_rates(3, [(0, 1, 2.0), (1, 2, 3.0), (2, 0, 1.0)])
+        assert chain.Q[0, 1] == 2.0
+        assert chain.Q[0, 0] == -2.0
+        assert chain.Q[1, 1] == -3.0
+
+    def test_parallel_edges_accumulate(self):
+        chain = CTMC.from_rates(2, [(0, 1, 1.0), (0, 1, 2.0)])
+        assert chain.Q[0, 1] == 3.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CTMC.from_rates(2, [(0, 0, 1.0)])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            CTMC.from_rates(2, [(0, 1, -1.0)])

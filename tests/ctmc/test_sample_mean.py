@@ -1,0 +1,149 @@
+"""The Fig. 4 sample-mean chain against the paper's exact results."""
+
+import numpy as np
+import pytest
+from scipy.integrate import quad
+from scipy.stats import norm
+
+from repro.ctmc.sample_mean import (
+    SampleMeanChain,
+    build_sample_mean_generator,
+    clt_false_alarm_probability,
+)
+from repro.queueing.mmc import MMcModel
+
+
+class TestGeneratorStructure:
+    def test_size_is_2n_plus_1(self, paper_model):
+        for n in (1, 5, 30):
+            Q = build_sample_mean_generator(paper_model, n)
+            assert Q.shape == (2 * n + 1, 2 * n + 1)
+
+    def test_rates_scale_with_n(self, paper_model):
+        n = 4
+        Q = build_sample_mean_generator(paper_model, n)
+        mu, lam, c = 0.2, 1.6, 16
+        wc = paper_model.wc()
+        assert Q[0, 1] == pytest.approx(n * mu * (1 - wc))
+        assert Q[0, 2] == pytest.approx(n * mu * wc)
+        assert Q[1, 2] == pytest.approx(n * (c * mu - lam))
+
+    def test_last_state_absorbing(self, paper_model):
+        Q = build_sample_mean_generator(paper_model, 3)
+        assert np.all(Q[-1] == 0.0)
+
+    def test_rows_sum_to_zero(self, paper_model):
+        Q = build_sample_mean_generator(paper_model, 7)
+        assert np.allclose(Q.sum(axis=1), 0.0)
+
+    def test_invalid_n_rejected(self, paper_model):
+        with pytest.raises(ValueError):
+            build_sample_mean_generator(paper_model, 0)
+
+    def test_unstable_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_sample_mean_generator(MMcModel(4.0, 0.2, 16), 5)
+
+
+class TestMoments:
+    @pytest.mark.parametrize("n", [1, 2, 5, 15, 30])
+    def test_mean_is_mu_x(self, paper_model, n):
+        chain = SampleMeanChain(paper_model, n)
+        assert chain.mean() == pytest.approx(
+            paper_model.response_time_mean(), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 15, 30])
+    def test_var_is_sigma2_over_n(self, paper_model, n):
+        chain = SampleMeanChain(paper_model, n)
+        assert chain.var() == pytest.approx(
+            paper_model.response_time_var() / n, abs=1e-9
+        )
+
+
+class TestDistribution:
+    def test_n1_matches_response_time_law(self, paper_model):
+        chain = SampleMeanChain(paper_model, 1)
+        for x in (1.0, 5.0, 12.0):
+            assert chain.cdf(x) == pytest.approx(
+                paper_model.response_time_cdf(x), abs=1e-8
+            )
+
+    def test_pdf_integrates_to_one(self, paper_model):
+        chain = SampleMeanChain(paper_model, 5)
+        total, _ = quad(chain.pdf, 0.0, 60.0, limit=100)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_monotone(self, paper_model):
+        chain = SampleMeanChain(paper_model, 10)
+        xs = np.linspace(0.5, 15.0, 12)
+        values = [chain.cdf(float(x)) for x in xs]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_sf_complements_cdf(self, paper_model):
+        chain = SampleMeanChain(paper_model, 5)
+        assert chain.sf(6.0) == pytest.approx(1.0 - chain.cdf(6.0), abs=1e-12)
+
+    def test_pdf_grid(self, paper_model):
+        chain = SampleMeanChain(paper_model, 5)
+        xs = np.array([2.0, 5.0, 8.0])
+        grid = chain.pdf_grid(xs)
+        assert grid.shape == (3,)
+        assert grid[1] == pytest.approx(chain.pdf(5.0))
+
+    def test_density_concentrates_with_n(self, paper_model):
+        # Peak density grows like sqrt(n) as the law concentrates.
+        peak5 = SampleMeanChain(paper_model, 5).pdf(5.0)
+        peak30 = SampleMeanChain(paper_model, 30).pdf(5.0)
+        assert peak30 > peak5 * 1.5
+
+
+class TestNormalApproximation:
+    def test_parameters(self, paper_model):
+        chain = SampleMeanChain(paper_model, 30)
+        mu, sigma = chain.normal_parameters()
+        assert mu == pytest.approx(paper_model.response_time_mean())
+        assert sigma == pytest.approx(
+            paper_model.response_time_std() / np.sqrt(30)
+        )
+
+    def test_normal_quantile(self, paper_model):
+        chain = SampleMeanChain(paper_model, 30)
+        mu, sigma = chain.normal_parameters()
+        assert chain.normal_quantile(0.975) == pytest.approx(
+            mu + norm.ppf(0.975) * sigma
+        )
+        with pytest.raises(ValueError):
+            chain.normal_quantile(1.2)
+
+    def test_normal_pdf(self, paper_model):
+        chain = SampleMeanChain(paper_model, 15)
+        mu, sigma = chain.normal_parameters()
+        assert chain.normal_pdf(mu) == pytest.approx(
+            1.0 / (sigma * np.sqrt(2 * np.pi))
+        )
+
+
+class TestFalseAlarm:
+    def test_paper_value_n15(self, paper_model):
+        # Paper: 3.69 % (we match to the paper's printed precision).
+        value = SampleMeanChain(paper_model, 15).false_alarm_probability()
+        assert value == pytest.approx(0.0369, abs=0.0005)
+
+    def test_paper_value_n30(self, paper_model):
+        # Paper: 3.37 %.
+        value = SampleMeanChain(paper_model, 30).false_alarm_probability()
+        assert value == pytest.approx(0.0337, abs=0.0005)
+
+    def test_decreases_towards_nominal(self, paper_model):
+        values = [
+            clt_false_alarm_probability(paper_model, n) for n in (5, 15, 30)
+        ]
+        assert values[0] > values[1] > values[2] > 0.025
+
+    def test_wrapper_matches_method(self, paper_model):
+        assert clt_false_alarm_probability(
+            paper_model, 15
+        ) == pytest.approx(
+            SampleMeanChain(paper_model, 15).false_alarm_probability()
+        )

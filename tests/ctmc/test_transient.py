@@ -1,0 +1,74 @@
+"""Uniformization against the matrix exponential on random generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc.transient import transient_expm, transient_uniformization
+
+
+def random_generator(rng: np.random.Generator, n: int) -> np.ndarray:
+    """A random irreducible-ish generator matrix."""
+    Q = rng.uniform(0.0, 2.0, size=(n, n))
+    np.fill_diagonal(Q, 0.0)
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+    return Q
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    @pytest.mark.parametrize("t", [0.01, 0.5, 5.0, 50.0])
+    def test_uniformization_matches_expm(self, n, t):
+        rng = np.random.default_rng(n * 1000 + int(t * 10))
+        Q = random_generator(rng, n)
+        p0 = np.zeros(n)
+        p0[0] = 1.0
+        uni = transient_uniformization(Q, p0, t)
+        exp = transient_expm(Q, p0, t)
+        assert np.allclose(uni, exp, atol=1e-9)
+
+    def test_large_lambda_t(self):
+        # Poisson weights underflow at k=0 but the log recurrence holds.
+        Q = np.array([[-50.0, 50.0], [60.0, -60.0]])
+        p0 = np.array([1.0, 0.0])
+        uni = transient_uniformization(Q, p0, 30.0)
+        exp = transient_expm(Q, p0, 30.0)
+        assert np.allclose(uni, exp, atol=1e-9)
+
+
+class TestEdgeCases:
+    def test_t_zero(self):
+        Q = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        p0 = np.array([0.25, 0.75])
+        assert np.allclose(transient_uniformization(Q, p0, 0.0), p0)
+
+    def test_all_absorbing(self):
+        Q = np.zeros((3, 3))
+        p0 = np.array([0.2, 0.3, 0.5])
+        assert np.allclose(transient_uniformization(Q, p0, 7.0), p0)
+
+    def test_negative_time_rejected(self):
+        Q = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            transient_uniformization(Q, np.array([1.0, 0.0]), -1.0)
+        with pytest.raises(ValueError):
+            transient_expm(Q, np.array([1.0, 0.0]), -1.0)
+
+    def test_result_is_distribution(self):
+        rng = np.random.default_rng(3)
+        Q = random_generator(rng, 5)
+        p0 = np.full(5, 0.2)
+        p = transient_uniformization(Q, p0, 2.0)
+        assert p.sum() == pytest.approx(1.0, abs=1e-10)
+        assert np.all(p >= -1e-15)
+
+    @given(st.floats(min_value=0.0, max_value=20.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_mass_conserved(self, t):
+        Q = np.array(
+            [[-2.0, 1.5, 0.5], [0.3, -0.3, 0.0], [0.0, 4.0, -4.0]]
+        )
+        p0 = np.array([0.1, 0.6, 0.3])
+        p = transient_uniformization(Q, p0, t)
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,131 @@
+"""Simulator clock and run-loop behaviour."""
+
+import pytest
+
+from repro.des.engine import Simulator, StopSimulation
+
+
+class TestScheduling:
+    def test_actions_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_at(12.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_scheduling_into_the_past_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestRunLimits:
+    def test_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+
+    def test_until_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(until=3.0)
+        assert fired == [3]
+
+    def test_run_until_beyond_last_event_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_limits_this_call(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run(max_events=2)
+        assert fired == [1.0, 2.0]
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_stop_simulation_exits_cleanly(self):
+        sim = Simulator()
+        fired = []
+
+        def bail():
+            fired.append(sim.now)
+            raise StopSimulation
+
+        sim.schedule(1.0, bail)
+        sim.schedule(2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]
+        assert len(sim.queue) == 1  # the 2.0 event is still pending
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert sim.events_fired == 2
+
+
+class TestCancelAndReset:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_reset_clears_pending_events_and_clock(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule(9.0, lambda: None)
+        sim.reset()
+        assert sim.now == 0.0
+        assert len(sim.queue) == 0
+        assert sim.events_fired == 0
+
+    def test_step_returns_none_when_idle(self):
+        assert Simulator().step() is None

@@ -1,0 +1,66 @@
+"""Reproducibility and independence of the named RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.des.random_streams import RandomStreams
+
+
+class TestReproducibility:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(seed=42)["arrivals"].random(10)
+        b = RandomStreams(seed=42)["arrivals"].random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1)["arrivals"].random(10)
+        b = RandomStreams(seed=2)["arrivals"].random(10)
+        assert not np.array_equal(a, b)
+
+    def test_streams_by_name_are_distinct(self):
+        streams = RandomStreams(seed=7)
+        a = streams["arrivals"].random(10)
+        s = streams["service"].random(10)
+        assert not np.array_equal(a, s)
+
+    def test_stream_name_order_does_not_matter(self):
+        forward = RandomStreams(seed=3)
+        _ = forward["arrivals"].random(5)
+        service_after = forward["service"].random(5)
+        backward = RandomStreams(seed=3)
+        service_first = backward["service"].random(5)
+        assert np.array_equal(service_after, service_first)
+
+    def test_repeated_lookup_returns_same_generator(self):
+        streams = RandomStreams(seed=0)
+        assert streams["x"] is streams["x"]
+
+
+class TestSpawn:
+    def test_replications_are_distinct(self):
+        base = RandomStreams(seed=11)
+        rep0 = base.spawn(0)["arrivals"].random(10)
+        rep1 = base.spawn(1)["arrivals"].random(10)
+        assert not np.array_equal(rep0, rep1)
+
+    def test_spawn_is_reproducible(self):
+        a = RandomStreams(seed=11).spawn(3)["arrivals"].random(10)
+        b = RandomStreams(seed=11).spawn(3)["arrivals"].random(10)
+        assert np.array_equal(a, b)
+
+    def test_negative_replication_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(seed=0).spawn(-1)
+
+
+class TestIntrospection:
+    def test_names_lists_created_streams(self):
+        streams = RandomStreams(seed=0)
+        _ = streams["alpha"], streams["beta"]
+        assert set(streams.names()) == {"alpha", "beta"}
+
+    def test_streams_are_statistically_plausible(self):
+        # Coarse sanity: exponential draws with the requested mean.
+        rng = RandomStreams(seed=5)["service"]
+        sample = rng.exponential(5.0, size=20_000)
+        assert sample.mean() == pytest.approx(5.0, rel=0.05)

@@ -1,0 +1,69 @@
+"""System configuration validation and derived quantities."""
+
+import dataclasses
+
+import pytest
+
+from repro.ecommerce.config import PAPER_CONFIG, SystemConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        cfg = PAPER_CONFIG
+        assert cfg.cpus == 16
+        assert cfg.service_rate == 0.2
+        assert cfg.heap_mb == 3072.0
+        assert cfg.alloc_mb == 10.0
+        assert cfg.gc_threshold_mb == 100.0
+        assert cfg.gc_pause_s == 60.0
+        assert cfg.overhead_threshold == 50
+        assert cfg.overhead_factor == 2.0
+
+    def test_degradation_enabled_by_default(self):
+        assert PAPER_CONFIG.enable_gc
+        assert PAPER_CONFIG.enable_overhead
+
+    def test_rejuvenation_instantaneous_by_default(self):
+        assert PAPER_CONFIG.rejuvenation_downtime_s == 0.0
+
+
+class TestDerived:
+    def test_arrival_rate_for_load(self):
+        assert PAPER_CONFIG.arrival_rate_for_load(8.0) == pytest.approx(1.6)
+        assert PAPER_CONFIG.arrival_rate_for_load(0.5) == pytest.approx(0.1)
+
+    def test_arrival_rate_negative_load(self):
+        with pytest.raises(ValueError):
+            PAPER_CONFIG.arrival_rate_for_load(-1.0)
+
+    def test_without_degradation(self):
+        reduced = PAPER_CONFIG.without_degradation()
+        assert not reduced.enable_gc
+        assert not reduced.enable_overhead
+        # Everything else untouched.
+        assert reduced.cpus == PAPER_CONFIG.cpus
+        assert reduced.service_rate == PAPER_CONFIG.service_rate
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PAPER_CONFIG.cpus = 8  # type: ignore[misc]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field, bad",
+        [
+            ("cpus", 0),
+            ("service_rate", 0.0),
+            ("heap_mb", -1.0),
+            ("alloc_mb", -1.0),
+            ("gc_threshold_mb", -1.0),
+            ("gc_pause_s", -1.0),
+            ("overhead_threshold", -1),
+            ("overhead_factor", 0.5),
+            ("rejuvenation_downtime_s", -1.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, bad):
+        with pytest.raises(ValueError):
+            dataclasses.replace(PAPER_CONFIG, **{field: bad})

@@ -1,0 +1,70 @@
+"""Result containers and replication aggregation."""
+
+import pytest
+
+from repro.ecommerce.metrics import ReplicatedResult, RunResult
+
+
+def make_run(avg_rt=5.0, loss=0.01, completed=990, lost=10, duration=1000.0):
+    return RunResult(
+        arrivals=completed + lost,
+        completed=completed,
+        lost=lost,
+        avg_response_time=avg_rt,
+        rt_std=1.0,
+        max_response_time=avg_rt * 3,
+        loss_fraction=loss,
+        gc_count=3,
+        rejuvenations=2,
+        sim_duration_s=duration,
+    )
+
+
+class TestRunResult:
+    def test_throughput(self):
+        result = make_run(completed=500, duration=250.0)
+        assert result.throughput == pytest.approx(2.0)
+
+    def test_throughput_zero_duration(self):
+        assert make_run(duration=0.0).throughput == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make_run().completed = 0  # type: ignore[misc]
+
+
+class TestReplicatedResult:
+    def test_aggregates_are_means(self):
+        replicated = ReplicatedResult(
+            runs=(make_run(avg_rt=4.0, loss=0.0), make_run(avg_rt=6.0, loss=0.02))
+        )
+        assert replicated.avg_response_time == pytest.approx(5.0)
+        assert replicated.loss_fraction == pytest.approx(0.01)
+        assert replicated.n_replications == 2
+        assert replicated.rejuvenations == pytest.approx(2.0)
+        assert replicated.gc_count == pytest.approx(3.0)
+
+    def test_confidence_intervals(self):
+        replicated = ReplicatedResult(
+            runs=tuple(make_run(avg_rt=v) for v in (4.0, 5.0, 6.0))
+        )
+        mean, low, high = replicated.response_time_interval()
+        assert mean == pytest.approx(5.0)
+        assert low < 5.0 < high
+
+    def test_loss_interval(self):
+        replicated = ReplicatedResult(
+            runs=tuple(make_run(loss=v) for v in (0.01, 0.03))
+        )
+        mean, low, high = replicated.loss_interval()
+        assert mean == pytest.approx(0.02)
+        assert low <= mean <= high
+
+    def test_single_run(self):
+        replicated = ReplicatedResult(runs=(make_run(avg_rt=7.0),))
+        mean, low, high = replicated.response_time_interval()
+        assert mean == low == high == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedResult(runs=())

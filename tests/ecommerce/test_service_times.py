@@ -1,0 +1,112 @@
+"""Service-time samplers and their wiring into the node."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.ecommerce.config import PAPER_CONFIG
+from repro.ecommerce.runner import run_once
+from repro.ecommerce.service_times import (
+    SERVICE_DISTRIBUTIONS,
+    make_service_sampler,
+)
+from repro.ecommerce.workload import PoissonArrivals
+
+MEAN = 5.0
+
+
+def sample_stats(distribution, cv=1.0, n=40_000, seed=0):
+    rng = np.random.default_rng(seed)
+    sampler = make_service_sampler(distribution, MEAN, cv=cv, rng=rng)
+    values = np.array([sampler() for _ in range(n)])
+    return values.mean(), values.std() / values.mean()
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("distribution", SERVICE_DISTRIBUTIONS)
+    def test_mean_is_exact(self, distribution):
+        cv = 2.0 if distribution == "hyperexponential" else 1.0
+        mean, _ = sample_stats(distribution, cv=cv)
+        assert mean == pytest.approx(MEAN, rel=0.05)
+
+    def test_exponential_cv_one(self):
+        _, cv = sample_stats("exponential")
+        assert cv == pytest.approx(1.0, abs=0.05)
+
+    def test_deterministic_is_constant(self):
+        sampler = make_service_sampler("deterministic", MEAN)
+        assert {sampler() for _ in range(10)} == {MEAN}
+
+    def test_erlang2_cv(self):
+        _, cv = sample_stats("erlang2")
+        assert cv == pytest.approx(1.0 / math.sqrt(2.0), abs=0.05)
+
+    @pytest.mark.parametrize("target_cv", [0.5, 1.5, 3.0])
+    def test_lognormal_cv(self, target_cv):
+        _, cv = sample_stats("lognormal", cv=target_cv, n=150_000)
+        assert cv == pytest.approx(target_cv, rel=0.1)
+
+    def test_hyperexponential_cv(self):
+        _, cv = sample_stats("hyperexponential", cv=2.0, n=150_000)
+        assert cv == pytest.approx(2.0, rel=0.1)
+
+    def test_all_samples_nonnegative(self):
+        for distribution in SERVICE_DISTRIBUTIONS:
+            cv = 2.0 if distribution == "hyperexponential" else 1.0
+            rng = np.random.default_rng(1)
+            sampler = make_service_sampler(distribution, MEAN, cv=cv, rng=rng)
+            assert all(sampler() >= 0.0 for _ in range(500))
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            make_service_sampler("exponential", 0.0, rng=rng)
+        with pytest.raises(ValueError):
+            make_service_sampler("nonsense", MEAN, rng=rng)
+        with pytest.raises(ValueError):
+            make_service_sampler("exponential", MEAN, rng=None)
+        with pytest.raises(ValueError):
+            make_service_sampler("hyperexponential", MEAN, cv=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            make_service_sampler("lognormal", MEAN, cv=0.0, rng=rng)
+
+
+class TestConfigIntegration:
+    def test_config_validates_distribution(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                PAPER_CONFIG, service_distribution="uniform"
+            )
+
+    def test_deterministic_service_end_to_end(self):
+        config = dataclasses.replace(
+            PAPER_CONFIG,
+            service_distribution="deterministic",
+            enable_gc=False,
+            enable_overhead=False,
+        )
+        # M/D/16 at trivial load: every response time is exactly 5 s.
+        result = run_once(
+            config, PoissonArrivals(0.05), None, 2_000, seed=3,
+            collect_response_times=True,
+        )
+        assert result.response_times is not None
+        waits = [rt for rt in result.response_times if rt != 5.0]
+        # At this load queueing is rare; nearly all RTs equal the
+        # deterministic service time.
+        assert len(waits) < len(result.response_times) * 0.05
+
+    def test_md_c_has_less_rt_variance_than_mmc(self):
+        base = dataclasses.replace(
+            PAPER_CONFIG, enable_gc=False, enable_overhead=False
+        )
+        deterministic = dataclasses.replace(
+            base, service_distribution="deterministic"
+        )
+        mmc = run_once(base, PoissonArrivals(1.6), None, 10_000, seed=4)
+        mdc = run_once(
+            deterministic, PoissonArrivals(1.6), None, 10_000, seed=4
+        )
+        assert mdc.rt_std < mmc.rt_std * 0.5

@@ -1,0 +1,104 @@
+"""Fixed-interval state probing of the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import PeriodicRejuvenation
+from repro.ecommerce.config import PAPER_CONFIG
+from repro.ecommerce.system import ECommerceSystem
+from repro.ecommerce.telemetry import Telemetry, TelemetrySample
+from repro.ecommerce.workload import PoissonArrivals
+
+
+def run_with_probe(interval=50.0, rate=1.0, n=2_000, policy=None, seed=0):
+    probe = Telemetry(interval_s=interval)
+    system = ECommerceSystem(
+        PAPER_CONFIG,
+        PoissonArrivals(rate),
+        policy=policy,
+        seed=seed,
+        telemetry=probe,
+    )
+    result = system.run(n)
+    return probe, result
+
+
+class TestSampling:
+    def test_grid_is_regular(self):
+        probe, _ = run_with_probe(interval=100.0)
+        times = probe.times()
+        assert times[0] == 0.0
+        gaps = np.diff(times)
+        assert np.allclose(gaps, 100.0)
+
+    def test_covers_whole_run(self):
+        probe, result = run_with_probe(interval=100.0)
+        assert probe.times()[-1] >= result.sim_duration_s - 100.0
+
+    def test_counters_monotone(self):
+        probe, _ = run_with_probe()
+        completed = probe.column("completed")
+        assert np.all(np.diff(completed) >= 0)
+
+    def test_heap_accounting_consistent(self):
+        probe, _ = run_with_probe()
+        total = (
+            probe.column("free_heap_mb")
+            + probe.column("live_mb")
+            + probe.column("garbage_mb")
+        )
+        assert np.allclose(total, PAPER_CONFIG.heap_mb)
+
+    def test_sawtooth_visible(self):
+        # Garbage accumulates between GCs and resets: free heap must
+        # both shrink below half and recover above 90 % at some point.
+        probe, result = run_with_probe(rate=1.6, n=4_000)
+        assert result.gc_count >= 2
+        free = probe.column("free_heap_mb")
+        assert free.min() < PAPER_CONFIG.heap_mb * 0.2
+        assert free[10:].max() > PAPER_CONFIG.heap_mb * 0.9
+
+    def test_rejuvenation_counter_sampled(self):
+        probe, result = run_with_probe(
+            policy=PeriodicRejuvenation(period=500), rate=1.6, n=3_000
+        )
+        assert probe.column("rejuvenations")[-1] == result.rejuvenations
+
+    def test_rerun_clears_previous_samples(self):
+        probe = Telemetry(interval_s=100.0)
+        system = ECommerceSystem(
+            PAPER_CONFIG, PoissonArrivals(1.0), seed=1, telemetry=probe
+        )
+        system.run(500)
+        first = len(probe)
+        system.run(500)
+        assert len(probe) <= first * 2  # not accumulated across runs
+        assert probe.times()[0] == 0.0
+
+
+class TestAccessAndExport:
+    def test_unknown_column(self):
+        probe, _ = run_with_probe(n=200)
+        with pytest.raises(KeyError):
+            probe.column("nonsense")
+
+    def test_empty_column(self):
+        assert Telemetry(interval_s=1.0).column("time_s").size == 0
+
+    def test_to_csv_roundtrip(self, tmp_path):
+        probe, _ = run_with_probe(n=500)
+        path = tmp_path / "telemetry.csv"
+        probe.to_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("time_s,free_heap_mb")
+        assert len(lines) == len(probe) + 1
+
+    def test_to_rows(self):
+        probe, _ = run_with_probe(n=300)
+        rows = probe.to_rows()
+        assert len(rows) == len(probe)
+        assert rows[0][0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Telemetry(interval_s=0.0)

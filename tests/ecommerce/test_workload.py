@@ -1,0 +1,165 @@
+"""Arrival processes: rates, statefulness, trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.ecommerce.workload import (
+    MMPPArrivals,
+    PeriodicArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+
+
+def empirical_rate(process, rng, n=20_000) -> float:
+    total = sum(process.interarrival(rng) for _ in range(n))
+    return n / total
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        assert PoissonArrivals(1.6).mean_rate() == 1.6
+
+    def test_empirical_rate(self):
+        rng = np.random.default_rng(0)
+        assert empirical_rate(PoissonArrivals(1.6), rng) == pytest.approx(
+            1.6, rel=0.03
+        )
+
+    def test_interarrivals_exponential(self):
+        rng = np.random.default_rng(1)
+        process = PoissonArrivals(2.0)
+        gaps = np.array([process.interarrival(rng) for _ in range(20_000)])
+        # Exponential: mean equals std.
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestMMPP:
+    def test_mean_rate_formula(self):
+        process = MMPPArrivals(
+            base_rate=1.0, burst_rate=5.0, mean_quiet_s=30.0, mean_burst_s=10.0
+        )
+        assert process.mean_rate() == pytest.approx(
+            (1.0 * 30 + 5.0 * 10) / 40
+        )
+
+    def test_empirical_rate_matches(self):
+        process = MMPPArrivals(
+            base_rate=1.0, burst_rate=5.0, mean_quiet_s=30.0, mean_burst_s=10.0
+        )
+        rng = np.random.default_rng(2)
+        assert empirical_rate(process, rng, n=60_000) == pytest.approx(
+            process.mean_rate(), rel=0.05
+        )
+
+    def test_burstier_than_poisson(self):
+        # Index of dispersion of counts > 1 for an MMPP.
+        process = MMPPArrivals(
+            base_rate=0.5, burst_rate=10.0, mean_quiet_s=50.0, mean_burst_s=5.0
+        )
+        rng = np.random.default_rng(3)
+        gaps = np.array([process.interarrival(rng) for _ in range(40_000)])
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.2  # Poisson would give 1.0
+
+    def test_reset_restores_quiet_state(self):
+        process = MMPPArrivals(1.0, 5.0, 10.0, 10.0)
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            process.interarrival(rng)
+        process.reset()
+        assert not process._in_burst
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPPArrivals(0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(1.0, 1.0, 0.0, 1.0)
+
+
+class TestPeriodic:
+    def test_mean_rate(self):
+        process = PeriodicArrivals(2.0, amplitude=0.5, period_s=3600.0)
+        assert process.mean_rate() == 2.0
+
+    def test_empirical_rate_over_whole_cycles(self):
+        process = PeriodicArrivals(2.0, amplitude=0.8, period_s=100.0)
+        rng = np.random.default_rng(5)
+        assert empirical_rate(process, rng, n=50_000) == pytest.approx(
+            2.0, rel=0.05
+        )
+
+    def test_zero_amplitude_is_poisson(self):
+        process = PeriodicArrivals(1.5, amplitude=0.0, period_s=100.0)
+        rng = np.random.default_rng(6)
+        gaps = np.array([process.interarrival(rng) for _ in range(20_000)])
+        assert gaps.mean() == pytest.approx(1 / 1.5, rel=0.05)
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.05)
+
+    def test_rate_modulation_visible(self):
+        # More arrivals in the first half-cycle (sin > 0) than the second.
+        process = PeriodicArrivals(2.0, amplitude=0.9, period_s=1000.0)
+        rng = np.random.default_rng(7)
+        clock, first_half, second_half = 0.0, 0, 0
+        while clock < 50_000.0:
+            clock += process.interarrival(rng)
+            if (clock % 1000.0) < 500.0:
+                first_half += 1
+            else:
+                second_half += 1
+        assert first_half > 1.3 * second_half
+
+    def test_reset(self):
+        process = PeriodicArrivals(1.0, 0.5, 100.0)
+        rng = np.random.default_rng(8)
+        process.interarrival(rng)
+        process.reset()
+        assert process._clock == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicArrivals(0.0, 0.5, 100.0)
+        with pytest.raises(ValueError):
+            PeriodicArrivals(1.0, 1.0, 100.0)
+        with pytest.raises(ValueError):
+            PeriodicArrivals(1.0, 0.5, 0.0)
+
+
+class TestTrace:
+    def test_replays_in_order(self):
+        process = TraceArrivals([1.0, 2.0, 3.0])
+        rng = np.random.default_rng(9)
+        assert [process.interarrival(rng) for _ in range(3)] == [
+            1.0,
+            2.0,
+            3.0,
+        ]
+
+    def test_exhaustion_raises(self):
+        process = TraceArrivals([1.0])
+        rng = np.random.default_rng(10)
+        process.interarrival(rng)
+        with pytest.raises(IndexError):
+            process.interarrival(rng)
+
+    def test_reset_rewinds(self):
+        process = TraceArrivals([1.0, 2.0])
+        rng = np.random.default_rng(11)
+        process.interarrival(rng)
+        process.reset()
+        assert process.interarrival(rng) == 1.0
+
+    def test_mean_rate(self):
+        assert TraceArrivals([1.0, 3.0]).mean_rate() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([])
+        with pytest.raises(ValueError):
+            TraceArrivals([1.0, -0.5])
+        with pytest.raises(ValueError):
+            TraceArrivals([0.0, 0.0]).mean_rate()

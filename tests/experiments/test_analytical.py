@@ -1,0 +1,64 @@
+"""Contents of the analytical experiments (paper-value checks)."""
+
+import math
+
+import pytest
+
+from repro.experiments.analytical import (
+    run_false_alarm,
+    run_fig05,
+    run_mmc_baseline,
+)
+from repro.experiments.scale import Scale
+
+SCALE = Scale.smoke()
+
+
+class TestFig05:
+    def test_panel_per_sample_size_plus_summary(self):
+        result = run_fig05(SCALE)
+        assert len(result.tables) == 5  # n = 1, 5, 15, 30 + summary
+
+    def test_exact_density_approaches_normal(self):
+        result = run_fig05(SCALE)
+        summary = result.tables[-1]
+        sup = summary.get_series("sup |f_exact - f_normal|")
+        assert sup.value_at(1) > sup.value_at(5) > sup.value_at(30)
+
+    def test_panel_densities_are_nonnegative(self):
+        result = run_fig05(SCALE)
+        panel = result.tables[0]
+        for series in panel.series:
+            assert all(v >= -1e-12 for v in series.points.values())
+
+
+class TestFalseAlarm:
+    def test_paper_values(self):
+        result = run_false_alarm(SCALE)
+        exact = result.tables[0].get_series("exact tail [eq. 4 chain]")
+        assert exact.value_at(15) == pytest.approx(0.0369, abs=0.0005)
+        assert exact.value_at(30) == pytest.approx(0.0337, abs=0.0005)
+
+    def test_all_above_nominal(self):
+        result = run_false_alarm(SCALE)
+        exact = result.tables[0].get_series("exact tail [eq. 4 chain]")
+        assert all(v > 0.025 for v in exact.points.values())
+
+
+class TestMMcBaseline:
+    def test_flat_at_five_below_one_per_second(self):
+        result = run_mmc_baseline(SCALE)
+        mean = result.tables[0].get_series("E[RT] (eq. 2)")
+        for load in (0.5, 1, 2, 3, 4):
+            assert mean.value_at(load) == pytest.approx(5.0, abs=0.01)
+
+    def test_diverges_at_high_load(self):
+        result = run_mmc_baseline(SCALE)
+        mean = result.tables[0].get_series("E[RT] (eq. 2)")
+        assert mean.value_at(15) > 5.5
+
+    def test_std_tracks_mean_shape(self):
+        result = run_mmc_baseline(SCALE)
+        std = result.tables[0].get_series("sd[RT] (sqrt eq. 3)")
+        assert std.value_at(0.5) == pytest.approx(5.0, abs=0.01)
+        assert std.value_at(15) > std.value_at(0.5)

@@ -1,0 +1,66 @@
+"""Unit-level runs of the beyond-paper experiments (tiny scale).
+
+The full-size shape assertions live in benchmarks/; these just pin the
+structure and the cheapest invariants.
+"""
+
+import pytest
+
+from repro.experiments.arl_exp import run_arl
+from repro.experiments.cluster_exp import run_cluster
+from repro.experiments.scale import Scale
+from repro.experiments.zoo import run_zoo, zoo_members
+
+TINY = Scale(transactions=600, replications=1, loads=(9.0,), label="tiny")
+
+
+class TestZoo:
+    def test_member_labels_unique(self):
+        labels = [label for label, _ in zoo_members()]
+        assert len(labels) == len(set(labels))
+
+    def test_every_member_produces_both_metrics(self):
+        result = run_zoo(TINY, seed=0)
+        rt, loss = result.tables
+        expected = {label for label, _ in zoo_members()}
+        assert {series.label for series in rt.series} == expected
+        assert {series.label for series in loss.series} == expected
+
+    def test_never_policy_never_loses(self):
+        result = run_zoo(TINY, seed=0)
+        loss = result.tables[1].get_series("never")
+        assert all(v == 0.0 for v in loss.points.values())
+
+
+class TestClusterExperiment:
+    def test_structure(self):
+        result = run_cluster(TINY, seed=0)
+        rt, loss = result.tables
+        assert len(rt.series) == 4
+        assert rt.xs() == [2.0, 9.0]
+        for series in loss.series:
+            assert all(0.0 <= v <= 1.0 for v in series.points.values())
+
+
+class TestArlExperiment:
+    def test_one_row_per_config(self):
+        result = run_arl(TINY, seed=0)
+        table = result.tables[0]
+        assert len(table.get_series("n*K*D").points) == 14
+
+    def test_delays_increase_with_milder_shifts(self):
+        result = run_arl(TINY, seed=0)
+        table = result.tables[0]
+        mild = table.get_series("delay @ +1 sigma")
+        severe = table.get_series("delay @ +4 sigma")
+        for index in mild.points:
+            assert mild.value_at(index) >= severe.value_at(index) - 1e-9
+
+    def test_healthy_arl_at_least_min_delay(self):
+        result = run_arl(TINY, seed=0)
+        table = result.tables[0]
+        healthy = table.get_series("healthy ARL")
+        product = table.get_series("n*K*D")
+        for index in healthy.points:
+            # ARL in observations >= (D+1)*K*n > n*K*D.
+            assert healthy.value_at(index) > product.value_at(index)

@@ -1,0 +1,66 @@
+"""Quoted paper values and the fidelity experiment."""
+
+import pytest
+
+from repro.experiments.fidelity import run_fidelity
+from repro.experiments.paper_values import (
+    QUOTED_VALUES,
+    QuotedValue,
+    quoted_by_key,
+)
+from repro.experiments.scale import Scale
+
+
+class TestQuotedValues:
+    def test_keys_unique(self):
+        keys = [quoted.key for quoted in QUOTED_VALUES]
+        assert len(keys) == len(set(keys))
+
+    def test_lookup(self):
+        quoted = quoted_by_key("sraa-2-5-3@9")
+        assert quoted.value == 11.94
+        assert quoted.section == "5.5"
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            quoted_by_key("nope")
+
+    def test_values_sane(self):
+        for quoted in QUOTED_VALUES:
+            assert quoted.value > 0
+            assert quoted.n * quoted.K * quoted.D in (15, 30)
+            assert quoted.load_cpus in (0.5, 9.0)
+            assert quoted.metric in ("avg_rt_s", "loss_fraction")
+
+    def test_divergences_flagged(self):
+        flagged = [q.key for q in QUOTED_VALUES if q.diverges]
+        assert flagged == ["clta-30@9"]
+
+    def test_headline_quotes_present(self):
+        keys = {quoted.key for quoted in QUOTED_VALUES}
+        assert {
+            "sraa-15-1-1@9",
+            "sraa-2-5-3@9",
+            "saraa-2-5-3@9",
+            "clta-30@9",
+            "clta-30@0.5-loss",
+        } <= keys
+
+
+class TestFidelityExperiment:
+    def test_structure(self):
+        scale = Scale(
+            transactions=800, replications=1, loads=(9.0,), label="tiny"
+        )
+        result = run_fidelity(scale, seed=0)
+        table = result.tables[0]
+        paper = table.get_series("paper")
+        ratios = table.get_series("measured/paper")
+        assert len(paper.points) == len(QUOTED_VALUES)
+        assert len(ratios.points) == len(QUOTED_VALUES)
+        # Paper column reproduces the quoted values verbatim.
+        for index, quoted in enumerate(QUOTED_VALUES):
+            assert paper.value_at(index) == quoted.value
+        # Every quote is annotated.
+        assert len(table.notes) == len(QUOTED_VALUES)
+        assert any("divergence" in note for note in table.notes)

@@ -1,0 +1,69 @@
+"""Scale presets and environment resolution."""
+
+import pytest
+
+from repro.experiments.scale import PAPER_LOADS, Scale
+
+
+class TestPresets:
+    def test_paper_protocol(self):
+        scale = Scale.paper()
+        assert scale.transactions == 100_000
+        assert scale.replications == 5
+        assert scale.loads == PAPER_LOADS
+        assert scale.label == "paper"
+
+    def test_quick_is_smaller(self):
+        quick, paper = Scale.quick(), Scale.paper()
+        assert quick.transactions < paper.transactions
+        assert quick.replications <= paper.replications
+        assert set(quick.loads) <= set(paper.loads)
+
+    def test_smoke_is_smallest(self):
+        smoke, quick = Scale.smoke(), Scale.quick()
+        assert smoke.transactions < quick.transactions
+        assert len(smoke.loads) <= len(quick.loads)
+
+    def test_quick_and_smoke_cover_key_loads(self):
+        # Every preset must include the paper's headline comparison
+        # points: 0.5 (low-load loss) and 9.0 (high-load RT).
+        for scale in (Scale.quick(), Scale.smoke()):
+            assert 0.5 in scale.loads
+            assert 9.0 in scale.loads
+
+
+class TestValidation:
+    def test_rejects_tiny_runs(self):
+        with pytest.raises(ValueError):
+            Scale(transactions=10, replications=1, loads=(1.0,))
+
+    def test_rejects_no_loads(self):
+        with pytest.raises(ValueError):
+            Scale(transactions=1000, replications=1, loads=())
+
+    def test_rejects_nonpositive_load(self):
+        with pytest.raises(ValueError):
+            Scale(transactions=1000, replications=1, loads=(0.0,))
+
+    def test_rejects_zero_replications(self):
+        with pytest.raises(ValueError):
+            Scale(transactions=1000, replications=0, loads=(1.0,))
+
+
+class TestEnvResolution:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert Scale.from_env().label == "quick"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert Scale.from_env().label == "paper"
+
+    def test_env_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "  SMOKE ")
+        assert Scale.from_env().label == "smoke"
+
+    def test_unknown_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            Scale.from_env()

@@ -1,0 +1,108 @@
+"""Smoke-level integration runs of the simulated experiments.
+
+These use a tiny custom scale so the whole file stays fast; the shape
+assertions (who wins where) are in the benchmarks, which run at a larger
+scale.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.autocorr import run_autocorrelation
+from repro.experiments.comparison import run_fig16
+from repro.experiments.saraa_fig import run_fig15
+from repro.experiments.scale import Scale
+from repro.experiments.sraa_figs import (
+    CONFIGS_BUCKETS_DOUBLED,
+    CONFIGS_DEPTH_DOUBLED,
+    CONFIGS_NKD15,
+    CONFIGS_SAMPLE_DOUBLED,
+    run_fig09_10,
+)
+
+TINY = Scale(transactions=800, replications=1, loads=(0.5, 9.0), label="tiny")
+
+
+class TestConfigFamilies:
+    def test_products_match_sections(self):
+        assert all(n * k * d == 15 for n, k, d in CONFIGS_NKD15)
+        for family in (
+            CONFIGS_SAMPLE_DOUBLED,
+            CONFIGS_DEPTH_DOUBLED,
+            CONFIGS_BUCKETS_DOUBLED,
+        ):
+            assert all(n * k * d == 30 for n, k, d in family)
+
+    def test_doubling_relations(self):
+        # Section 5.2 doubles n, Section 5.3 doubles D, relative to 5.1.
+        doubled_n = {(2 * n, k, d) for n, k, d in CONFIGS_NKD15}
+        assert set(CONFIGS_SAMPLE_DOUBLED) <= doubled_n
+        doubled_d = {(n, k, 2 * d) for n, k, d in CONFIGS_NKD15}
+        assert len(set(CONFIGS_DEPTH_DOUBLED) & doubled_d) >= 6
+
+
+class TestFig0910:
+    def test_produces_rt_and_loss_tables(self):
+        result = run_fig09_10(TINY, seed=0)
+        assert len(result.tables) == 2
+        rt, loss = result.tables
+        assert len(rt.series) == 7
+        assert len(loss.series) == 7
+
+    def test_loss_fractions_valid(self):
+        result = run_fig09_10(TINY, seed=0)
+        for series in result.tables[1].series:
+            assert all(0.0 <= v <= 1.0 for v in series.points.values())
+
+
+class TestFig15:
+    def test_contains_both_algorithms(self):
+        result = run_fig15(TINY, seed=0)
+        labels = [s.label for s in result.tables[0].series]
+        assert any(label.startswith("SARAA") for label in labels)
+        assert any(label.startswith("(n=") for label in labels)
+
+
+class TestFig16:
+    def test_three_contenders(self):
+        result = run_fig16(TINY, seed=0)
+        labels = {s.label for s in result.tables[0].series}
+        assert labels == {
+            "CLTA (n=30, K=1, D=1)",
+            "SRAA (n=2, K=5, D=3)",
+            "SARAA (n=2, K=5, D=3)",
+        }
+
+    def test_low_load_loss_ordering(self):
+        # The paper's crispest claim: at 0.5 CPUs CLTA loses a
+        # measurable fraction, SRAA/SARAA essentially none.
+        scale = Scale(
+            transactions=6_000, replications=1, loads=(0.5,), label="tiny"
+        )
+        result = run_fig16(scale, seed=1)
+        loss = result.tables[1]
+        clta = loss.get_series("CLTA (n=30, K=1, D=1)").value_at(0.5)
+        sraa = loss.get_series("SRAA (n=2, K=5, D=3)").value_at(0.5)
+        saraa = loss.get_series("SARAA (n=2, K=5, D=3)").value_at(0.5)
+        assert clta > 0.0
+        assert sraa == pytest.approx(0.0, abs=1e-4)
+        assert saraa == pytest.approx(0.0, abs=1e-4)
+
+
+class TestAutocorrelation:
+    def test_runs_at_reduced_scale(self):
+        scale = Scale(
+            transactions=4_000, replications=5, loads=(8.0,), label="tiny"
+        )
+        result = run_autocorrelation(scale, seed=0)
+        gamma = result.tables[0].get_series("gamma_hat")
+        assert len(gamma.points) == 5
+        assert all(abs(v) < 0.2 for v in gamma.points.values())
+
+
+class TestAblations:
+    def test_produces_five_tables(self):
+        result = run_ablations(TINY, seed=0)
+        assert len(result.tables) == 5
+        for table in result.tables:
+            assert table.series

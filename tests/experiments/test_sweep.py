@@ -1,0 +1,41 @@
+"""The load-sweep harness."""
+
+import pytest
+
+from repro.experiments.scale import Scale
+from repro.experiments.sweep import sraa_config, sweep_policies
+
+TINY = Scale(transactions=600, replications=1, loads=(0.5, 9.0), label="tiny")
+
+
+class TestSweep:
+    def test_structure(self):
+        configs = [sraa_config(1, 1, 1), sraa_config(2, 2, 1)]
+        sweep = sweep_policies(configs, TINY, seed=0)
+        assert set(sweep.results) == {
+            "(n=1, K=1, D=1)",
+            "(n=2, K=2, D=1)",
+        }
+        for by_load in sweep.results.values():
+            assert set(by_load) == {0.5, 9.0}
+
+    def test_tables_extracted(self):
+        sweep = sweep_policies([sraa_config(1, 1, 1)], TINY, seed=0)
+        rt = sweep.response_time_table("rt")
+        loss = sweep.loss_table("loss")
+        assert rt.get_series("(n=1, K=1, D=1)").xs() == [0.5, 9.0]
+        assert loss.get_series("(n=1, K=1, D=1)").xs() == [0.5, 9.0]
+        for value in loss.get_series("(n=1, K=1, D=1)").points.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_common_random_numbers(self):
+        # Same (load, replication) seeds across configurations.
+        first = sweep_policies([sraa_config(1, 1, 1)], TINY, seed=3)
+        second = sweep_policies([sraa_config(1, 1, 1)], TINY, seed=3)
+        assert (
+            first.results["(n=1, K=1, D=1)"][0.5].avg_response_time
+            == second.results["(n=1, K=1, D=1)"][0.5].avg_response_time
+        )
+
+    def test_config_label_format(self):
+        assert sraa_config(2, 5, 3).label == "(n=2, K=5, D=3)"

@@ -1,0 +1,87 @@
+"""Series/Table containers and their text rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.tables import ExperimentResult, Series, Table
+
+
+def make_table() -> Table:
+    table = Table(title="T", x_label="load", y_label="rt")
+    a = Series(label="A")
+    a.add(1.0, 10.0)
+    a.add(2.0, 20.0)
+    b = Series(label="B")
+    b.add(2.0, 200.0)
+    b.add(3.0, 300.0)
+    table.add_series(a)
+    table.add_series(b)
+    return table
+
+
+class TestSeries:
+    def test_points_sorted(self):
+        series = Series(label="s")
+        series.add(3.0, 1.0)
+        series.add(1.0, 2.0)
+        assert series.xs() == [1.0, 3.0]
+
+    def test_value_at(self):
+        series = Series(label="s")
+        series.add(1.0, 42.0)
+        assert series.value_at(1.0) == 42.0
+        with pytest.raises(KeyError):
+            series.value_at(2.0)
+
+    def test_add_overwrites(self):
+        series = Series(label="s")
+        series.add(1.0, 1.0)
+        series.add(1.0, 9.0)
+        assert series.value_at(1.0) == 9.0
+
+
+class TestTable:
+    def test_xs_is_union(self):
+        assert make_table().xs() == [1.0, 2.0, 3.0]
+
+    def test_rows_align_with_nan_gaps(self):
+        rows = make_table().to_rows()
+        assert rows[0][1] == 10.0
+        assert math.isnan(rows[0][2])  # B has no point at x=1
+        assert rows[1] == (2.0, 20.0, 200.0)
+
+    def test_get_series(self):
+        table = make_table()
+        assert table.get_series("B").value_at(3.0) == 300.0
+        with pytest.raises(KeyError):
+            table.get_series("C")
+
+    def test_format_contains_everything(self):
+        text = make_table().format_text()
+        for token in ("T", "load", "A", "B", "20", "300"):
+            assert token in text
+
+    def test_notes_rendered(self):
+        table = make_table()
+        table.notes.append("hello world")
+        assert "note: hello world" in table.format_text()
+
+    def test_empty_table_formats(self):
+        table = Table(title="empty", x_label="x", y_label="y")
+        assert "empty" in table.format_text()
+
+
+class TestExperimentResult:
+    def test_format_includes_tables_and_expectations(self):
+        result = ExperimentResult(
+            experiment_id="figX",
+            description="demo",
+            tables=[make_table()],
+            paper_expectations=["curves cross"],
+        )
+        text = result.format_text()
+        assert "figX" in text
+        assert "demo" in text
+        assert "curves cross" in text
+        assert "A" in text

@@ -1,0 +1,83 @@
+"""Adaptive SLO estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.sla import ServiceLevelObjective
+from repro.monitoring.adaptive import AdaptiveSLO
+
+BASE = ServiceLevelObjective(mean=5.0, std=5.0)
+
+
+class TestTracking:
+    def test_tracks_slow_drift(self):
+        # Average the EWMA over its tail to wash out its own
+        # fluctuation (sigma * sqrt(alpha / (2 - alpha)) around truth).
+        slo = AdaptiveSLO(BASE, alpha=0.02)
+        rng = np.random.default_rng(0)
+        tail = []
+        for i in range(8_000):
+            slo.update(rng.exponential(6.0))
+            if i >= 2_000:
+                tail.append(slo.current().mean)
+        assert float(np.mean(tail)) == pytest.approx(6.0, rel=0.1)
+
+    def test_estimates_std(self):
+        slo = AdaptiveSLO(BASE, alpha=0.02)
+        rng = np.random.default_rng(1)
+        for _ in range(8_000):
+            slo.update(rng.normal(5.0, 2.0))
+        assert slo.current().std == pytest.approx(2.0, rel=0.2)
+
+    def test_stationary_stream_stays_put(self):
+        slo = AdaptiveSLO(BASE, alpha=0.01)
+        rng = np.random.default_rng(2)
+        for _ in range(5_000):
+            slo.update(rng.exponential(5.0))
+        assert slo.current().mean == pytest.approx(5.0, rel=0.15)
+        assert slo.current().std == pytest.approx(5.0, rel=0.25)
+
+
+class TestGuard:
+    def test_degraded_samples_rejected(self):
+        slo = AdaptiveSLO(BASE, alpha=0.1, guard_sigmas=4.0)
+        assert slo.update(500.0) is False
+        assert slo.rejected == 1
+        assert slo.current().mean == pytest.approx(5.0)
+
+    def test_baseline_does_not_chase_degradation(self):
+        # A sustained 10x degradation must not be absorbed.
+        slo = AdaptiveSLO(BASE, alpha=0.05, guard_sigmas=4.0)
+        rng = np.random.default_rng(3)
+        for _ in range(500):
+            slo.update(rng.exponential(5.0))
+        mean_before = slo.current().mean
+        for _ in range(500):
+            slo.update(50.0 + rng.exponential(10.0))
+        assert slo.current().mean < mean_before * 2.0
+        assert slo.rejection_fraction > 0.3
+
+    def test_low_values_always_accepted(self):
+        slo = AdaptiveSLO(BASE, alpha=0.1)
+        assert slo.update(0.0) is True
+
+    def test_rejection_fraction_empty(self):
+        assert AdaptiveSLO(BASE).rejection_fraction == 0.0
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptiveSLO(BASE, alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveSLO(BASE, alpha=1.5)
+
+    def test_guard_positive(self):
+        with pytest.raises(ValueError):
+            AdaptiveSLO(BASE, guard_sigmas=0.0)
+
+    def test_current_returns_valid_slo(self):
+        slo = AdaptiveSLO(BASE)
+        current = slo.current()
+        assert current.mean == 5.0
+        assert current.std == 5.0

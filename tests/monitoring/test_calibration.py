@@ -1,0 +1,56 @@
+"""SLO calibration from healthy data."""
+
+import numpy as np
+import pytest
+
+from repro.monitoring.calibration import calibrate_slo, robust_calibrate_slo
+
+
+class TestClassical:
+    def test_recovers_normal_parameters(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 5.0, size=50_000)
+        slo = calibrate_slo(data)
+        assert slo.mean == pytest.approx(5.0, abs=0.1)
+        assert slo.std == pytest.approx(5.0, abs=0.1)
+
+    def test_warmup_discarded(self):
+        data = np.concatenate([np.full(100, 1000.0), np.full(900, 5.0)])
+        slo = calibrate_slo(data, warmup=100)
+        assert slo.mean == pytest.approx(5.0)
+        assert slo.std == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_slo([1.0])
+        with pytest.raises(ValueError):
+            calibrate_slo([1.0, 2.0], warmup=-1)
+        with pytest.raises(ValueError):
+            calibrate_slo([1.0, 2.0, 3.0], warmup=2)
+
+
+class TestRobust:
+    def test_recovers_normal_parameters(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(5.0, 5.0, size=50_000)
+        slo = robust_calibrate_slo(data)
+        assert slo.mean == pytest.approx(5.0, abs=0.15)
+        assert slo.std == pytest.approx(5.0, abs=0.15)
+
+    def test_resists_contamination(self):
+        rng = np.random.default_rng(2)
+        clean = rng.normal(5.0, 1.0, size=9_500)
+        degraded = rng.normal(100.0, 10.0, size=500)  # 5 % outliers
+        data = np.concatenate([clean, degraded])
+        rng.shuffle(data)
+        robust = robust_calibrate_slo(data)
+        classical = calibrate_slo(data)
+        assert robust.mean == pytest.approx(5.0, abs=0.3)
+        assert classical.mean > 7.0  # dragged by the outliers
+        assert robust.std < classical.std
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            robust_calibrate_slo([1.0])
+        with pytest.raises(ValueError):
+            robust_calibrate_slo([1.0, 2.0], warmup=-1)

@@ -1,0 +1,174 @@
+"""Phase-type distributions against closed-form facts."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.integrate import quad
+
+from repro.queueing.distributions import (
+    PhaseType,
+    erlang,
+    exponential,
+    hyperexponential,
+    hypoexponential,
+)
+
+rates = st.floats(min_value=0.05, max_value=20.0)
+
+
+class TestExponential:
+    def test_moments(self):
+        dist = exponential(0.2)
+        assert dist.mean() == pytest.approx(5.0)
+        assert dist.var() == pytest.approx(25.0)
+        assert dist.std() == pytest.approx(5.0)
+
+    def test_cdf_matches_closed_form(self):
+        dist = exponential(0.5)
+        for x in (0.0, 0.3, 1.0, 4.0):
+            assert dist.cdf(x) == pytest.approx(1.0 - math.exp(-0.5 * x))
+
+    def test_pdf_matches_closed_form(self):
+        dist = exponential(2.0)
+        for x in (0.0, 0.1, 1.0):
+            assert dist.pdf(x) == pytest.approx(2.0 * math.exp(-2.0 * x))
+
+    def test_skewness_is_two(self):
+        assert exponential(1.3).skewness() == pytest.approx(2.0)
+
+    def test_negative_x(self):
+        dist = exponential(1.0)
+        assert dist.cdf(-1.0) == 0.0
+        assert dist.pdf(-1.0) == 0.0
+        assert dist.sf(-1.0) == 1.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            exponential(0.0)
+
+
+class TestErlang:
+    def test_moments(self):
+        dist = erlang(4, 2.0)
+        assert dist.mean() == pytest.approx(4 / 2.0)
+        assert dist.var() == pytest.approx(4 / 4.0)
+
+    def test_skewness(self):
+        # Erlang(k) skewness is 2/sqrt(k).
+        assert erlang(9, 1.0).skewness() == pytest.approx(2.0 / 3.0)
+
+    def test_invalid_stages_rejected(self):
+        with pytest.raises(ValueError):
+            erlang(0, 1.0)
+
+
+class TestHypoexponential:
+    def test_mean_is_sum_of_stage_means(self):
+        dist = hypoexponential([1.0, 2.0, 4.0])
+        assert dist.mean() == pytest.approx(1.0 + 0.5 + 0.25)
+
+    def test_var_is_sum_of_stage_vars(self):
+        dist = hypoexponential([1.0, 2.0])
+        assert dist.var() == pytest.approx(1.0 + 0.25)
+
+    def test_two_stage_cdf_closed_form(self):
+        a, b = 0.2, 1.6
+        dist = hypoexponential([a, b])
+        for x in (0.5, 2.0, 8.0):
+            expected = 1.0 - (
+                b * math.exp(-a * x) - a * math.exp(-b * x)
+            ) / (b - a)
+            assert dist.cdf(x) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hypoexponential([])
+
+
+class TestHyperexponential:
+    def test_mean_is_mixture_of_means(self):
+        dist = hyperexponential([0.3, 0.7], [1.0, 2.0])
+        assert dist.mean() == pytest.approx(0.3 / 1.0 + 0.7 / 2.0)
+
+    def test_cdf_is_mixture_of_cdfs(self):
+        dist = hyperexponential([0.4, 0.6], [0.5, 3.0])
+        x = 1.7
+        expected = 0.4 * (1 - math.exp(-0.5 * x)) + 0.6 * (
+            1 - math.exp(-3.0 * x)
+        )
+        assert dist.cdf(x) == pytest.approx(expected)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            hyperexponential([0.5, 0.4], [1.0, 2.0])
+
+
+class TestPhaseTypeGeneral:
+    def test_pdf_integrates_to_one(self):
+        dist = hypoexponential([0.2, 1.6])
+        total, _ = quad(dist.pdf, 0.0, 200.0, limit=200)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_pdf_is_derivative_of_cdf(self):
+        dist = hyperexponential([0.3, 0.7], [0.4, 2.0])
+        h = 1e-6
+        for x in (0.5, 2.0, 5.0):
+            numeric = (dist.cdf(x + h) - dist.cdf(x - h)) / (2 * h)
+            assert dist.pdf(x) == pytest.approx(numeric, rel=1e-4)
+
+    def test_atom_at_zero(self):
+        dist = PhaseType([0.6], [[-1.0]])
+        assert dist.atom_at_zero == pytest.approx(0.4)
+        # The cdf jumps at 0 by the atom mass.
+        assert dist.cdf(0.0) == pytest.approx(0.4)
+
+    def test_moment_zero_is_one(self):
+        assert exponential(1.0).moment(0) == 1.0
+
+    def test_moment_negative_rejected(self):
+        with pytest.raises(ValueError):
+            exponential(1.0).moment(-1)
+
+    def test_sampling_matches_moments(self):
+        dist = hypoexponential([0.5, 2.0])
+        rng = np.random.default_rng(42)
+        sample = dist.sample(rng, size=20_000)
+        assert sample.mean() == pytest.approx(dist.mean(), rel=0.05)
+        assert sample.std() == pytest.approx(dist.std(), rel=0.08)
+
+    def test_sampling_with_atom(self):
+        dist = PhaseType([0.5], [[-1.0]])
+        rng = np.random.default_rng(1)
+        sample = dist.sample(rng, size=4_000)
+        assert (sample == 0.0).mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_sample_size_zero(self):
+        assert exponential(1.0).sample(np.random.default_rng(0), 0).size == 0
+
+    def test_validation_rejects_bad_subgenerator(self):
+        with pytest.raises(ValueError):
+            PhaseType([1.0], [[1.0]])  # positive diagonal
+        with pytest.raises(ValueError):
+            PhaseType([1.0, 0.0], [[-1.0, 2.0], [0.0, -1.0]])  # row sum > 0
+
+    def test_validation_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            PhaseType([1.5], [[-1.0]])
+        with pytest.raises(ValueError):
+            PhaseType([1.0, 0.0], [[-1.0]])  # dimension mismatch
+
+    @given(rates, rates)
+    @settings(max_examples=25, deadline=None)
+    def test_property_hypoexp_mean_var(self, a, b):
+        dist = hypoexponential([a, b])
+        assert dist.mean() == pytest.approx(1 / a + 1 / b, rel=1e-9)
+        assert dist.var() == pytest.approx(1 / a**2 + 1 / b**2, rel=1e-9)
+
+    @given(rates, st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_cdf_in_unit_interval(self, rate, x):
+        value = exponential(rate).cdf(x)
+        assert 0.0 <= value <= 1.0

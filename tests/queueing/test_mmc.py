@@ -1,0 +1,195 @@
+"""M/M/c model against textbook formulas and the paper's equations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.integrate import quad
+
+from repro.queueing.mmc import MMcModel
+
+
+def erlang_c_reference(a: float, c: int) -> float:
+    """Erlang-C via the textbook factorial formula (small c only)."""
+    rho = a / c
+    top = a**c / math.factorial(c) / (1 - rho)
+    bottom = sum(a**k / math.factorial(k) for k in range(c)) + top
+    return top / bottom
+
+
+class TestLoadMeasures:
+    def test_traffic_intensity(self, paper_model):
+        assert paper_model.traffic_intensity == pytest.approx(0.5)
+
+    def test_offered_load_cpus(self, paper_model):
+        assert paper_model.offered_load_cpus == pytest.approx(8.0)
+
+    def test_stability(self):
+        assert MMcModel(1.0, 0.2, 16).is_stable
+        assert not MMcModel(3.2, 0.2, 16).is_stable
+
+    def test_from_offered_load(self):
+        model = MMcModel.from_offered_load(9.0, 0.2, 16)
+        assert model.arrival_rate == pytest.approx(1.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMcModel(-1.0, 0.2, 16)
+        with pytest.raises(ValueError):
+            MMcModel(1.0, 0.0, 16)
+        with pytest.raises(ValueError):
+            MMcModel(1.0, 0.2, 0)
+
+
+class TestErlangC:
+    @pytest.mark.parametrize(
+        "lam, mu, c",
+        [(1.6, 0.2, 16), (0.5, 0.2, 16), (2.0, 1.0, 3), (0.9, 1.0, 1)],
+    )
+    def test_matches_reference(self, lam, mu, c):
+        model = MMcModel(lam, mu, c)
+        assert model.erlang_c() == pytest.approx(
+            erlang_c_reference(lam / mu, c), rel=1e-10
+        )
+
+    def test_zero_arrivals(self):
+        assert MMcModel(0.0, 1.0, 4).erlang_c() == 0.0
+        assert MMcModel(0.0, 1.0, 4).wc() == 1.0
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError):
+            MMcModel(3.2, 0.2, 16).erlang_c()
+
+    def test_paper_value(self, paper_model):
+        # W_c at the paper's maximum load: ~0.991 (almost no queueing).
+        assert paper_model.wc() == pytest.approx(0.99098, abs=1e-4)
+
+
+class TestStateProbabilities:
+    def test_distribution_sums_to_one(self, paper_model):
+        total = sum(paper_model.state_probability(k) for k in range(300))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_wc_equals_mass_below_c(self, paper_model):
+        below = sum(paper_model.state_probability(k) for k in range(16))
+        assert below == pytest.approx(paper_model.wc(), abs=1e-10)
+
+    def test_mm1_geometric(self):
+        model = MMcModel(0.5, 1.0, 1)
+        for k in range(5):
+            assert model.state_probability(k) == pytest.approx(
+                0.5 * 0.5**k
+            )
+
+    def test_little_law(self, paper_model):
+        # L = lambda * W with W from eq. (2).
+        expected_jobs = sum(
+            k * paper_model.state_probability(k) for k in range(400)
+        )
+        assert paper_model.mean_jobs_in_system() == pytest.approx(
+            expected_jobs, rel=1e-8
+        )
+
+    def test_negative_state_rejected(self, paper_model):
+        with pytest.raises(ValueError):
+            paper_model.state_probability(-1)
+
+
+class TestResponseTime:
+    def test_paper_equation_2(self, paper_model):
+        drain = 16 * 0.2 - 1.6
+        expected = 1 / 0.2 + (1 - paper_model.wc()) / drain
+        assert paper_model.response_time_mean() == pytest.approx(expected)
+
+    def test_paper_equation_3(self, paper_model):
+        drain = 16 * 0.2 - 1.6
+        wc = paper_model.wc()
+        expected = 1 / 0.04 + (1 - wc * wc) / drain**2
+        assert paper_model.response_time_var() == pytest.approx(expected)
+
+    def test_low_load_baseline_is_five(self):
+        # Below 1 transaction/second, mean and sd stay at 1/mu = 5
+        # (Section 4.1).
+        for lam in (0.1, 0.5, 0.9):
+            model = MMcModel(lam, 0.2, 16)
+            assert model.response_time_mean() == pytest.approx(5.0, abs=0.01)
+            assert model.response_time_std() == pytest.approx(5.0, abs=0.01)
+
+    def test_moments_diverge_at_high_load(self):
+        low = MMcModel(0.5, 0.2, 16)
+        high = MMcModel(3.0, 0.2, 16)
+        assert high.response_time_mean() > low.response_time_mean() + 0.1
+
+    def test_mm1_mean(self):
+        # M/M/1: E[RT] = 1 / (mu - lambda).
+        model = MMcModel(0.5, 1.0, 1)
+        assert model.response_time_mean() == pytest.approx(2.0)
+
+    def test_mm1_response_time_is_exponential(self):
+        # M/M/1 FCFS response time ~ Exp(mu - lambda).
+        model = MMcModel(0.5, 1.0, 1)
+        for x in (0.5, 1.0, 3.0):
+            assert model.response_time_cdf(x) == pytest.approx(
+                1.0 - math.exp(-0.5 * x), abs=1e-9
+            )
+
+    def test_cdf_matches_phase_type(self, paper_model):
+        ph = paper_model.response_time_phase_type()
+        for x in (0.1, 1.0, 5.0, 20.0):
+            assert paper_model.response_time_cdf(x) == pytest.approx(
+                ph.cdf(x), abs=1e-9
+            )
+
+    def test_phase_type_moments_match_equations(self, paper_model):
+        ph = paper_model.response_time_phase_type()
+        assert ph.mean() == pytest.approx(paper_model.response_time_mean())
+        assert ph.var() == pytest.approx(paper_model.response_time_var())
+
+    def test_degenerate_case_lambda_equals_cm1_mu(self):
+        # lambda = (c-1) mu is a removable singularity of eq. (1).
+        model = MMcModel(3.0, 0.2, 16)
+        ph = model.response_time_phase_type()
+        for x in (1.0, 5.0, 10.0):
+            assert model.response_time_cdf(x) == pytest.approx(
+                ph.cdf(x), abs=1e-8
+            )
+
+    def test_pdf_integrates_to_one(self, paper_model):
+        total, _ = quad(paper_model.response_time_pdf, 0, 300, limit=300)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_quantile_inverts_cdf(self, paper_model):
+        for q in (0.1, 0.5, 0.9, 0.975):
+            x = paper_model.response_time_quantile(q)
+            assert paper_model.response_time_cdf(x) == pytest.approx(
+                q, abs=1e-9
+            )
+
+    def test_quantile_validation(self, paper_model):
+        with pytest.raises(ValueError):
+            paper_model.response_time_quantile(0.0)
+
+    def test_negative_x(self, paper_model):
+        assert paper_model.response_time_cdf(-1.0) == 0.0
+        assert paper_model.response_time_pdf(-1.0) == 0.0
+
+    @given(
+        st.floats(min_value=0.05, max_value=3.1),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_mean_at_least_service_time(self, lam, c):
+        mu = 0.2
+        if lam >= c * mu:
+            return  # unstable; nothing to check
+        model = MMcModel(lam, mu, c)
+        assert model.response_time_mean() >= 1.0 / mu - 1e-9
+
+    @given(st.floats(min_value=0.05, max_value=3.1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_cdf_monotone(self, lam):
+        model = MMcModel(lam, 0.2, 16)
+        xs = [0.5, 1.0, 2.0, 5.0, 10.0, 30.0]
+        values = [model.response_time_cdf(x) for x in xs]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))

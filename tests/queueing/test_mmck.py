@@ -1,0 +1,131 @@
+"""M/M/c/K and Erlang-B against textbook identities."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.mmc import MMcModel
+from repro.queueing.mmck import MMcKModel, erlang_b
+
+
+def erlang_b_reference(a: float, c: int) -> float:
+    top = a**c / math.factorial(c)
+    bottom = sum(a**k / math.factorial(k) for k in range(c + 1))
+    return top / bottom
+
+
+class TestErlangB:
+    @pytest.mark.parametrize("a, c", [(8.0, 16), (1.0, 1), (5.0, 3), (0.1, 4)])
+    def test_matches_reference(self, a, c):
+        assert erlang_b(a, c) == pytest.approx(
+            erlang_b_reference(a, c), rel=1e-12
+        )
+
+    def test_zero_load(self):
+        assert erlang_b(0.0, 4) == 0.0
+
+    def test_monotone_in_load(self):
+        values = [erlang_b(a, 8) for a in (1.0, 4.0, 8.0, 16.0)]
+        assert values == sorted(values)
+
+    def test_monotone_in_servers(self):
+        values = [erlang_b(8.0, c) for c in (4, 8, 16, 32)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_b(-1.0, 4)
+        with pytest.raises(ValueError):
+            erlang_b(1.0, 0)
+
+
+class TestMMcK:
+    def test_loss_system_matches_erlang_b(self):
+        model = MMcKModel.loss_system(1.6, 0.2, 16)
+        assert model.blocking_probability() == pytest.approx(
+            erlang_b(8.0, 16), rel=1e-12
+        )
+
+    def test_mm1k_closed_form(self):
+        # M/M/1/K: p_K = (1-rho) rho^K / (1 - rho^(K+1)).
+        lam, mu, K = 0.5, 1.0, 5
+        model = MMcKModel(lam, mu, servers=1, capacity=K)
+        rho = lam / mu
+        expected = (1 - rho) * rho**K / (1 - rho ** (K + 1))
+        assert model.blocking_probability() == pytest.approx(expected)
+
+    def test_probabilities_sum_to_one(self):
+        model = MMcKModel(1.6, 0.2, 16, capacity=40)
+        total = sum(
+            model.state_probability(k) for k in range(model.capacity + 1)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_large_capacity_approaches_mmc(self):
+        infinite = MMcModel(1.6, 0.2, 16)
+        finite = MMcKModel(1.6, 0.2, 16, capacity=300)
+        assert finite.blocking_probability() < 1e-10
+        assert finite.response_time_mean() == pytest.approx(
+            infinite.response_time_mean(), rel=1e-6
+        )
+        assert finite.mean_jobs_in_system() == pytest.approx(
+            infinite.mean_jobs_in_system(), rel=1e-6
+        )
+
+    def test_overload_is_still_stable(self):
+        # rho > 1 would blow up M/M/c; the finite buffer caps it.
+        model = MMcKModel(10.0, 0.2, 16, capacity=50)
+        assert model.blocking_probability() > 0.5
+        assert model.mean_jobs_in_system() <= 50.0
+
+    def test_effective_rate_and_throughput(self):
+        model = MMcKModel(10.0, 0.2, 16, capacity=20)
+        blocked = model.blocking_probability()
+        assert model.effective_arrival_rate() == pytest.approx(
+            10.0 * (1 - blocked)
+        )
+        assert model.throughput() == model.effective_arrival_rate()
+        # Flow balance: throughput can never exceed total service capacity.
+        assert model.throughput() <= 16 * 0.2 + 1e-9
+
+    def test_zero_arrivals(self):
+        model = MMcKModel(0.0, 0.2, 16, capacity=20)
+        assert model.blocking_probability() == 0.0
+        assert model.response_time_mean() == pytest.approx(5.0)
+
+    def test_state_probability_bounds(self):
+        model = MMcKModel(1.0, 0.2, 16, capacity=20)
+        with pytest.raises(ValueError):
+            model.state_probability(-1)
+        with pytest.raises(ValueError):
+            model.state_probability(21)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMcKModel(1.0, 0.2, 16, capacity=15)
+        with pytest.raises(ValueError):
+            MMcKModel(-1.0, 0.2, 16, capacity=16)
+
+    @given(
+        st.floats(min_value=0.1, max_value=5.0),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_blocking_decreases_with_capacity(self, lam, c, extra):
+        tight = MMcKModel(lam, 0.2, c, capacity=c)
+        roomy = MMcKModel(lam, 0.2, c, capacity=c + extra)
+        assert roomy.blocking_probability() <= tight.blocking_probability() + 1e-12
+
+    @given(
+        st.floats(min_value=0.1, max_value=5.0),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_little_law_consistency(self, lam, c):
+        model = MMcKModel(lam, 0.2, c, capacity=c + 10)
+        lhs = model.mean_jobs_in_system()
+        rhs = model.effective_arrival_rate() * model.response_time_mean()
+        assert lhs == pytest.approx(rhs, rel=1e-9)

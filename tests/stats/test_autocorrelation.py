@@ -1,0 +1,91 @@
+"""Autocorrelation estimator and the Section-4.1 significance test."""
+
+import numpy as np
+import pytest
+
+from repro.stats.autocorrelation import (
+    autocorrelation,
+    is_significant,
+    lag1_autocorrelation,
+    significance_threshold,
+)
+
+
+class TestEstimator:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(0)
+        assert autocorrelation(rng.normal(size=100), lag=0) == 1.0
+
+    def test_white_noise_near_zero(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=50_000)
+        gamma = lag1_autocorrelation(series)
+        assert abs(gamma) < significance_threshold(50_000)
+
+    def test_ar1_recovers_coefficient(self):
+        rng = np.random.default_rng(2)
+        phi = 0.6
+        n = 60_000
+        series = np.empty(n)
+        series[0] = 0.0
+        noise = rng.normal(size=n)
+        for i in range(1, n):
+            series[i] = phi * series[i - 1] + noise[i]
+        assert lag1_autocorrelation(series) == pytest.approx(phi, abs=0.02)
+
+    def test_alternating_series_is_negative(self):
+        series = np.array([1.0, -1.0] * 500)
+        assert lag1_autocorrelation(series) == pytest.approx(-1.0, abs=0.01)
+
+    def test_warmup_discards_transient(self):
+        # A huge transient head would dominate without the discard.
+        rng = np.random.default_rng(3)
+        head = np.linspace(1000.0, 0.0, 500)
+        tail = rng.normal(size=20_000)
+        series = np.concatenate([head, tail])
+        with_warmup = lag1_autocorrelation(series, warmup=500)
+        without = lag1_autocorrelation(series)
+        assert abs(with_warmup) < 0.02
+        assert without > 0.5
+
+    def test_higher_lags(self):
+        rng = np.random.default_rng(4)
+        phi = 0.7
+        n = 60_000
+        series = np.empty(n)
+        series[0] = 0.0
+        noise = rng.normal(size=n)
+        for i in range(1, n):
+            series[i] = phi * series[i - 1] + noise[i]
+        # AR(1): rho_k = phi^k.
+        assert autocorrelation(series, lag=3) == pytest.approx(
+            phi**3, abs=0.03
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], lag=-1)
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], lag=1, warmup=-1)
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], lag=1)  # too short
+        with pytest.raises(ValueError):
+            autocorrelation([3.0, 3.0, 3.0, 3.0], lag=1)  # constant
+
+
+class TestSignificance:
+    def test_paper_threshold(self):
+        # 1.96 / sqrt(90,000) from Section 4.1.
+        assert significance_threshold(90_000) == pytest.approx(
+            1.96 / np.sqrt(90_000)
+        )
+
+    def test_is_significant(self):
+        threshold = significance_threshold(10_000)
+        assert is_significant(threshold * 1.01, 10_000)
+        assert not is_significant(threshold * 0.99, 10_000)
+        assert is_significant(-threshold * 1.01, 10_000)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            significance_threshold(0)

@@ -1,0 +1,54 @@
+"""CLT convergence diagnostics (the quantified Fig. 5)."""
+
+import math
+
+import pytest
+
+from repro.stats.clt import CLTDiagnostics
+
+
+@pytest.fixture
+def diagnostics(paper_model) -> CLTDiagnostics:
+    return CLTDiagnostics(paper_model, grid_points=61, span_sigmas=5.0)
+
+
+class TestReport:
+    def test_distances_shrink_with_n(self, diagnostics):
+        reports = diagnostics.convergence_table(sizes=(1, 5, 15))
+        sup = [r.sup_density_distance for r in reports]
+        kolmogorov = [r.kolmogorov_distance for r in reports]
+        assert sup[0] > sup[1] > sup[2]
+        assert kolmogorov[0] > kolmogorov[1] > kolmogorov[2]
+
+    def test_skewness_decays_like_sqrt_n(self, diagnostics):
+        r1 = diagnostics.report(1)
+        r4 = diagnostics.report(4)
+        assert r4.skewness == pytest.approx(r1.skewness / 2.0, rel=1e-9)
+
+    def test_tail_matches_paper(self, diagnostics):
+        assert diagnostics.report(15).tail_beyond_975 == pytest.approx(
+            0.0369, abs=0.0005
+        )
+        assert diagnostics.report(30).tail_beyond_975 == pytest.approx(
+            0.0337, abs=0.0005
+        )
+
+    def test_tail_inflation(self, diagnostics):
+        report = diagnostics.report(30)
+        assert report.tail_inflation == pytest.approx(
+            report.tail_beyond_975 / 0.025
+        )
+        assert report.tail_inflation > 1.0
+
+    def test_moments_recorded(self, diagnostics, paper_model):
+        report = diagnostics.report(15)
+        assert report.mean == pytest.approx(paper_model.response_time_mean())
+        assert report.std == pytest.approx(
+            paper_model.response_time_std() / math.sqrt(15)
+        )
+
+    def test_validation(self, paper_model):
+        with pytest.raises(ValueError):
+            CLTDiagnostics(paper_model, grid_points=5)
+        with pytest.raises(ValueError):
+            CLTDiagnostics(paper_model, span_sigmas=0.0)

@@ -1,0 +1,91 @@
+"""Brook-Evans CUSUM ARL against Monte Carlo and known structure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.control_charts import CUSUMPolicy
+from repro.core.sla import ServiceLevelObjective
+from repro.stats.cusum_arl import cusum_arl, cusum_detection_profile
+
+
+def exponential_cdf(mean):
+    return lambda x: 1.0 - math.exp(-x / mean) if x > 0 else 0.0
+
+
+def monte_carlo_arl(mean, reference, h, runs, seed):
+    rng = np.random.default_rng(seed)
+    slo = ServiceLevelObjective(mean=reference, std=1.0)
+    # Reuse the production policy with k = 0 so ref = slo.mean.
+    lengths = []
+    for _ in range(runs):
+        policy = CUSUMPolicy(slo, k_sigmas=0.0, h_sigmas=h)
+        steps = 0
+        while True:
+            steps += 1
+            if policy.observe(float(rng.exponential(mean))):
+                break
+            if steps > 10**6:  # pragma: no cover - guard
+                raise AssertionError("no trigger")
+        lengths.append(steps)
+    return float(np.mean(lengths))
+
+
+class TestAgainstMonteCarlo:
+    @pytest.mark.parametrize(
+        "mean, reference, h",
+        [
+            (5.0, 7.5, 25.0),   # in-control-ish: exp(5) against ref 7.5
+            (15.0, 7.5, 25.0),  # out-of-control: shifted mean
+            (5.0, 6.0, 10.0),   # tighter design
+        ],
+    )
+    def test_matches_simulation(self, mean, reference, h):
+        exact = cusum_arl(exponential_cdf(mean), reference, h, states=300)
+        empirical = monte_carlo_arl(
+            mean, reference, h, runs=3_000, seed=int(mean * 10)
+        )
+        assert empirical == pytest.approx(exact, rel=0.08)
+
+
+class TestStructure:
+    def test_arl_grows_with_h(self):
+        cdf = exponential_cdf(5.0)
+        values = [cusum_arl(cdf, 7.5, h) for h in (5.0, 15.0, 30.0)]
+        assert values[0] < values[1] < values[2]
+
+    def test_shift_shortens_arl(self):
+        healthy, degraded = cusum_detection_profile(
+            exponential_cdf(5.0), exponential_cdf(20.0), 7.5, 25.0
+        )
+        assert degraded < healthy / 5
+
+    def test_discretisation_converges(self):
+        cdf = exponential_cdf(5.0)
+        coarse = cusum_arl(cdf, 7.5, 25.0, states=100)
+        fine = cusum_arl(cdf, 7.5, 25.0, states=800)
+        assert coarse == pytest.approx(fine, rel=0.02)
+
+    def test_certain_increment_gives_deterministic_delay(self):
+        # X = 10 with certainty, ref 5: S grows 5 per step, h = 24
+        # crossed at step 5 (S = 25 >= 24 treated as absorbed at > h
+        # boundary by the midpoint discretisation).
+        step_cdf = lambda x: 1.0 if x >= 10.0 else 0.0  # noqa: E731
+        exact = cusum_arl(step_cdf, 5.0, 24.0, states=400)
+        assert exact == pytest.approx(5.0, abs=0.3)
+
+    def test_mmc_response_times_plug_in(self, paper_model):
+        # Healthy M/M/16 response times: the in-control ARL of the
+        # textbook design is comfortably long.
+        arl = cusum_arl(
+            paper_model.response_time_cdf, 7.5, 25.0, states=200
+        )
+        assert arl > 50.0
+
+    def test_validation(self):
+        cdf = exponential_cdf(5.0)
+        with pytest.raises(ValueError):
+            cusum_arl(cdf, 7.5, 0.0)
+        with pytest.raises(ValueError):
+            cusum_arl(cdf, 7.5, 25.0, states=5)

@@ -1,0 +1,48 @@
+"""Replication confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.stats.intervals import mean_confidence_interval
+
+
+class TestInterval:
+    def test_single_replication_degenerates(self):
+        mean, low, high = mean_confidence_interval([3.5])
+        assert mean == low == high == 3.5
+
+    def test_contains_mean(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert low < mean < high
+
+    def test_known_t_value(self):
+        # n=5, 95 %: t = 2.776; half-width = t * s / sqrt(5).
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        mean, low, high = mean_confidence_interval(data)
+        s = np.std(data, ddof=1)
+        expected_half = 2.7764451 * s / np.sqrt(5)
+        assert high - mean == pytest.approx(expected_half, rel=1e-5)
+
+    def test_wider_at_higher_confidence(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        _, low95, high95 = mean_confidence_interval(data, 0.95)
+        _, low99, high99 = mean_confidence_interval(data, 0.99)
+        assert high99 - low99 > high95 - low95
+
+    def test_coverage_on_normal_samples(self):
+        rng = np.random.default_rng(0)
+        covered = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.normal(loc=10.0, scale=2.0, size=8)
+            _, low, high = mean_confidence_interval(sample, 0.95)
+            covered += low <= 10.0 <= high
+        # Binomial(400, 0.95): 3 sigma is about +-1.3 %.
+        assert covered / trials == pytest.approx(0.95, abs=0.04)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0], confidence=1.0)

@@ -1,0 +1,57 @@
+"""Normal quantiles and the algorithms' thresholds."""
+
+import math
+
+import pytest
+
+from repro.stats.normal import (
+    normal_quantile,
+    sample_mean_threshold,
+    shift_threshold,
+    two_sided_z,
+)
+
+
+class TestQuantiles:
+    def test_median(self):
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_975_is_196(self):
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_symmetry(self):
+        assert normal_quantile(0.1) == pytest.approx(
+            -normal_quantile(0.9), abs=1e-12
+        )
+
+    def test_validation(self):
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                normal_quantile(bad)
+
+    def test_two_sided(self):
+        assert two_sided_z(0.95) == pytest.approx(1.959964, abs=1e-5)
+        with pytest.raises(ValueError):
+            two_sided_z(1.0)
+
+
+class TestThresholds:
+    def test_clta_paper_threshold(self):
+        # mu + 1.96 sigma / sqrt(30) with mu = sigma = 5 (Section 5.6).
+        value = sample_mean_threshold(5.0, 5.0, 30, 1.96)
+        assert value == pytest.approx(5.0 + 1.96 * 5.0 / math.sqrt(30))
+
+    def test_sraa_threshold_ignores_n(self):
+        assert shift_threshold(5.0, 5.0, 2) == 15.0
+
+    def test_multiplier_zero(self):
+        assert sample_mean_threshold(5.0, 5.0, 10, 0.0) == 5.0
+        assert shift_threshold(5.0, 5.0, 0.0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_mean_threshold(5.0, 5.0, 0, 1.0)
+        with pytest.raises(ValueError):
+            sample_mean_threshold(5.0, -1.0, 5, 1.0)
+        with pytest.raises(ValueError):
+            shift_threshold(5.0, -1.0, 1.0)

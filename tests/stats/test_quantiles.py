@@ -1,0 +1,114 @@
+"""The P-squared streaming quantile estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.quantiles import P2Quantile
+
+
+def estimate(values, q):
+    estimator = P2Quantile(q)
+    for value in values:
+        estimator.update(float(value))
+    return estimator.value()
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("q", [0.1, 0.5, 0.9, 0.95, 0.99])
+    def test_normal_stream(self, q):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 2.0, size=50_000)
+        exact = float(np.quantile(values, q))
+        assert estimate(values, q) == pytest.approx(exact, abs=0.15)
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.95])
+    def test_exponential_stream(self, q):
+        # Right-skewed, like response times.
+        rng = np.random.default_rng(1)
+        values = rng.exponential(5.0, size=50_000)
+        exact = float(np.quantile(values, q))
+        assert estimate(values, q) == pytest.approx(exact, rel=0.05)
+
+    def test_uniform_stream(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0.0, 1.0, size=30_000)
+        assert estimate(values, 0.75) == pytest.approx(0.75, abs=0.02)
+
+    def test_shifted_stream_tracks_up(self):
+        rng = np.random.default_rng(3)
+        estimator = P2Quantile(0.9)
+        for value in rng.exponential(5.0, size=5_000):
+            estimator.update(float(value))
+        before = estimator.value()
+        for value in rng.exponential(20.0, size=20_000):
+            estimator.update(float(value))
+        assert estimator.value() > before * 1.5
+
+
+class TestSmallSamples:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).value()
+
+    def test_fewer_than_five_uses_order_statistic(self):
+        estimator = P2Quantile(0.5)
+        for value in (3.0, 1.0, 2.0):
+            estimator.update(value)
+        assert estimator.value() == 2.0
+
+    def test_exactly_five(self):
+        estimator = P2Quantile(0.5)
+        for value in (5.0, 1.0, 4.0, 2.0, 3.0):
+            estimator.update(value)
+        assert estimator.value() == 3.0
+
+    def test_count_tracks_updates(self):
+        estimator = P2Quantile(0.9)
+        for i in range(12):
+            estimator.update(float(i))
+        assert estimator.count == 12
+
+
+class TestLifecycle:
+    def test_reset(self):
+        estimator = P2Quantile(0.9)
+        for i in range(100):
+            estimator.update(float(i))
+        estimator.reset()
+        assert estimator.count == 0
+        with pytest.raises(ValueError):
+            estimator.value()
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).update(float("nan"))
+
+    def test_quantile_validation(self):
+        for bad in (0.0, 1.0, -0.1):
+            with pytest.raises(ValueError):
+                P2Quantile(bad)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=5,
+            max_size=300,
+        ),
+        st.sampled_from([0.25, 0.5, 0.9]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_estimate_within_observed_range(self, values, q):
+        result = estimate(values, q)
+        assert min(values) <= result <= max(values)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_monotone_stream_estimate_reasonable(self, seed):
+        rng = np.random.default_rng(seed)
+        values = np.sort(rng.uniform(0, 100, size=500))
+        rng.shuffle(values)
+        result = estimate(values, 0.5)
+        exact = float(np.quantile(values, 0.5))
+        assert result == pytest.approx(exact, abs=12.0)

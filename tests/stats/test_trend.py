@@ -1,0 +1,159 @@
+"""Mann-Kendall, Theil-Sen and the exhaustion extrapolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.trend import (
+    least_squares_slope,
+    mann_kendall,
+    theil_sen_slope,
+    time_to_level,
+)
+
+
+class TestMannKendall:
+    def test_strictly_increasing(self):
+        result = mann_kendall(list(range(20)))
+        assert result.increasing
+        assert result.significant()
+        assert result.slope == pytest.approx(1.0)
+
+    def test_strictly_decreasing(self):
+        result = mann_kendall(list(range(20, 0, -1)))
+        assert not result.increasing
+        assert result.significant()
+
+    def test_white_noise_insignificant(self):
+        rng = np.random.default_rng(0)
+        insignificant = 0
+        for _ in range(20):
+            if not mann_kendall(rng.normal(size=50)).significant():
+                insignificant += 1
+        assert insignificant >= 17  # alpha = 0.05
+
+    def test_constant_series(self):
+        result = mann_kendall([3.0] * 10)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_trend_in_noise_detected(self):
+        rng = np.random.default_rng(1)
+        series = np.arange(60) * 0.5 + rng.normal(scale=2.0, size=60)
+        assert mann_kendall(series).significant()
+
+    def test_ties_handled(self):
+        series = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]
+        result = mann_kendall(series)
+        assert result.increasing
+        assert result.p_value < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mann_kendall([1.0, 2.0])
+        with pytest.raises(ValueError):
+            mann_kendall([1.0, 2.0, 3.0]).significant(alpha=0.0)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=3,
+                    max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_property_pvalue_in_unit_interval(self, values):
+        result = mann_kendall(values)
+        assert 0.0 <= result.p_value <= 1.0
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=3,
+                    max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_reversal_negates_statistic(self, values):
+        forward = mann_kendall(values)
+        backward = mann_kendall(values[::-1])
+        assert forward.statistic == pytest.approx(-backward.statistic)
+
+
+class TestTheilSen:
+    def test_exact_line(self):
+        assert theil_sen_slope([1.0, 3.0, 5.0, 7.0]) == pytest.approx(2.0)
+
+    def test_robust_to_outlier(self):
+        clean = list(np.arange(20) * 1.0)
+        clean[10] = 500.0  # one wild outlier
+        assert theil_sen_slope(clean) == pytest.approx(1.0, abs=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theil_sen_slope([1.0])
+
+
+class TestLeastSquares:
+    def test_exact_line(self):
+        slope, intercept, stderr = least_squares_slope(
+            [0.0, 1.0, 2.0, 3.0], [5.0, 7.0, 9.0, 11.0]
+        )
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(5.0)
+        assert stderr == pytest.approx(0.0, abs=1e-10)
+
+    def test_two_points_infinite_stderr(self):
+        slope, _, stderr = least_squares_slope([0.0, 1.0], [0.0, 3.0])
+        assert slope == pytest.approx(3.0)
+        assert stderr == float("inf")
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(2)
+        t = np.linspace(0, 100, 200)
+        y = 4.0 - 0.3 * t + rng.normal(scale=1.0, size=200)
+        slope, _, stderr = least_squares_slope(t, y)
+        assert slope == pytest.approx(-0.3, abs=3 * stderr + 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            least_squares_slope([1.0], [1.0])
+        with pytest.raises(ValueError):
+            least_squares_slope([1.0, 2.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            least_squares_slope([1.0, 1.0], [1.0, 2.0])
+
+
+class TestTimeToLevel:
+    def test_draining_resource(self):
+        # Free heap falling 10 units/s from 1000 at t=0; level 100
+        # crossed at t=90.
+        times = [0.0, 1.0, 2.0, 3.0]
+        values = [1000.0, 990.0, 980.0, 970.0]
+        assert time_to_level(times, values, 100.0) == pytest.approx(90.0)
+
+    def test_flat_resource_never_crosses(self):
+        assert time_to_level(
+            [0.0, 1.0, 2.0], [500.0, 500.0, 500.0], 100.0
+        ) == float("inf")
+
+    def test_recovering_resource_never_crosses(self):
+        # Level below, trend pointing up: crossing was in the past and
+        # will not recur.
+        assert time_to_level(
+            [0.0, 1.0, 2.0], [500.0, 600.0, 700.0], 100.0
+        ) == float("inf")
+
+    def test_already_exhausted_returns_now(self):
+        times = [0.0, 1.0, 2.0]
+        values = [120.0, 100.0, 80.0]  # already at/below level 100
+        assert time_to_level(times, values, 100.0) <= 2.0 + 1e-9
+
+    def test_rising_metric_towards_ceiling(self):
+        # Works symmetrically for a metric growing towards a cap.
+        times = [0.0, 1.0, 2.0]
+        values = [10.0, 20.0, 30.0]
+        assert time_to_level(
+            times, values, 100.0, direction="rising"
+        ) == pytest.approx(9.0)
+
+    def test_falling_metric_below_ceiling_never_crosses(self):
+        # Ceiling semantics with a falling metric: no exhaustion.
+        assert time_to_level(
+            [0.0, 1.0, 2.0], [50.0, 40.0, 30.0], 100.0, direction="rising"
+        ) == float("inf")
+
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            time_to_level([0.0, 1.0], [1.0, 2.0], 5.0, direction="sideways")

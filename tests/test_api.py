@@ -1,0 +1,50 @@
+"""Public API surface: everything advertised in __all__ works."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        # The README quick-start, end to end.
+        policy = repro.SRAA(
+            repro.PAPER_SLO, sample_size=3, n_buckets=2, depth=5
+        )
+        restarts = []
+        monitor = repro.RejuvenationMonitor(
+            policy, on_rejuvenate=restarts.append
+        )
+        for value in [5.0] * 30 + [80.0] * 60:
+            monitor.feed(value)
+        assert restarts  # sustained degradation was caught
+
+    def test_paper_constants_consistent(self):
+        # PAPER_SLO matches the analytical M/M/16 baseline.
+        model = repro.MMcModel(1.6, 0.2, 16)
+        assert abs(model.response_time_mean() - repro.PAPER_SLO.mean) < 0.01
+        assert abs(model.response_time_std() - repro.PAPER_SLO.std) < 0.01
+
+    def test_make_policy_roundtrip(self):
+        for name in repro.available_policies():
+            policy = repro.make_policy(name, repro.PAPER_SLO)
+            assert isinstance(policy, repro.RejuvenationPolicy)
+
+
+class TestApiDocumentation:
+    def test_every_public_name_documented(self):
+        """docs/api.md must mention every name in repro.__all__."""
+        import pathlib
+
+        doc = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "docs"
+            / "api.md"
+        ).read_text()
+        missing = [name for name in repro.__all__ if name not in doc]
+        assert not missing, f"undocumented public names: {missing}"

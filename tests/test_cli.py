@@ -1,0 +1,63 @@
+"""CLI behaviour through the public main() entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out
+        assert "fig09_10" in out
+
+    def test_lists_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sraa", "saraa", "clta"):
+            assert name in out
+
+
+class TestMMc:
+    def test_prints_analytics(self, capsys):
+        assert main(["mmc", "--load", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "5.0056" in out  # eq. 2 at lambda = 1.6
+        assert "W_c" in out
+
+    def test_unstable_load_fails(self, capsys):
+        assert main(["mmc", "--load", "16"]) == 1
+        assert "unstable" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_runs_analytical_experiment(self, capsys):
+        assert main(["run", "false_alarm", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "false_alarm" in out
+        assert "Paper expectations" in out
+
+    def test_runs_simulated_experiment(self, capsys):
+        assert main(["run", "fig16", "--scale", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "CLTA" in out
+        assert "SARAA" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            main(["run", "fig99", "--scale", "smoke"])
+
+    def test_scale_env_fallback(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["run", "mmc_baseline"]) == 0
+
+
+class TestParser:
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig16", "--scale", "galactic"])

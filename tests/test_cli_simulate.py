@@ -1,0 +1,65 @@
+"""The `repro simulate` subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_sraa_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy", "sraa",
+                "-p", "n=2", "-p", "K=5", "-p", "D=3",
+                "--load", "9",
+                "--transactions", "2000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SRAA(n=2, K=5, D=3)" in out
+        assert "avg response time" in out
+        assert "rejuvenations" in out
+
+    def test_none_policy(self, capsys):
+        code = main(
+            ["simulate", "--policy", "none", "--load", "1",
+             "--transactions", "1000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no rejuvenation" in out
+        assert "rejuvenations     : 0" in out
+
+    def test_float_params(self, capsys):
+        code = main(
+            ["simulate", "--policy", "clta", "-p", "n=15", "-p", "z=2.33",
+             "--load", "2", "--transactions", "1000"]
+        )
+        assert code == 0
+        assert "CLTA(n=15, z=2.33)" in capsys.readouterr().out
+
+    def test_replications_reported(self, capsys):
+        code = main(
+            ["simulate", "--policy", "periodic", "-p", "period=200",
+             "--load", "3", "--transactions", "1000",
+             "--replications", "2"]
+        )
+        assert code == 0
+        assert "2 x 1000" in capsys.readouterr().out
+
+    def test_bad_param_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "-p", "n", "--transactions", "1000"])
+
+    def test_bad_param_value(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "-p", "n=abc", "--transactions", "1000"])
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            main(
+                ["simulate", "--policy", "quantum",
+                 "--transactions", "1000"]
+            )

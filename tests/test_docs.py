@@ -1,0 +1,73 @@
+"""Documentation consistency: DESIGN.md and README.md stay truthful."""
+
+import pathlib
+import re
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDesignDocument:
+    def test_every_referenced_bench_exists(self):
+        design = (REPO / "DESIGN.md").read_text()
+        referenced = set(re.findall(r"benchmarks/(test_bench_\w+\.py)", design))
+        assert referenced, "DESIGN.md must reference bench targets"
+        for name in referenced:
+            assert (REPO / "benchmarks" / name).exists(), name
+
+    def test_every_bench_is_referenced(self):
+        design = (REPO / "DESIGN.md").read_text()
+        on_disk = {
+            path.name for path in (REPO / "benchmarks").glob("test_bench_*.py")
+        }
+        referenced = set(re.findall(r"benchmarks/(test_bench_\w+\.py)", design))
+        assert on_disk == referenced, (
+            f"unreferenced: {on_disk - referenced}; "
+            f"missing: {referenced - on_disk}"
+        )
+
+    def test_per_experiment_index_matches_registry(self):
+        from repro.experiments.registry import experiment_ids
+
+        design = (REPO / "DESIGN.md").read_text()
+        for eid in experiment_ids():
+            assert eid in design, f"experiment {eid} missing from DESIGN.md"
+
+    def test_paper_confirmation_present(self):
+        design = (REPO / "DESIGN.md").read_text()
+        assert "no title collision" in design
+
+
+class TestReadme:
+    def test_every_listed_example_exists(self):
+        readme = (REPO / "README.md").read_text()
+        referenced = set(re.findall(r"examples/(\w+\.py)", readme))
+        assert referenced
+        for name in referenced:
+            assert (REPO / "examples" / name).exists(), name
+
+    def test_every_example_is_listed(self):
+        readme = (REPO / "README.md").read_text()
+        on_disk = {path.name for path in (REPO / "examples").glob("*.py")}
+        referenced = set(re.findall(r"examples/(\w+\.py)", readme))
+        assert on_disk == referenced, (
+            f"unlisted: {on_disk - referenced}; stale: {referenced - on_disk}"
+        )
+
+    def test_quoted_fidelity_numbers_match_paper_values(self):
+        # The README quotes the paper's 11.94/10.5 and our 11.98/10.10.
+        readme = (REPO / "README.md").read_text()
+        for token in ("11.94", "11.98", "3.69", "3.37"):
+            assert token in readme
+
+
+class TestExperimentsDocument:
+    def test_divergences_sectioned(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        assert "D1" in experiments
+        assert "D2" in experiments
+        assert "Divergences" in experiments
+
+    def test_every_registered_experiment_has_a_command(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        assert "repro run all" in experiments
+        assert "repro run fidelity" in experiments

@@ -1,0 +1,55 @@
+"""The shipped examples stay runnable.
+
+Every example must at least compile; the fast ones are executed
+end-to-end (the slower, simulation-heavy ones are exercised implicitly
+by the experiment tests, which cover the same code paths at reduced
+scale).
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def example_paths():
+    return sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in example_paths()}
+        assert "quickstart.py" in names
+        assert len(names) >= 3  # the deliverable floor
+
+    @pytest.mark.parametrize(
+        "path", example_paths(), ids=lambda p: p.name
+    )
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize(
+        "path", example_paths(), ids=lambda p: p.name
+    )
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+        assert "def main()" in source
+
+    def test_quickstart_runs(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "rejuvenation triggered" in out
+
+    def test_admission_control_runs(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "admission_control.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "P(block)" in out

@@ -1,0 +1,77 @@
+"""Parameter advisor (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core.sla import PAPER_SLO
+from repro.tuning import ParameterAdvisor, default_grid
+from repro.ecommerce.config import PAPER_CONFIG
+
+
+@pytest.fixture(scope="module")
+def advisor() -> ParameterAdvisor:
+    return ParameterAdvisor(
+        PAPER_CONFIG,
+        PAPER_SLO,
+        transactions=1_500,
+        replications=1,
+        seed=5,
+    )
+
+
+class TestGrid:
+    def test_default_grid_products(self):
+        grid = default_grid(30)
+        assert all(n * K * D == 30 for n, K, D in grid)
+        # All the paper's Fig. 11/14/15 configurations are in the frame.
+        assert (2, 5, 3) in grid
+        assert (30, 1, 1) in grid
+        assert (3, 2, 5) in grid
+
+    def test_grid_has_no_duplicates(self):
+        grid = default_grid(12)
+        assert len(grid) == len(set(grid))
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            default_grid(0)
+
+
+class TestScoring:
+    def test_score_fields(self, advisor):
+        score = advisor.score(2, 5, 3)
+        assert score.label == "sraa(n=2, K=5, D=3)"
+        assert score.high_load_rt > 0
+        assert 0.0 <= score.low_load_loss <= 1.0
+        assert score.score == pytest.approx(
+            score.high_load_rt + 1_000.0 * score.low_load_loss
+        )
+
+    def test_score_grid_sorted(self, advisor):
+        scores = advisor.score_grid([(2, 5, 3), (30, 1, 1), (15, 2, 1)])
+        values = [s.score for s in scores]
+        assert values == sorted(values)
+
+    def test_saraa_supported(self, advisor):
+        score = advisor.score(2, 5, 3, algorithm="saraa")
+        assert score.algorithm == "saraa"
+
+    def test_unknown_algorithm(self, advisor):
+        with pytest.raises(ValueError):
+            advisor.score(2, 5, 3, algorithm="magic")
+
+    def test_recommend_prefers_balance(self, advisor):
+        # The paper's conclusion: balanced small values beat investing
+        # everything in one dimension.  At minimum, the recommendation
+        # must beat the extreme (30,1,1) under the combined objective.
+        candidates = [(2, 5, 3), (3, 2, 5), (30, 1, 1), (1, 10, 3)]
+        best = advisor.recommend(candidates)
+        extreme = advisor.score(30, 1, 1)
+        assert best.score <= extreme.score
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterAdvisor(PAPER_CONFIG, PAPER_SLO, transactions=10)
+        with pytest.raises(ValueError):
+            ParameterAdvisor(PAPER_CONFIG, PAPER_SLO, replications=0)
+        with pytest.raises(ValueError):
+            ParameterAdvisor(PAPER_CONFIG, PAPER_SLO, loss_penalty=-1.0)
