@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper experiments examples clean
+.PHONY: install test bench bench-paper bench-sweep experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ bench:
 
 bench-paper:
 	REPRO_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-sweep:
+	$(PYTHON) -m pytest benchmarks/test_bench_parallel_speedup.py --benchmark-only -s
 
 experiments:
 	$(PYTHON) -m repro run all --scale quick --seed 2006

@@ -1,0 +1,68 @@
+"""Execution-layer speedup: the fig09_10 sweep, serial vs 4 workers.
+
+Times the same quick-scale SRAA sweep through the serial backend and a
+4-worker process pool, records both wall-clocks, and asserts the runs
+are bit-identical (the execution layer's determinism guarantee).  The
+speedup assertion only applies on multi-core hardware -- on a single
+CPU the pool can only add overhead, so there the two times are merely
+recorded for the machine-capability record.
+"""
+
+import os
+import time
+
+from conftest import BENCH_SEED, bench_scale
+
+from repro.exec.backends import ProcessPoolBackend, SerialBackend
+from repro.experiments.sweep import sraa_config, sweep_policies
+
+#: A representative subset of the Fig. 9/10 frame (n*K*D = 15).
+CONFIGS = (
+    sraa_config(3, 1, 5),
+    sraa_config(1, 3, 5),
+    sraa_config(5, 3, 1),
+    sraa_config(15, 1, 1),
+)
+
+POOL_WORKERS = 4
+
+
+def _sweep(backend):
+    return sweep_policies(CONFIGS, bench_scale(), seed=BENCH_SEED,
+                          backend=backend)
+
+
+def test_parallel_sweep_speedup(benchmark):
+    serial_started = time.perf_counter()
+    serial = _sweep(SerialBackend())
+    serial_s = time.perf_counter() - serial_started
+
+    pool_started = time.perf_counter()
+    pooled = _sweep(ProcessPoolBackend(workers=POOL_WORKERS))
+    pool_s = time.perf_counter() - pool_started
+
+    # The determinism guarantee: backend choice never changes numbers.
+    assert serial.results == pooled.results
+
+    cores = os.cpu_count() or 1
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["pool_s"] = round(pool_s, 3)
+    benchmark.extra_info["workers"] = POOL_WORKERS
+    benchmark.extra_info["cpu_cores"] = cores
+    print(
+        f"\nserial {serial_s:.2f}s vs {POOL_WORKERS}-worker pool "
+        f"{pool_s:.2f}s on {cores} core(s) "
+        f"(speedup {serial_s / pool_s:.2f}x)"
+    )
+    if cores >= 2:
+        # With real parallel hardware the pool must win.
+        assert pool_s < serial_s
+
+    # The timed metric for pytest-benchmark's own table: one more
+    # pooled run (the serial baseline is in extra_info).
+    benchmark.pedantic(
+        _sweep,
+        args=(ProcessPoolBackend(workers=POOL_WORKERS),),
+        rounds=1,
+        iterations=1,
+    )

@@ -33,6 +33,7 @@ from repro.cluster import (
 from repro.core import (
     CLTA,
     PAPER_SLO,
+    PolicySpec,
     SARAA,
     SRAA,
     BucketChain,
@@ -54,6 +55,7 @@ from repro.core import (
 from repro.ctmc import SampleMeanChain, clt_false_alarm_probability
 from repro.degradation import DegradableSystem
 from repro.ecommerce import (
+    ArrivalSpec,
     ECommerceSystem,
     PAPER_CONFIG,
     PoissonArrivals,
@@ -62,6 +64,13 @@ from repro.ecommerce import (
     run_once,
     run_replications,
     simulate_mmc_response_times,
+)
+from repro.exec import (
+    ProcessPoolBackend,
+    ReplicationJob,
+    SerialBackend,
+    make_backend,
+    use_backend,
 )
 from repro.experiments import Scale, run_experiment
 from repro.availability import HuangRejuvenationModel
@@ -78,6 +87,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveSLO",
+    "ArrivalSpec",
     "BucketChain",
     "CLTA",
     "CUSUMPolicy",
@@ -96,9 +106,12 @@ __all__ = [
     "ParameterScore",
     "PeriodicRejuvenation",
     "PoissonArrivals",
+    "PolicySpec",
+    "ProcessPoolBackend",
     "QuantilePolicy",
     "RejuvenationMonitor",
     "RejuvenationPolicy",
+    "ReplicationJob",
     "ResourceExhaustionPolicy",
     "RiskBasedThreshold",
     "RollingCoordinator",
@@ -107,6 +120,7 @@ __all__ = [
     "SRAA",
     "SampleMeanChain",
     "Scale",
+    "SerialBackend",
     "ServiceLevelObjective",
     "StaticRejuvenation",
     "SystemConfig",
@@ -117,11 +131,13 @@ __all__ = [
     "default_grid",
     "calibrate_slo",
     "clt_false_alarm_probability",
+    "make_backend",
     "make_policy",
     "robust_calibrate_slo",
     "run_experiment",
     "run_once",
     "run_replications",
     "simulate_mmc_response_times",
+    "use_backend",
     "__version__",
 ]

@@ -5,12 +5,20 @@ Subcommands
 
 ``repro list``
     Show every registered experiment with its description.
-``repro run EXPERIMENT [--scale quick|smoke|paper] [--seed N]``
-    Run one experiment (or ``all``) and print its tables.
+``repro run EXPERIMENT [--scale quick|smoke|paper] [--seed N]
+[--workers N] [--backend serial|process|auto]``
+    Run one experiment, a comma-separated list, or ``all``, and print
+    its tables.  With ``--workers N > 1`` the replication jobs of each
+    experiment fan out over a process pool; when several experiments
+    are requested, the independent experiments themselves are
+    dispatched concurrently.  ``REPRO_WORKERS`` / ``REPRO_BACKEND``
+    are the environment equivalents.
 ``repro mmc --load CPUS``
     Print the analytical M/M/16 response-time facts at one load.
 ``repro policies``
     List the policy names the factory accepts.
+``repro simulate [--policy NAME] [--workers N]``
+    One-off simulation of the Section-3 system under a policy.
 """
 
 from __future__ import annotations
@@ -18,15 +26,22 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.factory import available_policies
+from repro.exec.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.exec.progress import ProgressPrinter, StageTimer
 from repro.experiments.registry import (
     describe,
     experiment_ids,
     run_experiment,
 )
 from repro.experiments.scale import Scale
+from repro.experiments.tables import ExperimentResult
 from repro.queueing.mmc import MMcModel
 
 
@@ -46,7 +61,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run an experiment and print its tables")
     run.add_argument(
         "experiment",
-        help="experiment id from 'repro list', or 'all'",
+        help=(
+            "experiment id from 'repro list', a comma-separated list "
+            "of ids, or 'all'"
+        ),
     )
     run.add_argument(
         "--scale",
@@ -60,7 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the result(s) as JSON (directory when "
-        "running 'all', file otherwise)",
+        "running several experiments, file otherwise)",
     )
     run.add_argument(
         "--csv",
@@ -68,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each table as CSV into this directory",
     )
+    _add_backend_options(run)
 
     mmc = sub.add_parser("mmc", help="analytical M/M/16 facts at one load")
     mmc.add_argument(
@@ -102,7 +121,25 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--warmup", type=int, default=0, help="transactions excluded from stats"
     )
+    _add_backend_options(simulate)
     return parser
+
+
+def _add_backend_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel worker processes (default: REPRO_WORKERS env or 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "serial", "process"),
+        default=None,
+        help="execution backend (default: REPRO_BACKEND env or 'auto'; "
+        "'auto' picks 'process' when more than one worker is requested)",
+    )
 
 
 def _resolve_scale(name: Optional[str]) -> Scale:
@@ -111,6 +148,16 @@ def _resolve_scale(name: Optional[str]) -> Scale:
     return {"smoke": Scale.smoke, "quick": Scale.quick, "paper": Scale.paper}[
         name
     ]()
+
+
+def _resolve_backend(args: argparse.Namespace) -> ExecutionBackend:
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    return make_backend(
+        args.backend,
+        args.workers,
+        progress=ProgressPrinter(label="exec"),
+    )
 
 
 def _cmd_list() -> int:
@@ -126,19 +173,50 @@ def _cmd_policies() -> int:
     return 0
 
 
+def _resolve_run_targets(experiment: str) -> Tuple[str, ...]:
+    if experiment == "all":
+        return experiment_ids()
+    return tuple(
+        name.strip() for name in experiment.split(",") if name.strip()
+    )
+
+
+def _run_one(spec: Tuple[str, Scale, int]) -> ExperimentResult:
+    """Run one registry experiment serially (picklable dispatch target)."""
+    eid, scale, seed = spec
+    return run_experiment(eid, scale, seed, backend=SerialBackend())
+
+
 def _cmd_run(
     experiment: str,
     scale: Scale,
     seed: int,
+    backend: ExecutionBackend,
     json_path: Optional[str] = None,
     csv_dir: Optional[str] = None,
 ) -> int:
     from repro.experiments.io import save_csv, save_json
 
-    targets = experiment_ids() if experiment == "all" else (experiment,)
+    targets = _resolve_run_targets(experiment)
+    if not targets:
+        raise SystemExit(f"no experiment ids in {experiment!r}")
     many = len(targets) > 1
-    for eid in targets:
-        result = run_experiment(eid, scale, seed)
+    timer = StageTimer()
+    parallel_experiments = many and getattr(backend, "workers", 1) > 1
+    if parallel_experiments:
+        # Independent experiments dispatched concurrently; each runs
+        # its own jobs serially (no nested pools).  Results come back
+        # in registry order regardless of completion order.
+        with timer.stage("all experiments"):
+            results = backend.map(
+                _run_one, [(eid, scale, seed) for eid in targets]
+            )
+    else:
+        results = []
+        for eid in targets:
+            with timer.stage(eid):
+                results.append(run_experiment(eid, scale, seed, backend=backend))
+    for eid, result in zip(targets, results):
         print(result.format_text())
         print()
         if json_path is not None:
@@ -152,6 +230,8 @@ def _cmd_run(
         if csv_dir is not None:
             for path in save_csv(result, csv_dir):
                 print(f"wrote {path}")
+    print(f"wall-clock per stage ({backend.name} backend):")
+    print(timer.report())
     return 0
 
 
@@ -173,46 +253,53 @@ def _cmd_mmc(load: float, servers: int, service_rate: float) -> int:
 
 
 def _parse_params(pairs: List[str]) -> dict:
+    """``KEY=VALUE`` pairs to a params dict (ints preferred to floats).
+
+    Accepts anything Python parses as a number, including scientific
+    notation (``mu=1e-3``) and infinities -- not just digits-and-dots.
+    """
     params = {}
     for pair in pairs:
         key, sep, value = pair.partition("=")
         if not sep or not key:
             raise SystemExit(f"bad --param {pair!r}; expected KEY=VALUE")
         try:
-            params[key] = float(value) if "." in value else int(value)
+            params[key] = int(value)
         except ValueError:
-            raise SystemExit(
-                f"bad --param value {value!r}; expected a number"
-            ) from None
+            try:
+                params[key] = float(value)
+            except ValueError:
+                raise SystemExit(
+                    f"bad --param value {value!r}; expected a number"
+                ) from None
     return params
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.core.factory import make_policy
-    from repro.core.sla import PAPER_SLO
+    from repro.core.spec import PolicySpec
     from repro.ecommerce.config import PAPER_CONFIG
     from repro.ecommerce.runner import run_replications
-    from repro.ecommerce.workload import PoissonArrivals
+    from repro.ecommerce.spec import ArrivalSpec
 
     params = _parse_params(args.param)
     if args.policy == "none":
-        policy_factory = lambda: None  # noqa: E731 - tiny local factory
-        description = "no rejuvenation"
+        policy = PolicySpec.none()
     else:
-        policy_factory = lambda: make_policy(  # noqa: E731
-            args.policy, PAPER_SLO, **params
-        )
-        description = policy_factory().describe()
+        policy = PolicySpec(args.policy, params)
+    description = policy.describe()
     rate = PAPER_CONFIG.arrival_rate_for_load(args.load)
-    result = run_replications(
-        PAPER_CONFIG,
-        arrival_factory=lambda: PoissonArrivals(rate),
-        policy_factory=policy_factory,
-        n_transactions=args.transactions,
-        replications=args.replications,
-        seed=args.seed,
-        warmup=args.warmup,
-    )
+    timer = StageTimer()
+    with timer.stage("simulate"):
+        result = run_replications(
+            PAPER_CONFIG,
+            arrival=ArrivalSpec.poisson(rate),
+            policy=policy,
+            n_transactions=args.transactions,
+            replications=args.replications,
+            seed=args.seed,
+            warmup=args.warmup,
+            backend=_resolve_backend(args),
+        )
     rt_mean, rt_low, rt_high = result.response_time_interval()
     loss_mean, loss_low, loss_high = result.loss_interval()
     print(f"policy            : {description}")
@@ -230,6 +317,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     print(f"rejuvenations     : {result.rejuvenations:g} per replication")
     print(f"garbage collections: {result.gc_count:g} per replication")
+    print(f"wall-clock        : {timer.total_s:.2f} s")
     return 0
 
 
@@ -245,6 +333,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.experiment,
             _resolve_scale(args.scale),
             args.seed,
+            _resolve_backend(args),
             json_path=args.json,
             csv_dir=args.csv,
         )

@@ -32,6 +32,7 @@ from repro.core.saraa import (
     no_acceleration,
 )
 from repro.core.sla import PAPER_SLO, ServiceLevelObjective
+from repro.core.spec import NO_POLICY, PolicySpec
 from repro.core.sraa import SRAA, StaticRejuvenation
 from repro.core.threshold import DeterministicThreshold, RiskBasedThreshold
 from repro.core.trend import TrendPolicy
@@ -46,8 +47,10 @@ __all__ = [
     "EWMAPolicy",
     "MajorityOf",
     "DeterministicThreshold",
+    "NO_POLICY",
     "NeverRejuvenate",
     "PAPER_SLO",
+    "PolicySpec",
     "PeriodicRejuvenation",
     "QuantilePolicy",
     "RejuvenationPolicy",

@@ -1,0 +1,95 @@
+"""Declarative policy specifications.
+
+A :class:`PolicySpec` is the picklable counterpart of the old
+``lambda: SRAA(...)`` factories: plain data (policy name, parameters,
+SLO) from which :func:`repro.core.factory.make_policy` builds a *fresh*
+policy instance per replication, so no detection state leaks between
+replications and the spec can cross a process boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.base import RejuvenationPolicy
+from repro.core.factory import available_policies, make_policy
+from repro.core.sla import PAPER_SLO, ServiceLevelObjective
+
+#: Spec name meaning "no rejuvenation policy at all".
+NO_POLICY = "none"
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A policy as plain data: ``name`` + ``params`` + ``slo``.
+
+    ``name`` is one of :func:`repro.core.factory.available_policies`
+    or ``"none"`` (build returns ``None`` -- rejuvenation disabled);
+    ``params`` uses the paper's parameter letters exactly as
+    :func:`~repro.core.factory.make_policy` does.
+
+    Examples
+    --------
+    >>> PolicySpec.sraa(2, 5, 3).build().describe()
+    'SRAA(n=2, K=5, D=3)'
+    >>> PolicySpec.none().build() is None
+    True
+    """
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    slo: ServiceLevelObjective = PAPER_SLO
+
+    def __post_init__(self) -> None:
+        known = available_policies() + (NO_POLICY,)
+        if self.name not in known:
+            raise ValueError(
+                f"unknown policy {self.name!r}; available: "
+                f"{', '.join(known)}"
+            )
+        # Defensive copy so a shared params dict cannot mutate the spec.
+        object.__setattr__(self, "params", dict(self.params))
+
+    def build(self) -> Optional[RejuvenationPolicy]:
+        """A fresh policy instance (``None`` for the "none" spec)."""
+        if self.name == NO_POLICY:
+            return None
+        return make_policy(self.name, self.slo, **self.params)
+
+    def describe(self) -> str:
+        """Human-readable description of the policy this spec builds."""
+        built = self.build()
+        return "no rejuvenation" if built is None else built.describe()
+
+    # ------------------------------------------------------------------
+    # Common configurations
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "PolicySpec":
+        """Rejuvenation disabled."""
+        return cls(name=NO_POLICY)
+
+    @classmethod
+    def sraa(
+        cls, n: int, K: int, D: int, slo: ServiceLevelObjective = PAPER_SLO
+    ) -> "PolicySpec":
+        """SRAA with the paper's ``(n, K, D)`` parameters."""
+        return cls(name="sraa", params={"n": n, "K": K, "D": D}, slo=slo)
+
+    @classmethod
+    def saraa(
+        cls, n: int, K: int, D: int, slo: ServiceLevelObjective = PAPER_SLO
+    ) -> "PolicySpec":
+        """SARAA with the paper's ``(n, K, D)`` parameters."""
+        return cls(name="saraa", params={"n": n, "K": K, "D": D}, slo=slo)
+
+    @classmethod
+    def clta(
+        cls,
+        n: int,
+        z: float = 1.96,
+        slo: ServiceLevelObjective = PAPER_SLO,
+    ) -> "PolicySpec":
+        """CLTA with sample size ``n`` and normal quantile ``z``."""
+        return cls(name="clta", params={"n": n, "z": z}, slo=slo)

@@ -25,6 +25,7 @@ class Simulator:
     >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
     >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
     >>> sim.run()
+    2
     >>> fired
     [1.0, 2.0]
     """
@@ -84,9 +85,14 @@ class Simulator:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
-    ) -> None:
+    ) -> int:
         """Run until the event set drains, ``until`` is reached, or
         ``max_events`` events have fired in this call.
+
+        Returns the number of events fired during this call.  An event
+        whose action raises :class:`StopSimulation` counts: it did fire
+        (and :attr:`events_fired` already includes it), even though its
+        action was cut short.
 
         When stopping on ``until``, the clock is advanced to ``until`` and
         events scheduled at exactly ``until`` *are* fired (closed interval),
@@ -95,19 +101,19 @@ class Simulator:
         fired_this_call = 0
         while True:
             if max_events is not None and fired_this_call >= max_events:
-                return
+                return fired_this_call
             next_event = self.queue.peek()
             if next_event is None:
                 if until is not None and until > self.now:
                     self.now = until
-                return
+                return fired_this_call
             if until is not None and next_event.time > until:
                 self.now = until
-                return
+                return fired_this_call
             try:
                 self.step()
             except StopSimulation:
-                return
+                return fired_this_call + 1
             fired_this_call += 1
 
     def reset(self, start_time: float = 0.0) -> None:

@@ -10,10 +10,12 @@ system the paper studied.
 from repro.ecommerce.config import PAPER_CONFIG, SystemConfig
 from repro.ecommerce.metrics import ReplicatedResult, RunResult
 from repro.ecommerce.runner import (
+    replication_jobs,
     run_once,
     run_replications,
     simulate_mmc_response_times,
 )
+from repro.ecommerce.spec import ARRIVAL_KINDS, ArrivalSpec
 from repro.ecommerce.system import ECommerceSystem
 from repro.ecommerce.telemetry import Telemetry, TelemetrySample
 from repro.ecommerce.trace import (
@@ -32,7 +34,9 @@ from repro.ecommerce.workload import (
 )
 
 __all__ = [
+    "ARRIVAL_KINDS",
     "ArrivalProcess",
+    "ArrivalSpec",
     "ECommerceSystem",
     "MMPPArrivals",
     "PAPER_CONFIG",
@@ -48,6 +52,7 @@ __all__ = [
     "TraceArrivals",
     "load_trace",
     "replay_policy",
+    "replication_jobs",
     "run_once",
     "run_replications",
     "save_trace",

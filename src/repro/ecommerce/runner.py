@@ -2,14 +2,18 @@
 
 The paper's evaluation protocol is five independent replications of
 100,000 transactions per scenario (Section 5).  ``run_replications``
-implements it: each replication gets an independent random-stream family
-derived from the master seed, and a *fresh* policy instance built by the
-supplied factory so no detection state leaks between replications.
+implements it on top of the execution layer: each replication becomes
+one declarative :class:`~repro.exec.jobs.ReplicationJob` (master seed
+``seed + i``, fresh policy/arrival instances built from specs so no
+detection state leaks between replications), the jobs are fanned out
+through an :class:`~repro.exec.backends.ExecutionBackend`, and the
+results are reassembled in replication order -- so serial and
+process-pool runs are bit-identical for the same seed.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -18,9 +22,18 @@ from repro.ecommerce.config import SystemConfig
 from repro.ecommerce.metrics import ReplicatedResult, RunResult
 from repro.ecommerce.system import ECommerceSystem
 from repro.ecommerce.workload import ArrivalProcess, PoissonArrivals
+from repro.exec.backends import ExecutionBackend, resolve_backend
+from repro.exec.jobs import (
+    ArrivalSource,
+    PolicySource,
+    ReplicationJob,
+    execute_job,
+)
+from repro.exec.progress import ProgressHook
 
-PolicyFactory = Callable[[], Optional[RejuvenationPolicy]]
-ArrivalFactory = Callable[[], ArrivalProcess]
+# Backward-compatible aliases: the pre-exec-layer factory protocol.
+PolicyFactory = PolicySource
+ArrivalFactory = ArrivalSource
 
 
 def run_once(
@@ -41,14 +54,51 @@ def run_once(
     )
 
 
-def run_replications(
+def replication_jobs(
     config: SystemConfig,
-    arrival_factory: ArrivalFactory,
-    policy_factory: PolicyFactory,
+    arrival: ArrivalSource,
+    policy: PolicySource,
     n_transactions: int,
     replications: int,
     seed: int = 0,
     warmup: int = 0,
+) -> List[ReplicationJob]:
+    """The job list behind :func:`run_replications`, in replication order.
+
+    This is the seed protocol in one place: replication ``i`` uses
+    ``seed + i`` as its own master seed, giving independent streams
+    (pinned by ``tests/experiments/test_seed_protocol.py``).
+    """
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    if n_transactions < 1:
+        raise ValueError("need at least one transaction")
+    return [
+        ReplicationJob(
+            config=config,
+            arrival=arrival,
+            policy=policy,
+            n_transactions=n_transactions,
+            seed=seed + i,
+            warmup=warmup,
+            tag=("replication", i),
+        )
+        for i in range(replications)
+    ]
+
+
+def run_replications(
+    config: SystemConfig,
+    arrival: Optional[ArrivalSource] = None,
+    policy: PolicySource = None,
+    n_transactions: int = 0,
+    replications: int = 0,
+    seed: int = 0,
+    warmup: int = 0,
+    backend: Union[ExecutionBackend, str, None] = None,
+    progress: Optional[ProgressHook] = None,
+    arrival_factory: Optional[ArrivalSource] = None,
+    policy_factory: Optional[PolicySource] = None,
 ) -> ReplicatedResult:
     """Independent replications of one scenario.
 
@@ -56,11 +106,13 @@ def run_replications(
     ----------
     config:
         System parameters.
-    arrival_factory:
-        Builds a fresh arrival process per replication (arrival processes
-        may be stateful, e.g. MMPP).
-    policy_factory:
-        Builds a fresh policy per replication (or returns ``None``).
+    arrival:
+        Arrival source: an :class:`~repro.ecommerce.spec.ArrivalSpec`
+        (picklable -- required for process-pool execution) or a
+        zero-argument factory building a fresh process per replication.
+    policy:
+        Policy source: a :class:`~repro.core.spec.PolicySpec`, a
+        zero-argument factory, or ``None`` to disable rejuvenation.
     n_transactions, replications:
         The paper uses 100,000 x 5.
     seed:
@@ -68,21 +120,37 @@ def run_replications(
         master, giving independent streams.
     warmup:
         Per-replication warm-up transactions excluded from statistics.
+    backend:
+        Execution backend (instance or name); ``None`` uses the
+        innermost :func:`repro.exec.use_backend` context, falling back
+        to the ``REPRO_WORKERS`` / ``REPRO_BACKEND`` environment.
+    progress:
+        Optional per-job :class:`~repro.exec.progress.JobEvent` hook.
+    arrival_factory, policy_factory:
+        Deprecated aliases for ``arrival`` / ``policy`` (the pre-spec
+        factory protocol); still accepted so existing callers keep
+        working.
     """
-    if replications < 1:
-        raise ValueError("need at least one replication")
-    runs = []
-    for i in range(replications):
-        runs.append(
-            run_once(
-                config,
-                arrival_factory(),
-                policy_factory(),
-                n_transactions,
-                seed=seed + i,
-                warmup=warmup,
-            )
-        )
+    if arrival_factory is not None:
+        if arrival is not None:
+            raise TypeError("pass either arrival or arrival_factory, not both")
+        arrival = arrival_factory
+    if policy_factory is not None:
+        if policy is not None:
+            raise TypeError("pass either policy or policy_factory, not both")
+        policy = policy_factory
+    if arrival is None:
+        raise TypeError("an arrival source is required")
+    jobs = replication_jobs(
+        config,
+        arrival,
+        policy,
+        n_transactions,
+        replications,
+        seed=seed,
+        warmup=warmup,
+    )
+    runs = resolve_backend(backend).map(execute_job, jobs, progress=progress)
     return ReplicatedResult(runs=tuple(runs))
 
 

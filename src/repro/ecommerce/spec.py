@@ -1,0 +1,105 @@
+"""Declarative arrival-process specifications.
+
+An :class:`ArrivalSpec` is the picklable counterpart of the old
+``lambda: PoissonArrivals(rate)`` factories: plain data (process kind +
+parameters) from which a *fresh* arrival process is built per
+replication.  Arrival processes are stateful (MMPP phase, periodic
+clock, trace cursor), so every replication must get its own instance;
+building from plain data is what lets the job cross process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence, Type
+
+from repro.ecommerce.workload import (
+    ArrivalProcess,
+    MMPPArrivals,
+    PeriodicArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+
+#: Spec kind -> arrival-process class.
+ARRIVAL_KINDS: Dict[str, Type[ArrivalProcess]] = {
+    "poisson": PoissonArrivals,
+    "mmpp": MMPPArrivals,
+    "periodic": PeriodicArrivals,
+    "trace": TraceArrivals,
+}
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """An arrival process as plain data: ``kind`` + constructor params.
+
+    Examples
+    --------
+    >>> ArrivalSpec.poisson(1.6).build()
+    PoissonArrivals(rate=1.6)
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; available: "
+                f"{', '.join(sorted(ARRIVAL_KINDS))}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    def build(self) -> ArrivalProcess:
+        """A fresh arrival process in its initial state."""
+        return ARRIVAL_KINDS[self.kind](**self.params)
+
+    # ------------------------------------------------------------------
+    # Constructors, one per process family
+    # ------------------------------------------------------------------
+    @classmethod
+    def poisson(cls, rate: float) -> "ArrivalSpec":
+        """Homogeneous Poisson arrivals (the paper's workload)."""
+        return cls(kind="poisson", params={"rate": float(rate)})
+
+    @classmethod
+    def mmpp(
+        cls,
+        base_rate: float,
+        burst_rate: float,
+        mean_quiet_s: float,
+        mean_burst_s: float,
+    ) -> "ArrivalSpec":
+        """Two-state Markov-modulated Poisson arrivals (bursty)."""
+        return cls(
+            kind="mmpp",
+            params={
+                "base_rate": float(base_rate),
+                "burst_rate": float(burst_rate),
+                "mean_quiet_s": float(mean_quiet_s),
+                "mean_burst_s": float(mean_burst_s),
+            },
+        )
+
+    @classmethod
+    def periodic(
+        cls, base_rate: float, amplitude: float, period_s: float
+    ) -> "ArrivalSpec":
+        """Sinusoidally modulated Poisson arrivals (daily cycle)."""
+        return cls(
+            kind="periodic",
+            params={
+                "base_rate": float(base_rate),
+                "amplitude": float(amplitude),
+                "period_s": float(period_s),
+            },
+        )
+
+    @classmethod
+    def trace(cls, interarrivals: Sequence[float]) -> "ArrivalSpec":
+        """Replay of a recorded inter-arrival sequence."""
+        return cls(
+            kind="trace",
+            params={"interarrivals": tuple(float(x) for x in interarrivals)},
+        )

@@ -1,0 +1,99 @@
+"""Declarative, picklable replication jobs.
+
+A :class:`ReplicationJob` is plain data: the system configuration, an
+*arrival source* and a *policy source* (declarative specs or zero-arg
+factories), and the run parameters.  Because the job carries no live
+simulator state and no closures when built from specs, it crosses
+process boundaries, which is what lets
+:class:`~repro.exec.backends.ProcessPoolBackend` fan the Section-5
+evaluation grid out over cores.
+
+Sources are duck-typed: anything with a ``build()`` method (e.g.
+:class:`~repro.core.spec.PolicySpec`,
+:class:`~repro.ecommerce.spec.ArrivalSpec`) builds a fresh instance per
+job; a zero-argument callable is invoked instead (the pre-spec factory
+protocol, still supported -- but closures only pickle under fork-less
+backends when they are module-level functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.base import RejuvenationPolicy
+    from repro.ecommerce.metrics import RunResult
+    from repro.ecommerce.workload import ArrivalProcess
+
+#: Builds a fresh arrival process per job: a spec or a factory.
+ArrivalSource = Union[Any, Callable[[], "ArrivalProcess"]]
+#: Builds a fresh policy per job: a spec, a factory, or None (no policy).
+PolicySource = Union[Any, Callable[[], Optional["RejuvenationPolicy"]], None]
+
+
+@dataclass(frozen=True)
+class ReplicationJob:
+    """One independent replication of the Section-3 model, as plain data.
+
+    ``tag`` is caller bookkeeping (e.g. ``(label, load, replication)``)
+    carried through the backend and surfaced in progress events; it does
+    not affect execution.
+    """
+
+    config: Any  # SystemConfig
+    arrival: ArrivalSource
+    policy: PolicySource
+    n_transactions: int
+    seed: Optional[int]
+    warmup: int = 0
+    collect_response_times: bool = False
+    tag: Tuple[Any, ...] = ()
+
+
+def build_arrival(source: ArrivalSource) -> "ArrivalProcess":
+    """A fresh arrival process from a spec or factory."""
+    build = getattr(source, "build", None)
+    if build is not None:
+        return build()
+    if callable(source):
+        return source()
+    raise TypeError(
+        "arrival source must be an ArrivalSpec (or any object with a "
+        f"build() method) or a zero-argument factory, got {source!r}"
+    )
+
+
+def build_policy(source: PolicySource) -> Optional["RejuvenationPolicy"]:
+    """A fresh policy from a spec or factory (``None`` disables it)."""
+    if source is None:
+        return None
+    build = getattr(source, "build", None)
+    if build is not None:
+        return build()
+    if callable(source):
+        return source()
+    raise TypeError(
+        "policy source must be a PolicySpec (or any object with a "
+        "build() method), a zero-argument factory, or None, got "
+        f"{source!r}"
+    )
+
+
+def execute_job(job: ReplicationJob) -> "RunResult":
+    """Run one replication job to completion (in this process)."""
+    # Imported here, not at module level: repro.ecommerce.runner imports
+    # this module, so a top-level import would be circular.
+    from repro.ecommerce.system import ECommerceSystem
+
+    system = ECommerceSystem(
+        job.config,
+        build_arrival(job.arrival),
+        policy=build_policy(job.policy),
+        seed=job.seed,
+    )
+    return system.run(
+        job.n_transactions,
+        warmup=job.warmup,
+        collect_response_times=job.collect_response_times,
+    )

@@ -1,0 +1,113 @@
+"""Progress and timing hooks for the execution layer.
+
+Backends emit one :class:`JobEvent` per completed job; anything callable
+with that event is a valid hook.  :class:`ProgressPrinter` is the hook
+the CLI installs (throttled, stderr, never interleaves with result
+tables on stdout), and :class:`StageTimer` records wall-clock per named
+stage so ``repro run`` can report where the time went.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional, TextIO, Tuple
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One completed job, as reported by a backend.
+
+    Parameters
+    ----------
+    index:
+        Position of the job in the submitted sequence (0-based).
+    done, total:
+        Jobs completed so far / jobs submitted.
+    elapsed_s:
+        Wall-clock seconds since the backend started this ``map`` call.
+    job_s:
+        Wall-clock seconds this particular job took.
+    tag:
+        The job's own bookkeeping tag (``ReplicationJob.tag``), empty
+        for untagged work items.
+    """
+
+    index: int
+    done: int
+    total: int
+    elapsed_s: float
+    job_s: float
+    tag: Tuple[Any, ...] = ()
+
+
+#: Anything accepting a :class:`JobEvent`.
+ProgressHook = Callable[[JobEvent], None]
+
+
+class ProgressPrinter:
+    """Prints job-completion progress lines, throttled.
+
+    Writes to ``stream`` (default: stderr, so result tables on stdout
+    stay machine-readable).  At most one line per ``min_interval_s``,
+    except the final event which is always printed.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 1.0,
+        label: str = "",
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = float(min_interval_s)
+        self.label = label
+        self._last_print = float("-inf")
+
+    def __call__(self, event: JobEvent) -> None:
+        now = time.monotonic()
+        final = event.done >= event.total
+        if not final and now - self._last_print < self.min_interval_s:
+            return
+        self._last_print = now
+        prefix = f"[{self.label}] " if self.label else ""
+        print(
+            f"{prefix}{event.done}/{event.total} jobs, "
+            f"{event.elapsed_s:.1f}s elapsed (last job {event.job_s:.2f}s)",
+            file=self.stream,
+        )
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock per named stage (insertion-ordered)."""
+
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.stages[name] = self.stages.get(name, 0.0) + elapsed
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.stages.values())
+
+    def report(self) -> str:
+        """One ``name: seconds`` line per stage, plus a total."""
+        if not self.stages:
+            return "no stages timed"
+        width = max(len(name) for name in self.stages)
+        lines = [
+            f"{name.ljust(width)}  {seconds:8.2f} s"
+            for name, seconds in self.stages.items()
+        ]
+        if len(self.stages) > 1:
+            lines.append(f"{'total'.ljust(width)}  {self.total_s:8.2f} s")
+        return "\n".join(lines)

@@ -20,6 +20,7 @@ from repro.experiments.sweep import (
     PolicyConfig,
     SweepResult,
     sraa_config,
+    sweep_jobs,
     sweep_policies,
 )
 from repro.experiments.tables import ExperimentResult, Series, Table
@@ -36,5 +37,6 @@ __all__ = [
     "experiment_ids",
     "run_experiment",
     "sraa_config",
+    "sweep_jobs",
     "sweep_policies",
 ]

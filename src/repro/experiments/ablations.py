@@ -30,7 +30,7 @@ from repro.core.sla import PAPER_SLO
 from repro.core.sraa import SRAA
 from repro.ecommerce.config import PAPER_CONFIG, SystemConfig
 from repro.ecommerce.runner import run_replications
-from repro.ecommerce.workload import PoissonArrivals
+from repro.ecommerce.spec import ArrivalSpec
 from repro.experiments.scale import Scale
 from repro.experiments.tables import ExperimentResult, Series, Table
 
@@ -49,8 +49,8 @@ def _measure(
     rate = config.arrival_rate_for_load(load)
     replicated = run_replications(
         config,
-        arrival_factory=lambda: PoissonArrivals(rate),
-        policy_factory=policy_factory,  # type: ignore[arg-type]
+        arrival=ArrivalSpec.poisson(rate),
+        policy=policy_factory,
         n_transactions=scale.transactions,
         replications=scale.replications,
         seed=seed,

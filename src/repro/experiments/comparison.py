@@ -9,10 +9,7 @@ loads (12.8 s at 9.0 CPUs vs 11.94 s for SRAA and 10.5 s for SARAA).
 
 from __future__ import annotations
 
-from repro.core.clta import CLTA
-from repro.core.saraa import SARAA
-from repro.core.sla import PAPER_SLO
-from repro.core.sraa import SRAA
+from repro.core.spec import PolicySpec
 from repro.experiments.scale import Scale
 from repro.experiments.sweep import PolicyConfig, sweep_policies
 from repro.experiments.tables import ExperimentResult
@@ -23,17 +20,15 @@ def fig16_configs() -> list[PolicyConfig]:
     return [
         PolicyConfig(
             label="CLTA (n=30, K=1, D=1)",
-            factory=lambda: CLTA(PAPER_SLO, sample_size=30, z=1.96),
+            policy=PolicySpec.clta(30, z=1.96),
         ),
         PolicyConfig(
             label="SRAA (n=2, K=5, D=3)",
-            factory=lambda: SRAA(PAPER_SLO, sample_size=2, n_buckets=5, depth=3),
+            policy=PolicySpec.sraa(2, 5, 3),
         ),
         PolicyConfig(
             label="SARAA (n=2, K=5, D=3)",
-            factory=lambda: SARAA(
-                PAPER_SLO, sample_size=2, n_buckets=5, depth=3
-            ),
+            policy=PolicySpec.saraa(2, 5, 3),
         ),
     ]
 

@@ -10,25 +10,22 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.core.clta import CLTA
-from repro.core.saraa import SARAA
-from repro.core.sla import PAPER_SLO
-from repro.core.sraa import SRAA
+from repro.core.spec import PolicySpec
 from repro.ecommerce.config import PAPER_CONFIG
 from repro.ecommerce.runner import run_replications
-from repro.ecommerce.workload import PoissonArrivals
+from repro.ecommerce.spec import ArrivalSpec
 from repro.experiments.paper_values import QUOTED_VALUES, QuotedValue
 from repro.experiments.scale import Scale
 from repro.experiments.tables import ExperimentResult, Series, Table
 
 
-def _policy_factory(quoted: QuotedValue):
+def _policy_spec(quoted: QuotedValue) -> PolicySpec:
     if quoted.algorithm == "sraa":
-        return lambda: SRAA(PAPER_SLO, quoted.n, quoted.K, quoted.D)
+        return PolicySpec.sraa(quoted.n, quoted.K, quoted.D)
     if quoted.algorithm == "saraa":
-        return lambda: SARAA(PAPER_SLO, quoted.n, quoted.K, quoted.D)
+        return PolicySpec.saraa(quoted.n, quoted.K, quoted.D)
     if quoted.algorithm == "clta":
-        return lambda: CLTA(PAPER_SLO, sample_size=quoted.n, z=1.96)
+        return PolicySpec.clta(quoted.n, z=1.96)
     raise ValueError(f"unknown algorithm {quoted.algorithm!r}")
 
 
@@ -48,8 +45,8 @@ def run_fidelity(scale: Scale, seed: int = 0) -> ExperimentResult:
         rate = PAPER_CONFIG.arrival_rate_for_load(quoted.load_cpus)
         replicated = run_replications(
             PAPER_CONFIG,
-            arrival_factory=lambda rate=rate: PoissonArrivals(rate),
-            policy_factory=_policy_factory(quoted),
+            arrival=ArrivalSpec.poisson(rate),
+            policy=_policy_spec(quoted),
             n_transactions=scale.transactions,
             replications=scale.replications,
             seed=seed,

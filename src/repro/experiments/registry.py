@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Tuple, Union
+
+from repro.exec.backends import ExecutionBackend, resolve_backend, use_backend
 
 from repro.experiments.ablations import run_ablations
 from repro.experiments.analytical import (
@@ -106,10 +108,24 @@ def describe(experiment_id: str) -> str:
 
 
 def run_experiment(
-    experiment_id: str, scale: Scale, seed: int = 0
+    experiment_id: str,
+    scale: Scale,
+    seed: int = 0,
+    backend: Union[ExecutionBackend, str, None] = None,
 ) -> ExperimentResult:
-    """Run one experiment at the given scale."""
-    return _lookup(experiment_id)[1](scale, seed)
+    """Run one experiment at the given scale.
+
+    ``backend`` (an :class:`~repro.exec.backends.ExecutionBackend`, a
+    backend name, or ``None`` for the current default) is installed as
+    the default execution backend for the duration of the run, so every
+    ``run_replications`` / ``sweep_policies`` inside the experiment
+    fans its replication jobs out through it.
+    """
+    runner = _lookup(experiment_id)[1]
+    if backend is None:
+        return runner(scale, seed)
+    with use_backend(resolve_backend(backend)):
+        return runner(scale, seed)
 
 
 def _lookup(experiment_id: str) -> Tuple[str, ExperimentRunner]:

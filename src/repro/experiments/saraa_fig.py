@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.core.saraa import SARAA
-from repro.core.sla import PAPER_SLO
+from repro.core.spec import PolicySpec
 from repro.experiments.scale import Scale
 from repro.experiments.sweep import PolicyConfig, sraa_config, sweep_policies
 from repro.experiments.tables import ExperimentResult
@@ -27,9 +26,7 @@ def saraa_config(n: int, K: int, D: int) -> PolicyConfig:
     """A SARAA configuration labelled like the paper's curves."""
     return PolicyConfig(
         label=f"SARAA (n={n}, K={K}, D={D})",
-        factory=lambda: SARAA(
-            PAPER_SLO, sample_size=n, n_buckets=K, depth=D
-        ),
+        policy=PolicySpec.saraa(n, K, D),
     )
 
 

@@ -10,56 +10,52 @@ where.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import List, Tuple
 
-from repro.core.baselines import NeverRejuvenate, PeriodicRejuvenation
-from repro.core.clta import CLTA
 from repro.core.composite import AllOf
-from repro.core.control_charts import CUSUMPolicy, EWMAPolicy
-from repro.core.quantile import QuantilePolicy
-from repro.core.saraa import SARAA
 from repro.core.sla import PAPER_SLO
-from repro.core.sraa import SRAA, StaticRejuvenation
+from repro.core.spec import PolicySpec
+from repro.core.sraa import SRAA
 from repro.core.threshold import DeterministicThreshold
-from repro.core.trend import TrendPolicy
 from repro.ecommerce.config import PAPER_CONFIG
 from repro.ecommerce.runner import run_replications
-from repro.ecommerce.workload import PoissonArrivals
+from repro.ecommerce.spec import ArrivalSpec
+from repro.exec.jobs import PolicySource
 from repro.experiments.scale import Scale
 from repro.experiments.tables import ExperimentResult, Series, Table
 
 ZOO_LOADS = (0.5, 9.0)
 
 
-def zoo_members() -> List[Tuple[str, Callable[[], object]]]:
-    """(label, fresh-policy factory) for every contender."""
+def _threshold_and_sraa() -> AllOf:
+    # Module-level (not a lambda) so the composite member pickles too.
+    return AllOf(
+        [DeterministicThreshold(20.0), SRAA(PAPER_SLO, 2, 2, 2)],
+        memory=50,
+    )
+
+
+def zoo_members() -> List[Tuple[str, PolicySource]]:
+    """(label, fresh-policy source) for every contender."""
     return [
-        ("never", NeverRejuvenate),
-        ("periodic(300)", lambda: PeriodicRejuvenation(period=300)),
-        ("threshold(>20s)", lambda: DeterministicThreshold(20.0)),
-        ("static(K=5,D=3)", lambda: StaticRejuvenation(PAPER_SLO, 5, 3)),
-        ("SRAA(2,5,3)", lambda: SRAA(PAPER_SLO, 2, 5, 3)),
-        ("SARAA(2,5,3)", lambda: SARAA(PAPER_SLO, 2, 5, 3)),
-        ("CLTA(30,z=1.96)", lambda: CLTA(PAPER_SLO, 30, 1.96)),
-        ("trend(n=5,w=12)", lambda: TrendPolicy(sample_size=5, window=12)),
-        ("CUSUM(k=.5,h=5)", lambda: CUSUMPolicy(PAPER_SLO)),
-        ("EWMA(lam=.2,L=3)", lambda: EWMAPolicy(PAPER_SLO)),
+        ("never", PolicySpec("never")),
+        ("periodic(300)", PolicySpec("periodic", {"period": 300})),
+        ("threshold(>20s)", PolicySpec("threshold", {"limit": 20.0})),
+        ("static(K=5,D=3)", PolicySpec("static", {"K": 5, "D": 3})),
+        ("SRAA(2,5,3)", PolicySpec.sraa(2, 5, 3)),
+        ("SARAA(2,5,3)", PolicySpec.saraa(2, 5, 3)),
+        ("CLTA(30,z=1.96)", PolicySpec.clta(30, z=1.96)),
+        ("trend(n=5,w=12)", PolicySpec("trend", {"n": 5, "window": 12})),
+        ("CUSUM(k=.5,h=5)", PolicySpec("cusum")),
+        ("EWMA(lam=.2,L=3)", PolicySpec("ewma")),
         (
             "p95 > 30s (w=100)",
-            lambda: QuantilePolicy(
-                0.95, limit=30.0, window=100, patience=2
+            PolicySpec(
+                "quantile",
+                {"q": 0.95, "limit": 30.0, "window": 100, "patience": 2},
             ),
         ),
-        (
-            "threshold AND sraa",
-            lambda: AllOf(
-                [
-                    DeterministicThreshold(20.0),
-                    SRAA(PAPER_SLO, 2, 2, 2),
-                ],
-                memory=50,
-            ),
-        ),
+        ("threshold AND sraa", _threshold_and_sraa),
     ]
 
 
@@ -75,15 +71,15 @@ def run_zoo(scale: Scale, seed: int = 0) -> ExperimentResult:
         x_label="load_cpus",
         y_label="loss_fraction",
     )
-    for label, factory in zoo_members():
+    for label, policy in zoo_members():
         rt_series = Series(label=label)
         loss_series = Series(label=label)
         for load in ZOO_LOADS:
             rate = PAPER_CONFIG.arrival_rate_for_load(load)
             replicated = run_replications(
                 PAPER_CONFIG,
-                arrival_factory=lambda rate=rate: PoissonArrivals(rate),
-                policy_factory=factory,
+                arrival=ArrivalSpec.poisson(rate),
+                policy=policy,
                 n_transactions=scale.transactions,
                 replications=scale.replications,
                 seed=seed,

@@ -22,15 +22,13 @@ better.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
-from repro.core.base import RejuvenationPolicy
-from repro.core.saraa import SARAA
 from repro.core.sla import ServiceLevelObjective
-from repro.core.sraa import SRAA
+from repro.core.spec import PolicySpec
 from repro.ecommerce.config import SystemConfig
 from repro.ecommerce.runner import run_replications
-from repro.ecommerce.workload import PoissonArrivals
+from repro.ecommerce.spec import ArrivalSpec
 
 
 @dataclass(frozen=True)
@@ -110,25 +108,23 @@ class ParameterAdvisor:
         self.loss_penalty = loss_penalty
 
     # ------------------------------------------------------------------
-    def _policy_factory(
+    def _policy_spec(
         self, algorithm: str, n: int, K: int, D: int
-    ) -> Callable[[], RejuvenationPolicy]:
+    ) -> PolicySpec:
         if algorithm == "sraa":
-            return lambda: SRAA(self.slo, n, K, D)
+            return PolicySpec.sraa(n, K, D, slo=self.slo)
         if algorithm == "saraa":
-            return lambda: SARAA(self.slo, n, K, D)
+            return PolicySpec.saraa(n, K, D, slo=self.slo)
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected 'sraa' or 'saraa'"
         )
 
-    def _measure(
-        self, factory: Callable[[], RejuvenationPolicy], load: float
-    ) -> Tuple[float, float]:
+    def _measure(self, spec: PolicySpec, load: float) -> Tuple[float, float]:
         rate = self.system_config.arrival_rate_for_load(load)
         replicated = run_replications(
             self.system_config,
-            arrival_factory=lambda: PoissonArrivals(rate),
-            policy_factory=factory,
+            arrival=ArrivalSpec.poisson(rate),
+            policy=spec,
             n_transactions=self.transactions,
             replications=self.replications,
             seed=self.seed,
@@ -139,9 +135,9 @@ class ParameterAdvisor:
         self, n: int, K: int, D: int, algorithm: str = "sraa"
     ) -> ParameterScore:
         """Assess one configuration."""
-        factory = self._policy_factory(algorithm, n, K, D)
-        high_rt, _ = self._measure(factory, self.high_load)
-        _, low_loss = self._measure(factory, self.low_load)
+        spec = self._policy_spec(algorithm, n, K, D)
+        high_rt, _ = self._measure(spec, self.high_load)
+        _, low_loss = self._measure(spec, self.low_load)
         return ParameterScore(
             n=n,
             K=K,

@@ -107,6 +107,29 @@ class TestRunLimits:
         sim.run()
         assert sim.events_fired == 2
 
+    def test_run_returns_events_fired_this_call(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        assert sim.run(max_events=2) == 2
+        assert sim.run() == 1
+        assert sim.run() == 0  # queue drained
+
+    def test_stop_simulation_event_is_counted(self):
+        # The event that raises fired: its action ran up to the raise
+        # and step() recorded it, so run()'s return and events_fired
+        # must both include it.
+        sim = Simulator()
+
+        def bail():
+            raise StopSimulation
+
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, bail)
+        sim.schedule(3.0, lambda: None)
+        assert sim.run() == 2
+        assert sim.events_fired == 2
+
 
 class TestCancelAndReset:
     def test_cancelled_event_does_not_fire(self):

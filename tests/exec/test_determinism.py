@@ -1,0 +1,51 @@
+"""The execution layer's core guarantee: backend choice never changes
+results.  Serial and process-pool runs of the same seeded scenario must
+be bit-identical (the ISSUE's acceptance criterion)."""
+
+from repro.core.spec import PolicySpec
+from repro.ecommerce.config import PAPER_CONFIG
+from repro.ecommerce.runner import run_replications
+from repro.ecommerce.spec import ArrivalSpec
+from repro.exec.backends import ProcessPoolBackend, SerialBackend
+from repro.experiments.scale import Scale
+from repro.experiments.sweep import sraa_config, sweep_policies
+
+
+def _replicate(backend):
+    return run_replications(
+        PAPER_CONFIG,
+        arrival=ArrivalSpec.poisson(PAPER_CONFIG.arrival_rate_for_load(6.0)),
+        policy=PolicySpec.sraa(2, 5, 3),
+        n_transactions=300,
+        replications=3,
+        seed=42,
+        backend=backend,
+    )
+
+
+class TestRunReplicationsDeterminism:
+    def test_serial_and_pool_bit_identical(self):
+        serial = _replicate(SerialBackend())
+        pooled = _replicate(ProcessPoolBackend(workers=2))
+        assert serial == pooled  # every field of every RunResult
+
+    def test_serial_is_reproducible(self):
+        assert _replicate(SerialBackend()) == _replicate(SerialBackend())
+
+
+class TestSweepDeterminism:
+    def test_serial_and_pool_bit_identical(self):
+        scale = Scale(
+            transactions=150, replications=2, loads=(0.5, 6.0), label="tiny"
+        )
+        configs = (sraa_config(2, 5, 3), sraa_config(5, 3, 1))
+
+        def sweep(backend):
+            return sweep_policies(configs, scale, seed=7, backend=backend)
+
+        serial = sweep(SerialBackend())
+        pooled = sweep(ProcessPoolBackend(workers=2))
+        assert serial.loads == pooled.loads == (0.5, 6.0)
+        assert list(serial.results) == [c.label for c in configs]
+        # Dict-of-dict-of-ReplicatedResult equality is field-exact.
+        assert serial.results == pooled.results

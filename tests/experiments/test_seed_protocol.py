@@ -1,0 +1,72 @@
+"""Regression pins on the seeding protocol.
+
+The replication and sweep seed derivations are a compatibility surface:
+published numbers (EXPERIMENTS.md) were produced under them, and the
+common-random-numbers property of the sweeps depends on them.  These
+tests pin the exact derivations so a refactor cannot silently change
+every experiment's stream assignment.
+"""
+
+from repro.core.spec import PolicySpec
+from repro.ecommerce.config import PAPER_CONFIG
+from repro.ecommerce.runner import replication_jobs
+from repro.ecommerce.spec import ArrivalSpec
+from repro.experiments.scale import Scale
+from repro.experiments.sweep import sraa_config, sweep_jobs
+
+ARRIVAL = ArrivalSpec.poisson(PAPER_CONFIG.arrival_rate_for_load(6.0))
+
+
+class TestReplicationSeeds:
+    def test_replication_i_uses_seed_plus_i(self):
+        jobs = replication_jobs(
+            PAPER_CONFIG,
+            ARRIVAL,
+            PolicySpec.sraa(2, 5, 3),
+            n_transactions=100,
+            replications=5,
+            seed=37,
+        )
+        assert [job.seed for job in jobs] == [37, 38, 39, 40, 41]
+        assert [job.tag for job in jobs] == [
+            ("replication", i) for i in range(5)
+        ]
+
+
+class TestSweepSeeds:
+    SCALE = Scale(
+        transactions=100, replications=3, loads=(0.5, 6.0, 9.0), label="tiny"
+    )
+
+    def test_seed_is_master_plus_1000_load_index_plus_replication(self):
+        jobs = sweep_jobs([sraa_config(2, 5, 3)], self.SCALE, seed=10)
+        assert [job.seed for job in jobs] == [
+            10, 11, 12,            # load 0.5  (index 0)
+            1010, 1011, 1012,      # load 6.0  (index 1)
+            2010, 2011, 2012,      # load 9.0  (index 2)
+        ]
+
+    def test_common_random_numbers_across_configs(self):
+        # Every configuration sees the same seed at the same grid cell,
+        # so curve differences reflect policies, not draws.
+        configs = [sraa_config(2, 5, 3), sraa_config(5, 3, 1)]
+        jobs = sweep_jobs(configs, self.SCALE, seed=10)
+        per_config = len(self.SCALE.loads) * self.SCALE.replications
+        first = [job.seed for job in jobs[:per_config]]
+        second = [job.seed for job in jobs[per_config:]]
+        assert first == second
+
+    def test_grid_order_is_config_load_replication(self):
+        jobs = sweep_jobs([sraa_config(2, 5, 3)], self.SCALE, seed=0)
+        assert [job.tag for job in jobs] == [
+            ("(n=2, K=5, D=3)", load, i)
+            for load in self.SCALE.loads
+            for i in range(self.SCALE.replications)
+        ]
+
+    def test_arrival_rate_matches_load(self):
+        jobs = sweep_jobs([sraa_config(2, 5, 3)], self.SCALE, seed=0)
+        for job in jobs:
+            load = job.tag[1]
+            expected = PAPER_CONFIG.arrival_rate_for_load(load)
+            assert job.arrival.params["rate"] == expected

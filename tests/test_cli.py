@@ -1,8 +1,13 @@
 """CLI behaviour through the public main() entry point."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.experiments.io import load_json, result_to_dict
+from repro.experiments.registry import run_experiment
+from repro.experiments.scale import Scale
 
 
 class TestList:
@@ -51,6 +56,119 @@ class TestRun:
     def test_scale_env_fallback(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "smoke")
         assert main(["run", "mmc_baseline"]) == 0
+
+    def test_reports_stage_timing(self, capsys):
+        assert main(["run", "false_alarm", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock per stage" in out
+        assert "false_alarm" in out
+
+
+class TestRunParallel:
+    def test_workers_option(self, capsys):
+        code = main(
+            ["run", "false_alarm", "--scale", "smoke", "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "process backend" in out
+
+    def test_comma_list_dispatches_each(self, capsys):
+        code = main(
+            [
+                "run", "false_alarm,mmc_baseline",
+                "--scale", "smoke", "--workers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "false_alarm" in out
+        assert "mmc_baseline" in out
+
+    def test_parallel_matches_serial(self, capsys):
+        assert main(["run", "false_alarm", "--scale", "smoke"]) == 0
+        serial_out = capsys.readouterr().out
+        code = main(
+            [
+                "run", "false_alarm", "--scale", "smoke",
+                "--workers", "2", "--backend", "process",
+            ]
+        )
+        assert code == 0
+        parallel_out = capsys.readouterr().out
+        # Identical tables; only the timing footer may differ.
+        split = "wall-clock per stage"
+        assert serial_out.split(split)[0] == parallel_out.split(split)[0]
+
+    def test_explicit_serial_backend(self, capsys):
+        code = main(
+            [
+                "run", "false_alarm", "--scale", "smoke",
+                "--workers", "4", "--backend", "serial",
+            ]
+        )
+        assert code == 0
+        assert "serial backend" in capsys.readouterr().out
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "false_alarm", "--scale", "smoke", "--workers", "0"])
+
+    def test_empty_experiment_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", ",", "--scale", "smoke"])
+
+
+class TestRunExport:
+    def test_json_csv_round_trip(self, capsys, tmp_path):
+        json_path = tmp_path / "false_alarm.json"
+        csv_dir = tmp_path / "csv"
+        code = main(
+            [
+                "run", "false_alarm", "--scale", "smoke",
+                "--json", str(json_path), "--csv", str(csv_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert str(json_path) in out
+
+        # The JSON round-trips to exactly what a direct run produces.
+        reloaded = load_json(str(json_path))
+        direct = run_experiment("false_alarm", Scale.smoke(), seed=0)
+        assert result_to_dict(reloaded) == result_to_dict(direct)
+
+        # And the CSVs exist, one per table, with a header row.
+        csv_files = sorted(csv_dir.glob("false_alarm_*.csv"))
+        assert len(csv_files) == len(direct.tables)
+        header = csv_files[0].read_text().splitlines()[0]
+        assert header.startswith(direct.tables[0].x_label)
+
+    def test_json_schema_version_stamped(self, tmp_path):
+        json_path = tmp_path / "out.json"
+        main(
+            [
+                "run", "mmc_baseline", "--scale", "smoke",
+                "--json", str(json_path),
+            ]
+        )
+        payload = json.loads(json_path.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["experiment_id"] == "mmc_baseline"
+
+    def test_multi_experiment_json_writes_directory(self, tmp_path):
+        out_dir = tmp_path / "results"
+        code = main(
+            [
+                "run", "false_alarm,mmc_baseline", "--scale", "smoke",
+                "--json", str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert sorted(p.name for p in out_dir.glob("*.json")) == [
+            "false_alarm.json",
+            "mmc_baseline.json",
+        ]
 
 
 class TestParser:

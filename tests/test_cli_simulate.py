@@ -2,7 +2,37 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _parse_params, main
+
+
+class TestParseParams:
+    def test_int_stays_int(self):
+        params = _parse_params(["n=2", "K=5"])
+        assert params == {"n": 2, "K": 5}
+        assert all(isinstance(v, int) for v in params.values())
+
+    def test_float_parsed(self):
+        assert _parse_params(["z=2.33"]) == {"z": 2.33}
+
+    def test_scientific_notation_accepted(self):
+        assert _parse_params(["mu=1e-3"]) == {"mu": 0.001}
+        assert _parse_params(["rate=2.5E2"]) == {"rate": 250.0}
+        assert _parse_params(["limit=1e6"]) == {"limit": 1_000_000.0}
+
+    def test_negative_values(self):
+        assert _parse_params(["drift=-0.5"]) == {"drift": -0.5}
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["n"])
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["=3"])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["n=abc"])
 
 
 class TestSimulate:
@@ -63,3 +93,28 @@ class TestSimulate:
                 ["simulate", "--policy", "quantum",
                  "--transactions", "1000"]
             )
+
+    def test_workers_gives_identical_numbers(self, capsys):
+        args = [
+            "simulate", "--policy", "sraa",
+            "-p", "n=2", "-p", "K=5", "-p", "D=3",
+            "--load", "6", "--transactions", "1000",
+            "--replications", "2", "--seed", "3",
+        ]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # Everything except the wall-clock line must be identical.
+        strip = lambda out: [
+            line for line in out.splitlines() if "wall-clock" not in line
+        ]
+        assert strip(serial_out) == strip(parallel_out)
+
+    def test_scientific_notation_param_end_to_end(self, capsys):
+        code = main(
+            ["simulate", "--policy", "ewma", "-p", "lam=2e-1",
+             "--load", "2", "--transactions", "1000"]
+        )
+        assert code == 0
+        assert "avg response time" in capsys.readouterr().out
