@@ -80,6 +80,13 @@ from repro.monitoring import (
     calibrate_slo,
     robust_calibrate_slo,
 )
+from repro.obs import (
+    MetricsRegistry,
+    TraceSession,
+    Tracer,
+    explain_trace,
+    use_tracing,
+)
 from repro.queueing import MMcModel
 from repro.tuning import ParameterAdvisor, ParameterScore, default_grid
 
@@ -99,6 +106,7 @@ __all__ = [
     "HuangRejuvenationModel",
     "JoinShortestQueue",
     "MMcModel",
+    "MetricsRegistry",
     "NeverRejuvenate",
     "PAPER_CONFIG",
     "PAPER_SLO",
@@ -125,12 +133,15 @@ __all__ = [
     "StaticRejuvenation",
     "SystemConfig",
     "Telemetry",
+    "TraceSession",
+    "Tracer",
     "TrendPolicy",
     "WeightedRoundRobin",
     "available_policies",
     "default_grid",
     "calibrate_slo",
     "clt_false_alarm_probability",
+    "explain_trace",
     "make_backend",
     "make_policy",
     "robust_calibrate_slo",
@@ -139,5 +150,6 @@ __all__ = [
     "run_replications",
     "simulate_mmc_response_times",
     "use_backend",
+    "use_tracing",
     "__version__",
 ]

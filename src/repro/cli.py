@@ -17,13 +17,22 @@ Subcommands
     Print the analytical M/M/16 response-time facts at one load.
 ``repro policies``
     List the policy names the factory accepts.
-``repro simulate [--policy NAME] [--workers N]``
+``repro simulate [--policy NAME] [--workers N] [--telemetry-csv PATH]``
     One-off simulation of the Section-3 system under a policy.
+``repro explain TRACE``
+    Human-readable timeline from a ``--trace`` JSONL file: names the
+    bucket, batch mean and threshold behind every rejuvenation.
+
+``repro run`` and ``repro simulate`` both accept ``--trace PATH``
+(JSONL trace), ``--trace-level spans|decisions|all``, ``--trace-chrome
+PATH`` (Chrome/Perfetto ``trace_event`` JSON) and ``--metrics PATH``
+(Prometheus textfile snapshot).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from typing import List, Optional, Tuple
@@ -87,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write each table as CSV into this directory",
     )
     _add_backend_options(run)
+    _add_trace_options(run)
 
     mmc = sub.add_parser("mmc", help="analytical M/M/16 facts at one load")
     mmc.add_argument(
@@ -121,8 +131,90 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--warmup", type=int, default=0, help="transactions excluded from stats"
     )
+    simulate.add_argument(
+        "--telemetry-csv",
+        metavar="PATH",
+        default=None,
+        help="write fixed-interval telemetry samples of every "
+        "replication as CSV (schema: replication + telemetry columns)",
+    )
+    simulate.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=100.0,
+        metavar="SECONDS",
+        help="simulated seconds between telemetry samples "
+        "(with --telemetry-csv; default 100)",
+    )
     _add_backend_options(simulate)
+    _add_trace_options(simulate)
+
+    explain = sub.add_parser(
+        "explain",
+        help="explain every rejuvenation in a --trace JSONL file",
+    )
+    explain.add_argument("trace", help="path to a JSONL trace file")
     return parser
+
+
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL trace of every replication "
+        "(inspect with 'repro explain PATH')",
+    )
+    parser.add_argument(
+        "--trace-level",
+        choices=("spans", "decisions", "all"),
+        default="all",
+        help="what to record: request spans, policy decisions, or "
+        "everything including engine events (default: all)",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome/Perfetto trace_event JSON "
+        "(load in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus-style textfile metrics snapshot",
+    )
+
+
+def _maybe_tracing(session):
+    """``use_tracing(session)``, or a no-op context when tracing is off."""
+    if session is None:
+        return contextlib.nullcontext()
+    from repro.obs.session import use_tracing
+
+    return use_tracing(session)
+
+
+def _make_trace_session(args: argparse.Namespace):
+    """A TraceSession when any trace/metrics output was requested."""
+    if not (args.trace or args.trace_chrome or args.metrics):
+        return None
+    from repro.obs.session import TraceSession
+
+    return TraceSession(level=args.trace_level)
+
+
+def _write_trace_outputs(session, args: argparse.Namespace) -> None:
+    if args.trace is not None:
+        lines = session.write_jsonl(args.trace)
+        print(f"wrote {args.trace} ({lines} records)")
+    if args.trace_chrome is not None:
+        count = session.write_chrome(args.trace_chrome)
+        print(f"wrote {args.trace_chrome} ({count} trace_event records)")
+    if args.metrics is not None:
+        session.write_metrics(args.metrics)
+        print(f"wrote {args.metrics}")
 
 
 def _add_backend_options(parser: argparse.ArgumentParser) -> None:
@@ -194,15 +286,26 @@ def _cmd_run(
     backend: ExecutionBackend,
     json_path: Optional[str] = None,
     csv_dir: Optional[str] = None,
+    trace_args: Optional[argparse.Namespace] = None,
 ) -> int:
     from repro.experiments.io import save_csv, save_json
+
+    session = (
+        _make_trace_session(trace_args) if trace_args is not None else None
+    )
 
     targets = _resolve_run_targets(experiment)
     if not targets:
         raise SystemExit(f"no experiment ids in {experiment!r}")
     many = len(targets) > 1
     timer = StageTimer()
-    parallel_experiments = many and getattr(backend, "workers", 1) > 1
+    # Tracing forces the sequential per-experiment path: the installed
+    # TraceSession lives in this process only, so experiments dispatched
+    # to pool workers could not ingest into it (their replication jobs
+    # still fan out through the backend).
+    parallel_experiments = (
+        many and getattr(backend, "workers", 1) > 1 and session is None
+    )
     if parallel_experiments:
         # Independent experiments dispatched concurrently; each runs
         # its own jobs serially (no nested pools).  Results come back
@@ -213,9 +316,12 @@ def _cmd_run(
             )
     else:
         results = []
-        for eid in targets:
-            with timer.stage(eid):
-                results.append(run_experiment(eid, scale, seed, backend=backend))
+        with _maybe_tracing(session):
+            for eid in targets:
+                with timer.stage(eid):
+                    results.append(
+                        run_experiment(eid, scale, seed, backend=backend)
+                    )
     for eid, result in zip(targets, results):
         print(result.format_text())
         print()
@@ -230,6 +336,8 @@ def _cmd_run(
         if csv_dir is not None:
             for path in save_csv(result, csv_dir):
                 print(f"wrote {path}")
+    if session is not None:
+        _write_trace_outputs(session, trace_args)
     print(f"wall-clock per stage ({backend.name} backend):")
     print(timer.report())
     return 0
@@ -288,8 +396,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         policy = PolicySpec(args.policy, params)
     description = policy.describe()
     rate = PAPER_CONFIG.arrival_rate_for_load(args.load)
+    session = _make_trace_session(args)
+    telemetry_interval = (
+        args.telemetry_interval if args.telemetry_csv is not None else None
+    )
     timer = StageTimer()
-    with timer.stage("simulate"):
+    with timer.stage("simulate"), _maybe_tracing(session):
         result = run_replications(
             PAPER_CONFIG,
             arrival=ArrivalSpec.poisson(rate),
@@ -299,7 +411,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             seed=args.seed,
             warmup=args.warmup,
             backend=_resolve_backend(args),
+            telemetry_interval_s=telemetry_interval,
         )
+    if args.telemetry_csv is not None:
+        from repro.ecommerce.telemetry import write_telemetry_csv
+
+        rows = write_telemetry_csv(
+            args.telemetry_csv,
+            [run.telemetry or () for run in result.runs],
+        )
+        print(f"wrote {args.telemetry_csv} ({rows} samples)")
+    if session is not None:
+        _write_trace_outputs(session, args)
     rt_mean, rt_low, rt_high = result.response_time_interval()
     loss_mean, loss_low, loss_high = result.loss_interval()
     print(f"policy            : {description}")
@@ -321,6 +444,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(trace_path: str) -> int:
+    from repro.obs.explain import explain_trace
+
+    if not os.path.exists(trace_path):
+        raise SystemExit(f"no such trace file: {trace_path}")
+    print(explain_trace(trace_path), end="")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -336,11 +468,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             _resolve_backend(args),
             json_path=args.json,
             csv_dir=args.csv,
+            trace_args=args,
         )
     if args.command == "mmc":
         return _cmd_mmc(args.load, args.servers, args.service_rate)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "explain":
+        return _cmd_explain(args.trace)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -16,7 +16,7 @@ periodic, never), all behind the common
 :class:`~repro.core.base.RejuvenationPolicy` streaming interface.
 """
 
-from repro.core.base import BatchBuffer, RejuvenationPolicy
+from repro.core.base import BatchBuffer, DecisionListener, RejuvenationPolicy
 from repro.core.baselines import NeverRejuvenate, PeriodicRejuvenation
 from repro.core.buckets import BucketChain, Transition
 from repro.core.clta import CLTA
@@ -44,6 +44,7 @@ __all__ = [
     "BucketChain",
     "CLTA",
     "CUSUMPolicy",
+    "DecisionListener",
     "EWMAPolicy",
     "MajorityOf",
     "DeterministicThreshold",

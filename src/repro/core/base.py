@@ -14,11 +14,80 @@ import abc
 from typing import Iterable, List, Optional
 
 
+class DecisionListener:
+    """Observer of a policy's internal decisions (all hooks optional).
+
+    The observability layer (:mod:`repro.obs`) installs one of these on
+    a policy via :meth:`RejuvenationPolicy.set_listener` to turn batch
+    boundaries, bucket transitions and triggers into structured trace
+    events; the base class is a no-op so policies can call every hook
+    unconditionally once they have null-checked the listener itself.
+
+    Hooks receive the *policy* first so one listener can serve several
+    policies (e.g. per-node policies in a cluster).
+    """
+
+    def on_batch(
+        self,
+        policy: "RejuvenationPolicy",
+        batch_mean: float,
+        target: float,
+        sample_size: int,
+        exceeded: bool,
+    ) -> None:
+        """A batch completed: its mean was compared against ``target``."""
+
+    def on_transition(
+        self,
+        policy: "RejuvenationPolicy",
+        direction: str,
+        level: int,
+        fill: int,
+        target: float,
+    ) -> None:
+        """The bucket chain moved to a new level (``up`` or ``down``)."""
+
+    def on_trigger(
+        self,
+        policy: "RejuvenationPolicy",
+        batch_mean: float,
+        threshold: float,
+        level: int,
+        sample_size: int,
+    ) -> None:
+        """Rejuvenation was demanded; arguments carry the full cause."""
+
+    def on_resize(
+        self,
+        policy: "RejuvenationPolicy",
+        old_size: int,
+        new_size: int,
+        level: int,
+    ) -> None:
+        """The batch size changed (SARAA's sampling acceleration)."""
+
+    def on_reset(self, policy: "RejuvenationPolicy") -> None:
+        """Detection state was cleared externally."""
+
+
 class RejuvenationPolicy(abc.ABC):
     """A streaming trigger rule over a customer-affecting metric."""
 
     #: Short machine-readable identifier (used by the factory and tables).
     name: str = "policy"
+
+    #: Optional decision observer (class default keeps subclasses'
+    #: ``__init__`` untouched and the unobserved path to one None check).
+    _listener: Optional[DecisionListener] = None
+
+    @property
+    def listener(self) -> Optional[DecisionListener]:
+        """The installed decision listener, if any."""
+        return self._listener
+
+    def set_listener(self, listener: Optional[DecisionListener]) -> None:
+        """Install (or remove, with ``None``) a decision listener."""
+        self._listener = listener
 
     @abc.abstractmethod
     def observe(self, value: float) -> bool:

@@ -76,14 +76,27 @@ class CLTA(RejuvenationPolicy):
         batch_mean = self.buffer.push(value)
         if batch_mean is None:
             return False
-        if batch_mean > self.threshold:
+        exceeded = batch_mean > self.threshold
+        listener = self._listener
+        if listener is not None:
+            listener.on_batch(
+                self, batch_mean, self.threshold, self.sample_size, exceeded
+            )
+        if exceeded:
             self.buffer.clear()
+            if listener is not None:
+                # CLTA has a single implicit bucket: level is always 0.
+                listener.on_trigger(
+                    self, batch_mean, self.threshold, 0, self.sample_size
+                )
             return True
         return False
 
     def reset(self) -> None:
         """Drop any partial batch (CLTA keeps no other state)."""
         self.buffer.clear()
+        if self._listener is not None:
+            self._listener.on_reset(self)
 
     def describe(self) -> str:
         return f"CLTA(n={self.sample_size}, z={self.z:g})"

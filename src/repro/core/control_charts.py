@@ -73,14 +73,29 @@ class CUSUMPolicy(RejuvenationPolicy):
 
     def observe(self, value: float) -> bool:
         self.statistic = max(0.0, self.statistic + value - self.reference)
-        if self.statistic > self.decision_interval:
-            self.reset()
+        statistic = self.statistic
+        triggered = statistic > self.decision_interval
+        listener = self._listener
+        if listener is not None:
+            # For control charts the "batch mean" slot carries the
+            # chart statistic: that is what gets compared to the limit.
+            listener.on_batch(
+                self, statistic, self.decision_interval, 1, triggered
+            )
+        if triggered:
+            self.statistic = 0.0
+            if listener is not None:
+                listener.on_trigger(
+                    self, statistic, self.decision_interval, 0, 1
+                )
             return True
         return False
 
     def reset(self) -> None:
         """Zero the cumulative sum."""
         self.statistic = 0.0
+        if self._listener is not None:
+            self._listener.on_reset(self)
 
     def describe(self) -> str:
         return (
@@ -127,14 +142,23 @@ class EWMAPolicy(RejuvenationPolicy):
 
     def observe(self, value: float) -> bool:
         self.statistic = self.lam * value + (1.0 - self.lam) * self.statistic
-        if self.statistic > self.limit:
-            self.reset()
+        statistic = self.statistic
+        triggered = statistic > self.limit
+        listener = self._listener
+        if listener is not None:
+            listener.on_batch(self, statistic, self.limit, 1, triggered)
+        if triggered:
+            self.statistic = self.slo.mean
+            if listener is not None:
+                listener.on_trigger(self, statistic, self.limit, 0, 1)
             return True
         return False
 
     def reset(self) -> None:
         """Re-centre the average on the healthy mean."""
         self.statistic = self.slo.mean
+        if self._listener is not None:
+            self._listener.on_reset(self)
 
     def describe(self) -> str:
         return f"EWMA(lam={self.lam:g}, limit={self.limit:g})"

@@ -106,25 +106,50 @@ class SARAA(RejuvenationPolicy):
             self.original_sample_size, self.chain.level, self.chain.n_buckets
         )
         if new_size != self.current_sample_size:
+            old_size = self.current_sample_size
             self.current_sample_size = new_size
             self.buffer.resize(new_size, carry_partial=self.carry_partial)
+            if self._listener is not None:
+                self._listener.on_resize(
+                    self, old_size, new_size, self.chain.level
+                )
 
     def observe(self, value: float) -> bool:
         """Feed one raw observation; decide on each completed batch mean."""
         batch_mean = self.buffer.push(value)
         if batch_mean is None:
             return False
-        exceeded = batch_mean > self.current_target()
+        target = self.current_target()
+        exceeded = batch_mean > target
+        sample_size = self.current_sample_size
+        level_before = self.chain.level
         transition = self.chain.record(exceeded)
+        listener = self._listener
+        if listener is not None:
+            listener.on_batch(self, batch_mean, target, sample_size, exceeded)
         if transition is Transition.TRIGGER:
             self.current_sample_size = self.schedule(
                 self.original_sample_size, 0, self.chain.n_buckets
             )
             self.buffer.resize(self.current_sample_size, carry_partial=False)
             self.buffer.clear()
+            if listener is not None:
+                listener.on_trigger(
+                    self, batch_mean, target, level_before, sample_size
+                )
             return True
         if transition in (Transition.LEVEL_UP, Transition.LEVEL_DOWN):
+            # Resize first so the transition event reports the target
+            # that is actually active at the new level (new batch size).
             self._apply_schedule()
+            if listener is not None:
+                listener.on_transition(
+                    self,
+                    "up" if transition is Transition.LEVEL_UP else "down",
+                    self.chain.level,
+                    self.chain.fill,
+                    self.current_target(),
+                )
         return False
 
     def reset(self) -> None:
@@ -135,6 +160,8 @@ class SARAA(RejuvenationPolicy):
         )
         self.buffer.resize(self.current_sample_size, carry_partial=False)
         self.buffer.clear()
+        if self._listener is not None:
+            self._listener.on_reset(self)
 
     def describe(self) -> str:
         return (

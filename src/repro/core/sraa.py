@@ -72,12 +72,31 @@ class SRAA(RejuvenationPolicy):
         batch_mean = self.buffer.push(value)
         if batch_mean is None:
             return False
-        exceeded = batch_mean > self.current_target()
+        target = self.current_target()
+        exceeded = batch_mean > target
+        level_before = self.chain.level
         transition = self.chain.record(exceeded)
+        listener = self._listener
+        if listener is not None:
+            listener.on_batch(
+                self, batch_mean, target, self.sample_size, exceeded
+            )
+            if transition in (Transition.LEVEL_UP, Transition.LEVEL_DOWN):
+                listener.on_transition(
+                    self,
+                    "up" if transition is Transition.LEVEL_UP else "down",
+                    self.chain.level,
+                    self.chain.fill,
+                    self.current_target(),
+                )
         if transition is Transition.TRIGGER:
             # The chain reset itself; also drop the (empty) buffer so an
             # external caller sees a pristine policy.
             self.buffer.clear()
+            if listener is not None:
+                listener.on_trigger(
+                    self, batch_mean, target, level_before, self.sample_size
+                )
             return True
         return False
 
@@ -85,6 +104,8 @@ class SRAA(RejuvenationPolicy):
         """Forget buckets and any partial batch."""
         self.chain.reset()
         self.buffer.clear()
+        if self._listener is not None:
+            self._listener.on_reset(self)
 
     def describe(self) -> str:
         return (

@@ -30,10 +30,17 @@ class Simulator:
     [1.0, 2.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self, start_time: float = 0.0, tracer: Optional[Any] = None
+    ) -> None:
         self.now = float(start_time)
         self.queue = EventQueue()
         self.events_fired = 0
+        #: Optional :class:`repro.obs.tracer.Tracer`; engine-level
+        #: records are only emitted at trace level ``all`` (they are
+        #: one per fired event -- verbose by design).  ``None`` keeps
+        #: the run loop's cost at a single attribute check.
+        self.tracer = tracer if tracer is not None and tracer.engine else None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -78,6 +85,14 @@ class Simulator:
         event = self.queue.pop()
         self.now = event.time
         self.events_fired += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.now,
+                "des.event",
+                "des",
+                kind=event.kind,
+                seq=self.events_fired,
+            )
         event.action()
         return event
 

@@ -17,7 +17,12 @@ from repro.ecommerce.runner import (
 )
 from repro.ecommerce.spec import ARRIVAL_KINDS, ArrivalSpec
 from repro.ecommerce.system import ECommerceSystem
-from repro.ecommerce.telemetry import Telemetry, TelemetrySample
+from repro.ecommerce.telemetry import (
+    TELEMETRY_COLUMNS,
+    Telemetry,
+    TelemetrySample,
+    write_telemetry_csv,
+)
 from repro.ecommerce.trace import (
     RecordingArrivals,
     ReplayReport,
@@ -47,6 +52,7 @@ __all__ = [
     "ReplicatedResult",
     "RunResult",
     "SystemConfig",
+    "TELEMETRY_COLUMNS",
     "Telemetry",
     "TelemetrySample",
     "TraceArrivals",
@@ -57,4 +63,5 @@ __all__ = [
     "run_replications",
     "save_trace",
     "simulate_mmc_response_times",
+    "write_telemetry_csv",
 ]

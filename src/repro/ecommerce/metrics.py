@@ -15,6 +15,14 @@ class RunResult:
     ``avg_response_time`` and ``rt_std`` cover *completed* transactions
     after the warm-up cut; ``loss_fraction`` is lost transactions over all
     measured transactions -- the paper's rejuvenation cost metric.
+
+    ``trace`` carries the run's buffered
+    :class:`~repro.obs.events.TraceEvent` records when tracing was on and
+    ``telemetry`` the fixed-interval
+    :class:`~repro.ecommerce.telemetry.TelemetrySample` probes when a
+    telemetry probe was installed; both stay ``None`` otherwise.  They
+    ride inside the (picklable) result so traces survive the trip back
+    from process-pool workers.
     """
 
     arrivals: int
@@ -28,6 +36,8 @@ class RunResult:
     rejuvenations: int
     sim_duration_s: float
     response_times: Optional[Tuple[float, ...]] = None
+    trace: Optional[Tuple[object, ...]] = None
+    telemetry: Optional[Tuple[object, ...]] = None
 
     @property
     def throughput(self) -> float:

@@ -13,7 +13,7 @@ deployments share one implementation of the mechanics.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Set
+from typing import Callable, Deque, Dict, Optional
 
 import numpy as np
 
@@ -59,6 +59,11 @@ class ProcessingNode:
         allocation -- the resource-policy hook.
     name:
         Label used in repr/diagnostics.
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer`; when its ``spans``
+        flag is on, the node emits request-lifecycle and GC/
+        rejuvenation events.  ``None`` (the default) keeps the hot
+        paths at one attribute check each.
     """
 
     def __init__(
@@ -70,10 +75,12 @@ class ProcessingNode:
         on_loss: Callable[[Job], None],
         on_allocation: Optional[Callable[[float, float], None]] = None,
         name: str = "node0",
+        tracer: Optional[object] = None,
     ) -> None:
         self.config = config
         self.sim = sim
         self.service_rng = service_rng
+        self._tracer = tracer if tracer is not None and tracer.spans else None
         self._draw_service = make_service_sampler(
             config.service_distribution,
             mean=1.0 / config.service_rate,
@@ -92,7 +99,10 @@ class ProcessingNode:
     def reset(self) -> None:
         """Return to a pristine node (used between runs)."""
         self.queue: Deque[Job] = deque()
-        self.in_service: Set[Job] = set()
+        # Insertion-ordered on purpose: rejuvenation and GC iterate over
+        # the executing jobs, and a set's address-dependent order would
+        # make loss/reschedule order differ between worker processes.
+        self.in_service: Dict[Job, None] = {}
         self.free_cpus = self.config.cpus
         self.in_system = 0
         self.live_mb = 0.0
@@ -118,6 +128,16 @@ class ProcessingNode:
         """Accept one transaction (step 2: queue for a CPU)."""
         self.in_system += 1
         self.queue.append(job)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now,
+                "request.enqueue",
+                self.name,
+                index=job.index,
+                queue_length=len(self.queue),
+                in_system=self.in_system,
+            )
         self.dispatch()
 
     def dispatch(self) -> None:
@@ -129,7 +149,7 @@ class ProcessingNode:
         cfg = self.config
         now = self.sim.now
         self.free_cpus -= 1
-        self.in_service.add(job)
+        self.in_service[job] = None
         # Step 3: processing time (exponential in the paper).
         service = self._draw_service()
         # Step 4: kernel overhead above the concurrency threshold.
@@ -151,6 +171,17 @@ class ProcessingNode:
         job.completion_event = self.sim.schedule_at(
             completion_time, lambda j=job: self._on_completion(j), kind="done"
         )
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                now,
+                "request.service_start",
+                self.name,
+                index=job.index,
+                wait_s=now - job.arrival_time,
+                service_s=completion_time - now,
+                free_heap_mb=self.free_heap_mb,
+            )
         if allocated and self.on_allocation is not None:
             self.on_allocation(now, self.free_heap_mb)
 
@@ -165,6 +196,17 @@ class ProcessingNode:
             pause = cfg.gc_pause_s * (self.garbage_mb / cfg.heap_mb)
         else:
             pause = cfg.gc_pause_s
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                now,
+                "system.gc",
+                self.name,
+                pause_s=pause,
+                reclaimed_mb=self.garbage_mb,
+                stalled_threads=len(self.in_service),
+                gc_count=self.gc_count,
+            )
         self.garbage_mb = 0.0
         self.gc_end = now + pause
         if pause <= 0.0:
@@ -182,7 +224,7 @@ class ProcessingNode:
 
     def _on_completion(self, job: Job) -> None:
         cfg = self.config
-        self.in_service.discard(job)
+        self.in_service.pop(job, None)
         self.free_cpus += 1
         self.in_system -= 1
         if cfg.enable_gc and cfg.alloc_mb > 0.0:
@@ -205,6 +247,7 @@ class ProcessingNode:
         transactions; surviving queued work re-enters service at once.
         """
         self.rejuvenations += 1
+        in_service = len(self.in_service)
         lost = 0
         for job in self.in_service:
             if job.completion_event is not None:
@@ -223,6 +266,16 @@ class ProcessingNode:
         self.live_mb = 0.0
         self.garbage_mb = 0.0
         self.gc_end = self.sim.now  # an in-progress GC dies with the JVM
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now,
+                "system.rejuvenation",
+                self.name,
+                lost=lost,
+                in_service=in_service,
+                rejuvenations=self.rejuvenations,
+            )
         self.dispatch()
         return lost
 

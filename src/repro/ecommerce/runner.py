@@ -30,6 +30,7 @@ from repro.exec.jobs import (
     execute_job,
 )
 from repro.exec.progress import ProgressHook
+from repro.obs.session import active_trace_level, current_session
 
 # Backward-compatible aliases: the pre-exec-layer factory protocol.
 PolicyFactory = PolicySource
@@ -62,17 +63,27 @@ def replication_jobs(
     replications: int,
     seed: int = 0,
     warmup: int = 0,
+    trace_level: Optional[str] = None,
+    telemetry_interval_s: Optional[float] = None,
 ) -> List[ReplicationJob]:
     """The job list behind :func:`run_replications`, in replication order.
 
     This is the seed protocol in one place: replication ``i`` uses
     ``seed + i`` as its own master seed, giving independent streams
     (pinned by ``tests/experiments/test_seed_protocol.py``).
+
+    ``trace_level`` defaults to the level of the installed
+    :class:`~repro.obs.session.TraceSession` (if any), so wrapping a run
+    in :func:`repro.obs.use_tracing` is enough to trace it;
+    ``telemetry_interval_s`` installs a fixed-interval probe per
+    replication.
     """
     if replications < 1:
         raise ValueError("need at least one replication")
     if n_transactions < 1:
         raise ValueError("need at least one transaction")
+    if trace_level is None:
+        trace_level = active_trace_level()
     return [
         ReplicationJob(
             config=config,
@@ -82,6 +93,8 @@ def replication_jobs(
             seed=seed + i,
             warmup=warmup,
             tag=("replication", i),
+            trace_level=trace_level,
+            telemetry_interval_s=telemetry_interval_s,
         )
         for i in range(replications)
     ]
@@ -97,6 +110,7 @@ def run_replications(
     warmup: int = 0,
     backend: Union[ExecutionBackend, str, None] = None,
     progress: Optional[ProgressHook] = None,
+    telemetry_interval_s: Optional[float] = None,
     arrival_factory: Optional[ArrivalSource] = None,
     policy_factory: Optional[PolicySource] = None,
 ) -> ReplicatedResult:
@@ -126,10 +140,18 @@ def run_replications(
         to the ``REPRO_WORKERS`` / ``REPRO_BACKEND`` environment.
     progress:
         Optional per-job :class:`~repro.exec.progress.JobEvent` hook.
+    telemetry_interval_s:
+        Optional simulated-seconds interval; installs a per-replication
+        telemetry probe whose samples ride back on
+        ``RunResult.telemetry``.
     arrival_factory, policy_factory:
         Deprecated aliases for ``arrival`` / ``policy`` (the pre-spec
         factory protocol); still accepted so existing callers keep
         working.
+
+    When a :class:`~repro.obs.session.TraceSession` is installed
+    (:func:`repro.obs.use_tracing`), the jobs are stamped with its
+    trace level and the results ingested into it, in submission order.
     """
     if arrival_factory is not None:
         if arrival is not None:
@@ -149,8 +171,12 @@ def run_replications(
         replications,
         seed=seed,
         warmup=warmup,
+        telemetry_interval_s=telemetry_interval_s,
     )
     runs = resolve_backend(backend).map(execute_job, jobs, progress=progress)
+    session = current_session()
+    if session is not None:
+        session.ingest(jobs, runs)
     return ReplicatedResult(runs=tuple(runs))
 
 

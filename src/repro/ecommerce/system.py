@@ -63,6 +63,14 @@ class ECommerceSystem:
         every allocation -- the Castelli-style baseline.
     telemetry:
         Optional fixed-interval state probe.
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer`.  With ``spans`` on,
+        the system and its node emit request-lifecycle and GC/
+        rejuvenation events; with ``decisions`` on, a
+        :class:`~repro.obs.listener.TracingDecisionListener` driven by
+        the simulation clock is installed on the policy.  The buffered
+        events are returned on ``RunResult.trace``.  ``None`` (the
+        default) is the near-free fast path.
 
     Examples
     --------
@@ -88,14 +96,19 @@ class ECommerceSystem:
         seed: Optional[int] = None,
         resource_policy: Optional[ResourceExhaustionPolicy] = None,
         telemetry: Optional[Telemetry] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.config = config
         self.arrivals = arrivals
         self.policy = policy
         self.resource_policy = resource_policy
         self.telemetry = telemetry
+        self.tracer = tracer
+        self._span_tracer = (
+            tracer if tracer is not None and tracer.spans else None
+        )
         self.streams = RandomStreams(seed)
-        self.sim = Simulator()
+        self.sim = Simulator(tracer=tracer)
         self.node = ProcessingNode(
             config,
             self.sim,
@@ -105,7 +118,16 @@ class ECommerceSystem:
             on_allocation=(
                 self._on_allocation if resource_policy is not None else None
             ),
+            tracer=tracer,
         )
+        if tracer is not None and tracer.decisions and policy is not None:
+            # Deferred import: repro.obs is optional machinery on top of
+            # the simulator, not a dependency of the model itself.
+            from repro.obs.listener import TracingDecisionListener
+
+            policy.set_listener(
+                TracingDecisionListener(tracer, clock=lambda: self.sim.now)
+            )
         self._reset_accounting()
 
     # ------------------------------------------------------------------
@@ -157,9 +179,12 @@ class ECommerceSystem:
         index = self._arrivals_generated
         self._arrivals_generated += 1
         self._schedule_next_arrival()
+        tracer = self._span_tracer
+        if tracer is not None:
+            tracer.emit(now, "request.arrival", "system", index=index)
         if now < self._down_until:
             # Rejuvenation downtime: the request is refused outright.
-            self._count_loss(index)
+            self._count_loss(index, reason="downtime")
             return
         self.node.submit(Job(now, index))
 
@@ -169,12 +194,21 @@ class ECommerceSystem:
             self._measured_moments.push(response_time)
             if self._collected is not None:
                 self._collected.append(response_time)
+        tracer = self._span_tracer
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now,
+                "request.complete",
+                "system",
+                index=job.index,
+                response_time=response_time,
+            )
         # Step 8: let the policy decide.
         if self.policy is not None and self.policy.observe(response_time):
             self._rejuvenate()
 
     def _on_loss(self, job: Job) -> None:
-        self._count_loss(job.index)
+        self._count_loss(job.index, reason="rejuvenation")
 
     def _on_allocation(self, time_s: float, free_heap_mb: float) -> None:
         assert self.resource_policy is not None
@@ -189,10 +223,15 @@ class ECommerceSystem:
         if self.config.rejuvenation_downtime_s > 0.0:
             self._down_until = now + self.config.rejuvenation_downtime_s
 
-    def _count_loss(self, index: int) -> None:
+    def _count_loss(self, index: int, reason: str = "rejuvenation") -> None:
         self._lost += 1
         if index >= self._warmup:
             self._measured_lost += 1
+        tracer = self._span_tracer
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now, "request.loss", "system", index=index, reason=reason
+            )
 
     def _probe_telemetry(self) -> None:
         """Record one snapshot and re-arm while the model is still live.
@@ -252,6 +291,8 @@ class ECommerceSystem:
             raise ValueError("warmup must lie in [0, n_transactions)")
         self.sim.reset()
         self.arrivals.reset()
+        if self.tracer is not None:
+            self.tracer.clear()
         if self.policy is not None:
             self.policy.reset()
         if self.resource_policy is not None:
@@ -288,5 +329,13 @@ class ECommerceSystem:
             sim_duration_s=self.sim.now,
             response_times=(
                 tuple(self._collected) if self._collected is not None else None
+            ),
+            trace=(
+                tuple(self.tracer.events) if self.tracer is not None else None
+            ),
+            telemetry=(
+                tuple(self.telemetry.samples)
+                if self.telemetry is not None
+                else None
             ),
         )

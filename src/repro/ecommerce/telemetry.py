@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import csv
 from dataclasses import dataclass, fields
-from typing import List, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,41 @@ class TelemetrySample:
     lost: int
     rejuvenations: int
     gc_count: int
+
+
+#: The canonical telemetry column order -- the CSV header, and the
+#: vocabulary the metrics snapshot reuses (a counter column ``completed``
+#: becomes the metric ``repro_completed_total``; see
+#: :data:`repro.obs.metrics.TELEMETRY_COUNTER_COLUMNS`).
+TELEMETRY_COLUMNS: Tuple[str, ...] = tuple(
+    f.name for f in fields(TelemetrySample)
+)
+
+
+def write_telemetry_csv(
+    path: str,
+    samples_per_run: Iterable[Sequence[TelemetrySample]],
+) -> int:
+    """Write one CSV over many replications; returns rows written.
+
+    The header is ``replication`` followed by
+    :data:`TELEMETRY_COLUMNS`, so single-run and multi-replication
+    exports share one schema.  ``samples_per_run`` must be in job
+    submission order (both execution backends guarantee it), which
+    keeps the file bit-identical between serial and process-pool runs.
+    """
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("replication",) + TELEMETRY_COLUMNS)
+        for replication, samples in enumerate(samples_per_run):
+            for sample in samples:
+                writer.writerow(
+                    (replication,)
+                    + tuple(getattr(sample, n) for n in TELEMETRY_COLUMNS)
+                )
+                rows += 1
+    return rows
 
 
 class Telemetry:
@@ -92,17 +127,17 @@ class Telemetry:
     # ------------------------------------------------------------------
     def to_csv(self, path: str) -> None:
         """Write all samples as CSV with a header row."""
-        names = [f.name for f in fields(TelemetrySample)]
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
-            writer.writerow(names)
+            writer.writerow(TELEMETRY_COLUMNS)
             for sample in self.samples:
-                writer.writerow([getattr(sample, n) for n in names])
+                writer.writerow(
+                    [getattr(sample, n) for n in TELEMETRY_COLUMNS]
+                )
 
     def to_rows(self) -> List[Sequence[float]]:
         """All samples as plain tuples (for programmatic consumers)."""
-        names = [f.name for f in fields(TelemetrySample)]
         return [
-            tuple(getattr(sample, n) for n in names)
+            tuple(getattr(sample, n) for n in TELEMETRY_COLUMNS)
             for sample in self.samples
         ]

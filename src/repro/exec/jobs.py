@@ -39,6 +39,14 @@ class ReplicationJob:
     ``tag`` is caller bookkeeping (e.g. ``(label, load, replication)``)
     carried through the backend and surfaced in progress events; it does
     not affect execution.
+
+    ``trace_level`` (one of :data:`repro.obs.tracer.TRACE_LEVELS`, or
+    ``None`` for the near-free untraced path) makes the worker build a
+    :class:`~repro.obs.tracer.Tracer` whose events ride back on
+    ``RunResult.trace``; ``telemetry_interval_s`` likewise installs a
+    fixed-interval probe whose samples ride back on
+    ``RunResult.telemetry``.  Both stay plain data, so the job remains
+    picklable.
     """
 
     config: Any  # SystemConfig
@@ -49,6 +57,8 @@ class ReplicationJob:
     warmup: int = 0
     collect_response_times: bool = False
     tag: Tuple[Any, ...] = ()
+    trace_level: Optional[str] = None
+    telemetry_interval_s: Optional[float] = None
 
 
 def build_arrival(source: ArrivalSource) -> "ArrivalProcess":
@@ -86,11 +96,23 @@ def execute_job(job: ReplicationJob) -> "RunResult":
     # this module, so a top-level import would be circular.
     from repro.ecommerce.system import ECommerceSystem
 
+    tracer = None
+    if job.trace_level is not None:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(job.trace_level)
+    telemetry = None
+    if job.telemetry_interval_s is not None:
+        from repro.ecommerce.telemetry import Telemetry
+
+        telemetry = Telemetry(job.telemetry_interval_s)
     system = ECommerceSystem(
         job.config,
         build_arrival(job.arrival),
         policy=build_policy(job.policy),
         seed=job.seed,
+        telemetry=telemetry,
+        tracer=tracer,
     )
     return system.run(
         job.n_transactions,

@@ -32,6 +32,13 @@ from repro.experiments.zoo import run_zoo
 
 ExperimentRunner = Callable[[Scale, int], ExperimentResult]
 
+#: Memorable aliases accepted wherever an experiment id is (CLI, API).
+_ALIASES: Dict[str, str] = {
+    "comparison": "fig16",
+    "sraa": "fig09_10",
+    "saraa": "fig15",
+}
+
 _REGISTRY: Dict[str, Tuple[str, ExperimentRunner]] = {
     "fig05": (
         "Density of the sample-mean RT vs normal approximation (Fig. 5)",
@@ -128,11 +135,18 @@ def run_experiment(
         return runner(scale, seed)
 
 
-def _lookup(experiment_id: str) -> Tuple[str, ExperimentRunner]:
-    try:
-        return _REGISTRY[experiment_id]
-    except KeyError:
+def resolve_experiment_id(experiment_id: str) -> str:
+    """The canonical id behind a name or alias (raises on unknown)."""
+    experiment_id = _ALIASES.get(experiment_id, experiment_id)
+    if experiment_id not in _REGISTRY:
         known = ", ".join(experiment_ids())
+        aliases = ", ".join(f"{a} -> {t}" for a, t in _ALIASES.items())
         raise ValueError(
-            f"unknown experiment {experiment_id!r}; known: {known}"
-        ) from None
+            f"unknown experiment {experiment_id!r}; known: {known}; "
+            f"aliases: {aliases}"
+        )
+    return experiment_id
+
+
+def _lookup(experiment_id: str) -> Tuple[str, ExperimentRunner]:
+    return _REGISTRY[resolve_experiment_id(experiment_id)]

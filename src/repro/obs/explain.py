@@ -1,0 +1,140 @@
+"""Human-readable timelines from a JSONL trace: ``repro explain``.
+
+The paper's industrial story is an *explainability* failure -- the
+operators could not see why the system was degrading.  ``explain``
+answers the converse question for our reproduction: for every
+rejuvenation in a trace, *why did it fire?*  It joins each
+``policy.trigger`` event back to the batch decision that caused it and
+prints the bucket index, the batch mean, the active threshold and the
+sample size, plus the bucket-climb path that led there.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.events import (
+    MONITOR_TRIGGER,
+    POLICY_LEVEL,
+    POLICY_TRIGGER,
+    REQUEST_COMPLETE,
+    REQUEST_LOSS,
+    RUN_META,
+    SYSTEM_GC,
+    SYSTEM_REJUVENATION,
+)
+from repro.obs.exporters import read_jsonl
+
+
+def _format_tag(tag: Any) -> str:
+    if not tag:
+        return ""
+    return "(" + ", ".join(str(part) for part in tag) + ")"
+
+
+def _summary_line(summary: Dict[str, Any]) -> str:
+    parts = []
+    for key, suffix in (
+        ("arrivals", " arrivals"),
+        ("completed", " completed"),
+        ("lost", " lost"),
+        ("gc_count", " GCs"),
+        ("rejuvenations", " rejuvenations"),
+    ):
+        if key in summary:
+            parts.append(f"{summary[key]:g}{suffix}")
+    if "avg_response_time" in summary:
+        parts.append(f"avg RT {summary['avg_response_time']:.3f}s")
+    return ", ".join(parts)
+
+
+def _explain_run(run_id: Any, records: List[Dict[str, Any]]) -> List[str]:
+    lines: List[str] = []
+    meta = next((r for r in records if r["type"] == RUN_META), None)
+    header = f"run {run_id}"
+    if meta is not None:
+        tag = _format_tag(meta.get("tag"))
+        if tag:
+            header += f"  {tag}"
+        if meta.get("seed") is not None:
+            header += f"  seed={meta['seed']}"
+    lines.append(header)
+    if meta is not None:
+        lines.append(f"  {_summary_line(meta.get('data', {}))}")
+
+    counts: Dict[str, int] = {}
+    for record in records:
+        counts[record["type"]] = counts.get(record["type"], 0) + 1
+    if counts.get(REQUEST_COMPLETE) or counts.get(REQUEST_LOSS):
+        lines.append(
+            f"  spans: {counts.get(REQUEST_COMPLETE, 0)} completions, "
+            f"{counts.get(REQUEST_LOSS, 0)} losses, "
+            f"{counts.get(SYSTEM_GC, 0)} GCs"
+        )
+
+    triggers = [r for r in records if r["type"] == POLICY_TRIGGER]
+    if not triggers and counts.get(SYSTEM_REJUVENATION):
+        lines.append(
+            f"  {counts[SYSTEM_REJUVENATION]} rejuvenation(s) recorded, "
+            "but no policy decision events in this trace -- re-run with "
+            "--trace-level decisions (or all) to see the causes"
+        )
+    climb: List[Dict[str, Any]] = []
+    trigger_no = 0
+    for record in records:
+        etype = record["type"]
+        if etype == POLICY_LEVEL:
+            climb.append(record)
+        elif etype == MONITOR_TRIGGER:
+            data = record.get("data", {})
+            lines.append(
+                f"  [t={record['ts']:12.3f}s] monitor relayed trigger "
+                f"(observation #{data.get('observation', '?')})"
+            )
+        elif etype == POLICY_TRIGGER:
+            trigger_no += 1
+            data = record.get("data", {})
+            level = data.get("level", 0)
+            lines.append(
+                f"  [t={record['ts']:12.3f}s] trigger #{trigger_no} by "
+                f"{record.get('source', '?')}: bucket {level} overflowed; "
+                f"batch mean {data.get('batch_mean', float('nan')):.3f}s > "
+                f"threshold {data.get('threshold', float('nan')):.3f}s "
+                f"(n={data.get('sample_size', '?')}, "
+                f"batch #{data.get('batch_seq', '?')})"
+            )
+            ups = [c for c in climb if c.get("data", {}).get("direction") == "up"]
+            if ups:
+                path = ", ".join(
+                    f"level {c['data'].get('level', '?')} @"
+                    f"{c['ts']:.1f}s"
+                    for c in ups
+                )
+                lines.append(f"      climb: {path}")
+            climb = []
+    if not triggers and not counts.get(SYSTEM_REJUVENATION):
+        lines.append("  no rejuvenations in this run")
+    return lines
+
+
+def explain_records(records: List[Dict[str, Any]]) -> str:
+    """The explanation text for already-loaded JSONL records."""
+    by_run: Dict[Any, List[Dict[str, Any]]] = {}
+    for record in records:
+        by_run.setdefault(record.get("run", 0), []).append(record)
+    lines: List[str] = [
+        f"{len(records)} trace records across {len(by_run)} run(s)",
+        "",
+    ]
+    for run_id in sorted(by_run, key=lambda r: (str(type(r)), r)):
+        lines.extend(_explain_run(run_id, by_run[run_id]))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def explain_trace(path: str) -> str:
+    """Load a JSONL trace file and explain every rejuvenation in it."""
+    records = read_jsonl(path)
+    if not records:
+        return f"{path}: empty trace\n"
+    return explain_records(records)

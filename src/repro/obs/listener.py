@@ -1,0 +1,155 @@
+"""Bridges a policy's :class:`~repro.core.base.DecisionListener` hooks
+to structured trace events.
+
+The core package knows nothing about tracing: policies call the
+listener hooks, and this adapter turns each call into a
+:class:`~repro.obs.events.TraceEvent` stamped with the owning
+simulation's clock.  Every batch decision gets a per-policy sequence
+number (``seq``); a trigger event carries ``batch_seq`` naming the
+batch decision that caused it, so offline tools (``repro explain``,
+the round-trip tests) can join a trigger back to the exact comparison
+-- bucket index, batch mean, threshold, sample size -- that fired it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.base import DecisionListener, RejuvenationPolicy
+from repro.obs.events import (
+    POLICY_BATCH,
+    POLICY_LEVEL,
+    POLICY_RESET,
+    POLICY_RESIZE,
+    POLICY_TRIGGER,
+)
+from repro.obs.tracer import Tracer
+
+
+def policy_source(policy: RejuvenationPolicy) -> str:
+    """The trace ``source`` string for a policy (``policy:<name>``)."""
+    return f"policy:{policy.name}"
+
+
+class TracingDecisionListener(DecisionListener):
+    """Records every policy decision as a trace event.
+
+    Parameters
+    ----------
+    tracer:
+        Destination buffer; events are only built when
+        ``tracer.decisions`` is on.
+    clock:
+        Zero-argument callable returning the current simulated time --
+        typically ``lambda: sim.now``.  Policies are clock-free, so the
+        component that owns both the policy and the simulator supplies
+        it; offline users can pass an observation counter instead.
+    """
+
+    def __init__(self, tracer: Tracer, clock: Callable[[], float]) -> None:
+        self.tracer = tracer
+        self.clock = clock
+        #: Batch decisions seen so far, per policy source.
+        self._batch_seq: Dict[str, int] = {}
+
+    def _next_seq(self, source: str) -> int:
+        seq = self._batch_seq.get(source, 0) + 1
+        self._batch_seq[source] = seq
+        return seq
+
+    # ------------------------------------------------------------------
+    # DecisionListener hooks
+    # ------------------------------------------------------------------
+    def on_batch(
+        self,
+        policy: RejuvenationPolicy,
+        batch_mean: float,
+        target: float,
+        sample_size: int,
+        exceeded: bool,
+    ) -> None:
+        tracer = self.tracer
+        if not tracer.decisions:
+            return
+        source = policy_source(policy)
+        tracer.emit(
+            self.clock(),
+            POLICY_BATCH,
+            source,
+            seq=self._next_seq(source),
+            batch_mean=batch_mean,
+            target=target,
+            sample_size=sample_size,
+            exceeded=exceeded,
+            level=getattr(policy, "level", 0),
+            fill=getattr(getattr(policy, "chain", None), "fill", 0),
+        )
+
+    def on_transition(
+        self,
+        policy: RejuvenationPolicy,
+        direction: str,
+        level: int,
+        fill: int,
+        target: float,
+    ) -> None:
+        tracer = self.tracer
+        if not tracer.decisions:
+            return
+        tracer.emit(
+            self.clock(),
+            POLICY_LEVEL,
+            policy_source(policy),
+            direction=direction,
+            level=level,
+            fill=fill,
+            target=target,
+        )
+
+    def on_trigger(
+        self,
+        policy: RejuvenationPolicy,
+        batch_mean: float,
+        threshold: float,
+        level: int,
+        sample_size: int,
+    ) -> None:
+        tracer = self.tracer
+        if not tracer.decisions:
+            return
+        source = policy_source(policy)
+        tracer.emit(
+            self.clock(),
+            POLICY_TRIGGER,
+            source,
+            batch_seq=self._batch_seq.get(source, 0),
+            batch_mean=batch_mean,
+            threshold=threshold,
+            level=level,
+            sample_size=sample_size,
+        )
+
+    def on_resize(
+        self,
+        policy: RejuvenationPolicy,
+        old_size: int,
+        new_size: int,
+        level: int,
+    ) -> None:
+        tracer = self.tracer
+        if not tracer.decisions:
+            return
+        tracer.emit(
+            self.clock(),
+            POLICY_RESIZE,
+            policy_source(policy),
+            old_size=old_size,
+            new_size=new_size,
+            level=level,
+        )
+
+    def on_reset(self, policy: RejuvenationPolicy) -> None:
+        tracer = self.tracer
+        if not tracer.decisions:
+            return
+        tracer.emit(self.clock(), POLICY_RESET, policy_source(policy))

@@ -1,0 +1,344 @@
+"""Counters, gauges and bucketed-latency histograms, with merging.
+
+A :class:`MetricsRegistry` aggregates what a run *did* -- requests
+completed and lost, GCs, rejuvenations, policy triggers, and bucketed
+response-time distributions (HDR-style: fixed logarithmic bucket
+boundaries, so merging across replications is exact) -- and renders a
+Prometheus-style textfile snapshot.
+
+Determinism contract: registries built per replication are merged **in
+job submission order** by the session layer, never in completion order,
+so the snapshot is bit-identical between the serial and process-pool
+backends.  (Counter and histogram merges commute, but gauges are
+last-write-wins -- ordering the merge makes even those deterministic.)
+
+The counter names are unified with the
+:class:`~repro.ecommerce.telemetry.TelemetrySample` column schema: a
+telemetry column ``completed`` becomes the metric
+``repro_completed_total``, and so on -- one vocabulary across the CSV
+export and the metrics snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.events import (
+    POLICY_BATCH,
+    POLICY_TRIGGER,
+    REQUEST_COMPLETE,
+    REQUEST_LOSS,
+    SYSTEM_GC,
+    SYSTEM_REJUVENATION,
+    TraceEvent,
+)
+
+#: Telemetry columns mirrored as counters (``repro_<column>_total``).
+TELEMETRY_COUNTER_COLUMNS: Tuple[str, ...] = (
+    "completed",
+    "lost",
+    "rejuvenations",
+    "gc_count",
+)
+
+#: Default latency bucket boundaries, seconds (1-2.5-5 ladder; the
+#: paper's response times live between ~5 s healthy and ~100 s degraded).
+LATENCY_BOUNDS_S: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: LabelItems, extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """A point-in-time value (merge is last-write-wins)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+        self._written = False
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self._written = True
+
+    def merge(self, other: "Gauge") -> None:
+        if other._written:
+            self.value = other.value
+            self._written = True
+
+
+class Histogram:
+    """Fixed-boundary bucketed distribution (exact under merging).
+
+    Parameters
+    ----------
+    bounds:
+        Ascending upper bucket boundaries; an implicit ``+Inf`` bucket
+        catches the overflow.  Fixed boundaries (rather than adaptive
+        ones) are what make cross-replication merges exact, the same
+        trade HDR histograms make.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float] = LATENCY_BOUNDS_S) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("need at least one bucket boundary")
+        if list(bounds) != sorted(bounds):
+            raise ValueError("bucket boundaries must be ascending")
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError(
+                "cannot merge histograms with different boundaries"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.sum += other.sum
+        self.count += other.count
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, +Inf last."""
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + self.counts[-1]))
+        return pairs
+
+
+class MetricsRegistry:
+    """Name/label-addressed metrics with deterministic merging.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("repro_completed_total").inc(3)
+    >>> registry.histogram("repro_response_time_seconds").observe(4.2)
+    >>> "repro_completed_total 3" in registry.to_prometheus()
+    True
+    """
+
+    def __init__(self) -> None:
+        #: (name, labels) -> metric, in first-registration order.
+        self._metrics: Dict[Tuple[str, LabelItems], Any] = {}
+
+    # ------------------------------------------------------------------
+    # Registration / lookup
+    # ------------------------------------------------------------------
+    def _get(self, name: str, labels: Dict[str, Any], factory) -> Any:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(name, labels, Counter)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = LATENCY_BOUNDS_S,
+        **labels: Any,
+    ) -> Histogram:
+        return self._get(name, labels, lambda: Histogram(bounds))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Merging and ingestion
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (call in submission order)."""
+        for (name, labels), metric in other._metrics.items():
+            key = (name, labels)
+            mine = self._metrics.get(key)
+            if mine is None:
+                # Fresh copy so later merges cannot alias other's state.
+                if isinstance(metric, Histogram):
+                    mine = Histogram(metric.bounds)
+                else:
+                    mine = type(metric)()
+                self._metrics[key] = mine
+            if type(mine) is not type(metric):
+                raise TypeError(
+                    f"metric {name!r} registered as {mine.kind} and "
+                    f"{metric.kind}"
+                )
+            mine.merge(metric)
+
+    def add_events(self, events: Iterable[TraceEvent]) -> None:
+        """Fold one replication's trace events into the registry."""
+        for event in events:
+            self.counter("repro_trace_events_total", type=event.etype).inc()
+            if event.etype == REQUEST_COMPLETE:
+                self.histogram("repro_response_time_seconds").observe(
+                    event.data["response_time"]
+                )
+            elif event.etype == REQUEST_LOSS:
+                self.counter(
+                    "repro_request_losses_total",
+                    reason=event.data.get("reason", "unknown"),
+                ).inc()
+            elif event.etype == SYSTEM_GC:
+                self.counter("repro_gc_pause_seconds_total").inc(
+                    event.data.get("pause_s", 0.0)
+                )
+            elif event.etype == SYSTEM_REJUVENATION:
+                self.counter("repro_rejuvenation_lost_jobs_total").inc(
+                    event.data.get("lost", 0)
+                )
+            elif event.etype == POLICY_TRIGGER:
+                self.counter(
+                    "repro_policy_triggers_total", policy=event.source
+                ).inc()
+            elif event.etype == POLICY_BATCH:
+                self.histogram("repro_batch_mean_seconds").observe(
+                    event.data["batch_mean"]
+                )
+
+    def add_run(self, run: Any) -> None:
+        """Fold one :class:`~repro.ecommerce.metrics.RunResult` in.
+
+        Counter names mirror the telemetry column schema
+        (:data:`TELEMETRY_COUNTER_COLUMNS`), so the CSV export and the
+        metrics snapshot speak the same vocabulary.
+        """
+        self.counter("repro_replications_total").inc()
+        self.counter("repro_arrivals_total").inc(run.arrivals)
+        for column in TELEMETRY_COUNTER_COLUMNS:
+            self.counter(f"repro_{column}_total").inc(getattr(run, column))
+        self.histogram("repro_replication_avg_response_time_seconds").observe(
+            run.avg_response_time
+        )
+        self.gauge("repro_sim_duration_seconds").set(run.sim_duration_s)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view (for tests and programmatic consumers)."""
+        out: Dict[str, Any] = {}
+        for (name, labels), metric in self._metrics.items():
+            key = name + _render_labels(labels)
+            if isinstance(metric, Histogram):
+                out[key] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "mean": metric.mean,
+                    "buckets": dict(
+                        zip([*metric.bounds, float("inf")], metric.counts)
+                    ),
+                }
+            else:
+                out[key] = metric.value
+        return out
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (one snapshot)."""
+        by_name: Dict[str, List[Tuple[LabelItems, Any]]] = {}
+        for (name, labels), metric in self._metrics.items():
+            by_name.setdefault(name, []).append((labels, metric))
+        lines: List[str] = []
+        for name, entries in by_name.items():
+            lines.append(f"# TYPE {name} {entries[0][1].kind}")
+            for labels, metric in entries:
+                if isinstance(metric, Histogram):
+                    for bound, cumulative in metric.cumulative():
+                        le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                        rendered = _render_labels(labels, f'le="{le}"')
+                        lines.append(f"{name}_bucket{rendered} {cumulative}")
+                    suffix = _render_labels(labels)
+                    lines.append(f"{name}_sum{suffix} {metric.sum:g}")
+                    lines.append(f"{name}_count{suffix} {metric.count}")
+                else:
+                    value = metric.value
+                    rendered = _render_labels(labels)
+                    lines.append(f"{name}{rendered} {value:g}")
+        return "\n".join(lines) + "\n"
+
+
+def registry_for_runs(
+    runs: Sequence[Any],
+    events_per_run: Optional[Sequence[Iterable[TraceEvent]]] = None,
+) -> MetricsRegistry:
+    """One registry over replications, merged in submission order.
+
+    ``runs`` are :class:`~repro.ecommerce.metrics.RunResult` objects in
+    job submission order (which both backends guarantee); optional
+    ``events_per_run`` adds the per-event metrics (latency histograms,
+    per-type counts) when the runs were traced.
+    """
+    registry = MetricsRegistry()
+    for index, run in enumerate(runs):
+        per_run = MetricsRegistry()
+        per_run.add_run(run)
+        if events_per_run is not None:
+            per_run.add_events(events_per_run[index])
+        registry.merge(per_run)
+    return registry

@@ -1,0 +1,194 @@
+"""Trace sessions: collecting per-replication traces across a whole run.
+
+Tracing has to survive the execution layer: replication jobs may run in
+pool worker processes, where a tracer's in-memory buffer is useless to
+the parent.  The contract is therefore:
+
+1. The CLI (or any caller) installs a :class:`TraceSession` with
+   :func:`use_tracing` around the work.
+2. Job builders (:func:`repro.ecommerce.runner.replication_jobs`,
+   :func:`repro.experiments.sweep.sweep_jobs`) consult
+   :func:`current_session` and stamp the session's trace level onto
+   each :class:`~repro.exec.jobs.ReplicationJob` -- a picklable string.
+3. :func:`~repro.exec.jobs.execute_job` builds a worker-local
+   :class:`~repro.obs.tracer.Tracer` and returns the events *inside*
+   the :class:`~repro.ecommerce.metrics.RunResult`, which already
+   crosses the process boundary.
+4. Back in the parent, the harness calls :meth:`TraceSession.ingest`
+   with the jobs and results **in submission order** -- the same order
+   for every backend, so trace files and metrics snapshots are
+   bit-identical between serial and process-pool runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.events import RUN_META, TraceEvent
+from repro.obs.exporters import (
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry, registry_for_runs
+from repro.obs.tracer import validate_level
+
+
+@dataclass(frozen=True)
+class TracedRun:
+    """One replication's bookkeeping plus its trace events."""
+
+    index: int
+    tag: Tuple[Any, ...]
+    seed: Optional[int]
+    summary: Dict[str, Any]
+    events: Tuple[TraceEvent, ...]
+
+
+def _run_summary(run: Any) -> Dict[str, Any]:
+    """The ``run.meta`` payload for one RunResult."""
+    return {
+        "arrivals": run.arrivals,
+        "completed": run.completed,
+        "lost": run.lost,
+        "avg_response_time": run.avg_response_time,
+        "loss_fraction": run.loss_fraction,
+        "gc_count": run.gc_count,
+        "rejuvenations": run.rejuvenations,
+        "sim_duration_s": run.sim_duration_s,
+    }
+
+
+class TraceSession:
+    """Accumulates traced replications and writes the export formats.
+
+    Parameters
+    ----------
+    level:
+        Trace level stamped onto jobs built while this session is
+        installed (``spans`` / ``decisions`` / ``all``).
+    """
+
+    def __init__(self, level: str = "all") -> None:
+        self.level = validate_level(level)
+        self.runs: List[TracedRun] = []
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def ingest(self, jobs: Sequence[Any], runs: Sequence[Any]) -> None:
+        """Absorb one ``backend.map`` worth of results.
+
+        ``jobs`` and ``runs`` are parallel sequences in submission
+        order; each run's trace (if any) was carried back on
+        ``RunResult.trace``.
+        """
+        if len(jobs) != len(runs):
+            raise ValueError("jobs and runs must be parallel sequences")
+        for job, run in zip(jobs, runs):
+            events = getattr(run, "trace", None) or ()
+            self.runs.append(
+                TracedRun(
+                    index=len(self.runs),
+                    tag=tuple(getattr(job, "tag", ())),
+                    seed=getattr(job, "seed", None),
+                    summary=_run_summary(run),
+                    events=tuple(events),
+                )
+            )
+
+    @property
+    def n_events(self) -> int:
+        """Trace events collected so far (excluding run.meta records)."""
+        return sum(len(run.events) for run in self.runs)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Flat JSONL records: one ``run.meta`` per run, then its events."""
+        for run in self.runs:
+            yield {
+                "run": run.index,
+                "tag": list(run.tag),
+                "seed": run.seed,
+                "ts": 0.0,
+                "type": RUN_META,
+                "source": "session",
+                "data": dict(run.summary),
+            }
+            for event in run.events:
+                record = event.to_dict()
+                record["run"] = run.index
+                yield record
+
+    def registry(self) -> MetricsRegistry:
+        """Metrics over all ingested runs, merged in submission order."""
+        registry = MetricsRegistry()
+        for run in self.runs:
+            per_run = MetricsRegistry()
+            per_run.counter("repro_replications_total").inc()
+            for key, value in run.summary.items():
+                if key in ("avg_response_time", "loss_fraction"):
+                    continue
+                if key == "sim_duration_s":
+                    per_run.gauge("repro_sim_duration_seconds").set(value)
+                    continue
+                per_run.counter(f"repro_{key}_total").inc(value)
+            per_run.histogram(
+                "repro_replication_avg_response_time_seconds"
+            ).observe(run.summary["avg_response_time"])
+            per_run.add_events(run.events)
+            registry.merge(per_run)
+        return registry
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the JSONL trace; return the line count."""
+        return write_jsonl(path, self.records())
+
+    def write_chrome(self, path: str) -> int:
+        """Write the Chrome/Perfetto trace; return the record count."""
+        return write_chrome_trace(path, self.records())
+
+    def write_metrics(self, path: str) -> None:
+        """Write the Prometheus textfile snapshot."""
+        write_prometheus(path, self.registry())
+
+
+# ---------------------------------------------------------------------------
+# The installed-session stack (mirrors repro.exec.use_backend)
+# ---------------------------------------------------------------------------
+_SESSION_STACK: List[TraceSession] = []
+
+
+@contextmanager
+def use_tracing(session: TraceSession) -> Iterator[TraceSession]:
+    """Install ``session`` as the active trace session in this block."""
+    _SESSION_STACK.append(session)
+    try:
+        yield session
+    finally:
+        _SESSION_STACK.pop()
+
+
+def current_session() -> Optional[TraceSession]:
+    """The innermost installed session, or ``None`` (tracing off)."""
+    return _SESSION_STACK[-1] if _SESSION_STACK else None
+
+
+def active_trace_level() -> Optional[str]:
+    """The level jobs should be stamped with, or ``None``."""
+    session = current_session()
+    return session.level if session is not None else None
+
+
+__all__ = [
+    "TraceSession",
+    "TracedRun",
+    "active_trace_level",
+    "current_session",
+    "registry_for_runs",
+    "use_tracing",
+]

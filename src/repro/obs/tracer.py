@@ -1,0 +1,91 @@
+"""The event tracer and its near-free disabled path.
+
+A :class:`Tracer` buffers :class:`~repro.obs.events.TraceEvent` records
+in memory for the duration of one replication; the session layer
+(:mod:`repro.obs.session`) collects the buffers and hands them to the
+exporters.  Tracing is structured in *levels*:
+
+``spans``
+    request lifecycle + system (GC/rejuvenation) events only.
+``decisions``
+    policy decision + monitor events only.
+``all``
+    both, plus the raw DES engine events (verbose).
+
+The disabled case is the common case, so instrumented code never calls
+into a tracer object per event.  The idiom everywhere in the stack is::
+
+    tracer = self._tracer
+    if tracer is not None and tracer.spans:
+        tracer.emit(ts, REQUEST_ARRIVAL, "system", index=index)
+
+i.e. one attribute load and one/two boolean checks when tracing is off
+-- no event object is built, no call dispatched.  ``tracer.spans``,
+``tracer.decisions`` and ``tracer.engine`` are plain attributes
+precomputed from the level at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.obs.events import TraceEvent
+
+#: Accepted trace levels, in increasing verbosity.
+TRACE_LEVELS: Tuple[str, ...] = ("spans", "decisions", "all")
+
+
+def validate_level(level: str) -> str:
+    """Return ``level`` if valid, raise ``ValueError`` otherwise."""
+    if level not in TRACE_LEVELS:
+        raise ValueError(
+            f"unknown trace level {level!r}; expected one of {TRACE_LEVELS}"
+        )
+    return level
+
+
+class Tracer:
+    """An in-memory buffer of trace events for one replication.
+
+    Parameters
+    ----------
+    level:
+        ``spans``, ``decisions`` or ``all`` -- which event categories
+        the instrumented code should emit.
+
+    Examples
+    --------
+    >>> tracer = Tracer("decisions")
+    >>> (tracer.spans, tracer.decisions, tracer.engine)
+    (False, True, False)
+    >>> tracer.emit(1.5, "policy.trigger", "policy:sraa", level=4)
+    >>> tracer.events[0].data["level"]
+    4
+    """
+
+    __slots__ = ("level", "spans", "decisions", "engine", "events")
+
+    def __init__(self, level: str = "all") -> None:
+        self.level = validate_level(level)
+        self.spans = level in ("spans", "all")
+        self.decisions = level in ("decisions", "all")
+        self.engine = level == "all"
+        self.events: List[TraceEvent] = []
+
+    def emit(self, ts: float, etype: str, source: str, **data: Any) -> None:
+        """Record one event (caller has already checked the level flag)."""
+        self.events.append(TraceEvent(ts, etype, source, data))
+
+    def clear(self) -> None:
+        """Drop all buffered events (a fresh run starts clean)."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def make_tracer(level: Optional[str]) -> Optional[Tracer]:
+    """A tracer for the level, or ``None`` (the fast path) when unset."""
+    if level is None:
+        return None
+    return Tracer(level)

@@ -1,0 +1,120 @@
+"""ProgressPrinter throttling and StageTimer report formatting."""
+
+import io
+
+from repro.exec.progress import JobEvent, ProgressPrinter, StageTimer
+
+
+def _event(done, total, index=None, elapsed=1.0, job_s=0.5, tag=()):
+    return JobEvent(
+        index=done - 1 if index is None else index,
+        done=done,
+        total=total,
+        elapsed_s=elapsed,
+        job_s=job_s,
+        tag=tag,
+    )
+
+
+class TestProgressPrinter:
+    def test_prints_first_event(self):
+        stream = io.StringIO()
+        ProgressPrinter(stream=stream, min_interval_s=60.0)(_event(1, 10))
+        assert "1/10 jobs" in stream.getvalue()
+
+    def test_throttles_intermediate_events(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream, min_interval_s=60.0)
+        for done in range(1, 6):
+            printer(_event(done, 10))
+        # Only the first line made it through the 60 s throttle.
+        assert stream.getvalue().count("\n") == 1
+
+    def test_final_event_always_prints(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream, min_interval_s=60.0)
+        for done in range(1, 11):
+            printer(_event(done, 10))
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "10/10 jobs" in lines[-1]
+
+    def test_zero_interval_prints_everything(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream, min_interval_s=0.0)
+        for done in range(1, 4):
+            printer(_event(done, 3))
+        assert stream.getvalue().count("\n") == 3
+
+    def test_label_prefix(self):
+        stream = io.StringIO()
+        ProgressPrinter(stream=stream, label="exec")(_event(1, 1))
+        assert stream.getvalue().startswith("[exec] ")
+
+    def test_unlabelled_has_no_prefix(self):
+        stream = io.StringIO()
+        ProgressPrinter(stream=stream)(_event(1, 1))
+        assert stream.getvalue().startswith("1/1 jobs")
+
+    def test_line_contents(self):
+        stream = io.StringIO()
+        ProgressPrinter(stream=stream)(
+            _event(2, 2, elapsed=3.25, job_s=1.5)
+        )
+        assert (
+            stream.getvalue()
+            == "2/2 jobs, 3.2s elapsed (last job 1.50s)\n"
+        )
+
+
+class TestStageTimer:
+    def test_accumulates_per_stage(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        with timer.stage("a"):
+            pass
+        with timer.stage("b"):
+            pass
+        assert set(timer.stages) == {"a", "b"}
+        assert timer.total_s == sum(timer.stages.values())
+
+    def test_records_time_even_when_stage_raises(self):
+        timer = StageTimer()
+        try:
+            with timer.stage("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert "boom" in timer.stages
+
+    def test_empty_report(self):
+        assert StageTimer().report() == "no stages timed"
+
+    def test_single_stage_report_has_no_total(self):
+        timer = StageTimer()
+        timer.stages["only"] = 1.0
+        report = timer.report()
+        assert "only" in report
+        assert "total" not in report
+
+    def test_multi_stage_report_alignment_and_total(self):
+        timer = StageTimer()
+        timer.stages["short"] = 1.0
+        timer.stages["a-much-longer-stage"] = 2.5
+        report = timer.report()
+        lines = report.splitlines()
+        assert len(lines) == 3
+        assert lines[-1].startswith("total")
+        # Names are padded to a common width, so every seconds column
+        # starts at the same offset.
+        offsets = {line.index(" s") for line in lines}
+        assert len(offsets) == 1
+        assert "3.50 s" in lines[-1]
+
+    def test_insertion_order_preserved(self):
+        timer = StageTimer()
+        for name in ("z", "a", "m"):
+            with timer.stage(name):
+                pass
+        assert list(timer.stages) == ["z", "a", "m"]

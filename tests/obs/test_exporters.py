@@ -1,0 +1,112 @@
+"""JSONL, Chrome trace_event, and Prometheus file outputs."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    chrome_trace_records,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+RECORDS = [
+    {
+        "run": 0,
+        "tag": ["replication", 0],
+        "seed": 7,
+        "ts": 0.0,
+        "type": "run.meta",
+        "source": "session",
+        "data": {"completed": 2},
+    },
+    {
+        "run": 0,
+        "ts": 10.0,
+        "type": "request.complete",
+        "source": "system",
+        "data": {"index": 0, "response_time": 4.0},
+    },
+    {
+        "run": 0,
+        "ts": 12.0,
+        "type": "policy.trigger",
+        "source": "policy:SRAA",
+        "data": {"level": 2, "batch_mean": 21.0, "threshold": 15.0},
+    },
+]
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert write_jsonl(path, RECORDS) == len(RECORDS)
+        assert read_jsonl(path) == RECORDS
+
+    def test_bad_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            read_jsonl(str(path))
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert read_jsonl(str(path)) == [{"a": 1}, {"b": 2}]
+
+
+class TestChromeTrace:
+    def test_required_keys_on_every_record(self):
+        for record in chrome_trace_records(RECORDS):
+            for key in ("name", "ph", "ts", "pid", "tid"):
+                assert key in record, f"{key} missing from {record}"
+
+    def test_completion_becomes_complete_slice(self):
+        slices = [
+            r for r in chrome_trace_records(RECORDS) if r["ph"] == "X"
+        ]
+        (request,) = slices
+        # ts is the service-entry instant; the slice spans the response.
+        assert request["ts"] == pytest.approx((10.0 - 4.0) * 1e6)
+        assert request["dur"] == pytest.approx(4.0 * 1e6)
+        assert request["name"] == "request"
+
+    def test_run_meta_becomes_process_name_metadata(self):
+        metadata = [
+            r for r in chrome_trace_records(RECORDS) if r["ph"] == "M"
+        ]
+        (record,) = metadata
+        assert record["name"] == "process_name"
+        assert record["pid"] == 0
+
+    def test_written_file_is_a_json_array(self, tmp_path):
+        path = str(tmp_path / "chrome.json")
+        count = write_chrome_trace(path, RECORDS)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert isinstance(loaded, list)
+        assert len(loaded) == count
+        for record in loaded:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(record)
+
+    def test_distinct_sources_get_distinct_tids(self):
+        records = chrome_trace_records(RECORDS)
+        tids = {
+            r["tid"] for r in records if r["ph"] != "M"
+        }
+        assert len(tids) == 2  # system and policy:SRAA
+
+
+class TestPrometheusFile:
+    def test_write(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_completed_total").inc(5)
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus(path, registry)
+        content = open(path).read()
+        assert "repro_completed_total 5" in content
+        assert content.endswith("\n")

@@ -1,0 +1,172 @@
+"""Counters, gauges, histograms, and the determinism of merging."""
+
+import pytest
+
+from repro.obs.events import TraceEvent
+from repro.obs.metrics import (
+    LATENCY_BOUNDS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry_for_runs,
+)
+
+
+class TestCounter:
+    def test_inc_and_merge(self):
+        a, b = Counter(), Counter()
+        a.inc()
+        a.inc(2)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_merge_is_last_write_wins(self):
+        a, b = Gauge(), Gauge()
+        a.set(1.0)
+        b.set(2.0)
+        a.merge(b)
+        assert a.value == 2.0
+
+    def test_unwritten_gauge_does_not_overwrite(self):
+        a, b = Gauge(), Gauge()
+        a.set(1.0)
+        a.merge(b)
+        assert a.value == 1.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(55.5)
+        assert hist.mean == pytest.approx(55.5 / 3)
+
+    def test_merge_is_exact(self):
+        """Merging per-run histograms equals one histogram over all data."""
+        values = [0.3, 2.0, 7.0, 80.0, 400.0]
+        split = Histogram()
+        part = Histogram()
+        for value in values[:2]:
+            split.observe(value)
+        for value in values[2:]:
+            part.observe(value)
+        split.merge(part)
+        whole = Histogram()
+        for value in values:
+            whole.observe(value)
+        assert split.counts == whole.counts
+        assert split.sum == whole.sum
+        assert (split.minimum, split.maximum) == (0.3, 400.0)
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_cumulative_ends_with_inf(self):
+        hist = Histogram(bounds=(1.0,))
+        hist.observe(0.5)
+        hist.observe(3.0)
+        assert hist.cumulative() == [(1.0, 1), (float("inf"), 2)]
+
+    def test_default_bounds_cover_paper_regime(self):
+        # Healthy ~5 s and degraded ~100 s response times must land in
+        # interior buckets, not the +Inf overflow.
+        assert LATENCY_BOUNDS_S[0] < 5.0 < LATENCY_BOUNDS_S[-1]
+        assert 100.0 < LATENCY_BOUNDS_S[-1]
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc()
+        assert registry.snapshot()["c"] == 2
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="a").inc()
+        registry.counter("c", kind="b").inc(2)
+        snapshot = registry.snapshot()
+        assert snapshot['c{kind="a"}'] == 1
+        assert snapshot['c{kind="b"}'] == 2
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m").inc()
+        other = MetricsRegistry()
+        other.gauge("m").set(1.0)
+        with pytest.raises(TypeError):
+            registry.merge(other)
+
+    def test_merge_does_not_alias(self):
+        source = MetricsRegistry()
+        source.counter("c").inc()
+        merged = MetricsRegistry()
+        merged.merge(source)
+        source.counter("c").inc(10)
+        assert merged.snapshot()["c"] == 1
+
+    def test_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_completed_total").inc(3)
+        registry.gauge("repro_sim_duration_seconds").set(1.5)
+        registry.histogram("repro_rt_seconds", bounds=(1.0,)).observe(0.5)
+        text = registry.to_prometheus()
+        assert "# TYPE repro_completed_total counter" in text
+        assert "repro_completed_total 3" in text
+        assert "repro_sim_duration_seconds 1.5" in text
+        assert 'repro_rt_seconds_bucket{le="1"} 1' in text
+        assert 'repro_rt_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_rt_seconds_count 1" in text
+
+    def test_add_events(self):
+        registry = MetricsRegistry()
+        registry.add_events(
+            [
+                TraceEvent(1.0, "request.complete", "system",
+                           {"index": 0, "response_time": 4.0}),
+                TraceEvent(2.0, "request.loss", "system",
+                           {"index": 1, "reason": "downtime"}),
+                TraceEvent(3.0, "policy.trigger", "policy:SRAA",
+                           {"batch_mean": 20.0}),
+            ]
+        )
+        snapshot = registry.snapshot()
+        assert snapshot['repro_trace_events_total{type="request.complete"}'] == 1
+        assert snapshot['repro_request_losses_total{reason="downtime"}'] == 1
+        assert snapshot['repro_policy_triggers_total{policy="policy:SRAA"}'] == 1
+        assert snapshot["repro_response_time_seconds"]["count"] == 1
+
+
+class TestRegistryForRuns:
+    def test_counts_runs_with_telemetry_schema_names(self, paper_config):
+        from repro.ecommerce.runner import run_once
+        from repro.ecommerce.workload import PoissonArrivals
+
+        runs = [
+            run_once(paper_config, PoissonArrivals(1.0), None, 500, seed=s)
+            for s in (0, 1)
+        ]
+        snapshot = registry_for_runs(runs).snapshot()
+        assert snapshot["repro_replications_total"] == 2
+        # Names mirror the telemetry column schema.
+        assert snapshot["repro_completed_total"] == sum(
+            r.completed for r in runs
+        )
+        assert snapshot["repro_lost_total"] == sum(r.lost for r in runs)
+        assert snapshot["repro_gc_count_total"] == sum(r.gc_count for r in runs)
