@@ -1,0 +1,94 @@
+"""Fault-injection campaign: robustness scores + campaign overhead.
+
+Two pins.  First, the `faults` registry experiment regenerates the
+robustness table over the whole scenario zoo and the shape assertions
+check the design intent: SRAA at paper defaults misses no genuine
+degradation on the acceptance scenarios while CLTA pays in false
+alarms on the false-aging blips.  Second, the campaign plumbing
+(scenario payload pickling, injection arming, ground-truth scoring)
+must not materially slow execution down: the same jobs run with an
+empty scenario attached are compared against plain jobs with no faults
+payload, with bit-identical results and bounded overhead.
+"""
+
+import time
+from dataclasses import replace
+
+from conftest import BENCH_SEED, assertions_enabled, regenerate
+
+from repro.ecommerce.spec import ArrivalSpec
+from repro.exec.backends import SerialBackend
+from repro.faults.campaign import DEFAULT_POLICIES, campaign_jobs
+from repro.faults.scenario import FaultScenario
+from repro.faults.zoo import BASE_CONFIG, HIGH_LOAD_RATE, scenario_names
+from repro.exec.jobs import execute_job
+
+#: Zoo presentation order gives each scenario its x index in the tables.
+X = {name: float(i) for i, name in enumerate(scenario_names())}
+
+
+def test_faults_campaign(benchmark):
+    result = regenerate(benchmark, "faults")
+    if not assertions_enabled():
+        return
+    latency, alarms, cost = result.tables
+    sraa_alarms = alarms.get_series("SRAA")
+    clta_alarms = alarms.get_series("CLTA")
+    # The acceptance scenario: 15 s hang blips cross CLTA's single-test
+    # threshold but cannot climb SRAA's bucket chain.
+    assert sraa_alarms.value_at(X["false_aging"]) == 0.0
+    assert clta_alarms.value_at(X["false_aging"]) > 0.0
+    # Burst tolerance: the 1.6x surge and the 6->9 load step are
+    # healthy operating points; SRAA must not fire on either.
+    assert sraa_alarms.value_at(X["traffic_surge"]) == 0.0
+    assert sraa_alarms.value_at(X["workload_shift"]) == 0.0
+    # Every policy detects the clean x3 slowdown (a latency point
+    # exists only when something was detected).
+    for label in ("SRAA", "SARAA", "CLTA"):
+        assert latency.get_series(label).value_at(X["aging_onset"]) > 0.0
+    # Triggering costs transactions: whoever rejuvenates pays a
+    # bounded, non-zero loss on the genuine-aging scenario.
+    for label in ("SRAA", "SARAA", "CLTA"):
+        assert 0.0 < cost.get_series(label).value_at(X["aging_onset"]) < 0.5
+
+
+def test_campaign_overhead_vs_plain_sweep():
+    """The faults payload must ride along nearly for free.
+
+    An *empty* scenario (no injections, no ground truth) makes the
+    simulated work identical to a plain replication sweep, so any
+    wall-clock difference is pure campaign machinery: scenario
+    pickling, arming, tag bookkeeping.  Results must be bit-identical
+    and the overhead bounded.
+    """
+    scenario = FaultScenario(
+        name="baseline",
+        description="no injections -- plain sweep in campaign clothing",
+        config=BASE_CONFIG,
+        arrival=ArrivalSpec.poisson(HIGH_LOAD_RATE),
+        n_transactions=5_000,
+        horizon_s=5_000 / HIGH_LOAD_RATE,
+    )
+    jobs = campaign_jobs(
+        [scenario], DEFAULT_POLICIES, replications=3, seed=BENCH_SEED
+    )
+    plain_jobs = [replace(job, faults=None) for job in jobs]
+    backend = SerialBackend()
+
+    started = time.perf_counter()
+    plain = backend.map(execute_job, plain_jobs)
+    plain_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    campaign = backend.map(execute_job, jobs)
+    campaign_s = time.perf_counter() - started
+
+    assert campaign == plain  # the empty scenario changes nothing
+    overhead = campaign_s / plain_s
+    print(
+        f"\nplain {plain_s:.2f}s vs campaign {campaign_s:.2f}s "
+        f"({overhead:.2f}x)"
+    )
+    # Generous bound: the arming loop is O(#injections) at run start
+    # and the payload pickles once per job.
+    assert overhead < 1.5

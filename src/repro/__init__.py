@@ -73,6 +73,7 @@ from repro.exec import (
     use_backend,
 )
 from repro.experiments import Scale, run_experiment
+from repro.faults import FaultScenario, builtin_scenarios, run_campaign
 from repro.availability import HuangRejuvenationModel
 from repro.monitoring import (
     AdaptiveSLO,
@@ -103,6 +104,7 @@ __all__ = [
     "DeterministicThreshold",
     "ECommerceSystem",
     "EWMAPolicy",
+    "FaultScenario",
     "HuangRejuvenationModel",
     "JoinShortestQueue",
     "MMcModel",
@@ -138,6 +140,7 @@ __all__ = [
     "TrendPolicy",
     "WeightedRoundRobin",
     "available_policies",
+    "builtin_scenarios",
     "default_grid",
     "calibrate_slo",
     "clt_false_alarm_probability",
@@ -145,6 +148,7 @@ __all__ = [
     "make_backend",
     "make_policy",
     "robust_calibrate_slo",
+    "run_campaign",
     "run_experiment",
     "run_once",
     "run_replications",

@@ -22,6 +22,11 @@ Subcommands
 ``repro explain TRACE``
     Human-readable timeline from a ``--trace`` JSONL file: names the
     bucket, batch mean and threshold behind every rejuvenation.
+``repro faults list|run|score``
+    The fault-injection subsystem: list the built-in adversarial
+    scenarios, run a (scenario x policy x replication) campaign with
+    robustness scoring (``--workers``, ``--trace``, ``--csv``), or
+    re-score an existing campaign trace.
 
 ``repro run`` and ``repro simulate`` both accept ``--trace PATH``
 (JSONL trace), ``--trace-level spans|decisions|all``, ``--trace-chrome
@@ -154,7 +159,85 @@ def _build_parser() -> argparse.ArgumentParser:
         help="explain every rejuvenation in a --trace JSONL file",
     )
     explain.add_argument("trace", help="path to a JSONL trace file")
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection scenarios and robustness campaigns",
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+
+    faults_list = faults_sub.add_parser(
+        "list", help="list the built-in adversarial scenarios"
+    )
+    _add_horizon_option(faults_list)
+
+    faults_run = faults_sub.add_parser(
+        "run",
+        help="run a (scenario x policy x replication) campaign "
+        "and print the robustness scores",
+    )
+    faults_run.add_argument(
+        "scenarios",
+        nargs="?",
+        default="all",
+        help="comma-separated scenario names from 'repro faults list', "
+        "or 'all' (default)",
+    )
+    faults_run.add_argument(
+        "--scenario-file",
+        metavar="PATH",
+        default=None,
+        help="also run a scenario loaded from a YAML/JSON file "
+        "(see docs/faults.md for the schema)",
+    )
+    faults_run.add_argument(
+        "--policies",
+        default="SRAA,SARAA,CLTA",
+        help="comma-separated policy names (factory names or the "
+        "default labels SRAA/SARAA/CLTA at paper parameters)",
+    )
+    faults_run.add_argument(
+        "--replications",
+        type=int,
+        default=5,
+        help="replications per (scenario, policy) cell (default 5)",
+    )
+    faults_run.add_argument("--seed", type=int, default=0)
+    faults_run.add_argument(
+        "--csv",
+        metavar="PATH",
+        default=None,
+        help="also write the scores as CSV",
+    )
+    _add_horizon_option(faults_run)
+    _add_backend_options(faults_run)
+    _add_trace_options(faults_run)
+
+    faults_score = faults_sub.add_parser(
+        "score",
+        help="re-score a 'repro faults run --trace' JSONL file "
+        "against the built-in ground truth",
+    )
+    faults_score.add_argument("trace", help="path to a campaign trace")
+    faults_score.add_argument(
+        "--csv",
+        metavar="PATH",
+        default=None,
+        help="also write the scores as CSV",
+    )
+    _add_horizon_option(faults_score)
     return parser
+
+
+def _add_horizon_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=900.0,
+        metavar="SECONDS",
+        help="scenario timeline horizon in simulated seconds "
+        "(default 900; the study scale is 3600)",
+    )
 
 
 def _add_trace_options(parser: argparse.ArgumentParser) -> None:
@@ -444,6 +527,101 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.zoo import builtin_scenarios
+
+    if args.faults_command == "list":
+        for scenario in builtin_scenarios(args.horizon).values():
+            print(scenario.describe())
+        return 0
+    if args.faults_command == "run":
+        return _cmd_faults_run(args)
+    if args.faults_command == "score":
+        return _cmd_faults_score(args)
+    raise AssertionError(
+        f"unhandled faults command {args.faults_command!r}"
+    )
+
+
+def _resolve_campaign_policies(spec: str):
+    """``--policies`` CSV to an ordered ``label -> PolicySpec`` dict."""
+    from repro.core.spec import PolicySpec
+    from repro.faults.campaign import DEFAULT_POLICIES
+
+    policies = {}
+    for name in (part.strip() for part in spec.split(",")):
+        if not name:
+            continue
+        if name.upper() in DEFAULT_POLICIES:
+            policies[name.upper()] = DEFAULT_POLICIES[name.upper()]
+        else:
+            try:
+                policies[name] = PolicySpec(name.lower())
+            except ValueError as error:
+                raise SystemExit(f"--policies: {error}") from None
+    if not policies:
+        raise SystemExit(f"no policy names in {spec!r}")
+    return policies
+
+
+def _cmd_faults_run(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import run_campaign
+    from repro.faults.scenario import load_scenario
+    from repro.faults.score import write_scores_csv
+    from repro.faults.zoo import builtin_scenarios
+
+    zoo = builtin_scenarios(args.horizon)
+    if args.scenarios == "all":
+        scenarios = list(zoo.values())
+    else:
+        scenarios = []
+        for name in (part.strip() for part in args.scenarios.split(",")):
+            if not name:
+                continue
+            if name not in zoo:
+                raise SystemExit(
+                    f"unknown scenario {name!r}; see 'repro faults list'"
+                )
+            scenarios.append(zoo[name])
+    if args.scenario_file is not None:
+        scenarios.append(load_scenario(args.scenario_file))
+    if not scenarios:
+        raise SystemExit(f"no scenarios in {args.scenarios!r}")
+    policies = _resolve_campaign_policies(args.policies)
+    session = _make_trace_session(args)
+    timer = StageTimer()
+    with timer.stage("campaign"), _maybe_tracing(session):
+        campaign = run_campaign(
+            scenarios=scenarios,
+            policies=policies,
+            replications=args.replications,
+            seed=args.seed,
+            backend=_resolve_backend(args),
+        )
+    print(campaign.format_table())
+    if args.csv is not None:
+        rows = write_scores_csv(args.csv, campaign.scores)
+        print(f"wrote {args.csv} ({rows} score rows)")
+    if session is not None:
+        _write_trace_outputs(session, args)
+    print(f"wall-clock: {timer.total_s:.2f} s")
+    return 0
+
+
+def _cmd_faults_score(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import score_trace
+    from repro.faults.score import format_scores, write_scores_csv
+
+    if not os.path.exists(args.trace):
+        raise SystemExit(f"no such trace file: {args.trace}")
+    scores = score_trace(args.trace, horizon_s=args.horizon)
+    print(format_scores(scores))
+    if args.csv is not None:
+        rows = write_scores_csv(args.csv, scores)
+        print(f"wrote {args.csv} ({rows} score rows)")
+    return 0
+
+
 def _cmd_explain(trace_path: str) -> int:
     from repro.obs.explain import explain_trace
 
@@ -476,6 +654,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "explain":
         return _cmd_explain(args.trace)
+    if args.command == "faults":
+        return _cmd_faults(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -23,6 +23,10 @@ class RunResult:
     telemetry probe was installed; both stay ``None`` otherwise.  They
     ride inside the (picklable) result so traces survive the trip back
     from process-pool workers.
+
+    ``rejuvenation_times`` records the simulation clock of every policy
+    trigger -- the signal the fault-campaign scorer compares against a
+    scenario's ground-truth degradation intervals.
     """
 
     arrivals: int
@@ -38,6 +42,7 @@ class RunResult:
     response_times: Optional[Tuple[float, ...]] = None
     trace: Optional[Tuple[object, ...]] = None
     telemetry: Optional[Tuple[object, ...]] = None
+    rejuvenation_times: Optional[Tuple[float, ...]] = None
 
     @property
     def throughput(self) -> float:

@@ -13,7 +13,7 @@ deployments share one implementation of the mechanics.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -110,6 +110,14 @@ class ProcessingNode:
         self.gc_end = 0.0
         self.gc_count = 0
         self.rejuvenations = 0
+        self.crashes = 0
+        #: Multiplier applied to every service draw (fault injection:
+        #: a sustained slowdown models genuine software aging).
+        self.service_scale = 1.0
+        #: Heavy-tailed contamination ``(prob, pareto_alpha, scale_s)``
+        #: or ``None``; when set, each service start adds a Pareto-
+        #: distributed delay with probability ``prob``.
+        self.contamination: Optional[Tuple[float, float, float]] = None
 
     @property
     def free_heap_mb(self) -> float:
@@ -152,6 +160,15 @@ class ProcessingNode:
         self.in_service[job] = None
         # Step 3: processing time (exponential in the paper).
         service = self._draw_service()
+        # Fault-injection surface: sustained slowdown and heavy-tailed
+        # contamination (no extra draws when no fault is active).
+        if self.service_scale != 1.0:
+            service *= self.service_scale
+        contamination = self.contamination
+        if contamination is not None:
+            prob, alpha, scale_s = contamination
+            if self.service_rng.random() < prob:
+                service += scale_s * float(self.service_rng.pareto(alpha))
         # Step 4: kernel overhead above the concurrency threshold.
         if cfg.enable_overhead and self.in_system > cfg.overhead_threshold:
             service *= cfg.overhead_factor
@@ -211,16 +228,23 @@ class ProcessingNode:
         self.gc_end = now + pause
         if pause <= 0.0:
             return
+        self._delay_in_service(pause)
+
+    def _delay_in_service(self, pause_s: float) -> int:
+        """Push every in-service completion ``pause_s`` into the future."""
+        delayed = 0
         for running in self.in_service:
             event = running.completion_event
             if event is None:  # pragma: no cover - defensive
                 continue
             self.sim.cancel(event)
             running.completion_event = self.sim.schedule_at(
-                event.time + pause,
+                event.time + pause_s,
                 lambda j=running: self._on_completion(j),
                 kind="done",
             )
+            delayed += 1
+        return delayed
 
     def _on_completion(self, job: Job) -> None:
         cfg = self.config
@@ -277,6 +301,71 @@ class ProcessingNode:
                 rejuvenations=self.rejuvenations,
             )
         self.dispatch()
+        return lost
+
+    # ------------------------------------------------------------------
+    # Fault-injection surface
+    # ------------------------------------------------------------------
+    def stall(self, pause_s: float) -> int:
+        """Transient GC-like stall: delay every running thread.
+
+        Models a "false aging" blip (a lock convoy, a paging storm): the
+        in-service completions are pushed ``pause_s`` into the future,
+        exactly like a full GC, but nothing is reclaimed and no GC is
+        counted.  Returns the number of threads stalled.  With the
+        ``gc_freezes_new_threads`` ablation enabled, threads starting
+        mid-stall are frozen too (the stall extends ``gc_end``).
+        """
+        if pause_s < 0:
+            raise ValueError("stall duration must be non-negative")
+        if pause_s == 0.0:
+            return 0
+        self.gc_end = max(self.gc_end, self.sim.now + pause_s)
+        return self._delay_in_service(pause_s)
+
+    def inject_garbage(self, mb: float) -> None:
+        """Leak ``mb`` of garbage into the heap (aging acceleration).
+
+        Unlike the per-transaction leak of step 5, injected garbage
+        forces the full-GC check immediately, so the injector drives GC
+        pressure even in configurations where ``alloc_mb`` is zero.
+        """
+        if mb < 0:
+            raise ValueError("injected garbage must be non-negative")
+        self.garbage_mb += mb
+        if (
+            self.config.enable_gc
+            and self.free_heap_mb < self.config.gc_threshold_mb
+        ):
+            self._run_gc()
+
+    def crash(self) -> int:
+        """Abrupt node failure: every transaction in the node dies.
+
+        Unlike :meth:`rejuvenate`, a crash is not a policy action -- it
+        is not counted as a rejuvenation, and it always empties the
+        queue (the process is gone, front-end tier included).  Resources
+        come back released; the owner decides the restart downtime.
+        Returns the number of transactions lost.
+        """
+        self.crashes += 1
+        lost = 0
+        for job in self.in_service:
+            if job.completion_event is not None:
+                self.sim.cancel(job.completion_event)
+            self.on_loss(job)
+            lost += 1
+        self.in_system -= len(self.in_service)
+        self.in_service.clear()
+        for job in self.queue:
+            self.on_loss(job)
+            lost += 1
+        self.in_system -= len(self.queue)
+        self.queue.clear()
+        self.free_cpus = self.config.cpus
+        self.live_mb = 0.0
+        self.garbage_mb = 0.0
+        self.gc_end = self.sim.now
         return lost
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

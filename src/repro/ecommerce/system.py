@@ -71,6 +71,14 @@ class ECommerceSystem:
         the simulation clock is installed on the policy.  The buffered
         events are returned on ``RunResult.trace``.  ``None`` (the
         default) is the near-free fast path.
+    faults:
+        Optional fault scenario: either an object with an ``injections``
+        attribute (e.g. :class:`repro.faults.scenario.FaultScenario`) or
+        a plain sequence of injections.  Each injection's
+        ``arm(system)`` is called at the start of every :meth:`run`,
+        after the model has been reset, so injections schedule their
+        simulator events against a clean clock.  The model never imports
+        :mod:`repro.faults` -- the coupling is duck-typed.
 
     Examples
     --------
@@ -97,9 +105,12 @@ class ECommerceSystem:
         resource_policy: Optional[ResourceExhaustionPolicy] = None,
         telemetry: Optional[Telemetry] = None,
         tracer: Optional[object] = None,
+        faults: Optional[object] = None,
     ) -> None:
         self.config = config
         self.arrivals = arrivals
+        self._base_arrivals = arrivals
+        self.faults = faults
         self.policy = policy
         self.resource_policy = resource_policy
         self.telemetry = telemetry
@@ -164,6 +175,11 @@ class ECommerceSystem:
     def rejuvenations(self) -> int:
         """Rejuvenations carried out so far."""
         return self.node.rejuvenations
+
+    @property
+    def crashes(self) -> int:
+        """Injected node crashes so far."""
+        return self.node.crashes
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -233,6 +249,58 @@ class ECommerceSystem:
                 self.sim.now, "request.loss", "system", index=index, reason=reason
             )
 
+    # ------------------------------------------------------------------
+    # Fault-injection surface (used by repro.faults injections)
+    # ------------------------------------------------------------------
+    def set_arrivals(self, process: ArrivalProcess) -> ArrivalProcess:
+        """Swap the arrival process mid-run; returns the previous one.
+
+        The swap affects the *next* inter-arrival draw; the arrival
+        already scheduled keeps its time.  Workload-shift and
+        traffic-surge injectors use this to step/scale the rate without
+        disturbing the arrival random stream's draw order.
+        """
+        previous = self.arrivals
+        self.arrivals = process
+        return previous
+
+    def inject_crash(self, restart_s: float = 0.0) -> int:
+        """Crash the node: all in-flight work dies, then restart.
+
+        Requests arriving during the ``restart_s`` restart window are
+        refused (counted lost, reason ``downtime``), reusing the
+        rejuvenation-downtime gate.  The crash also wipes whatever
+        response-time history the policy had accumulated -- after a
+        process restart a monitor starts from scratch -- so the policy
+        (and any resource policy) is reset.  Crashes are *not* counted
+        as rejuvenations and never appear in ``rejuvenation_times``.
+        Returns the number of transactions lost in the crash itself.
+        """
+        if restart_s < 0:
+            raise ValueError("restart time must be non-negative")
+        lost = self.node.crash()
+        if restart_s > 0.0:
+            self._down_until = max(
+                self._down_until, self.sim.now + restart_s
+            )
+        if self.policy is not None:
+            self.policy.reset()
+        if self.resource_policy is not None:
+            self.resource_policy.reset()
+        return lost
+
+    def emit_fault(self, kind: str, cleared: bool = False, **data) -> None:
+        """Emit a ``fault.injected`` / ``fault.cleared`` trace event."""
+        tracer = self._span_tracer
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now,
+                "fault.cleared" if cleared else "fault.injected",
+                "fault",
+                kind=kind,
+                **data,
+            )
+
     def _probe_telemetry(self) -> None:
         """Record one snapshot and re-arm while the model is still live.
 
@@ -290,6 +358,9 @@ class ECommerceSystem:
         if not 0 <= warmup < n_transactions:
             raise ValueError("warmup must lie in [0, n_transactions)")
         self.sim.reset()
+        # Fault injectors may have swapped the arrival process in a
+        # previous run; every run starts from the constructor's process.
+        self.arrivals = self._base_arrivals
         self.arrivals.reset()
         if self.tracer is not None:
             self.tracer.clear()
@@ -303,6 +374,10 @@ class ECommerceSystem:
         self._n_target = n_transactions
         if collect_response_times:
             self._collected = []
+        if self.faults is not None:
+            injections = getattr(self.faults, "injections", self.faults)
+            for injection in injections:
+                injection.arm(self)
         self._schedule_next_arrival()
         if self.telemetry is not None:
             self.telemetry.clear()
@@ -338,4 +413,5 @@ class ECommerceSystem:
                 if self.telemetry is not None
                 else None
             ),
+            rejuvenation_times=tuple(self.rejuvenation_times),
         )

@@ -194,6 +194,36 @@ class PeriodicArrivals(ArrivalProcess):
         )
 
 
+class ScaledArrivals(ArrivalProcess):
+    """Rate-scales another arrival process by a constant factor.
+
+    Every inter-arrival drawn from ``inner`` is divided by ``factor``,
+    which multiplies the instantaneous rate by ``factor`` -- exact for
+    Poisson arrivals, and a time-compression for modulated processes.
+    Used by the traffic-surge fault injector, which wraps the live
+    process at surge start (preserving its state) and unwraps it at
+    surge end.
+    """
+
+    def __init__(self, inner: ArrivalProcess, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError("rate factor must be positive")
+        self.inner = inner
+        self.factor = float(factor)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def interarrival(self, rng: np.random.Generator) -> float:
+        return self.inner.interarrival(rng) / self.factor
+
+    def mean_rate(self) -> float:
+        return self.inner.mean_rate() * self.factor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScaledArrivals({self.inner!r} x {self.factor:g})"
+
+
 class TraceArrivals(ArrivalProcess):
     """Replays a recorded sequence of inter-arrival times.
 

@@ -59,6 +59,9 @@ class ReplicationJob:
     tag: Tuple[Any, ...] = ()
     trace_level: Optional[str] = None
     telemetry_interval_s: Optional[float] = None
+    #: Optional fault scenario (e.g. repro.faults FaultScenario) or a
+    #: plain sequence of picklable injections, armed at run start.
+    faults: Any = None
 
 
 def build_arrival(source: ArrivalSource) -> "ArrivalProcess":
@@ -113,6 +116,7 @@ def execute_job(job: ReplicationJob) -> "RunResult":
         seed=job.seed,
         telemetry=telemetry,
         tracer=tracer,
+        faults=job.faults,
     )
     return system.run(
         job.n_transactions,

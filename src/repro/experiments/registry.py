@@ -18,6 +18,7 @@ from repro.experiments.availability_exp import run_availability
 from repro.experiments.cluster_exp import run_cluster
 from repro.experiments.comparison import run_fig16
 from repro.experiments.degradation_exp import run_degradation
+from repro.experiments.faults_exp import run_faults
 from repro.experiments.fidelity import run_fidelity
 from repro.experiments.saraa_fig import run_fig15
 from repro.experiments.scale import Scale
@@ -37,6 +38,8 @@ _ALIASES: Dict[str, str] = {
     "comparison": "fig16",
     "sraa": "fig09_10",
     "saraa": "fig15",
+    "robustness": "faults",
+    "erosion": "degradation",
 }
 
 _REGISTRY: Dict[str, Tuple[str, ExperimentRunner]] = {
@@ -95,6 +98,11 @@ _REGISTRY: Dict[str, Tuple[str, ExperimentRunner]] = {
         "Detector families on the eroding-capacity substrate of "
         "ref. [3] (beyond the paper)",
         run_degradation,
+    ),
+    "faults": (
+        "Fault-injection campaign: policy robustness across the "
+        "adversarial scenario zoo (beyond the paper)",
+        run_faults,
     ),
     "availability": (
         "Huang et al. availability planning (analytical, ref. [9]; "

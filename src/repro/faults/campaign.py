@@ -1,0 +1,228 @@
+"""The campaign runner: (scenario x policy x replication) fan-out.
+
+A campaign turns the scenario zoo into one flat list of picklable
+:class:`~repro.exec.jobs.ReplicationJob`\\ s -- each carrying its
+scenario as the job's ``faults`` payload -- and fans it out through an
+:class:`~repro.exec.backends.ExecutionBackend`.  Common random numbers:
+replication ``i`` of scenario ``s`` uses master seed
+``seed + 1000 * s_index + i`` *for every policy*, so policies face
+literally the same arrival and service streams and score differences
+are pure policy effects (the same protocol as the figure sweeps).
+Results come back in submission order on every backend, so campaign
+scores are bit-identical between serial and process-pool runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.spec import PolicySpec
+from repro.ecommerce.metrics import RunResult
+from repro.exec.backends import ExecutionBackend, resolve_backend
+from repro.exec.jobs import ReplicationJob, execute_job
+from repro.exec.progress import ProgressHook
+from repro.faults.scenario import FaultScenario
+from repro.faults.score import PolicyScore, format_scores, score_policy
+from repro.faults.zoo import builtin_scenarios, get_scenario
+from repro.obs.session import active_trace_level, current_session
+
+#: The paper's three contenders at their Section-5.6 parameters.
+DEFAULT_POLICIES: Dict[str, PolicySpec] = {
+    "SRAA": PolicySpec.sraa(2, 5, 3),
+    "SARAA": PolicySpec.saraa(2, 5, 3),
+    "CLTA": PolicySpec.clta(30, z=1.96),
+}
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything a campaign produced, in submission order.
+
+    ``scores`` is the deliverable; ``runs`` keeps the raw per-cell
+    replications keyed by ``(scenario_name, policy_label)`` for deeper
+    digging.
+    """
+
+    scores: Tuple[PolicyScore, ...]
+    runs: Tuple[Tuple[Tuple[str, str], Tuple[RunResult, ...]], ...]
+
+    def runs_for(self, scenario: str, policy: str) -> Tuple[RunResult, ...]:
+        """The raw replications of one (scenario, policy) cell."""
+        for key, cell in self.runs:
+            if key == (scenario, policy):
+                return cell
+        raise KeyError(f"no campaign cell ({scenario!r}, {policy!r})")
+
+    def format_table(self) -> str:
+        """The aligned robustness table over every cell."""
+        return format_scores(self.scores)
+
+
+def campaign_jobs(
+    scenarios: Sequence[FaultScenario],
+    policies: Mapping[str, PolicySpec],
+    replications: int,
+    seed: int = 0,
+    trace_level: Optional[str] = None,
+) -> List[ReplicationJob]:
+    """The flat job list, in (scenario, policy, replication) order.
+
+    The CRN seed protocol lives here: ``seed + 1000 * scenario_index +
+    replication``, independent of the policy -- every policy sees the
+    same streams on the same scenario cell.
+    """
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    if not scenarios:
+        raise ValueError("need at least one scenario")
+    if not policies:
+        raise ValueError("need at least one policy")
+    if trace_level is None:
+        trace_level = active_trace_level()
+    jobs: List[ReplicationJob] = []
+    for s_index, scenario in enumerate(scenarios):
+        for label, policy in policies.items():
+            for i in range(replications):
+                jobs.append(
+                    ReplicationJob(
+                        config=scenario.config,
+                        arrival=scenario.arrival,
+                        policy=policy,
+                        n_transactions=scenario.n_transactions,
+                        seed=seed + 1000 * s_index + i,
+                        tag=("faults", scenario.name, label, i),
+                        trace_level=trace_level,
+                        faults=scenario,
+                    )
+                )
+    return jobs
+
+
+def run_campaign(
+    scenarios: Optional[Sequence[FaultScenario]] = None,
+    policies: Optional[Mapping[str, PolicySpec]] = None,
+    replications: int = 5,
+    seed: int = 0,
+    backend: Union[ExecutionBackend, str, None] = None,
+    progress: Optional[ProgressHook] = None,
+) -> CampaignResult:
+    """Run and score a full campaign.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario list; ``None`` runs the whole built-in zoo at the
+        default one-hour horizon.
+    policies:
+        ``label -> PolicySpec``; ``None`` uses the paper's three
+        contenders (:data:`DEFAULT_POLICIES`).
+    replications:
+        Replications per (scenario, policy) cell (the paper uses 5).
+    seed:
+        Campaign master seed (see :func:`campaign_jobs` for the CRN
+        protocol).
+    backend:
+        Execution backend (instance, name, or ``None`` for the
+        installed/environment default).
+
+    When a :class:`~repro.obs.session.TraceSession` is installed, the
+    jobs are stamped with its level and the results ingested, so
+    ``repro faults run --trace`` produces a narratable JSONL file.
+    """
+    if scenarios is None:
+        scenarios = list(builtin_scenarios().values())
+    if policies is None:
+        policies = DEFAULT_POLICIES
+    jobs = campaign_jobs(scenarios, policies, replications, seed=seed)
+    runs = resolve_backend(backend).map(execute_job, jobs, progress=progress)
+    session = current_session()
+    if session is not None:
+        session.ingest(jobs, runs)
+    scores: List[PolicyScore] = []
+    cells: List[Tuple[Tuple[str, str], Tuple[RunResult, ...]]] = []
+    cursor = 0
+    for scenario in scenarios:
+        for label in policies:
+            cell = tuple(runs[cursor : cursor + replications])
+            cursor += replications
+            scores.append(score_policy(scenario, label, cell))
+            cells.append(((scenario.name, label), cell))
+    return CampaignResult(scores=tuple(scores), runs=tuple(cells))
+
+
+# ---------------------------------------------------------------------------
+# Re-scoring from a JSONL trace (``repro faults score``)
+# ---------------------------------------------------------------------------
+def score_trace(
+    path: str, horizon_s: float = 3600.0
+) -> Tuple[PolicyScore, ...]:
+    """Re-score a ``repro faults run --trace`` JSONL file.
+
+    Rebuilds each replication's trigger times from its
+    ``system.rejuvenation`` span events and its duration from the
+    ``run.meta`` summary, groups by the ``("faults", scenario, policy,
+    rep)`` job tags, and scores against the built-in scenario's ground
+    truth laid out for ``horizon_s`` (pass the value the campaign ran
+    with).
+    """
+    from repro.obs.events import RUN_META, SYSTEM_REJUVENATION
+    from repro.obs.exporters import read_jsonl
+
+    records = read_jsonl(path)
+    by_run: Dict[int, List[dict]] = {}
+    for record in records:
+        by_run.setdefault(record.get("run", 0), []).append(record)
+
+    cells: Dict[Tuple[str, str], List[RunResult]] = {}
+    for run_id in sorted(by_run):
+        run_records = by_run[run_id]
+        meta = next(
+            (r for r in run_records if r["type"] == RUN_META), None
+        )
+        if meta is None:
+            raise ValueError(
+                f"{path}: run {run_id} has no run.meta record"
+            )
+        tag = tuple(meta.get("tag") or ())
+        if len(tag) < 4 or tag[0] != "faults":
+            continue  # not a campaign replication
+        summary = meta.get("data", {})
+        triggers = tuple(
+            r["ts"]
+            for r in run_records
+            if r["type"] == SYSTEM_REJUVENATION
+        )
+        if summary.get("rejuvenations", 0) and not triggers:
+            raise ValueError(
+                f"{path}: run {run_id} reports rejuvenations but the "
+                "trace has no system.rejuvenation events -- re-run the "
+                "campaign with --trace-level spans or all"
+            )
+        result = RunResult(
+            arrivals=int(summary.get("arrivals", 0)),
+            completed=int(summary.get("completed", 0)),
+            lost=int(summary.get("lost", 0)),
+            avg_response_time=float(
+                summary.get("avg_response_time", 0.0)
+            ),
+            rt_std=0.0,
+            max_response_time=0.0,
+            loss_fraction=float(summary.get("loss_fraction", 0.0)),
+            gc_count=int(summary.get("gc_count", 0)),
+            rejuvenations=int(summary.get("rejuvenations", 0)),
+            sim_duration_s=float(summary.get("sim_duration_s", 0.0)),
+            rejuvenation_times=triggers,
+        )
+        cells.setdefault((str(tag[1]), str(tag[2])), []).append(result)
+
+    if not cells:
+        raise ValueError(
+            f"{path}: no campaign replications found (expected run.meta "
+            "tags of the form ('faults', scenario, policy, rep))"
+        )
+    scores = []
+    for (scenario_name, policy_label), results in cells.items():
+        scenario = get_scenario(scenario_name, horizon_s)
+        scores.append(score_policy(scenario, policy_label, results))
+    return tuple(scores)

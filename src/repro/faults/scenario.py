@@ -1,0 +1,251 @@
+"""The fault-scenario spec: a timeline of injections plus ground truth.
+
+A :class:`FaultScenario` is everything one adversarial experiment needs,
+as plain picklable data: the system configuration, the baseline arrival
+spec, the injection timeline, the number of transactions to drive, and
+-- crucially -- the **ground-truth degradation intervals**: the spans of
+simulated time during which the system genuinely needs rejuvenation.
+The robustness scorer (:mod:`repro.faults.score`) compares each
+policy's trigger times against these intervals; a trigger inside an
+interval is a detection, a trigger outside every interval is a false
+alarm.
+
+Scenarios serialise to/from plain dicts (:meth:`FaultScenario.to_dict`
+/ :func:`scenario_from_dict`) and therefore to YAML or JSON files
+(:func:`load_scenario` -- YAML when PyYAML is importable, JSON always).
+Open-ended intervals use ``null`` for the end in serialised form.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List, Tuple
+
+from repro.ecommerce.config import SystemConfig
+from repro.ecommerce.spec import ArrivalSpec
+from repro.faults.injectors import (
+    INJECTION_NAMES,
+    INJECTION_TYPES,
+    FaultInjection,
+)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One adversarial experiment, as plain data.
+
+    Parameters
+    ----------
+    name, description:
+        Identification (the zoo keys scenarios by ``name``).
+    config:
+        System parameters the scenario runs under.
+    arrival:
+        Baseline arrival source (an :class:`ArrivalSpec`); injections
+        may replace it mid-run.
+    n_transactions:
+        Arrivals to generate per replication (sets the run length).
+    injections:
+        The fault timeline, armed at the start of every run.
+    degraded:
+        Ground-truth degradation intervals ``(start_s, end_s)`` on the
+        simulated clock, sorted and non-overlapping; ``math.inf`` as an
+        end means "until the run ends".
+    horizon_s:
+        The nominal duration the timeline was laid out for (metadata
+        for readers and the CLI; the actual run length is set by
+        ``n_transactions``).
+    """
+
+    name: str
+    description: str
+    config: SystemConfig
+    arrival: ArrivalSpec
+    n_transactions: int
+    injections: Tuple[FaultInjection, ...] = ()
+    degraded: Tuple[Tuple[float, float], ...] = ()
+    horizon_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.n_transactions < 1:
+            raise ValueError("need at least one transaction")
+        object.__setattr__(self, "injections", tuple(self.injections))
+        intervals = tuple(
+            (float(start), float(end)) for start, end in self.degraded
+        )
+        previous_end = -math.inf
+        for start, end in intervals:
+            if start < 0:
+                raise ValueError("degradation intervals start at t >= 0")
+            if end <= start:
+                raise ValueError(
+                    f"degradation interval ({start}, {end}) is empty"
+                )
+            if start < previous_end:
+                raise ValueError(
+                    "degradation intervals must be sorted and disjoint"
+                )
+            previous_end = end
+        object.__setattr__(self, "degraded", intervals)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON/YAML-safe; open ends become ``None``)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "config": asdict(self.config),
+            "arrival": {
+                "kind": self.arrival.kind,
+                "params": dict(self.arrival.params),
+            },
+            "n_transactions": self.n_transactions,
+            "injections": [
+                _injection_to_dict(injection)
+                for injection in self.injections
+            ],
+            "degraded": [
+                [start, None if math.isinf(end) else end]
+                for start, end in self.degraded
+            ],
+            "horizon_s": self.horizon_s,
+        }
+
+    def describe(self) -> str:
+        """One line: name, run length, injections, ground truth."""
+        return (
+            f"{self.name}: {self.description} "
+            f"[{len(self.injections)} injection(s), "
+            f"{len(self.degraded)} degraded interval(s), "
+            f"{self.n_transactions} transactions]"
+        )
+
+
+def _injection_to_dict(injection: FaultInjection) -> Dict[str, Any]:
+    cls = type(injection)
+    try:
+        type_name = INJECTION_NAMES[cls]
+    except KeyError:
+        raise ValueError(
+            f"injection class {cls.__name__} is not registered in "
+            "INJECTION_TYPES"
+        ) from None
+    payload: Dict[str, Any] = {"type": type_name}
+    for field in fields(injection):
+        value = getattr(injection, field.name)
+        if isinstance(value, ArrivalSpec):
+            value = {"kind": value.kind, "params": dict(value.params)}
+        payload[field.name] = value
+    return payload
+
+
+def _injection_from_dict(payload: Dict[str, Any]) -> FaultInjection:
+    data = dict(payload)
+    try:
+        type_name = data.pop("type")
+    except KeyError:
+        raise ValueError(
+            f"injection entry {payload!r} has no 'type' key"
+        ) from None
+    try:
+        cls = INJECTION_TYPES[type_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown injection type {type_name!r}; available: "
+            f"{', '.join(sorted(INJECTION_TYPES))}"
+        ) from None
+    arrival = data.get("arrival")
+    if isinstance(arrival, dict):
+        data["arrival"] = ArrivalSpec(
+            kind=arrival["kind"], params=arrival.get("params", {})
+        )
+    return cls(**data)
+
+
+def scenario_from_dict(payload: Dict[str, Any]) -> FaultScenario:
+    """Rebuild a scenario from its :meth:`FaultScenario.to_dict` form.
+
+    The ``config`` entry accepts either the full
+    :class:`~repro.ecommerce.config.SystemConfig` field dict or the
+    shorthand ``{"without_degradation": true, "overrides": {...}}``
+    applied on top of the paper defaults.
+    """
+    data = dict(payload)
+    config_data = data.get("config", {})
+    if "cpus" in config_data:
+        config = SystemConfig(**config_data)
+    else:
+        config = SystemConfig(**config_data.get("overrides", {}))
+        if config_data.get("without_degradation"):
+            config = config.without_degradation()
+    arrival = data["arrival"]
+    if isinstance(arrival, dict):
+        arrival = ArrivalSpec(
+            kind=arrival["kind"], params=arrival.get("params", {})
+        )
+    degraded = tuple(
+        (float(start), math.inf if end is None else float(end))
+        for start, end in data.get("degraded", ())
+    )
+    return FaultScenario(
+        name=data["name"],
+        description=data.get("description", ""),
+        config=config,
+        arrival=arrival,
+        n_transactions=int(data["n_transactions"]),
+        injections=tuple(
+            _injection_from_dict(entry)
+            for entry in data.get("injections", ())
+        ),
+        degraded=degraded,
+        horizon_s=float(data.get("horizon_s", 0.0)),
+    )
+
+
+def load_scenario(path: str) -> FaultScenario:
+    """Load a scenario file: YAML when PyYAML is available, else JSON.
+
+    JSON is a subset of YAML, so with PyYAML installed both formats
+    load through the same parser; without it, the file must be JSON.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        import yaml  # type: ignore[import-untyped]
+    except ImportError:
+        payload = json.loads(text)
+    else:
+        payload = yaml.safe_load(text)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a mapping at the top level")
+    return scenario_from_dict(payload)
+
+
+def save_scenario(scenario: FaultScenario, path: str) -> None:
+    """Write a scenario as JSON (loadable by :func:`load_scenario`)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(scenario.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def clip_intervals(
+    degraded: Tuple[Tuple[float, float], ...], duration_s: float
+) -> List[Tuple[float, float]]:
+    """Ground-truth intervals clipped to the realised run duration.
+
+    Intervals that never started before the run ended are dropped (the
+    degradation did not happen, so it can be neither detected nor
+    missed).
+    """
+    clipped = []
+    for start, end in degraded:
+        if start >= duration_s:
+            continue
+        clipped.append((start, min(end, duration_s)))
+    return clipped

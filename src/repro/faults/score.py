@@ -1,0 +1,249 @@
+"""Robustness scoring: policy triggers against scenario ground truth.
+
+The scorer consumes the ``rejuvenation_times`` of each
+:class:`~repro.ecommerce.metrics.RunResult` and the scenario's
+ground-truth degradation intervals and produces, per (scenario,
+policy):
+
+detection latency
+    Seconds from the start of a degraded interval to the first trigger
+    inside it, averaged over the intervals that were detected.
+missed-detection rate
+    Fraction of (realised) degraded intervals with no trigger at all.
+false alarms per healthy hour
+    Triggers outside every degraded interval, normalised by the
+    healthy simulated time -- the burst/blip-tolerance metric.
+recovery cost
+    Mean loss fraction and mean rejuvenation count: what the policy's
+    triggering habit costs in dropped transactions.
+
+All aggregation is plain arithmetic over plain floats in replication
+order, so scores computed from serial-backend and process-pool results
+are bit-identical (missing latencies are ``None``, never NaN, so
+dataclass equality holds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ecommerce.metrics import RunResult
+from repro.faults.scenario import FaultScenario, clip_intervals
+
+
+@dataclass(frozen=True)
+class RunScore:
+    """Ground-truth bookkeeping for one replication."""
+
+    #: Realised degraded intervals that received a trigger.
+    detected: int
+    #: Realised degraded intervals with no trigger at all.
+    missed: int
+    #: First-trigger latency per detected interval, in interval order.
+    detection_latencies_s: Tuple[float, ...]
+    #: Triggers outside every degraded interval.
+    false_alarms: int
+    #: Simulated hours outside degraded intervals.
+    healthy_hours: float
+    #: Simulated hours inside (realised) degraded intervals.
+    degraded_hours: float
+
+
+def score_run(
+    result: RunResult, degraded: Sequence[Tuple[float, float]]
+) -> RunScore:
+    """Score one replication against ground-truth intervals.
+
+    Intervals are clipped to the realised run duration; triggers after
+    the first one inside the same interval are neither detections nor
+    false alarms (repeated suppression of a persistent fault).
+    """
+    if result.rejuvenation_times is None:
+        raise ValueError(
+            "RunResult carries no rejuvenation_times; re-run with a "
+            "current ECommerceSystem (the field rides on every run)"
+        )
+    duration = result.sim_duration_s
+    intervals = clip_intervals(tuple(degraded), duration)
+    triggers = result.rejuvenation_times
+    detected = 0
+    missed = 0
+    latencies: List[float] = []
+    false_alarms = 0
+    for trigger in triggers:
+        if not any(start <= trigger <= end for start, end in intervals):
+            false_alarms += 1
+    for start, end in intervals:
+        first = next(
+            (t for t in triggers if start <= t <= end), None
+        )
+        if first is None:
+            missed += 1
+        else:
+            detected += 1
+            latencies.append(first - start)
+    degraded_s = sum(end - start for start, end in intervals)
+    healthy_s = max(0.0, duration - degraded_s)
+    return RunScore(
+        detected=detected,
+        missed=missed,
+        detection_latencies_s=tuple(latencies),
+        false_alarms=false_alarms,
+        healthy_hours=healthy_s / 3600.0,
+        degraded_hours=degraded_s / 3600.0,
+    )
+
+
+@dataclass(frozen=True)
+class PolicyScore:
+    """Aggregate robustness of one policy on one scenario."""
+
+    scenario: str
+    policy: str
+    replications: int
+    #: Degraded intervals detected / missed, summed over replications.
+    detected: int
+    missed: int
+    #: ``missed / (detected + missed)`` (0.0 when nothing was realised).
+    missed_rate: float
+    #: Mean first-trigger latency over detected intervals; ``None``
+    #: when no interval was detected.
+    mean_detection_latency_s: Optional[float]
+    #: Triggers outside ground truth, summed over replications.
+    false_alarms: int
+    #: ``false_alarms / total healthy hours`` (0.0 for no healthy time).
+    false_alarms_per_healthy_hour: float
+    #: Recovery cost: mean loss fraction and rejuvenations/replication.
+    mean_loss_fraction: float
+    mean_rejuvenations: float
+    #: Mean of the per-replication average response times.
+    mean_response_time_s: float
+
+    def format_row(self) -> str:
+        """One aligned text row (see :func:`format_scores`)."""
+        latency = (
+            f"{self.mean_detection_latency_s:8.1f}"
+            if self.mean_detection_latency_s is not None
+            else "       -"
+        )
+        return (
+            f"{self.scenario:<16} {self.policy:<8} "
+            f"{self.detected:>4}/{self.detected + self.missed:<4} "
+            f"{self.missed_rate:>6.2f} {latency} "
+            f"{self.false_alarms:>4} "
+            f"{self.false_alarms_per_healthy_hour:>8.2f} "
+            f"{self.mean_loss_fraction:>8.5f} "
+            f"{self.mean_rejuvenations:>6.1f} "
+            f"{self.mean_response_time_s:>8.2f}"
+        )
+
+
+def score_policy(
+    scenario: FaultScenario,
+    policy_label: str,
+    results: Sequence[RunResult],
+) -> PolicyScore:
+    """Aggregate one policy's replications on one scenario."""
+    if not results:
+        raise ValueError("need at least one replication to score")
+    run_scores = [score_run(r, scenario.degraded) for r in results]
+    detected = sum(s.detected for s in run_scores)
+    missed = sum(s.missed for s in run_scores)
+    realised = detected + missed
+    latencies = [
+        latency
+        for s in run_scores
+        for latency in s.detection_latencies_s
+    ]
+    false_alarms = sum(s.false_alarms for s in run_scores)
+    healthy_hours = sum(s.healthy_hours for s in run_scores)
+    return PolicyScore(
+        scenario=scenario.name,
+        policy=policy_label,
+        replications=len(results),
+        detected=detected,
+        missed=missed,
+        missed_rate=(missed / realised) if realised else 0.0,
+        mean_detection_latency_s=(
+            sum(latencies) / len(latencies) if latencies else None
+        ),
+        false_alarms=false_alarms,
+        false_alarms_per_healthy_hour=(
+            false_alarms / healthy_hours if healthy_hours > 0.0 else 0.0
+        ),
+        mean_loss_fraction=(
+            sum(r.loss_fraction for r in results) / len(results)
+        ),
+        mean_rejuvenations=(
+            sum(r.rejuvenations for r in results) / len(results)
+        ),
+        mean_response_time_s=(
+            sum(r.avg_response_time for r in results) / len(results)
+        ),
+    )
+
+
+#: CSV/row column names matching :func:`score_rows`.
+SCORE_COLUMNS: Tuple[str, ...] = (
+    "scenario",
+    "policy",
+    "replications",
+    "detected",
+    "missed",
+    "missed_rate",
+    "mean_detection_latency_s",
+    "false_alarms",
+    "false_alarms_per_healthy_hour",
+    "mean_loss_fraction",
+    "mean_rejuvenations",
+    "mean_response_time_s",
+)
+
+
+def score_rows(scores: Sequence[PolicyScore]) -> List[Tuple]:
+    """Scores as plain rows in :data:`SCORE_COLUMNS` order."""
+    return [
+        (
+            s.scenario,
+            s.policy,
+            s.replications,
+            s.detected,
+            s.missed,
+            s.missed_rate,
+            s.mean_detection_latency_s,
+            s.false_alarms,
+            s.false_alarms_per_healthy_hour,
+            s.mean_loss_fraction,
+            s.mean_rejuvenations,
+            s.mean_response_time_s,
+        )
+        for s in scores
+    ]
+
+
+def format_scores(scores: Sequence[PolicyScore]) -> str:
+    """Aligned text table over all (scenario, policy) scores."""
+    header = (
+        f"{'scenario':<16} {'policy':<8} {'det':>9} {'miss%':>6} "
+        f"{'latency':>8} {'FA':>4} {'FA/hh':>8} {'loss':>8} "
+        f"{'rejuv':>6} {'avgRT':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    lines.extend(score.format_row() for score in scores)
+    return "\n".join(lines)
+
+
+def write_scores_csv(path: str, scores: Sequence[PolicyScore]) -> int:
+    """Write scores as CSV; returns the number of data rows."""
+    import csv
+
+    rows = score_rows(scores)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SCORE_COLUMNS)
+        for row in rows:
+            writer.writerow(
+                ["" if value is None else value for value in row]
+            )
+    return len(rows)

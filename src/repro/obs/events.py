@@ -27,6 +27,16 @@ System events (category ``span`` -- they shape the spans):
                          the garbage reclaimed
 ``system.rejuvenation``  capacity restoration, with the jobs lost
 
+Fault-injection events (category ``span`` -- emitted by
+:mod:`repro.faults` injections through the system under test):
+
+``fault.injected``       a scripted fault took effect; payload carries
+                         its kind (``workload_shift``, ``surge``,
+                         ``slowdown``, ``contamination``, ``crash``,
+                         ``hang``, ``aging``, ...) and parameters
+``fault.cleared``        a transient fault ended (surge over, node
+                         restarted, contamination removed)
+
 Policy decision events (category ``decision``):
 
 ``policy.batch``         a batch boundary: the batch mean was compared
@@ -68,6 +78,8 @@ REQUEST_COMPLETE = "request.complete"
 REQUEST_LOSS = "request.loss"
 SYSTEM_GC = "system.gc"
 SYSTEM_REJUVENATION = "system.rejuvenation"
+FAULT_INJECTED = "fault.injected"
+FAULT_CLEARED = "fault.cleared"
 
 POLICY_BATCH = "policy.batch"
 POLICY_LEVEL = "policy.level"
@@ -89,6 +101,8 @@ SPAN_TYPES: Tuple[str, ...] = (
     REQUEST_LOSS,
     SYSTEM_GC,
     SYSTEM_REJUVENATION,
+    FAULT_INJECTED,
+    FAULT_CLEARED,
 )
 
 #: Event types emitted when policy-decision tracing is on.

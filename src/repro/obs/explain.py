@@ -14,6 +14,8 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from repro.obs.events import (
+    FAULT_CLEARED,
+    FAULT_INJECTED,
     MONITOR_TRIGGER,
     POLICY_LEVEL,
     POLICY_TRIGGER,
@@ -85,6 +87,19 @@ def _explain_run(run_id: Any, records: List[Dict[str, Any]]) -> List[str]:
         etype = record["type"]
         if etype == POLICY_LEVEL:
             climb.append(record)
+        elif etype in (FAULT_INJECTED, FAULT_CLEARED):
+            data = record.get("data", {})
+            kind = data.get("kind", "?")
+            extras = ", ".join(
+                f"{key}={value}"
+                for key, value in data.items()
+                if key != "kind"
+            )
+            verb = "cleared" if etype == FAULT_CLEARED else "injected"
+            lines.append(
+                f"  [t={record['ts']:12.3f}s] fault {verb}: {kind}"
+                + (f" ({extras})" if extras else "")
+            )
         elif etype == MONITOR_TRIGGER:
             data = record.get("data", {})
             lines.append(

@@ -7,6 +7,7 @@ from repro.ecommerce.workload import (
     MMPPArrivals,
     PeriodicArrivals,
     PoissonArrivals,
+    ScaledArrivals,
     TraceArrivals,
 )
 
@@ -127,6 +128,81 @@ class TestPeriodic:
             PeriodicArrivals(1.0, 1.0, 100.0)
         with pytest.raises(ValueError):
             PeriodicArrivals(1.0, 0.5, 0.0)
+
+
+class TestResetDeterminism:
+    """reset() + a reseeded generator replays the exact stream.
+
+    This is the property replications lean on: every run reseeds its
+    RandomStreams and resets the arrival process, and the two together
+    must reproduce the draw sequence bit for bit -- including for the
+    stateful processes (MMPP phase, periodic clock).
+    """
+
+    PROCESSES = [
+        lambda: PoissonArrivals(1.6),
+        lambda: MMPPArrivals(1.0, 5.0, 30.0, 10.0),
+        lambda: PeriodicArrivals(2.0, 0.8, 100.0),
+        lambda: ScaledArrivals(MMPPArrivals(1.0, 5.0, 30.0, 10.0), 2.0),
+    ]
+
+    @pytest.mark.parametrize("make", PROCESSES)
+    def test_reset_replays_stream(self, make):
+        process = make()
+        first = [
+            process.interarrival(np.random.default_rng(42))
+            for _ in range(1)
+        ]
+        # Burn a few hundred draws to move the internal state along.
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            process.interarrival(rng)
+        process.reset()
+        again = [
+            process.interarrival(np.random.default_rng(42))
+            for _ in range(1)
+        ]
+        assert first == again
+
+    @pytest.mark.parametrize("make", PROCESSES)
+    def test_reset_replays_long_stream(self, make):
+        process = make()
+        rng = np.random.default_rng(7)
+        first = [process.interarrival(rng) for _ in range(500)]
+        process.reset()
+        rng = np.random.default_rng(7)
+        again = [process.interarrival(rng) for _ in range(500)]
+        assert first == again
+
+
+class TestScaled:
+    def test_mean_rate_scales(self):
+        inner = PoissonArrivals(1.5)
+        assert ScaledArrivals(inner, 2.0).mean_rate() == pytest.approx(3.0)
+
+    def test_empirical_rate_scales(self):
+        process = ScaledArrivals(PoissonArrivals(1.0), 4.0)
+        rng = np.random.default_rng(12)
+        assert empirical_rate(process, rng) == pytest.approx(4.0, rel=0.03)
+
+    def test_draws_are_inner_draws_divided(self):
+        inner = TraceArrivals([2.0, 4.0])
+        process = ScaledArrivals(inner, 2.0)
+        rng = np.random.default_rng(13)
+        assert process.interarrival(rng) == 1.0
+        assert process.interarrival(rng) == 2.0
+
+    def test_reset_delegates_to_inner(self):
+        inner = TraceArrivals([2.0, 4.0])
+        process = ScaledArrivals(inner, 2.0)
+        rng = np.random.default_rng(14)
+        process.interarrival(rng)
+        process.reset()
+        assert process.interarrival(rng) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaledArrivals(PoissonArrivals(1.0), 0.0)
 
 
 class TestTrace:

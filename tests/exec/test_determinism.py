@@ -33,6 +33,49 @@ class TestRunReplicationsDeterminism:
         assert _replicate(SerialBackend()) == _replicate(SerialBackend())
 
 
+class TestWithoutDegradationRoundTrip:
+    """SystemConfig.without_degradation() through picklable job specs.
+
+    The derived config (GC, overhead and downtime disabled) must
+    produce the same results whether the job is executed in-process or
+    pickled into a worker -- i.e. the derived dataclass survives the
+    round trip field-exactly.  The fault-scenario zoo runs entirely on
+    this config, so a drift here would silently change every campaign.
+    """
+
+    def _replicate(self, backend):
+        config = PAPER_CONFIG.without_degradation()
+        return run_replications(
+            config,
+            arrival=ArrivalSpec.poisson(
+                PAPER_CONFIG.arrival_rate_for_load(6.0)
+            ),
+            policy=PolicySpec.sraa(2, 5, 3),
+            n_transactions=300,
+            replications=3,
+            seed=11,
+            backend=backend,
+        )
+
+    def test_config_pickle_round_trip_is_identity(self):
+        import pickle
+
+        config = PAPER_CONFIG.without_degradation()
+        assert pickle.loads(pickle.dumps(config)) == config
+        assert not config.enable_gc
+        assert not config.enable_overhead
+        assert config.rejuvenation_downtime_s == 0.0
+
+    def test_serial_and_pool_bit_identical(self):
+        serial = self._replicate(SerialBackend())
+        pooled = self._replicate(ProcessPoolBackend(workers=2))
+        assert serial == pooled
+
+    def test_degradation_actually_disabled_in_workers(self):
+        pooled = self._replicate(ProcessPoolBackend(workers=2))
+        assert all(run.gc_count == 0 for run in pooled.runs)
+
+
 class TestSweepDeterminism:
     def test_serial_and_pool_bit_identical(self):
         scale = Scale(

@@ -64,3 +64,27 @@ class TestArlExperiment:
         for index in healthy.points:
             # ARL in observations >= (D+1)*K*n > n*K*D.
             assert healthy.value_at(index) > product.value_at(index)
+
+
+class TestFaultsExperiment:
+    def test_structure_and_scenario_coverage(self):
+        from repro.experiments.faults_exp import (
+            horizon_for_scale,
+            run_faults,
+        )
+        from repro.experiments.scale import Scale
+        from repro.faults.zoo import scenario_names
+
+        smoke = Scale.smoke()
+        assert horizon_for_scale(smoke) == 600.0
+        result = run_faults(smoke, seed=0)
+        assert result.experiment_id == "faults"
+        latency, alarms, cost = result.tables
+        assert {s.label for s in alarms.series} == {"SRAA", "SARAA", "CLTA"}
+        # Every scenario contributes an x index to the alarm/cost tables.
+        xs = {x for s in alarms.series for x in s.points}
+        assert xs == set(float(i) for i in range(len(scenario_names())))
+        for series in cost.series:
+            assert all(0.0 <= v <= 1.0 for v in series.points.values())
+        # The scenario index -> name legend rides on the notes.
+        assert any("false_aging" in note for note in latency.notes)

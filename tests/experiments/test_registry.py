@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.registry import (
     describe,
     experiment_ids,
+    resolve_experiment_id,
     run_experiment,
 )
 from repro.experiments.scale import Scale
@@ -38,6 +39,21 @@ class TestRegistry:
             run_experiment("fig99", Scale.smoke())
         with pytest.raises(ValueError):
             describe("fig99")
+
+    def test_beyond_paper_studies_registered(self):
+        assert {"faults", "degradation"} <= set(experiment_ids())
+        assert "robustness" in describe("faults").lower()
+
+    def test_aliases_resolve_to_canonical_ids(self):
+        assert resolve_experiment_id("robustness") == "faults"
+        assert resolve_experiment_id("erosion") == "degradation"
+        assert resolve_experiment_id("comparison") == "fig16"
+        # Canonical ids resolve to themselves.
+        assert resolve_experiment_id("faults") == "faults"
+
+    def test_alias_and_canonical_describe_identically(self):
+        assert describe("robustness") == describe("faults")
+        assert describe("erosion") == describe("degradation")
 
     def test_analytical_experiments_run(self):
         scale = Scale.smoke()

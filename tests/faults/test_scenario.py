@@ -1,0 +1,163 @@
+"""Scenario spec: validation, serialisation round-trips, the zoo."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.ecommerce.config import PAPER_CONFIG
+from repro.ecommerce.spec import ArrivalSpec
+from repro.faults.injectors import (
+    NodeHang,
+    ServiceSlowdown,
+    WorkloadShift,
+)
+from repro.faults.scenario import (
+    FaultScenario,
+    clip_intervals,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+)
+from repro.faults.zoo import (
+    MIN_HORIZON_S,
+    builtin_scenarios,
+    get_scenario,
+    scenario_names,
+)
+
+BASE = PAPER_CONFIG.without_degradation()
+
+
+def make_scenario(**overrides):
+    fields = dict(
+        name="demo",
+        description="a demo scenario",
+        config=BASE,
+        arrival=ArrivalSpec.poisson(1.5),
+        n_transactions=100,
+        injections=(
+            NodeHang(at_s=50.0, hang_s=15.0),
+            ServiceSlowdown(at_s=200.0, factor=3.0),
+        ),
+        degraded=((200.0, math.inf),),
+        horizon_s=400.0,
+    )
+    fields.update(overrides)
+    return FaultScenario(**fields)
+
+
+class TestValidation:
+    def test_needs_a_name(self):
+        with pytest.raises(ValueError):
+            make_scenario(name="")
+
+    def test_needs_transactions(self):
+        with pytest.raises(ValueError):
+            make_scenario(n_transactions=0)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            make_scenario(degraded=((10.0, 10.0),))
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            make_scenario(degraded=((-1.0, 10.0),))
+
+    def test_rejects_overlapping_intervals(self):
+        with pytest.raises(ValueError):
+            make_scenario(degraded=((0.0, 20.0), (10.0, 30.0)))
+
+    def test_rejects_unsorted_intervals(self):
+        with pytest.raises(ValueError):
+            make_scenario(degraded=((50.0, 60.0), (10.0, 20.0)))
+
+    def test_touching_intervals_are_fine(self):
+        scenario = make_scenario(degraded=((0.0, 20.0), (20.0, 30.0)))
+        assert len(scenario.degraded) == 2
+
+
+class TestSerialisation:
+    def test_dict_round_trip_is_identity(self):
+        scenario = make_scenario()
+        assert scenario_from_dict(scenario.to_dict()) == scenario
+
+    def test_round_trip_with_arrival_spec_injection(self):
+        scenario = make_scenario(
+            injections=(
+                WorkloadShift(
+                    at_s=5.0, arrival=ArrivalSpec.mmpp(1.0, 5.0, 30.0, 10.0)
+                ),
+            )
+        )
+        assert scenario_from_dict(scenario.to_dict()) == scenario
+
+    def test_open_interval_serialises_as_none(self):
+        payload = make_scenario().to_dict()
+        assert payload["degraded"] == [[200.0, None]]
+
+    def test_file_round_trip(self, tmp_path):
+        scenario = make_scenario()
+        path = str(tmp_path / "demo.json")
+        save_scenario(scenario, path)
+        assert load_scenario(path) == scenario
+
+    def test_config_shorthand(self):
+        payload = make_scenario().to_dict()
+        payload["config"] = {"without_degradation": True}
+        rebuilt = scenario_from_dict(payload)
+        assert rebuilt.config == BASE
+
+    def test_unknown_injection_type_rejected(self):
+        payload = make_scenario().to_dict()
+        payload["injections"][0]["type"] = "gremlins"
+        with pytest.raises(ValueError, match="unknown injection type"):
+            scenario_from_dict(payload)
+
+    def test_missing_injection_type_rejected(self):
+        payload = make_scenario().to_dict()
+        del payload["injections"][0]["type"]
+        with pytest.raises(ValueError, match="no 'type' key"):
+            scenario_from_dict(payload)
+
+
+class TestClipIntervals:
+    def test_clips_open_end_to_duration(self):
+        assert clip_intervals(((100.0, math.inf),), 500.0) == [
+            (100.0, 500.0)
+        ]
+
+    def test_drops_unrealised_interval(self):
+        assert clip_intervals(((600.0, math.inf),), 500.0) == []
+
+    def test_keeps_closed_interval_inside_run(self):
+        assert clip_intervals(((10.0, 20.0),), 500.0) == [(10.0, 20.0)]
+
+
+class TestZoo:
+    def test_names_match_builders(self):
+        names = scenario_names()
+        assert "false_aging" in names
+        assert len(names) >= 6
+        zoo = builtin_scenarios()
+        assert tuple(zoo) == names
+
+    def test_every_scenario_round_trips_and_pickles(self):
+        for scenario in builtin_scenarios(600.0).values():
+            assert scenario_from_dict(scenario.to_dict()) == scenario
+            assert pickle.loads(pickle.dumps(scenario)) == scenario
+
+    def test_horizon_scales_timeline(self):
+        short = get_scenario("aging_onset", 600.0)
+        long = get_scenario("aging_onset", 3600.0)
+        assert short.injections[0].at_s == pytest.approx(300.0)
+        assert long.injections[0].at_s == pytest.approx(1800.0)
+        assert short.n_transactions < long.n_transactions
+
+    def test_rejects_too_short_horizon(self):
+        with pytest.raises(ValueError):
+            get_scenario("aging_onset", MIN_HORIZON_S / 2)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("nonesuch")

@@ -1,0 +1,167 @@
+"""Robustness scorer on hand-made runs with known ground truth."""
+
+import csv
+import math
+
+import pytest
+
+from repro.ecommerce.metrics import RunResult
+from repro.faults.score import (
+    SCORE_COLUMNS,
+    format_scores,
+    score_policy,
+    score_rows,
+    score_run,
+    write_scores_csv,
+)
+from repro.faults.zoo import get_scenario
+
+
+def make_result(triggers, duration_s=1000.0, loss_fraction=0.01):
+    return RunResult(
+        arrivals=100,
+        completed=95,
+        lost=5,
+        avg_response_time=5.0,
+        rt_std=2.0,
+        max_response_time=20.0,
+        loss_fraction=loss_fraction,
+        gc_count=0,
+        rejuvenations=len(triggers),
+        sim_duration_s=duration_s,
+        rejuvenation_times=tuple(triggers),
+    )
+
+
+class TestScoreRun:
+    def test_detection_with_latency(self):
+        score = score_run(make_result((350.0,)), ((300.0, 600.0),))
+        assert score.detected == 1
+        assert score.missed == 0
+        assert score.detection_latencies_s == (50.0,)
+        assert score.false_alarms == 0
+
+    def test_missed_interval(self):
+        score = score_run(make_result(()), ((300.0, 600.0),))
+        assert score.detected == 0
+        assert score.missed == 1
+        assert score.detection_latencies_s == ()
+
+    def test_trigger_outside_is_false_alarm(self):
+        score = score_run(make_result((100.0, 350.0)), ((300.0, 600.0),))
+        assert score.false_alarms == 1
+        assert score.detected == 1
+
+    def test_repeat_triggers_in_interval_counted_once(self):
+        score = score_run(
+            make_result((350.0, 400.0, 450.0)), ((300.0, 600.0),)
+        )
+        assert score.detected == 1
+        assert score.false_alarms == 0
+        assert score.detection_latencies_s == (50.0,)
+
+    def test_open_interval_clipped_to_duration(self):
+        score = score_run(
+            make_result((700.0,), duration_s=1000.0),
+            ((600.0, math.inf),),
+        )
+        assert score.detected == 1
+        assert score.degraded_hours == pytest.approx(400.0 / 3600.0)
+        assert score.healthy_hours == pytest.approx(600.0 / 3600.0)
+
+    def test_unrealised_interval_neither_detected_nor_missed(self):
+        score = score_run(
+            make_result((), duration_s=500.0), ((600.0, math.inf),)
+        )
+        assert score.detected == 0
+        assert score.missed == 0
+        assert score.healthy_hours == pytest.approx(500.0 / 3600.0)
+
+    def test_legacy_result_without_triggers_rejected(self):
+        legacy = make_result(())
+        legacy = RunResult(
+            **{
+                **{
+                    f: getattr(legacy, f)
+                    for f in legacy.__dataclass_fields__
+                },
+                "rejuvenation_times": None,
+            }
+        )
+        with pytest.raises(ValueError, match="rejuvenation_times"):
+            score_run(legacy, ((0.0, 10.0),))
+
+
+class TestScorePolicy:
+    def setup_method(self):
+        self.scenario = get_scenario("aging_onset", 600.0)
+        # Degraded from t=300 (onset at half the horizon), open-ended.
+
+    def test_aggregation_over_replications(self):
+        results = [
+            make_result((350.0,), duration_s=600.0),  # detected, +50 s
+            make_result((100.0, 400.0), duration_s=600.0),  # FA + detect
+            make_result((), duration_s=600.0),  # missed
+        ]
+        score = score_policy(self.scenario, "SRAA", results)
+        assert score.replications == 3
+        assert score.detected == 2
+        assert score.missed == 1
+        assert score.missed_rate == pytest.approx(1.0 / 3.0)
+        assert score.mean_detection_latency_s == pytest.approx(75.0)
+        assert score.false_alarms == 1
+        healthy_hours = 3 * 300.0 / 3600.0
+        assert score.false_alarms_per_healthy_hour == pytest.approx(
+            1.0 / healthy_hours
+        )
+        assert score.mean_loss_fraction == pytest.approx(0.01)
+
+    def test_latency_is_none_when_nothing_detected(self):
+        score = score_policy(
+            self.scenario,
+            "SRAA",
+            [make_result((), duration_s=600.0)],
+        )
+        assert score.mean_detection_latency_s is None
+        assert score.missed_rate == 1.0
+
+    def test_needs_replications(self):
+        with pytest.raises(ValueError):
+            score_policy(self.scenario, "SRAA", [])
+
+
+class TestFormattingAndCsv:
+    def _score(self):
+        scenario = get_scenario("aging_onset", 600.0)
+        return score_policy(
+            scenario, "SRAA", [make_result((350.0,), duration_s=600.0)]
+        )
+
+    def test_format_scores_has_header_and_row(self):
+        text = format_scores([self._score()])
+        lines = text.splitlines()
+        assert "scenario" in lines[0] and "FA/hh" in lines[0]
+        assert "aging_onset" in lines[2]
+        assert "SRAA" in lines[2]
+
+    def test_rows_match_columns(self):
+        rows = score_rows([self._score()])
+        assert len(rows) == 1
+        assert len(rows[0]) == len(SCORE_COLUMNS)
+
+    def test_csv_round_trip(self, tmp_path):
+        path = str(tmp_path / "scores.csv")
+        none_latency = score_policy(
+            get_scenario("aging_onset", 600.0),
+            "CLTA",
+            [make_result((), duration_s=600.0)],
+        )
+        n = write_scores_csv(path, [self._score(), none_latency])
+        assert n == 2
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(SCORE_COLUMNS)
+        assert len(rows) == 3
+        latency_col = SCORE_COLUMNS.index("mean_detection_latency_s")
+        assert rows[1][latency_col] == "50.0"
+        assert rows[2][latency_col] == ""  # None -> empty cell

@@ -1,0 +1,112 @@
+"""The `repro faults` CLI: list, run (trace/CSV), score round trip."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+from repro.faults.score import SCORE_COLUMNS
+from repro.faults.zoo import scenario_names
+from repro.obs.exporters import read_jsonl
+
+
+RUN = [
+    "faults", "run", "false_aging",
+    "--replications", "2",
+    "--horizon", "600",
+    "--seed", "0",
+]
+
+
+class TestFaultsList:
+    def test_lists_every_builtin_scenario(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+
+class TestFaultsRun:
+    def test_prints_score_table_and_writes_csv(self, tmp_path, capsys):
+        path = str(tmp_path / "scores.csv")
+        assert main(RUN + ["--csv", path]) == 0
+        out = capsys.readouterr().out
+        assert "false_aging" in out
+        assert "SRAA" in out and "SARAA" in out and "CLTA" in out
+        assert "FA/hh" in out
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(SCORE_COLUMNS)
+        assert len(rows) == 1 + 3  # header + one row per policy
+
+    def test_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "run", "nonesuch"])
+
+    def test_unknown_policy_exits(self):
+        with pytest.raises(SystemExit):
+            main(RUN[:3] + ["--policies", "nonesuch"])
+
+    def test_scenario_file_joins_the_campaign(self, tmp_path, capsys):
+        from repro.faults.scenario import save_scenario
+        from repro.faults.zoo import get_scenario
+
+        import dataclasses
+
+        custom = dataclasses.replace(
+            get_scenario("aging_onset", 600.0), name="my_custom"
+        )
+        path = str(tmp_path / "custom.json")
+        save_scenario(custom, path)
+        assert (
+            main(
+                RUN
+                + ["--scenario-file", path, "--policies", "SRAA"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "my_custom" in out
+
+
+class TestFaultsScoreRoundTrip:
+    def test_score_reprints_the_run_table(self, tmp_path, capsys):
+        trace = str(tmp_path / "campaign.jsonl")
+        assert main(RUN + ["--trace", trace]) == 0
+        run_out = capsys.readouterr().out
+        records = read_jsonl(trace)
+        types = {r["type"] for r in records}
+        assert "fault.injected" in types
+        assert "run.meta" in types
+
+        assert main(
+            ["faults", "score", trace, "--horizon", "600"]
+        ) == 0
+        score_out = capsys.readouterr().out
+        # The re-scored table matches the live table line for line.
+        run_table = [
+            line
+            for line in run_out.splitlines()
+            if line.startswith("false_aging")
+        ]
+        score_table = [
+            line
+            for line in score_out.splitlines()
+            if line.startswith("false_aging")
+        ]
+        assert run_table == score_table
+        assert len(run_table) == 3
+
+    def test_missing_trace_exits(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "score", "/nonexistent/trace.jsonl"])
+
+    def test_explain_narrates_injections(self, tmp_path, capsys):
+        trace = str(tmp_path / "campaign.jsonl")
+        assert main(RUN + ["--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["explain", trace]) == 0
+        out = capsys.readouterr().out
+        assert "fault injected" in out
+        assert "hang" in out
+        assert "slowdown" in out
