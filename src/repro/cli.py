@@ -20,18 +20,31 @@ Subcommands
 ``repro simulate [--policy NAME] [--workers N] [--telemetry-csv PATH]``
     One-off simulation of the Section-3 system under a policy.
 ``repro explain TRACE``
-    Human-readable timeline from a ``--trace`` JSONL file: names the
-    bucket, batch mean and threshold behind every rejuvenation.
+    Human-readable timeline from a ``--trace`` JSONL file (plain or
+    ``.gz``): names the bucket, batch mean and threshold behind every
+    rejuvenation.
 ``repro faults list|run|score``
     The fault-injection subsystem: list the built-in adversarial
     scenarios, run a (scenario x policy x replication) campaign with
     robustness scoring (``--workers``, ``--trace``, ``--csv``), or
     re-score an existing campaign trace.
+``repro report TRACE [-o PATH]``
+    Render a trace (plain or ``.gz``) as a self-contained HTML
+    dashboard: RT percentiles over time, bucket levels, fault
+    intervals, decisions.
+``repro top [simulate options]``
+    Run a simulation with a live-refreshing terminal snapshot
+    (equivalent to ``repro simulate --top``).
 
 ``repro run`` and ``repro simulate`` both accept ``--trace PATH``
 (JSONL trace), ``--trace-level spans|decisions|all``, ``--trace-chrome
 PATH`` (Chrome/Perfetto ``trace_event`` JSON) and ``--metrics PATH``
-(Prometheus textfile snapshot).
+(Prometheus textfile snapshot).  ``repro simulate``, ``repro top`` and
+``repro faults run`` additionally accept the live-telemetry options:
+``--live`` (constant-memory streaming summary), ``--top`` (live
+terminal panel), ``--flight PATH`` (flight-recorder dump JSONL),
+``--slo SECONDS`` (SLO-breach dump trigger) and ``--profile``
+(per-subsystem DES attribution).
 """
 
 from __future__ import annotations
@@ -114,51 +127,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "simulate",
         help="one-off simulation of the Section-3 system under a policy",
     )
-    simulate.add_argument(
-        "--policy",
-        default="sraa",
-        help="policy name from 'repro policies', or 'none'",
+    _add_simulate_options(simulate)
+
+    top = sub.add_parser(
+        "top",
+        help="simulate with a live-refreshing terminal snapshot "
+        "(repro simulate --top)",
     )
-    simulate.add_argument(
-        "-p",
-        "--param",
-        action="append",
-        default=[],
-        metavar="KEY=VALUE",
-        help="policy parameter (repeatable), e.g. -p n=2 -p K=5 -p D=3",
-    )
-    simulate.add_argument(
-        "--load", type=float, default=9.0, help="offered load in CPUs"
-    )
-    simulate.add_argument("--transactions", type=int, default=20_000)
-    simulate.add_argument("--replications", type=int, default=1)
-    simulate.add_argument("--seed", type=int, default=0)
-    simulate.add_argument(
-        "--warmup", type=int, default=0, help="transactions excluded from stats"
-    )
-    simulate.add_argument(
-        "--telemetry-csv",
-        metavar="PATH",
-        default=None,
-        help="write fixed-interval telemetry samples of every "
-        "replication as CSV (schema: replication + telemetry columns)",
-    )
-    simulate.add_argument(
-        "--telemetry-interval",
-        type=float,
-        default=100.0,
-        metavar="SECONDS",
-        help="simulated seconds between telemetry samples "
-        "(with --telemetry-csv; default 100)",
-    )
-    _add_backend_options(simulate)
-    _add_trace_options(simulate)
+    _add_simulate_options(top)
 
     explain = sub.add_parser(
         "explain",
         help="explain every rejuvenation in a --trace JSONL file",
     )
-    explain.add_argument("trace", help="path to a JSONL trace file")
+    explain.add_argument(
+        "trace", help="path to a JSONL trace file (plain or .gz)"
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render a trace as a self-contained HTML dashboard",
+    )
+    report.add_argument(
+        "trace", help="path to a JSONL trace file (plain or .gz)"
+    )
+    report.add_argument(
+        "-o",
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="output HTML path (default: TRACE with a .html suffix)",
+    )
+    report.add_argument(
+        "--title", default=None, help="dashboard title (default: the path)"
+    )
+    report.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        help="per-run detail sections to render (default 12)",
+    )
 
     faults = sub.add_parser(
         "faults",
@@ -212,6 +220,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_horizon_option(faults_run)
     _add_backend_options(faults_run)
     _add_trace_options(faults_run)
+    _add_live_options(faults_run)
 
     faults_score = faults_sub.add_parser(
         "score",
@@ -227,6 +236,135 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_horizon_option(faults_score)
     return parser
+
+
+def _add_simulate_options(parser: argparse.ArgumentParser) -> None:
+    """The shared ``simulate`` / ``top`` option set."""
+    parser.add_argument(
+        "--policy",
+        default="sraa",
+        help="policy name from 'repro policies', or 'none'",
+    )
+    parser.add_argument(
+        "-p",
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="policy parameter (repeatable), e.g. -p n=2 -p K=5 -p D=3",
+    )
+    parser.add_argument(
+        "--load", type=float, default=9.0, help="offered load in CPUs"
+    )
+    parser.add_argument("--transactions", type=int, default=20_000)
+    parser.add_argument("--replications", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--warmup", type=int, default=0, help="transactions excluded from stats"
+    )
+    parser.add_argument(
+        "--telemetry-csv",
+        metavar="PATH",
+        default=None,
+        help="write fixed-interval telemetry samples of every "
+        "replication as CSV (schema: replication + telemetry columns)",
+    )
+    parser.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=100.0,
+        metavar="SECONDS",
+        help="simulated seconds between telemetry samples "
+        "(with --telemetry-csv; default 100)",
+    )
+    _add_backend_options(parser)
+    _add_trace_options(parser)
+    _add_live_options(parser)
+
+
+def _add_live_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="constant-memory streaming telemetry: print merged "
+        "quantile-sketch / rate / window statistics at the end",
+    )
+    parser.add_argument(
+        "--top",
+        action="store_true",
+        help="live-refreshing terminal snapshot while the run executes "
+        "(implies --live)",
+    )
+    parser.add_argument(
+        "--flight",
+        metavar="PATH",
+        default=None,
+        help="write the flight-recorder dumps (the last events before "
+        "each rejuvenation / fault / SLO breach) as JSONL",
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="response-time SLO; a breach triggers a flight-recorder "
+        "dump (implies --live)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute wall-clock and event counts per DES subsystem "
+        "and print the table",
+    )
+
+
+def _make_live_spec(args: argparse.Namespace):
+    """A LiveSpec when any live-telemetry option was requested."""
+    if not (
+        args.live or args.top or args.flight is not None
+        or args.slo is not None
+    ):
+        return None
+    from repro.obs.live import LiveDisplay, LiveSpec, RecorderSpec
+
+    # --flight/--slo alone run the cheapest always-on configuration:
+    # ring + dumps, no streaming aggregators.  --live/--top add them.
+    return LiveSpec(
+        aggregate=bool(args.live or args.top),
+        recorder=RecorderSpec(slo_s=args.slo),
+        display=LiveDisplay() if args.top else None,
+    )
+
+
+def _write_live_outputs(result_runs, merged_live, args) -> None:
+    """Flight-dump file plus the end-of-run live summary."""
+    if args.flight is not None:
+        from repro.obs.live import write_flight_jsonl
+
+        dumps = write_flight_jsonl(
+            args.flight, [getattr(run, "flight", None) or () for run in result_runs]
+        )
+        print(f"wrote {args.flight} ({dumps} flight dumps)")
+    if merged_live is None or not (args.live or args.top):
+        # Flight-only runs skip aggregation; there is nothing to print.
+        return
+    snapshot = merged_live.snapshot()
+    quantiles = "  ".join(
+        f"{name}={value:.3f}s"
+        for name, value in sorted(snapshot["rt_quantiles"].items())
+    )
+    print(
+        f"live              : {snapshot['completed']} completed, "
+        f"{snapshot['lost']} lost, {snapshot['rejuvenations']} "
+        f"rejuvenations, {snapshot['faults']} faults"
+    )
+    if quantiles:
+        print(f"live rt sketch    : {quantiles} (eps-rank error bound)")
+    print(
+        f"live rt window    : mean {snapshot['window_mean']:.3f} s, "
+        f"lag-1 autocorr {snapshot['window_autocorr']:+.3f}, "
+        f"rate {snapshot['rate_per_s']:.2f}/s"
+    )
 
 
 def _add_horizon_option(parser: argparse.ArgumentParser) -> None:
@@ -480,6 +618,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     description = policy.describe()
     rate = PAPER_CONFIG.arrival_rate_for_load(args.load)
     session = _make_trace_session(args)
+    live_spec = _make_live_spec(args)
     telemetry_interval = (
         args.telemetry_interval if args.telemetry_csv is not None else None
     )
@@ -495,6 +634,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             warmup=args.warmup,
             backend=_resolve_backend(args),
             telemetry_interval_s=telemetry_interval,
+            live=live_spec,
+            profile=args.profile,
         )
     if args.telemetry_csv is not None:
         from repro.ecommerce.telemetry import write_telemetry_csv
@@ -506,6 +647,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"wrote {args.telemetry_csv} ({rows} samples)")
     if session is not None:
         _write_trace_outputs(session, args)
+    if live_spec is not None:
+        _write_live_outputs(result.runs, result.merged_live(), args)
+    if args.profile:
+        profile = result.merged_profile()
+        if profile is not None:
+            print(profile.format_table())
     rt_mean, rt_low, rt_high = result.response_time_interval()
     loss_mean, loss_low, loss_high = result.loss_interval()
     print(f"policy            : {description}")
@@ -589,6 +736,7 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
         raise SystemExit(f"no scenarios in {args.scenarios!r}")
     policies = _resolve_campaign_policies(args.policies)
     session = _make_trace_session(args)
+    live_spec = _make_live_spec(args)
     timer = StageTimer()
     with timer.stage("campaign"), _maybe_tracing(session):
         campaign = run_campaign(
@@ -597,6 +745,8 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
             replications=args.replications,
             seed=args.seed,
             backend=_resolve_backend(args),
+            live=live_spec,
+            profile=args.profile,
         )
     print(campaign.format_table())
     if args.csv is not None:
@@ -604,6 +754,13 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
         print(f"wrote {args.csv} ({rows} score rows)")
     if session is not None:
         _write_trace_outputs(session, args)
+    if live_spec is not None:
+        all_runs = [run for _, cell in campaign.runs for run in cell]
+        _write_live_outputs(all_runs, campaign.merged_live(), args)
+    if args.profile:
+        profile = campaign.merged_profile()
+        if profile is not None:
+            print(profile.format_table())
     print(f"wall-clock: {timer.total_s:.2f} s")
     return 0
 
@@ -631,6 +788,30 @@ def _cmd_explain(trace_path: str) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.live.report import DEFAULT_MAX_RUNS, write_report
+
+    if not os.path.exists(args.trace):
+        raise SystemExit(f"no such trace file: {args.trace}")
+    out = args.out
+    if out is None:
+        base = args.trace
+        for suffix in (".gz", ".jsonl", ".json"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+        out = base + ".html"
+    records = write_report(
+        args.trace,
+        out,
+        title=args.title,
+        max_runs=(
+            args.max_runs if args.max_runs is not None else DEFAULT_MAX_RUNS
+        ),
+    )
+    print(f"wrote {out} ({records} trace records)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -652,8 +833,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_mmc(args.load, args.servers, args.service_rate)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "top":
+        args.top = True
+        return _cmd_simulate(args)
     if args.command == "explain":
         return _cmd_explain(args.trace)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "faults":
         return _cmd_faults(args)
     raise AssertionError(f"unhandled command {args.command!r}")

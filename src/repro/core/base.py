@@ -25,7 +25,19 @@ class DecisionListener:
 
     Hooks receive the *policy* first so one listener can serve several
     policies (e.g. per-node policies in a cluster).
+
+    ``wants_batches`` lets a listener decline the :meth:`on_batch`
+    firehose (one call per completed batch -- by far the hottest hook)
+    so policies skip the call entirely: an always-on telemetry sink
+    that only tracks level changes and triggers should not pay a
+    Python call per batch.  The other hooks are rare enough that they
+    are always delivered.
     """
+
+    #: Whether :meth:`on_batch` should be called at all.  Policies
+    #: check this once per batch (a plain attribute load) instead of
+    #: making a method call that the listener immediately discards.
+    wants_batches: bool = True
 
     def on_batch(
         self,

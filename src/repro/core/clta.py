@@ -78,7 +78,7 @@ class CLTA(RejuvenationPolicy):
             return False
         exceeded = batch_mean > self.threshold
         listener = self._listener
-        if listener is not None:
+        if listener is not None and listener.wants_batches:
             listener.on_batch(
                 self, batch_mean, self.threshold, self.sample_size, exceeded
             )

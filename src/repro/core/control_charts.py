@@ -76,7 +76,7 @@ class CUSUMPolicy(RejuvenationPolicy):
         statistic = self.statistic
         triggered = statistic > self.decision_interval
         listener = self._listener
-        if listener is not None:
+        if listener is not None and listener.wants_batches:
             # For control charts the "batch mean" slot carries the
             # chart statistic: that is what gets compared to the limit.
             listener.on_batch(
@@ -145,7 +145,7 @@ class EWMAPolicy(RejuvenationPolicy):
         statistic = self.statistic
         triggered = statistic > self.limit
         listener = self._listener
-        if listener is not None:
+        if listener is not None and listener.wants_batches:
             listener.on_batch(self, statistic, self.limit, 1, triggered)
         if triggered:
             self.statistic = self.slo.mean

@@ -125,7 +125,7 @@ class SARAA(RejuvenationPolicy):
         level_before = self.chain.level
         transition = self.chain.record(exceeded)
         listener = self._listener
-        if listener is not None:
+        if listener is not None and listener.wants_batches:
             listener.on_batch(self, batch_mean, target, sample_size, exceeded)
         if transition is Transition.TRIGGER:
             self.current_sample_size = self.schedule(

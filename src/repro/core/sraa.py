@@ -78,9 +78,10 @@ class SRAA(RejuvenationPolicy):
         transition = self.chain.record(exceeded)
         listener = self._listener
         if listener is not None:
-            listener.on_batch(
-                self, batch_mean, target, self.sample_size, exceeded
-            )
+            if listener.wants_batches:
+                listener.on_batch(
+                    self, batch_mean, target, self.sample_size, exceeded
+                )
             if transition in (Transition.LEVEL_UP, Transition.LEVEL_DOWN):
                 listener.on_transition(
                     self,

@@ -31,7 +31,10 @@ class Simulator:
     """
 
     def __init__(
-        self, start_time: float = 0.0, tracer: Optional[Any] = None
+        self,
+        start_time: float = 0.0,
+        tracer: Optional[Any] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         self.now = float(start_time)
         self.queue = EventQueue()
@@ -41,6 +44,10 @@ class Simulator:
         #: one per fired event -- verbose by design).  ``None`` keeps
         #: the run loop's cost at a single attribute check.
         self.tracer = tracer if tracer is not None and tracer.engine else None
+        #: Optional :class:`repro.obs.live.DESProfiler`; when installed,
+        #: every fired event is attributed (count + wall-clock) to its
+        #: ``kind``.  ``None`` keeps the loop at a single check.
+        self.profiler = profiler
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -93,7 +100,16 @@ class Simulator:
                 kind=event.kind,
                 seq=self.events_fired,
             )
-        event.action()
+        profiler = self.profiler
+        if profiler is None:
+            event.action()
+        else:
+            clock = profiler.clock
+            started = clock()
+            try:
+                event.action()
+            finally:
+                profiler.account(event.kind, clock() - started)
         return event
 
     def run(

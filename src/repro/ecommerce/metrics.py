@@ -27,6 +27,14 @@ class RunResult:
     ``rejuvenation_times`` records the simulation clock of every policy
     trigger -- the signal the fault-campaign scorer compares against a
     scenario's ground-truth degradation intervals.
+
+    The live-telemetry fields are populated by the matching job
+    options: ``live`` carries the run's final constant-memory
+    :class:`~repro.obs.live.LiveAggregator`, ``flight`` the
+    severity-triggered :class:`~repro.obs.live.FlightDump` snapshots,
+    and ``profile`` the per-subsystem
+    :class:`~repro.obs.live.Profile` attribution -- all picklable, so
+    they too survive the trip back from pool workers.
     """
 
     arrivals: int
@@ -43,6 +51,9 @@ class RunResult:
     trace: Optional[Tuple[object, ...]] = None
     telemetry: Optional[Tuple[object, ...]] = None
     rejuvenation_times: Optional[Tuple[float, ...]] = None
+    live: Optional[object] = None
+    flight: Optional[Tuple[object, ...]] = None
+    profile: Optional[object] = None
 
     @property
     def throughput(self) -> float:
@@ -101,3 +112,20 @@ class ReplicatedResult:
         return mean_confidence_interval(
             [r.loss_fraction for r in self.runs], confidence
         )
+
+    def merged_live(self):
+        """Per-run live aggregators folded in replication order.
+
+        ``None`` when no run carried live telemetry.  Submission-order
+        folding keeps the merged sketch bit-identical between serial
+        and process-pool backends.
+        """
+        from repro.obs.live import merge_live
+
+        return merge_live(run.live for run in self.runs)
+
+    def merged_profile(self):
+        """Per-run DES profiles folded in replication order (or None)."""
+        from repro.obs.live import merge_profiles
+
+        return merge_profiles(run.profile for run in self.runs)

@@ -81,6 +81,13 @@ class ProcessingNode:
         self.sim = sim
         self.service_rng = service_rng
         self._tracer = tracer if tracer is not None and tracer.spans else None
+        # Per-request microscope events (enqueue, service start) go
+        # only to sinks that want lifecycle detail; see LIFECYCLE_TYPES.
+        self._life_tracer = (
+            self._tracer
+            if self._tracer is not None and getattr(tracer, "lifecycle", True)
+            else None
+        )
         self._draw_service = make_service_sampler(
             config.service_distribution,
             mean=1.0 / config.service_rate,
@@ -136,7 +143,7 @@ class ProcessingNode:
         """Accept one transaction (step 2: queue for a CPU)."""
         self.in_system += 1
         self.queue.append(job)
-        tracer = self._tracer
+        tracer = self._life_tracer
         if tracer is not None:
             tracer.emit(
                 self.sim.now,
@@ -188,7 +195,7 @@ class ProcessingNode:
         job.completion_event = self.sim.schedule_at(
             completion_time, lambda j=job: self._on_completion(j), kind="done"
         )
-        tracer = self._tracer
+        tracer = self._life_tracer
         if tracer is not None:
             tracer.emit(
                 now,
@@ -248,6 +255,12 @@ class ProcessingNode:
 
     def _on_completion(self, job: Job) -> None:
         cfg = self.config
+        # Break the job -> event -> callback -> job reference cycle so
+        # the subgraph is freed by refcounting the moment the job
+        # leaves; left in place, every completed transaction becomes
+        # cyclic garbage only the tracing collector can reclaim, and
+        # the collector passes it forces dominate at scale.
+        job.completion_event = None
         self.in_service.pop(job, None)
         self.free_cpus += 1
         self.in_system -= 1
@@ -276,6 +289,7 @@ class ProcessingNode:
         for job in self.in_service:
             if job.completion_event is not None:
                 self.sim.cancel(job.completion_event)
+                job.completion_event = None  # break the ref cycle
             self.on_loss(job)
             lost += 1
         self.in_system -= len(self.in_service)
@@ -353,6 +367,7 @@ class ProcessingNode:
         for job in self.in_service:
             if job.completion_event is not None:
                 self.sim.cancel(job.completion_event)
+                job.completion_event = None  # break the ref cycle
             self.on_loss(job)
             lost += 1
         self.in_system -= len(self.in_service)

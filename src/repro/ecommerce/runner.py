@@ -13,7 +13,7 @@ process-pool runs are bit-identical for the same seed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Any, List, Optional, Union
 
 import numpy as np
 
@@ -65,6 +65,8 @@ def replication_jobs(
     warmup: int = 0,
     trace_level: Optional[str] = None,
     telemetry_interval_s: Optional[float] = None,
+    live: Optional[Any] = None,
+    profile: bool = False,
 ) -> List[ReplicationJob]:
     """The job list behind :func:`run_replications`, in replication order.
 
@@ -76,7 +78,10 @@ def replication_jobs(
     :class:`~repro.obs.session.TraceSession` (if any), so wrapping a run
     in :func:`repro.obs.use_tracing` is enough to trace it;
     ``telemetry_interval_s`` installs a fixed-interval probe per
-    replication.
+    replication.  ``live`` (a :class:`repro.obs.live.LiveSpec`) and
+    ``profile`` stamp every job with live telemetry / DES profiling;
+    the per-run state rides back on the results and merges in
+    replication order.
     """
     if replications < 1:
         raise ValueError("need at least one replication")
@@ -95,6 +100,8 @@ def replication_jobs(
             tag=("replication", i),
             trace_level=trace_level,
             telemetry_interval_s=telemetry_interval_s,
+            live=live,
+            profile=profile,
         )
         for i in range(replications)
     ]
@@ -111,6 +118,8 @@ def run_replications(
     backend: Union[ExecutionBackend, str, None] = None,
     progress: Optional[ProgressHook] = None,
     telemetry_interval_s: Optional[float] = None,
+    live: Optional[Any] = None,
+    profile: bool = False,
     arrival_factory: Optional[ArrivalSource] = None,
     policy_factory: Optional[PolicySource] = None,
 ) -> ReplicatedResult:
@@ -144,6 +153,15 @@ def run_replications(
         Optional simulated-seconds interval; installs a per-replication
         telemetry probe whose samples ride back on
         ``RunResult.telemetry``.
+    live:
+        Optional :class:`repro.obs.live.LiveSpec`; every replication
+        runs a constant-memory live tap (and flight recorder, if the
+        spec configures one) whose state rides back on
+        ``RunResult.live`` / ``RunResult.flight``.
+    profile:
+        Attribute per-event wall-clock and counts to subsystems; the
+        per-run :class:`repro.obs.live.Profile` rides back on
+        ``RunResult.profile``.
     arrival_factory, policy_factory:
         Deprecated aliases for ``arrival`` / ``policy`` (the pre-spec
         factory protocol); still accepted so existing callers keep
@@ -172,6 +190,8 @@ def run_replications(
         seed=seed,
         warmup=warmup,
         telemetry_interval_s=telemetry_interval_s,
+        live=live,
+        profile=profile,
     )
     runs = resolve_backend(backend).map(execute_job, jobs, progress=progress)
     session = current_session()

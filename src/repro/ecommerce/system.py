@@ -79,6 +79,13 @@ class ECommerceSystem:
         after the model has been reset, so injections schedule their
         simulator events against a clean clock.  The model never imports
         :mod:`repro.faults` -- the coupling is duck-typed.
+    profiler:
+        Optional :class:`repro.obs.live.DESProfiler`.  Installed on the
+        simulator, it attributes every fired event's wall-clock to its
+        kind; this class additionally brackets the policy's ``observe``
+        calls under the ``policy.observe`` kind (a slice *within* the
+        completion events' time, accounted separately so decision cost
+        is visible).  ``None`` (the default) costs one check per event.
 
     Examples
     --------
@@ -106,6 +113,7 @@ class ECommerceSystem:
         telemetry: Optional[Telemetry] = None,
         tracer: Optional[object] = None,
         faults: Optional[object] = None,
+        profiler: Optional[object] = None,
     ) -> None:
         self.config = config
         self.arrivals = arrivals
@@ -115,11 +123,22 @@ class ECommerceSystem:
         self.resource_policy = resource_policy
         self.telemetry = telemetry
         self.tracer = tracer
+        self.profiler = profiler
         self._span_tracer = (
             tracer if tracer is not None and tracer.spans else None
         )
+        # The per-request microscope (request.arrival) is emitted only
+        # for sinks that asked for lifecycle events -- always-on
+        # telemetry declines them, and skipping the emit here spares
+        # its call-site cost on every transaction.
+        self._life_tracer = (
+            self._span_tracer
+            if self._span_tracer is not None
+            and getattr(tracer, "lifecycle", True)
+            else None
+        )
         self.streams = RandomStreams(seed)
-        self.sim = Simulator(tracer=tracer)
+        self.sim = Simulator(tracer=tracer, profiler=profiler)
         self.node = ProcessingNode(
             config,
             self.sim,
@@ -195,7 +214,7 @@ class ECommerceSystem:
         index = self._arrivals_generated
         self._arrivals_generated += 1
         self._schedule_next_arrival()
-        tracer = self._span_tracer
+        tracer = self._life_tracer
         if tracer is not None:
             tracer.emit(now, "request.arrival", "system", index=index)
         if now < self._down_until:
@@ -220,7 +239,20 @@ class ECommerceSystem:
                 response_time=response_time,
             )
         # Step 8: let the policy decide.
-        if self.policy is not None and self.policy.observe(response_time):
+        policy = self.policy
+        if policy is None:
+            return
+        profiler = self.profiler
+        if profiler is None:
+            triggered = policy.observe(response_time)
+        else:
+            clock = profiler.clock
+            started = clock()
+            try:
+                triggered = policy.observe(response_time)
+            finally:
+                profiler.account("policy.observe", clock() - started)
+        if triggered:
             self._rejuvenate()
 
     def _on_loss(self, job: Job) -> None:
@@ -364,6 +396,8 @@ class ECommerceSystem:
         self.arrivals.reset()
         if self.tracer is not None:
             self.tracer.clear()
+        if self.profiler is not None:
+            self.profiler.clear()
         if self.policy is not None:
             self.policy.reset()
         if self.resource_policy is not None:

@@ -47,6 +47,16 @@ class ReplicationJob:
     fixed-interval probe whose samples ride back on
     ``RunResult.telemetry``.  Both stay plain data, so the job remains
     picklable.
+
+    ``live`` (a :class:`repro.obs.live.LiveSpec`, or ``None``) turns on
+    constant-memory live telemetry: the worker builds a
+    :class:`~repro.obs.live.LiveTap` -- composed with the full tracer
+    via a tee when both are requested -- and the final aggregator,
+    flight-recorder dumps, and (with ``profile=True``) the DES
+    profiler's snapshot ride back on ``RunResult.live`` / ``flight`` /
+    ``profile``.  A spec carrying a ``display`` is unpicklable by
+    design: the process-pool backend then runs the job in the parent
+    process, which is where a terminal renderer must live.
     """
 
     config: Any  # SystemConfig
@@ -62,6 +72,12 @@ class ReplicationJob:
     #: Optional fault scenario (e.g. repro.faults FaultScenario) or a
     #: plain sequence of picklable injections, armed at run start.
     faults: Any = None
+    #: Optional repro.obs.live LiveSpec: streaming aggregation plus the
+    #: flight-recorder ring, at O(1) memory whatever the horizon.
+    live: Any = None
+    #: Attribute per-event wall-clock and counts to subsystems
+    #: (rides back on ``RunResult.profile``).
+    profile: bool = False
 
 
 def build_arrival(source: ArrivalSource) -> "ArrivalProcess":
@@ -104,22 +120,66 @@ def execute_job(job: ReplicationJob) -> "RunResult":
         from repro.obs.tracer import Tracer
 
         tracer = Tracer(job.trace_level)
+    tap = None
+    if job.live is not None:
+        tap = job.live.build()
     telemetry = None
     if job.telemetry_interval_s is not None:
         from repro.ecommerce.telemetry import Telemetry
 
         telemetry = Telemetry(job.telemetry_interval_s)
+    profiler = None
+    if job.profile:
+        from repro.obs.live.profiler import DESProfiler
+
+        profiler = DESProfiler()
+    sink = tracer
+    if tap is not None:
+        from repro.obs.live.tap import compose_tracers
+
+        sink = compose_tracers(tracer, tap)
     system = ECommerceSystem(
         job.config,
         build_arrival(job.arrival),
         policy=build_policy(job.policy),
         seed=job.seed,
         telemetry=telemetry,
-        tracer=tracer,
+        tracer=sink,
         faults=job.faults,
+        profiler=profiler,
     )
-    return system.run(
-        job.n_transactions,
-        warmup=job.warmup,
-        collect_response_times=job.collect_response_times,
-    )
+    if tap is not None:
+        # The tap's ring churns tracked containers; amortise the cyclic
+        # collector over larger batches for the duration of the run
+        # (see repro.obs.live.tap.amortised_gc).
+        from repro.obs.live.tap import amortised_gc
+
+        with amortised_gc():
+            result = system.run(
+                job.n_transactions,
+                warmup=job.warmup,
+                collect_response_times=job.collect_response_times,
+            )
+    else:
+        result = system.run(
+            job.n_transactions,
+            warmup=job.warmup,
+            collect_response_times=job.collect_response_times,
+        )
+    if tap is None and profiler is None:
+        return result
+    from dataclasses import replace as replace_result
+
+    updates: dict = {}
+    if tap is not None:
+        updates["live"] = tap.freeze()
+        updates["flight"] = tap.dumps()
+        if job.trace_level is None:
+            # The tap buffers nothing; without a real tracer the run
+            # stays "untraced" on the result.
+            updates["trace"] = None
+        if tap.display is not None:
+            tap.display.final(tap)
+    if profiler is not None:
+        updates["profile"] = profiler.snapshot()
+    return replace_result(result, **updates)

@@ -58,6 +58,22 @@ class CampaignResult:
         """The aligned robustness table over every cell."""
         return format_scores(self.scores)
 
+    def merged_live(self):
+        """All cells' live aggregators folded in submission order."""
+        from repro.obs.live import merge_live
+
+        return merge_live(
+            run.live for _, cell in self.runs for run in cell
+        )
+
+    def merged_profile(self):
+        """All cells' DES profiles folded in submission order."""
+        from repro.obs.live import merge_profiles
+
+        return merge_profiles(
+            run.profile for _, cell in self.runs for run in cell
+        )
+
 
 def campaign_jobs(
     scenarios: Sequence[FaultScenario],
@@ -65,12 +81,18 @@ def campaign_jobs(
     replications: int,
     seed: int = 0,
     trace_level: Optional[str] = None,
+    live: Optional[object] = None,
+    profile: bool = False,
 ) -> List[ReplicationJob]:
     """The flat job list, in (scenario, policy, replication) order.
 
     The CRN seed protocol lives here: ``seed + 1000 * scenario_index +
     replication``, independent of the policy -- every policy sees the
     same streams on the same scenario cell.
+
+    ``live`` (a :class:`repro.obs.live.LiveSpec`) and ``profile`` stamp
+    every cell's jobs with live telemetry / DES profiling, exactly as
+    in :func:`repro.ecommerce.runner.replication_jobs`.
     """
     if replications < 1:
         raise ValueError("need at least one replication")
@@ -94,6 +116,8 @@ def campaign_jobs(
                         tag=("faults", scenario.name, label, i),
                         trace_level=trace_level,
                         faults=scenario,
+                        live=live,
+                        profile=profile,
                     )
                 )
     return jobs
@@ -106,6 +130,8 @@ def run_campaign(
     seed: int = 0,
     backend: Union[ExecutionBackend, str, None] = None,
     progress: Optional[ProgressHook] = None,
+    live: Optional[object] = None,
+    profile: bool = False,
 ) -> CampaignResult:
     """Run and score a full campaign.
 
@@ -134,7 +160,14 @@ def run_campaign(
         scenarios = list(builtin_scenarios().values())
     if policies is None:
         policies = DEFAULT_POLICIES
-    jobs = campaign_jobs(scenarios, policies, replications, seed=seed)
+    jobs = campaign_jobs(
+        scenarios,
+        policies,
+        replications,
+        seed=seed,
+        live=live,
+        profile=profile,
+    )
     runs = resolve_backend(backend).map(execute_job, jobs, progress=progress)
     session = current_session()
     if session is not None:

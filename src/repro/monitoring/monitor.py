@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.base import RejuvenationPolicy
 from repro.stats.running import OnlineMoments
@@ -156,3 +156,26 @@ class RejuvenationMonitor:
             metric_mean=self.moments.mean,
             metric_std=self.moments.std,
         )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The live state as one JSON-serialisable dict.
+
+        The dashboard view of :meth:`report`: cheap to take mid-stream
+        (no list copies beyond the last trigger), stable keys, and the
+        policy's own ``describe()`` parameters inlined -- what a
+        ``repro top``-style display or a metrics scraper wants between
+        observations.
+        """
+        moments = self.moments
+        return {
+            "observations": self._observations,
+            "triggers": len(self._records),
+            "last_trigger_ts": (
+                self._records[-1].time if self._records else None
+            ),
+            "metric_mean": moments.mean if moments.count else 0.0,
+            "metric_std": moments.std,
+            "metric_min": moments.minimum if moments.count else 0.0,
+            "metric_max": moments.maximum if moments.count else 0.0,
+            "policy": self.policy.describe(),
+        }

@@ -22,6 +22,9 @@ this package makes every signal of the reproduction inspectable:
 * :mod:`~repro.obs.explain` -- the ``repro explain`` timeline: names,
   for every rejuvenation, the bucket/threshold/batch-mean that caused
   it.
+* :mod:`~repro.obs.live` -- constant-memory live telemetry: streaming
+  sketches, the flight recorder, the DES profiler, and the
+  ``repro report`` / ``repro top`` renderers.
 """
 
 from repro.obs.events import TraceEvent, category_of

@@ -119,6 +119,22 @@ DECISION_TYPES: Tuple[str, ...] = (
 #: Event types only emitted at trace level ``all``.
 ENGINE_TYPES: Tuple[str, ...] = (DES_EVENT,)
 
+#: The per-request / per-batch *microscope*: high-frequency events a
+#: buffering trace wants for offline forensics, but which always-on
+#: telemetry must not pay for -- at ~4 events per transaction their
+#: call-site cost alone (keyword construction, payload reads) rivals
+#: the cost of simulating the transaction.  Sinks advertise whether
+#: they want them via the tracer protocol's ``lifecycle`` flag;
+#: instrumented code skips these emits entirely when no sink does.
+LIFECYCLE_TYPES: frozenset = frozenset(
+    {
+        REQUEST_ARRIVAL,
+        REQUEST_ENQUEUE,
+        REQUEST_SERVICE_START,
+        POLICY_BATCH,
+    }
+)
+
 
 def category_of(etype: str) -> str:
     """``span`` / ``decision`` / ``engine`` / ``meta`` for an event type."""

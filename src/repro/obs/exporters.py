@@ -21,6 +21,7 @@ convention: a point-in-time snapshot of a
 
 from __future__ import annotations
 
+import gzip
 import json
 from typing import Any, Dict, Iterable, List
 
@@ -31,13 +32,27 @@ from repro.obs.metrics import MetricsRegistry
 _US = 1_000_000.0
 
 
+def _open_text(path: str, mode: str):
+    """Text-mode open that is gzip-transparent on a ``.gz`` suffix.
+
+    Campaign traces are routinely gzipped for archiving (the CI fault
+    job does); every JSONL reader and writer here accepts both forms,
+    so ``repro explain``, ``repro faults score`` and ``repro report``
+    work on ``.jsonl.gz`` without an explicit decompression step.
+    """
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 # ---------------------------------------------------------------------------
 # JSONL
 # ---------------------------------------------------------------------------
 def write_jsonl(path: str, records: Iterable[Dict[str, Any]]) -> int:
-    """Write one JSON object per line; return the number of lines."""
+    """Write one JSON object per line (gzipped on a ``.gz`` path);
+    return the number of lines."""
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    with _open_text(path, "w") as handle:
         for record in records:
             handle.write(json.dumps(record, separators=(",", ":")))
             handle.write("\n")
@@ -46,8 +61,8 @@ def write_jsonl(path: str, records: Iterable[Dict[str, Any]]) -> int:
 
 
 def iter_jsonl(path: str) -> Iterable[Dict[str, Any]]:
-    """Stream the records of a JSONL trace file."""
-    with open(path, "r", encoding="utf-8") as handle:
+    """Stream the records of a JSONL trace file (plain or ``.gz``)."""
+    with _open_text(path, "r") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
@@ -61,7 +76,7 @@ def iter_jsonl(path: str) -> Iterable[Dict[str, Any]]:
 
 
 def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """All records of a JSONL trace file, in file order."""
+    """All records of a JSONL trace file (plain or ``.gz``)."""
     return list(iter_jsonl(path))
 
 

@@ -51,6 +51,12 @@ class TracingDecisionListener(DecisionListener):
         self.clock = clock
         #: Batch decisions seen so far, per policy source.
         self._batch_seq: Dict[str, int] = {}
+        # Mirror the sink's appetite so policies skip the per-batch
+        # hook call entirely (one Python call per batch adds up: the
+        # always-on flight tap declines the lifecycle microscope).
+        self.wants_batches = bool(
+            tracer.decisions and getattr(tracer, "lifecycle", True)
+        )
 
     def _next_seq(self, source: str) -> int:
         seq = self._batch_seq.get(source, 0) + 1
@@ -68,8 +74,12 @@ class TracingDecisionListener(DecisionListener):
         sample_size: int,
         exceeded: bool,
     ) -> None:
+        # Batch comparisons are the per-batch microscope (one event
+        # every ``sample_size`` completions); like the request
+        # lifecycle spans they are only built for sinks that asked for
+        # lifecycle detail -- the always-on live tap does not.
         tracer = self.tracer
-        if not tracer.decisions:
+        if not tracer.decisions or not getattr(tracer, "lifecycle", True):
             return
         source = policy_source(policy)
         tracer.emit(

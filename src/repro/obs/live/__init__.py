@@ -1,0 +1,79 @@
+"""Live telemetry: constant-memory observability for unbounded runs.
+
+Where :mod:`repro.obs` tracing buffers *every* event for post-hoc
+analysis, the live layer consumes the same emit stream with bounded
+memory whatever the horizon:
+
+- :mod:`~repro.obs.live.sketches` -- mergeable streaming aggregators
+  (GK quantile sketch, rolling window, EWMA rate meter);
+- :mod:`~repro.obs.live.tap` -- the tracer-protocol sink feeding them,
+  plus submission-order merging across process-pool workers;
+- :mod:`~repro.obs.live.recorder` -- the always-on flight recorder
+  ring with severity-triggered dumps;
+- :mod:`~repro.obs.live.profiler` -- per-subsystem wall-clock and
+  event-count attribution for the DES;
+- :mod:`~repro.obs.live.report` / :mod:`~repro.obs.live.top` -- the
+  ``repro report`` HTML dashboard and the ``repro top`` terminal view.
+"""
+
+from repro.obs.live.profiler import (
+    DESProfiler,
+    Profile,
+    ProfileEntry,
+    merge_profiles,
+    subsystem_of,
+)
+from repro.obs.live.recorder import (
+    DEFAULT_TRIGGERS,
+    FlightDump,
+    FlightRecorder,
+    RecorderSpec,
+    write_flight_jsonl,
+)
+from repro.obs.live.report import render_report, write_report
+from repro.obs.live.sketches import (
+    DEFAULT_EPS,
+    MERGED_ERROR_FACTOR,
+    EwmaRate,
+    GKSketch,
+    RollingWindow,
+)
+from repro.obs.live.tap import (
+    DEFAULT_QUANTILES,
+    LiveAggregator,
+    LiveSpec,
+    LiveTap,
+    TeeTracer,
+    compose_tracers,
+    merge_live,
+)
+from repro.obs.live.top import LiveDisplay, render_snapshot
+
+__all__ = [
+    "DEFAULT_EPS",
+    "DEFAULT_QUANTILES",
+    "DEFAULT_TRIGGERS",
+    "DESProfiler",
+    "EwmaRate",
+    "FlightDump",
+    "FlightRecorder",
+    "GKSketch",
+    "LiveAggregator",
+    "LiveDisplay",
+    "LiveSpec",
+    "LiveTap",
+    "MERGED_ERROR_FACTOR",
+    "Profile",
+    "ProfileEntry",
+    "RecorderSpec",
+    "RollingWindow",
+    "TeeTracer",
+    "compose_tracers",
+    "merge_live",
+    "merge_profiles",
+    "render_report",
+    "render_snapshot",
+    "subsystem_of",
+    "write_flight_jsonl",
+    "write_report",
+]

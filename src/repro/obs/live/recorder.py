@@ -1,0 +1,233 @@
+"""The flight recorder: bounded forensics for unbounded runs.
+
+Full tracing of a long run is expensive (every DES event buffered);
+no tracing leaves an incident unexplainable.  The flight recorder is
+the aviation compromise: an always-on ring buffer of the most recent
+trace events, plus *severity-triggered dumps* -- when something worth
+explaining happens (a rejuvenation, an injected fault, an SLO breach),
+the ring is snapshotted into a :class:`FlightDump` so the run ends with
+"the last N events before each incident" at O(capacity) memory,
+whatever the horizon.
+
+The recorder is driven by the same emit stream as a
+:class:`~repro.obs.tracer.Tracer` (the :class:`~repro.obs.live.LiveTap`
+tees events into it), and its dumps ride back from pool workers on
+``RunResult.flight`` -- picklable, deterministic, submission-ordered.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.events import (
+    FAULT_INJECTED,
+    REQUEST_COMPLETE,
+    SYSTEM_REJUVENATION,
+    TraceEvent,
+)
+
+#: Event types that dump the ring by default (severity triggers).
+DEFAULT_TRIGGERS: Tuple[str, ...] = (SYSTEM_REJUVENATION, FAULT_INJECTED)
+
+
+@dataclass(frozen=True)
+class RecorderSpec:
+    """Picklable flight-recorder configuration (rides on the job).
+
+    Parameters
+    ----------
+    capacity:
+        Ring size in events -- the "last N events" each dump carries.
+    triggers:
+        Event types whose arrival dumps the ring.
+    slo_s:
+        Optional response-time SLO in seconds; a ``request.complete``
+        whose ``response_time`` exceeds it is a breach and dumps the
+        ring (subject to the cooldown).
+    cooldown_s:
+        Minimum simulated seconds between dumps; incidents inside the
+        window ride in the *next* dump's ring instead of spamming.
+    max_dumps:
+        Hard cap on dumps per run (memory stays bounded even under a
+        pathological incident storm).
+    """
+
+    capacity: int = 512
+    triggers: Tuple[str, ...] = DEFAULT_TRIGGERS
+    slo_s: Optional[float] = None
+    cooldown_s: float = 60.0
+    max_dumps: int = 16
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        if self.cooldown_s < 0.0:
+            raise ValueError("cooldown must be non-negative")
+        if self.max_dumps < 1:
+            raise ValueError("need room for at least one dump")
+
+    def build(self) -> "FlightRecorder":
+        """A fresh recorder for one replication."""
+        return FlightRecorder(self)
+
+
+@dataclass(frozen=True)
+class FlightDump:
+    """One severity-triggered snapshot of the ring.
+
+    ``reason`` names the trigger (the event type, or ``slo_breach``),
+    ``ts`` is the simulated time of the triggering event, and
+    ``records`` the ring contents at that moment as raw
+    ``(ts, etype, source, data)`` tuples, oldest first (the triggering
+    event is the last entry).  Snapshotting must be cheap -- a dump can
+    fire mid-run on the hot path -- so :class:`TraceEvent` objects are
+    only materialised on demand via :attr:`events`.
+    """
+
+    reason: str
+    ts: float
+    records: Tuple[Tuple[float, str, str, Dict[str, Any]], ...]
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """The ring contents as :class:`TraceEvent` objects."""
+        return tuple(
+            TraceEvent(ts, etype, source, data)
+            for ts, etype, source, data in self.records
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSONL representation (one object per dump)."""
+        return {
+            "reason": self.reason,
+            "ts": self.ts,
+            "events": [
+                {"ts": ts, "type": etype, "source": source,
+                 "data": dict(data)}
+                for ts, etype, source, data in self.records
+            ],
+        }
+
+
+class FlightRecorder:
+    """Bounded ring of recent trace events with triggered dumps.
+
+    Examples
+    --------
+    >>> recorder = RecorderSpec(capacity=4, cooldown_s=0.0).build()
+    >>> for i in range(10):
+    ...     recorder.push(TraceEvent(float(i), "request.complete",
+    ...                              "system", {"response_time": 1.0}))
+    >>> recorder.push(TraceEvent(10.0, "system.rejuvenation", "node0",
+    ...                          {"lost": 3}))
+    >>> [d.reason for d in recorder.dumps]
+    ['system.rejuvenation']
+    >>> len(recorder.dumps[0].events)
+    4
+    """
+
+    __slots__ = (
+        "spec",
+        "_ring",
+        "_append",
+        "dumps",
+        "_last_dump_ts",
+        "dropped",
+        "_triggers",
+        "_slo",
+    )
+
+    def __init__(self, spec: RecorderSpec) -> None:
+        self.spec = spec
+        #: The hot-path ring holds raw ``(ts, etype, source, data)``
+        #: tuples; :class:`TraceEvent` objects are materialised only
+        #: when a dump fires (rare, bounded) -- an allocation per event
+        #: here would dominate the recorder's cost.
+        self._ring: Deque[Tuple[float, str, str, Dict[str, Any]]] = (
+            deque(maxlen=spec.capacity)
+        )
+        #: Pre-bound append (``deque.clear`` keeps the object alive, so
+        #: the binding survives :meth:`clear`).
+        self._append = self._ring.append
+        self.dumps: List[FlightDump] = []
+        self._last_dump_ts: Optional[float] = None
+        #: Dump requests suppressed by the cooldown or the dump cap.
+        self.dropped = 0
+        self._triggers = frozenset(spec.triggers)
+        self._slo = spec.slo_s
+
+    def record(
+        self, ts: float, etype: str, source: str, data: Dict[str, Any]
+    ) -> None:
+        """Record one event (hot path: a tuple append + set lookup)."""
+        self._append((ts, etype, source, data))
+        if etype in self._triggers:
+            self._dump(etype, ts)
+        elif (
+            self._slo is not None
+            and etype == REQUEST_COMPLETE
+            and data.get("response_time", 0.0) > self._slo
+        ):
+            self._dump("slo_breach", ts)
+
+    def push(self, event: TraceEvent) -> None:
+        """Record one :class:`TraceEvent` (convenience wrapper)."""
+        self.record(event.ts, event.etype, event.source, event.data)
+
+    def _dump(self, reason: str, ts: float) -> None:
+        last = self._last_dump_ts
+        if last is not None and ts - last < self.spec.cooldown_s:
+            self.dropped += 1
+            return
+        if len(self.dumps) >= self.spec.max_dumps:
+            self.dropped += 1
+            return
+        self._last_dump_ts = ts
+        # One tuple() over the deque: the event payload dicts are
+        # frames' keyword dicts, owned by the emit stream and never
+        # mutated afterwards, so sharing them is safe (the buffering
+        # Tracer relies on the same contract).
+        self.dumps.append(
+            FlightDump(reason=reason, ts=ts, records=tuple(self._ring))
+        )
+
+    @property
+    def ring(self) -> Tuple[TraceEvent, ...]:
+        """The current ring contents as events, oldest first."""
+        return tuple(
+            TraceEvent(ts, etype, source, data)
+            for ts, etype, source, data in self._ring
+        )
+
+    def clear(self) -> None:
+        """Forget the ring and all dumps (a fresh run starts clean)."""
+        self._ring.clear()
+        self.dumps.clear()
+        self._last_dump_ts = None
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+def write_flight_jsonl(path: str, dumps_per_run) -> int:
+    """Write dumps of many runs as JSONL; returns the line count.
+
+    Each line is one dump with its ``run`` index added --
+    ``{"run": i, "reason": ..., "ts": ..., "events": [...]}`` -- in job
+    submission order, so the file is bit-identical across backends.
+    """
+    import json
+
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for run_index, dumps in enumerate(dumps_per_run):
+            for dump in dumps or ():
+                record = {"run": run_index}
+                record.update(dump.to_dict())
+                handle.write(json.dumps(record, separators=(",", ":")))
+                handle.write("\n")
+                count += 1
+    return count

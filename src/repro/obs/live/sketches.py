@@ -1,0 +1,354 @@
+"""Streaming aggregators: mergeable sketches for live telemetry.
+
+Live monitoring at the ROADMAP's "millions of users" scale cannot keep
+the stream: every aggregator here is *constant memory*, *picklable*,
+and *mergeable*, so per-replication state built inside process-pool
+workers rides back on ``RunResult.live`` and folds together in job
+submission order -- bit-identically between the serial and process-pool
+backends (the same contract :class:`~repro.obs.metrics.MetricsRegistry`
+honours).
+
+Three aggregators:
+
+:class:`GKSketch`
+    A Greenwald-Khanna quantile summary (SIGMOD 2001): answers any
+    quantile of an unbounded stream with rank error at most
+    ``eps * n`` using ``O((1/eps) * log(eps * n))`` tuples.  Unlike the
+    P² estimator in :mod:`repro.stats.quantiles` (five markers, one
+    fixed quantile, not mergeable), a GK summary answers *every*
+    quantile and two summaries merge deterministically -- the property
+    the process-pool fan-out needs.  Merging concatenates the tuple
+    lists and re-compresses; the documented (conservative) bound after
+    submission-order folds is a rank error of ``2 * eps * n``, pinned
+    empirically by ``tests/obs/test_live_sketches.py``.
+
+:class:`RollingWindow`
+    The last ``size`` observations with on-demand mean / std / lag-1
+    autocorrelation (delegating the moments to
+    :class:`~repro.stats.running.OnlineMoments`) -- the short-horizon
+    view a dashboard shows next to the all-time quantiles.
+
+:class:`EwmaRate`
+    An exponentially weighted event-rate meter on the simulated clock:
+    ``rate()`` is events/second with time constant ``tau_s``, the
+    "current throughput" number of ``repro top``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.stats.running import OnlineMoments
+
+#: Default rank-error budget for the quantile sketch (0.5% of n).
+DEFAULT_EPS = 0.005
+
+#: Documented worst-case rank-error factor after submission-order merges.
+MERGED_ERROR_FACTOR = 2.0
+
+
+class GKSketch:
+    """Greenwald-Khanna epsilon-approximate quantile summary.
+
+    Parameters
+    ----------
+    eps:
+        Rank-error budget: a query for quantile ``q`` over ``n``
+        observations returns a value whose rank is within
+        ``eps * n`` of ``q * n`` (``2 * eps * n`` after merges).
+
+    Examples
+    --------
+    >>> sketch = GKSketch(eps=0.01)
+    >>> for i in range(10_000):
+    ...     sketch.update(float(i))
+    >>> abs(sketch.query(0.5) - 5_000) <= 0.01 * 10_000
+    True
+    """
+
+    __slots__ = ("eps", "count", "_entries", "_compress_every", "_pending")
+
+    def __init__(self, eps: float = DEFAULT_EPS) -> None:
+        if not 0.0 < eps < 0.5:
+            raise ValueError("eps must lie in (0, 0.5)")
+        self.eps = float(eps)
+        self.count = 0
+        #: ``[value, g, delta]`` triples in ascending value order.
+        #: ``g`` is the rank gap to the previous tuple; ``delta`` the
+        #: extra rank uncertainty.  Invariant: ``g + delta <= 2*eps*n``.
+        self._entries: List[List[float]] = []
+        self._compress_every = max(1, int(1.0 / (2.0 * self.eps)))
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    def update(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot update with NaN")
+        entries = self._entries
+        n = self.count
+        self.count = n + 1
+        if not entries or value < entries[0][0]:
+            entries.insert(0, [value, 1, 0])
+        elif value >= entries[-1][0]:
+            entries.append([value, 1, 0])
+        else:
+            # Binary search for the first entry with entry value > value.
+            lo, hi = 0, len(entries)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if entries[mid][0] <= value:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            delta = int(2.0 * self.eps * n)
+            entries.insert(lo, [value, 1, delta])
+        self._pending += 1
+        if self._pending >= self._compress_every:
+            self._compress()
+
+    def extend(self, values) -> None:
+        """Fold many observations."""
+        for value in values:
+            self.update(value)
+
+    def _compress(self) -> None:
+        """Merge adjacent tuples while the GK invariant allows it."""
+        self._pending = 0
+        entries = self._entries
+        if len(entries) < 3:
+            return
+        budget = 2.0 * self.eps * self.count
+        # Sweep from the tail; never merge into the last tuple's slot
+        # from the first (extremes stay exact).
+        i = len(entries) - 2
+        while i >= 1:
+            mine = entries[i]
+            nxt = entries[i + 1]
+            if mine[1] + nxt[1] + nxt[2] <= budget:
+                nxt[1] += mine[1]
+                del entries[i]
+            i -= 1
+
+    # ------------------------------------------------------------------
+    def query(self, q: float) -> float:
+        """The value at quantile ``q`` (rank error ``<= eps * n``)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        entries = self._entries
+        if not entries:
+            raise ValueError("no observations yet")
+        # GK query: the predecessor of the first tuple whose maximum
+        # possible rank exceeds the allowed band around the target.
+        rank = q * (self.count - 1) + 1.0
+        margin = self.eps * self.count
+        r_min = 0.0
+        best = entries[0][0]
+        for entry in entries:
+            r_min += entry[1]
+            if r_min + entry[2] > rank + margin:
+                return best
+            best = entry[0]
+        return entries[-1][0]
+
+    def quantiles(self, qs: Sequence[float]) -> Tuple[float, ...]:
+        """Several quantiles at once."""
+        return tuple(self.query(q) for q in qs)
+
+    @property
+    def tuples(self) -> int:
+        """Summary size in tuples (the constant-memory guarantee)."""
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "GKSketch") -> "GKSketch":
+        """A new summary over both streams (deterministic).
+
+        The tuple lists are merged in ascending value order (ties keep
+        ``self`` first -- a stable, order-independent rule given the
+        operands), then re-compressed against the combined count.  Fold
+        replications in job submission order to keep serial and
+        process-pool results bit-identical.
+        """
+        merged = GKSketch(eps=max(self.eps, other.eps))
+        merged.count = self.count + other.count
+        a, b = self._entries, other._entries
+        out: List[List[float]] = []
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i][0] <= b[j][0]:
+                out.append(list(a[i]))
+                i += 1
+            else:
+                out.append(list(b[j]))
+                j += 1
+        out.extend(list(e) for e in a[i:])
+        out.extend(list(e) for e in b[j:])
+        merged._entries = out
+        merged._compress()
+        return merged
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GKSketch(eps={self.eps}, count={self.count}, "
+            f"tuples={self.tuples})"
+        )
+
+
+class RollingWindow:
+    """The last ``size`` observations, with on-demand statistics.
+
+    The window answers the *recent-past* questions a live dashboard
+    asks -- "what is the mean / spread / lag-1 autocorrelation of the
+    last few hundred response times?" -- in O(size) on demand, O(1)
+    per push.  The full-stream moments live in
+    :class:`~repro.stats.running.OnlineMoments` next to it.
+    """
+
+    __slots__ = ("size", "_values", "_start")
+
+    def __init__(self, size: int = 256) -> None:
+        if size < 2:
+            raise ValueError("window size must be >= 2")
+        self.size = int(size)
+        self._values: List[float] = []
+        self._start = 0  # circular-buffer head once full
+
+    def push(self, value: float) -> None:
+        """Append one observation, evicting the oldest when full."""
+        values = self._values
+        if len(values) < self.size:
+            values.append(float(value))
+        else:
+            values[self._start] = float(value)
+            self._start = (self._start + 1) % self.size
+
+    def values(self) -> Tuple[float, ...]:
+        """The window contents, oldest first (an immutable view)."""
+        return tuple(
+            self._values[self._start:] + self._values[: self._start]
+        )
+
+    def moments(self) -> OnlineMoments:
+        """Welford moments over the current window."""
+        m = OnlineMoments()
+        m.extend(self._values)
+        return m
+
+    @property
+    def mean(self) -> float:
+        values = self._values
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def std(self) -> float:
+        return self.moments().std
+
+    def autocorr_lag1(self) -> float:
+        """Lag-1 autocorrelation of the window (0.0 when undefined).
+
+        The paper's Section-4 observation -- response times are heavily
+        autocorrelated under degradation -- as a single live number.
+        """
+        ordered = self.values()
+        n = len(ordered)
+        if n < 3:
+            return 0.0
+        mean = sum(ordered) / n
+        denom = sum((x - mean) ** 2 for x in ordered)
+        if denom <= 0.0:
+            return 0.0
+        num = sum(
+            (ordered[i] - mean) * (ordered[i + 1] - mean)
+            for i in range(n - 1)
+        )
+        return num / denom
+
+    def merge(self, other: "RollingWindow") -> "RollingWindow":
+        """A new window: ``self`` then ``other``, keeping the newest.
+
+        Windows are time-local, so "merge" means concatenation in
+        submission order truncated to the window size -- the youngest
+        observations of the fold win, deterministically.
+        """
+        merged = RollingWindow(size=max(self.size, other.size))
+        for value in self.values():
+            merged.push(value)
+        for value in other.values():
+            merged.push(value)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class EwmaRate:
+    """Exponentially weighted event rate on the simulated clock.
+
+    ``update(ts)`` records one event at simulated time ``ts``;
+    :meth:`rate` reports events/second smoothed with time constant
+    ``tau_s`` (older events decay with ``exp(-age / tau_s)``).
+    """
+
+    __slots__ = ("tau_s", "count", "_weight", "_last_ts")
+
+    def __init__(self, tau_s: float = 60.0) -> None:
+        if tau_s <= 0.0:
+            raise ValueError("time constant must be positive")
+        self.tau_s = float(tau_s)
+        self.count = 0
+        self._weight = 0.0
+        self._last_ts: Optional[float] = None
+
+    def update(self, ts: float, events: float = 1.0) -> None:
+        """Record ``events`` occurrences at simulated time ``ts``."""
+        ts = float(ts)
+        if self._last_ts is not None and ts >= self._last_ts:
+            self._weight *= math.exp(-(ts - self._last_ts) / self.tau_s)
+        self._weight += float(events)
+        self._last_ts = ts
+        self.count += int(events)
+
+    @property
+    def last_ts(self) -> Optional[float]:
+        """Simulated time of the newest event (``None`` before any)."""
+        return self._last_ts
+
+    def rate(self, at_ts: Optional[float] = None) -> float:
+        """Smoothed events/second, optionally decayed to ``at_ts``."""
+        if self._last_ts is None:
+            return 0.0
+        weight = self._weight
+        if at_ts is not None and at_ts > self._last_ts:
+            weight *= math.exp(-(at_ts - self._last_ts) / self.tau_s)
+        return weight / self.tau_s
+
+    def merge(self, other: "EwmaRate") -> "EwmaRate":
+        """A new meter combining both streams.
+
+        Replications run on independent clocks, so the merged rate is
+        the *sum* of the operands' final rates (the fleet-wide
+        throughput of the replications together), with the event count
+        summed and the later clock kept.
+        """
+        merged = EwmaRate(tau_s=max(self.tau_s, other.tau_s))
+        merged.count = self.count + other.count
+        merged._weight = (
+            self.rate() * merged.tau_s + other.rate() * merged.tau_s
+        )
+        last_a = self._last_ts if self._last_ts is not None else 0.0
+        last_b = other._last_ts if other._last_ts is not None else 0.0
+        merged._last_ts = (
+            max(last_a, last_b)
+            if (self._last_ts is not None or other._last_ts is not None)
+            else None
+        )
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EwmaRate(tau_s={self.tau_s}, rate={self.rate():.4g}/s)"

@@ -1,0 +1,136 @@
+"""``repro top``: a live terminal snapshot of a running simulation.
+
+A :class:`LiveDisplay` plugs into :class:`~repro.obs.live.LiveSpec`
+(``display=``) and is ticked by the tap as events stream through; it
+re-renders a compact panel at most every ``refresh_s`` wall-clock
+seconds.  Because a display handle is unpicklable, jobs carrying one
+run in the parent process even under the process-pool backend -- the
+terminal is exactly where they must live.
+
+Rendering is pure (:func:`render_snapshot`), so tests assert on
+strings; ANSI cursor control is only used when the output stream is a
+TTY (or forced), so piped output degrades to appended frames.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Dict, Optional, TextIO
+
+#: Default minimum wall-clock seconds between repaints.
+DEFAULT_REFRESH_S = 0.5
+
+_BAR_WIDTH = 24
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_snapshot(
+    snapshot: Dict[str, Any],
+    dumps: int = 0,
+    max_level: int = 5,
+) -> str:
+    """The ``repro top`` panel for one aggregator snapshot."""
+    quantiles = snapshot.get("rt_quantiles", {})
+    quantile_text = (
+        "  ".join(
+            f"{name}={value:7.3f}s"
+            for name, value in sorted(quantiles.items())
+        )
+        or "(no completions yet)"
+    )
+    level = int(snapshot.get("level", 0))
+    lines = [
+        f"repro top  t={snapshot.get('ts', 0.0):10.1f}s   "
+        f"rate={snapshot.get('rate_per_s', 0.0):7.2f}/s",
+        f"  completed {snapshot.get('completed', 0):>9}   "
+        f"lost {snapshot.get('lost', 0):>6}   "
+        f"gc {snapshot.get('gc', 0):>4}   "
+        f"rejuvenations {snapshot.get('rejuvenations', 0):>3}",
+        f"  faults    {snapshot.get('faults', 0):>9}   "
+        f"triggers {snapshot.get('triggers', 0):>2}   "
+        f"flight dumps {dumps:>3}",
+        f"  rt mean {snapshot.get('rt_mean', 0.0):7.3f}s  "
+        f"std {snapshot.get('rt_std', 0.0):7.3f}s  "
+        f"max {snapshot.get('rt_max', 0.0):7.3f}s",
+        f"  rt {quantile_text}",
+        f"  window mean {snapshot.get('window_mean', 0.0):7.3f}s  "
+        f"autocorr {snapshot.get('window_autocorr', 0.0):+6.3f}",
+        f"  bucket level {level}/{max_level} "
+        f"[{_bar(level / max_level if max_level else 0.0)}]",
+    ]
+    return "\n".join(lines)
+
+
+class LiveDisplay:
+    """Wall-clock-throttled terminal renderer for ``repro top``.
+
+    Parameters
+    ----------
+    stream:
+        Output stream (default ``sys.stderr``, keeping stdout clean for
+        result tables and ``--csv``).
+    refresh_s:
+        Minimum wall-clock seconds between repaints.
+    ansi:
+        Repaint in place with cursor-up control codes.  Defaults to
+        whether the stream is a TTY.
+    clock:
+        Wall clock (injectable for tests).
+    max_level:
+        Bucket-count hint for the level bar.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        refresh_s: float = DEFAULT_REFRESH_S,
+        ansi: Optional[bool] = None,
+        clock: Optional[Callable[[], float]] = None,
+        max_level: int = 5,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.refresh_s = refresh_s
+        if ansi is None:
+            isatty = getattr(self.stream, "isatty", None)
+            ansi = bool(isatty()) if callable(isatty) else False
+        self.ansi = ansi
+        self.clock = clock if clock is not None else time.monotonic
+        self.max_level = max_level
+        self.frames = 0
+        self._last_paint: Optional[float] = None
+        self._last_height = 0
+
+    # The tap calls this on every event; almost every call is a cheap
+    # clock read + compare.
+    def tick(self, tap: Any) -> None:
+        now = self.clock()
+        last = self._last_paint
+        if last is not None and now - last < self.refresh_s:
+            return
+        self._last_paint = now
+        self._paint(tap)
+
+    def _paint(self, tap: Any) -> None:
+        panel = render_snapshot(
+            tap.aggregator.snapshot(),
+            dumps=len(tap.dumps()),
+            max_level=self.max_level,
+        )
+        height = panel.count("\n") + 1
+        if self.ansi and self._last_height:
+            self.stream.write(f"\x1b[{self._last_height}F\x1b[J")
+        self.stream.write(panel + "\n")
+        self.stream.flush()
+        self._last_height = height
+        self.frames += 1
+
+    def final(self, tap: Any) -> None:
+        """Force one last repaint (end-of-run state)."""
+        self._last_paint = self.clock()
+        self._paint(tap)

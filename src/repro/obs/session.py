@@ -74,6 +74,9 @@ class TraceSession:
     def __init__(self, level: str = "all") -> None:
         self.level = validate_level(level)
         self.runs: List[TracedRun] = []
+        #: Per-run DES profiles (submission order) for runs that carried
+        #: one; only their deterministic event counts reach metrics.
+        self.profiles: List[Any] = []
 
     # ------------------------------------------------------------------
     # Collection
@@ -98,6 +101,9 @@ class TraceSession:
                     events=tuple(events),
                 )
             )
+            profile = getattr(run, "profile", None)
+            if profile is not None:
+                self.profiles.append(profile)
 
     @property
     def n_events(self) -> int:
@@ -142,6 +148,8 @@ class TraceSession:
             ).observe(run.summary["avg_response_time"])
             per_run.add_events(run.events)
             registry.merge(per_run)
+        for profile in self.profiles:
+            profile.to_registry(registry)
         return registry
 
     def write_jsonl(self, path: str) -> int:

@@ -23,6 +23,13 @@ i.e. one attribute load and one/two boolean checks when tracing is off
 -- no event object is built, no call dispatched.  ``tracer.spans``,
 ``tracer.decisions`` and ``tracer.engine`` are plain attributes
 precomputed from the level at construction time.
+
+A fourth flag, ``lifecycle``, says whether the sink wants the
+per-request / per-batch microscope events
+(:data:`repro.obs.events.LIFECYCLE_TYPES`).  Buffering tracers always
+do; constant-overhead sinks such as the live tap decline them, and the
+instrumented code then skips those emits -- and the keyword-argument
+construction they imply -- entirely.
 """
 
 from __future__ import annotations
@@ -63,13 +70,15 @@ class Tracer:
     4
     """
 
-    __slots__ = ("level", "spans", "decisions", "engine", "events")
+    __slots__ = ("level", "spans", "decisions", "engine", "lifecycle", "events")
 
     def __init__(self, level: str = "all") -> None:
         self.level = validate_level(level)
         self.spans = level in ("spans", "all")
         self.decisions = level in ("decisions", "all")
         self.engine = level == "all"
+        #: A buffering tracer always wants the per-request microscope.
+        self.lifecycle = True
         self.events: List[TraceEvent] = []
 
     def emit(self, ts: float, etype: str, source: str, **data: Any) -> None:

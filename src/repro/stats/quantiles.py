@@ -52,8 +52,10 @@ class P2Quantile:
     def update(self, value: float) -> None:
         """Fold one observation into the estimate."""
         value = float(value)
-        if math.isnan(value):
-            raise ValueError("cannot update with NaN")
+        if not math.isfinite(value):
+            raise ValueError(
+                f"observation must be finite, got {value!r}"
+            )
         self.count += 1
         if self._heights:
             self._update_markers(value)

@@ -1,0 +1,130 @@
+"""The DES profiler: attribution, nested kinds, merging, metrics."""
+
+import pickle
+
+from repro.obs.live.profiler import (
+    DESProfiler,
+    NESTED_KINDS,
+    merge_profiles,
+    subsystem_of,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def fake_clock(ticks):
+    """A deterministic clock yielding successive values from a list."""
+    it = iter(ticks)
+    return lambda: next(it)
+
+
+class TestAttribution:
+    def test_kind_to_subsystem_map(self):
+        assert subsystem_of("arrival") == "workload"
+        assert subsystem_of("done") == "node"
+        assert subsystem_of("probe") == "telemetry"
+        assert subsystem_of("fault") == "injectors"
+        assert subsystem_of("policy.observe") == "policy"
+        assert subsystem_of("") == "engine"
+        assert subsystem_of("something.new") == "engine"
+
+    def test_account_and_snapshot(self):
+        profiler = DESProfiler()
+        profiler.account("arrival", 0.5)
+        profiler.account("arrival", 0.25)
+        profiler.account("done", 1.0)
+        profile = profiler.snapshot()
+        by_kind = {e.kind: e for e in profile.entries}
+        assert by_kind["arrival"].events == 2
+        assert by_kind["arrival"].seconds == 0.75
+        assert by_kind["arrival"].subsystem == "workload"
+        assert by_kind["done"].events == 1
+        # Entries come sorted by kind (deterministic snapshots).
+        assert [e.kind for e in profile.entries] == ["arrival", "done"]
+
+    def test_clear(self):
+        profiler = DESProfiler()
+        profiler.account("done", 1.0)
+        profiler.clear()
+        assert profiler.snapshot().entries == ()
+
+
+class TestNestedKinds:
+    def test_policy_observe_excluded_from_totals(self):
+        # policy.observe runs *inside* "done" events: its seconds are
+        # already inside done's seconds and must not count twice.
+        profiler = DESProfiler()
+        profiler.account("done", 2.0)
+        profiler.account("policy.observe", 0.5)
+        profile = profiler.snapshot()
+        assert "policy.observe" in NESTED_KINDS
+        assert profile.total_events == 1
+        assert profile.total_seconds == 2.0
+
+    def test_nested_rows_still_rendered(self):
+        profiler = DESProfiler()
+        profiler.account("done", 2.0)
+        profiler.account("policy.observe", 0.5)
+        table = profiler.snapshot().format_table()
+        assert "policy.observe" in table
+        assert "(nested)" in table
+
+    def test_empty_profile_renders(self):
+        assert "no events" in DESProfiler().snapshot().format_table()
+
+
+class TestMerge:
+    def test_merge_sums_by_kind(self):
+        a, b = DESProfiler(), DESProfiler()
+        a.account("arrival", 1.0)
+        a.account("done", 2.0)
+        b.account("done", 3.0)
+        b.account("probe", 0.5)
+        merged = a.snapshot().merge(b.snapshot())
+        by_kind = {e.kind: e for e in merged.entries}
+        assert by_kind["done"].events == 2
+        assert by_kind["done"].seconds == 5.0
+        assert by_kind["probe"].events == 1
+        assert [e.kind for e in merged.entries] == sorted(
+            e.kind for e in merged.entries
+        )
+
+    def test_merge_profiles_is_none_safe(self):
+        assert merge_profiles([None, None]) is None
+        profiler = DESProfiler()
+        profiler.account("done", 1.0)
+        profile = profiler.snapshot()
+        merged = merge_profiles([None, profile, None, profile])
+        assert merged.total_events == 2
+
+    def test_snapshot_is_picklable(self):
+        profiler = DESProfiler()
+        profiler.account("done", 1.0)
+        profile = profiler.snapshot()
+        assert pickle.loads(pickle.dumps(profile)) == profile
+
+
+class TestRegistryExport:
+    def test_only_counts_exported_never_seconds(self):
+        # Wall-clock seconds are machine noise; exporting them would
+        # break the bit-identical serial vs process-pool contract.
+        profiler = DESProfiler()
+        profiler.account("arrival", 0.123456)
+        profiler.account("done", 9.876)
+        registry = MetricsRegistry()
+        profiler.snapshot().to_registry(registry)
+        text = registry.to_prometheus()
+        assert (
+            'repro_profile_events_total{kind="arrival",'
+            'subsystem="workload"} 1' in text
+        )
+        assert "0.123" not in text
+        assert "9.876" not in text
+
+    def test_injected_clock_bracketing(self):
+        # The engine brackets event actions with profiler.clock() pairs.
+        profiler = DESProfiler(clock=fake_clock([10.0, 10.5]))
+        clock = profiler.clock
+        started = clock()
+        profiler.account("done", clock() - started)
+        entry = profiler.snapshot().entries[0]
+        assert entry.seconds == 0.5

@@ -1,0 +1,176 @@
+"""The HTML report renderer: self-containment and content."""
+
+import re
+
+from repro.obs.live.report import render_report, write_report
+
+
+def trace_records():
+    """A tiny two-run trace with spans, decisions, faults and meta."""
+    records = []
+    for run in (0, 1):
+        records.append(
+            {
+                "run": run,
+                "tag": ["sraa", f"rep{run}"],
+                "seed": run,
+                "ts": 0.0,
+                "type": "run.meta",
+                "source": "session",
+                "data": {
+                    "arrivals": 120,
+                    "completed": 100,
+                    "lost": 5,
+                    "avg_response_time": 6.5,
+                    "gc_count": 2,
+                    "rejuvenations": 1,
+                    "sim_duration_s": 600.0,
+                },
+            }
+        )
+        for i in range(40):
+            records.append(
+                {
+                    "run": run,
+                    "ts": 15.0 * i,
+                    "type": "request.complete",
+                    "source": "system",
+                    "data": {"response_time": 5.0 + 0.1 * i},
+                }
+            )
+        records.append(
+            {
+                "run": run,
+                "ts": 100.0,
+                "type": "fault.injected",
+                "source": "campaign",
+                "data": {"kind": "surge"},
+            }
+        )
+        records.append(
+            {
+                "run": run,
+                "ts": 200.0,
+                "type": "fault.cleared",
+                "source": "campaign",
+                "data": {"kind": "surge"},
+            }
+        )
+        records.append(
+            {
+                "run": run,
+                "ts": 250.0,
+                "type": "policy.level",
+                "source": "policy:sraa",
+                "data": {"level": 2},
+            }
+        )
+        records.append(
+            {
+                "run": run,
+                "ts": 300.0,
+                "type": "policy.trigger",
+                "source": "policy:sraa",
+                "data": {
+                    "level": 2,
+                    "batch_mean": 12.5,
+                    "threshold": 10.0,
+                    "sample_size": 40,
+                },
+            }
+        )
+        records.append(
+            {
+                "run": run,
+                "ts": 301.0,
+                "type": "system.rejuvenation",
+                "source": "node0",
+                "data": {"lost": 3},
+            }
+        )
+    return records
+
+
+class TestRenderReport:
+    def test_document_structure(self):
+        document = render_report(trace_records(), title="unit test")
+        assert document.startswith("<!DOCTYPE html>")
+        assert "<title>unit test</title>" in document
+        assert "run 0" in document and "run 1" in document
+        # The dashboard's four stories are all present.
+        assert "response-time percentiles over time" in document
+        assert "detector bucket level" in document
+        assert "rejuvenation decisions" in document
+        assert "fault: surge" in document
+
+    def test_self_contained_no_external_fetches(self):
+        # ISSUE acceptance: one file, no scripts, fonts or URLs.
+        document = render_report(trace_records())
+        assert "http://" not in document
+        assert "https://" not in document
+        assert "<script" not in document
+        assert "<link" not in document
+        assert "@import" not in document
+        assert "url(" not in document
+
+    def test_dark_mode_palette_embedded(self):
+        document = render_report(trace_records())
+        assert "prefers-color-scheme: dark" in document
+        # Color follows the role: both modes restate every series var.
+        for var in ("--p50", "--p95", "--level", "--fault", "--rejuv"):
+            assert document.count(f"{var}:") == 2
+
+    def test_charts_are_inline_svg(self):
+        document = render_report(trace_records())
+        assert document.count("<svg") >= 4  # rt + level chart per run
+        assert "<polyline" in document
+        # Hover tooltips ride on native <title> elements.
+        assert "<title>" in document
+
+    def test_data_table_backs_the_chart(self):
+        # The contrast-warned orange series is also readable as text.
+        document = render_report(trace_records())
+        assert "data table" in document
+        assert "<details>" in document
+
+    def test_max_runs_folds_the_tail(self):
+        document = render_report(trace_records(), max_runs=1)
+        assert "run 0" in document
+        assert "detail charts shown for the first 1 of 2 runs" in document
+
+    def test_runs_without_spans_get_a_hint(self):
+        records = [
+            r for r in trace_records() if r["type"] != "request.complete"
+        ]
+        document = render_report(records)
+        assert "--trace-level spans" in document
+
+    def test_empty_trace_still_renders(self):
+        document = render_report([])
+        assert "<html" in document and "0 trace records" in document
+
+
+class TestWriteReport:
+    def test_round_trip_plain_and_gz(self, tmp_path):
+        from repro.obs.exporters import write_jsonl
+
+        records = trace_records()
+        for name in ("trace.jsonl", "trace.jsonl.gz"):
+            trace = str(tmp_path / name)
+            write_jsonl(trace, records)
+            out = str(tmp_path / (name + ".html"))
+            count = write_report(trace, out)
+            assert count == len(records)
+            document = open(out, encoding="utf-8").read()
+            assert "<!DOCTYPE html>" in document
+            assert "run 0" in document
+
+    def test_title_defaults_to_trace_path(self, tmp_path):
+        from repro.obs.exporters import write_jsonl
+
+        trace = str(tmp_path / "t.jsonl")
+        write_jsonl(trace, trace_records())
+        out = str(tmp_path / "t.html")
+        write_report(trace, out)
+        content = open(out, encoding="utf-8").read()
+        assert re.search(r"<title>.*t\.jsonl</title>", content)

@@ -1,0 +1,169 @@
+"""Streaming sketches: accuracy bounds, merging, determinism."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs.live.sketches import (
+    DEFAULT_EPS,
+    MERGED_ERROR_FACTOR,
+    EwmaRate,
+    GKSketch,
+    RollingWindow,
+)
+from repro.stats.running import OnlineMoments
+
+
+def rank_error(values, estimate, q):
+    """|empirical rank of the estimate - q|, in [0, 1]."""
+    ordered = np.sort(np.asarray(values))
+    rank = np.searchsorted(ordered, estimate, side="right")
+    return abs(rank / len(ordered) - q)
+
+
+class TestGKSketch:
+    @pytest.mark.parametrize("q", [0.05, 0.5, 0.9, 0.95, 0.99])
+    def test_rank_error_within_eps(self, q):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(5.0, size=20_000)
+        sketch = GKSketch(eps=DEFAULT_EPS)
+        for value in values:
+            sketch.update(float(value))
+        estimate = sketch.query(q)
+        # The documented bound, plus discretisation slack of 1/n.
+        assert rank_error(values, estimate, q) <= DEFAULT_EPS + 1e-3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            GKSketch().query(0.5)
+
+    def test_single_value(self):
+        sketch = GKSketch()
+        sketch.update(7.0)
+        for q in (0.01, 0.5, 0.99):
+            assert sketch.query(q) == 7.0
+
+    def test_ties(self):
+        sketch = GKSketch(eps=0.01)
+        for _ in range(5_000):
+            sketch.update(3.0)
+        assert sketch.query(0.5) == 3.0
+
+    def test_memory_stays_bounded(self):
+        sketch = GKSketch(eps=0.01)
+        rng = np.random.default_rng(1)
+        for value in rng.normal(size=50_000):
+            sketch.update(float(value))
+        # GK guarantees O((1/eps) log(eps n)); be generous but bounded.
+        assert len(sketch) == 50_000
+        assert sketch.tuples < 11 * (1.0 / 0.01)
+
+    def test_quantiles_monotone(self):
+        sketch = GKSketch()
+        rng = np.random.default_rng(2)
+        for value in rng.uniform(0, 100, size=10_000):
+            sketch.update(float(value))
+        qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+        estimates = sketch.quantiles(qs)
+        assert list(estimates) == sorted(estimates)
+
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    def test_merged_rank_error_within_documented_factor(self, q):
+        rng = np.random.default_rng(3)
+        chunks = [
+            rng.exponential(5.0, size=8_000),
+            rng.normal(20.0, 2.0, size=8_000),
+            rng.uniform(0.0, 50.0, size=4_000),
+        ]
+        sketches = []
+        for chunk in chunks:
+            sketch = GKSketch(eps=DEFAULT_EPS)
+            for value in chunk:
+                sketch.update(float(value))
+            sketches.append(sketch)
+        merged = sketches[0].merge(sketches[1]).merge(sketches[2])
+        everything = np.concatenate(chunks)
+        bound = MERGED_ERROR_FACTOR * DEFAULT_EPS
+        assert rank_error(everything, merged.query(q), q) <= bound + 1e-3
+
+    def test_merge_deterministic_and_picklable(self):
+        rng = np.random.default_rng(4)
+        a, b = GKSketch(), GKSketch()
+        for value in rng.exponential(size=3_000):
+            a.update(float(value))
+        for value in rng.exponential(size=3_000):
+            b.update(float(value))
+        merged_once = a.merge(b)
+        merged_again = a.merge(b)
+        qs = [0.1, 0.5, 0.9, 0.99]
+        assert merged_once.quantiles(qs) == merged_again.quantiles(qs)
+        revived = pickle.loads(pickle.dumps(merged_once))
+        assert revived.quantiles(qs) == merged_once.quantiles(qs)
+
+
+class TestRollingWindow:
+    def test_keeps_last_n(self):
+        window = RollingWindow(size=3)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            window.push(value)
+        assert window.values() == (3.0, 4.0, 5.0)
+        assert window.mean == pytest.approx(4.0)
+
+    def test_moments_match_reference(self):
+        window = RollingWindow(size=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            window.push(value)
+        reference = OnlineMoments()
+        reference.extend([3.0, 4.0, 5.0, 6.0])
+        assert window.moments().mean == pytest.approx(reference.mean)
+        assert window.std == pytest.approx(reference.std)
+
+    def test_autocorr_alternating_is_negative(self):
+        window = RollingWindow(size=64)
+        for i in range(64):
+            window.push(1.0 if i % 2 else -1.0)
+        assert window.autocorr_lag1() < -0.9
+
+    def test_autocorr_needs_variance(self):
+        window = RollingWindow(size=8)
+        for _ in range(8):
+            window.push(5.0)
+        assert window.autocorr_lag1() == 0.0
+
+    def test_merge_keeps_newest(self):
+        left, right = RollingWindow(size=3), RollingWindow(size=3)
+        for value in (1.0, 2.0):
+            left.push(value)
+        for value in (10.0, 11.0):
+            right.push(value)
+        merged = left.merge(right)
+        assert merged.values() == (2.0, 10.0, 11.0)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            RollingWindow(size=1)
+
+
+class TestEwmaRate:
+    def test_steady_stream_converges_to_rate(self):
+        meter = EwmaRate(tau_s=10.0)
+        for i in range(1, 2_001):
+            meter.update(i * 0.5)  # 2 events per second
+        assert meter.rate() == pytest.approx(2.0, rel=0.05)
+
+    def test_rate_decays_when_idle(self):
+        meter = EwmaRate(tau_s=10.0)
+        for i in range(1, 101):
+            meter.update(i * 0.1)
+        busy = meter.rate()
+        assert meter.rate(at_ts=meter.last_ts + 100.0) < busy / 10.0
+
+    def test_merge_sums_rates(self):
+        a, b = EwmaRate(tau_s=10.0), EwmaRate(tau_s=10.0)
+        for i in range(1, 501):
+            a.update(i * 0.5)
+            b.update(i * 0.5)
+        merged = a.merge(b)
+        assert merged.rate() == pytest.approx(2.0 * a.rate(), rel=1e-9)
+        assert merged.count == a.count + b.count

@@ -1,0 +1,112 @@
+"""``repro top``: pure snapshot rendering and the throttled display."""
+
+import io
+
+from repro.obs.live import LiveSpec, RecorderSpec
+from repro.obs.live.top import LiveDisplay, render_snapshot
+
+
+def snapshot(**overrides):
+    base = {
+        "ts": 1234.5,
+        "completed": 1000,
+        "lost": 7,
+        "gc": 3,
+        "rejuvenations": 2,
+        "faults": 1,
+        "triggers": 2,
+        "level": 3,
+        "rate_per_s": 1.25,
+        "rt_mean": 6.5,
+        "rt_std": 2.0,
+        "rt_max": 30.0,
+        "window_mean": 7.0,
+        "window_autocorr": 0.42,
+        "rt_quantiles": {"p50": 5.0, "p95": 14.0},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestRenderSnapshot:
+    def test_panel_carries_the_vital_signs(self):
+        panel = render_snapshot(snapshot(), dumps=4)
+        assert "t=    1234.5s" in panel
+        assert "completed      1000" in panel
+        assert "rejuvenations   2" in panel
+        assert "flight dumps   4" in panel
+        assert "p50=  5.000s" in panel
+        assert "p95= 14.000s" in panel
+        assert "autocorr +0.420" in panel
+        assert "bucket level 3/5" in panel
+
+    def test_level_bar_scales(self):
+        full = render_snapshot(snapshot(level=5), max_level=5)
+        empty = render_snapshot(snapshot(level=0), max_level=5)
+        assert "[########################]" in full
+        assert "[........................]" in empty
+
+    def test_no_completions_yet(self):
+        panel = render_snapshot(snapshot(rt_quantiles={}))
+        assert "(no completions yet)" in panel
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestLiveDisplay:
+    def make(self, refresh_s=1.0, ansi=False):
+        clock = FakeClock()
+        stream = io.StringIO()
+        display = LiveDisplay(
+            stream=stream, refresh_s=refresh_s, ansi=ansi, clock=clock
+        )
+        return display, clock, stream
+
+    def tap_with(self, display):
+        spec = LiveSpec(
+            recorder=RecorderSpec(cooldown_s=0.0), display=display
+        )
+        return spec.build()
+
+    def test_ticks_are_wall_clock_throttled(self):
+        display, clock, stream = self.make(refresh_s=1.0)
+        tap = self.tap_with(display)
+        for i in range(50):
+            clock.now = i * 0.1  # 5 simulated-wall seconds of events
+            tap.emit(float(i), "request.complete", "system",
+                     response_time=1.0)
+        # 0.0s paints, then one paint per elapsed second: <= 6 frames.
+        assert 1 <= display.frames <= 6
+        assert "repro top" in stream.getvalue()
+
+    def test_final_forces_a_repaint(self):
+        display, clock, stream = self.make(refresh_s=100.0)
+        tap = self.tap_with(display)
+        tap.emit(0.0, "request.complete", "system", response_time=1.0)
+        frames_before = display.frames
+        display.final(tap)
+        assert display.frames == frames_before + 1
+
+    def test_ansi_repaint_rewinds_the_cursor(self):
+        display, clock, stream = self.make(refresh_s=0.0, ansi=True)
+        tap = self.tap_with(display)
+        tap.emit(0.0, "request.complete", "system", response_time=1.0)
+        clock.now = 1.0
+        tap.emit(1.0, "request.complete", "system", response_time=1.0)
+        assert "\x1b[" in stream.getvalue()  # cursor-up + erase
+
+    def test_piped_output_appends_frames(self):
+        display, clock, stream = self.make(refresh_s=0.0, ansi=False)
+        tap = self.tap_with(display)
+        tap.emit(0.0, "request.complete", "system", response_time=1.0)
+        clock.now = 1.0
+        tap.emit(1.0, "request.complete", "system", response_time=1.0)
+        value = stream.getvalue()
+        assert "\x1b[" not in value
+        assert value.count("repro top") == 2

@@ -153,6 +153,86 @@ class TestRegistry:
         assert snapshot["repro_response_time_seconds"]["count"] == 1
 
 
+class TestPrometheusConformance:
+    """Text exposition format: HELP/TYPE per family, label escaping."""
+
+    def test_every_family_has_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_completed_total").inc()
+        registry.counter("some_unlisted_metric").inc()
+        registry.gauge("repro_sim_duration_seconds").set(1.0)
+        registry.histogram("repro_response_time_seconds").observe(2.0)
+        lines = registry.to_prometheus().splitlines()
+        families = {
+            line.split()[2]
+            for line in lines
+            if line.startswith("# TYPE")
+        }
+        sample_names = set()
+        for line in lines:
+            if line.startswith("#") or not line:
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix):
+                    name = name[: -len(suffix)]
+            sample_names.add(name)
+        assert sample_names <= families
+        helped = {
+            line.split()[2]
+            for line in lines
+            if line.startswith("# HELP")
+        }
+        assert families == helped
+
+    def test_unlisted_family_gets_fallback_help(self):
+        registry = MetricsRegistry()
+        registry.counter("some_unlisted_metric").inc()
+        text = registry.to_prometheus()
+        assert "# HELP some_unlisted_metric" in text
+        assert "# TYPE some_unlisted_metric counter" in text
+
+    def test_help_precedes_type_precedes_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_completed_total").inc(3)
+        lines = registry.to_prometheus().splitlines()
+        help_i = lines.index(
+            "# HELP repro_completed_total Transactions completed"
+        )
+        type_i = lines.index("# TYPE repro_completed_total counter")
+        sample_i = lines.index("repro_completed_total 3")
+        assert help_i < type_i < sample_i
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "c", reason='say "no"\nto\\backslashes'
+        ).inc()
+        text = registry.to_prometheus()
+        assert (
+            'c{reason="say \\"no\\"\\nto\\\\backslashes"} 1' in text
+        )
+        # The raw newline must never reach the exposition.
+        for line in text.splitlines():
+            assert not line.startswith("to\\backslashes")
+
+    def test_escaped_snapshot_still_one_line_per_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="multi\nline").inc()
+        registry.counter("c", kind="plain").inc()
+        body = [
+            line
+            for line in registry.to_prometheus().splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(body) == 2
+
+    def test_trailing_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert registry.to_prometheus().endswith("\n")
+
+
 class TestRegistryForRuns:
     def test_counts_runs_with_telemetry_schema_names(self, paper_config):
         from repro.ecommerce.runner import run_once

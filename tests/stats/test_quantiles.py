@@ -71,6 +71,38 @@ class TestSmallSamples:
         assert estimator.count == 12
 
 
+class TestEdgeCases:
+    def test_single_sample(self):
+        estimator = P2Quantile(0.9)
+        estimator.update(7.5)
+        assert estimator.value() == 7.5
+
+    def test_all_ties_before_initialisation(self):
+        estimator = P2Quantile(0.5)
+        for _ in range(4):
+            estimator.update(3.0)
+        assert estimator.value() == 3.0
+
+    def test_all_ties_long_stream(self):
+        # Constant streams exercise the degenerate-marker paths: every
+        # parabolic denominator term is zero-height.
+        estimator = P2Quantile(0.95)
+        for _ in range(1_000):
+            estimator.update(42.0)
+        assert estimator.value() == 42.0
+
+    def test_heavy_ties(self):
+        # Two-valued stream: the quantile must land on a data value.
+        estimator = P2Quantile(0.5)
+        for i in range(2_000):
+            estimator.update(1.0 if i % 4 else 9.0)
+        assert 1.0 <= estimator.value() <= 9.0
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).update(float("inf"))
+
+
 class TestLifecycle:
     def test_reset(self):
         estimator = P2Quantile(0.9)

@@ -101,3 +101,46 @@ class TestMerge:
             assert merged.variance == pytest.approx(
                 arr.var(ddof=1), rel=1e-6, abs=1e-6
             )
+
+    def test_merge_empty_left(self):
+        right = OnlineMoments()
+        right.extend([4.0, 6.0])
+        merged = OnlineMoments().merge(right)
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(5.0)
+        assert merged.minimum == 4.0
+        assert merged.maximum == 6.0
+
+    def test_merge_does_not_mutate_operands(self):
+        left, right = OnlineMoments(), OnlineMoments()
+        left.extend([1.0, 2.0])
+        right.extend([10.0])
+        left.merge(right)
+        assert left.count == 2 and left.mean == pytest.approx(1.5)
+        assert right.count == 1 and right.mean == pytest.approx(10.0)
+
+    def test_merge_singletons(self):
+        # The Chan et al. delta path with count == 1 on both sides.
+        left, right = OnlineMoments(), OnlineMoments()
+        left.push(2.0)
+        right.push(8.0)
+        merged = left.merge(right)
+        assert merged.mean == pytest.approx(5.0)
+        assert merged.variance == pytest.approx(18.0)
+
+    def test_fold_order_equals_flat_extend(self):
+        # Submission-order folding (the live-telemetry contract):
+        # ((a + b) + c) must agree with one pass over a + b + c.
+        chunks = [[1.0, 2.0], [3.0], [4.0, 5.0, 6.0]]
+        folded = OnlineMoments()
+        for chunk in chunks:
+            part = OnlineMoments()
+            part.extend(chunk)
+            folded = folded.merge(part)
+        flat = OnlineMoments()
+        flat.extend([v for chunk in chunks for v in chunk])
+        assert folded.count == flat.count
+        assert folded.mean == pytest.approx(flat.mean)
+        assert folded.variance == pytest.approx(flat.variance)
+        assert folded.minimum == flat.minimum
+        assert folded.maximum == flat.maximum
