@@ -13,6 +13,8 @@ The shape assertions are written to hold from ``quick`` upwards; at
 from __future__ import annotations
 
 import os
+import sys
+import time
 
 import pytest
 
@@ -35,8 +37,16 @@ def assertions_enabled() -> bool:
 
 
 def regenerate(benchmark, experiment_id: str) -> ExperimentResult:
-    """Time one experiment regeneration and print its tables."""
+    """Time one experiment regeneration and print its tables.
+
+    Besides the pytest-benchmark stats, the measured wall-clock is
+    appended as one point to the experiment's ``BENCH_*.json``
+    trajectory (``repro runs bench`` lists them; ``REPRO_BENCH_DIR``
+    relocates the files), so performance history accumulates across
+    sessions alongside the run ledger.
+    """
     scale = bench_scale()
+    started = time.perf_counter()
     result = benchmark.pedantic(
         run_experiment,
         args=(experiment_id, scale),
@@ -44,9 +54,24 @@ def regenerate(benchmark, experiment_id: str) -> ExperimentResult:
         rounds=1,
         iterations=1,
     )
+    elapsed = time.perf_counter() - started
+    _record_point(experiment_id, scale, elapsed)
     print()
     print(result.format_text())
     return result
+
+
+def _record_point(experiment_id: str, scale: Scale, elapsed: float) -> None:
+    """Append the trajectory point; never fails the benchmark."""
+    try:
+        from repro.obs.ledger import record_bench_point
+
+        record_bench_point(
+            f"{experiment_id}_{scale.label}", elapsed, units="s",
+            seed=BENCH_SEED,
+        )
+    except Exception as error:  # pragma: no cover - diagnostics only
+        print(f"bench trajectory not recorded: {error}", file=sys.stderr)
 
 
 def series_mean(series, loads) -> float:

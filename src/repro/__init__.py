@@ -88,10 +88,15 @@ from repro.obs import (
     explain_trace,
     use_tracing,
 )
+from repro.obs.ledger import version_string
 from repro.queueing import MMcModel
 from repro.tuning import ParameterAdvisor, ParameterScore, default_grid
 
-__version__ = "1.0.0"
+# Resolved from installed distribution metadata when available, with a
+# "+src" marker for PYTHONPATH source-tree use (see repro.obs.ledger).
+from repro.obs.ledger.provenance import package_version as _package_version
+
+__version__ = _package_version()
 
 __all__ = [
     "AdaptiveSLO",
@@ -155,5 +160,6 @@ __all__ = [
     "simulate_mmc_response_times",
     "use_backend",
     "use_tracing",
+    "version_string",
     "__version__",
 ]

@@ -35,6 +35,16 @@ Subcommands
 ``repro top [simulate options]``
     Run a simulation with a live-refreshing terminal snapshot
     (equivalent to ``repro simulate --top``).
+``repro runs list|show|diff|baseline|check|bench``
+    The cross-run ledger: every ``simulate`` / ``run`` / ``faults run``
+    invocation appends a provenance manifest plus its deterministic
+    outcomes to ``.repro/ledger/runs.jsonl`` (``REPRO_LEDGER_DIR``
+    overrides the directory, ``REPRO_LEDGER=0`` or ``--no-ledger``
+    disables recording).  ``diff`` compares two entries field by field,
+    ``baseline`` pins one, and ``check`` statistically compares a run
+    against a pinned baseline (z-test on replication means, with an
+    SRAA-style persistence filter before flagging).  ``bench`` lists
+    the ``BENCH_*.json`` benchmark trajectories.
 
 ``repro run`` and ``repro simulate`` both accept ``--trace PATH``
 (JSONL trace), ``--trace-level spans|decisions|all``, ``--trace-chrome
@@ -72,6 +82,19 @@ from repro.experiments.tables import ExperimentResult
 from repro.queueing.mmc import MMcModel
 
 
+class _VersionAction(argparse.Action):
+    """``--version`` without paying the git subprocess on every parse."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.obs.ledger.provenance import version_string
+
+        print(version_string())
+        parser.exit()
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -79,6 +102,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Performance Assurance via Software "
             "Rejuvenation' (DSN 2006)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action=_VersionAction,
+        help="print the package version and git revision",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -115,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_options(run)
     _add_trace_options(run)
+    _add_ledger_option(run)
 
     mmc = sub.add_parser("mmc", help="analytical M/M/16 facts at one load")
     mmc.add_argument(
@@ -221,6 +250,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_backend_options(faults_run)
     _add_trace_options(faults_run)
     _add_live_options(faults_run)
+    _add_ledger_option(faults_run)
 
     faults_score = faults_sub.add_parser(
         "score",
@@ -235,7 +265,158 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the scores as CSV",
     )
     _add_horizon_option(faults_score)
+
+    runs = sub.add_parser(
+        "runs",
+        help="cross-run ledger: list, show, diff, pin and check runs",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    runs_list.add_argument(
+        "--kind",
+        choices=("simulate", "experiment", "faults"),
+        default=None,
+        help="only runs of this kind",
+    )
+    runs_list.add_argument(
+        "-n",
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the N most recent runs",
+    )
+    _add_ledger_dir_option(runs_list)
+
+    runs_show = runs_sub.add_parser(
+        "show", help="show one run's manifest and outcomes"
+    )
+    runs_show.add_argument(
+        "ref", help="entry id, unique id prefix, or 'latest'"
+    )
+    runs_show.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw ledger entry as JSON",
+    )
+    _add_ledger_dir_option(runs_show)
+
+    runs_diff = runs_sub.add_parser(
+        "diff", help="field-by-field comparison of two runs"
+    )
+    runs_diff.add_argument("left", help="baseline-side ref")
+    runs_diff.add_argument("right", help="candidate-side ref")
+    runs_diff.add_argument(
+        "--limit",
+        type=int,
+        default=40,
+        help="differences to display (0 = all; default 40)",
+    )
+    _add_ledger_dir_option(runs_diff)
+
+    runs_baseline = runs_sub.add_parser(
+        "baseline", help="pin a run as a named baseline (no ref: list pins)"
+    )
+    runs_baseline.add_argument(
+        "ref",
+        nargs="?",
+        default=None,
+        help="entry id, unique id prefix, or 'latest'",
+    )
+    runs_baseline.add_argument(
+        "--label",
+        default="default",
+        help="baseline name (default 'default')",
+    )
+    _add_ledger_dir_option(runs_baseline)
+
+    runs_check = runs_sub.add_parser(
+        "check",
+        help="statistically compare a run against a pinned baseline",
+    )
+    runs_check.add_argument(
+        "candidate",
+        nargs="?",
+        default="latest",
+        help="candidate ref (default 'latest')",
+    )
+    runs_check.add_argument(
+        "--baseline",
+        default="default",
+        help="pinned baseline name (default 'default')",
+    )
+    runs_check.add_argument(
+        "--against",
+        metavar="PATH",
+        default=None,
+        help="compare against a ledger entry exported to a JSON file "
+        "('repro runs show REF --json') instead of a pinned baseline",
+    )
+    runs_check.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="z-test confidence for replication-mean metrics "
+        "(default 0.95)",
+    )
+    runs_check.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative band for scalar metrics (default 0.05)",
+    )
+    runs_check.add_argument(
+        "--persistence",
+        type=int,
+        default=2,
+        help="consecutive exceedances before flagging, like the "
+        "SRAA bucket-persistence D (default 2)",
+    )
+    runs_check.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="always exit 0 (report only); for CI gates that warn",
+    )
+    runs_check.add_argument(
+        "--json",
+        action="store_true",
+        help="print the check report as JSON",
+    )
+    _add_ledger_dir_option(runs_check)
+
+    runs_bench = runs_sub.add_parser(
+        "bench", help="list the BENCH_*.json benchmark trajectories"
+    )
+    runs_bench.add_argument(
+        "--dir",
+        dest="bench_dir",
+        metavar="DIR",
+        default=None,
+        help="trajectory directory (default: REPRO_BENCH_DIR or "
+        ".repro/bench)",
+    )
     return parser
+
+
+def _add_ledger_dir_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        dest="ledger_dir",
+        metavar="DIR",
+        default=None,
+        help="ledger directory (default: REPRO_LEDGER_DIR or "
+        ".repro/ledger)",
+    )
+
+
+def _add_ledger_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record this run in the ledger "
+        "(REPRO_LEDGER=0 is the environment equivalent)",
+    )
 
 
 def _add_simulate_options(parser: argparse.ArgumentParser) -> None:
@@ -280,6 +461,7 @@ def _add_simulate_options(parser: argparse.ArgumentParser) -> None:
     _add_backend_options(parser)
     _add_trace_options(parser)
     _add_live_options(parser)
+    _add_ledger_option(parser)
 
 
 def _add_live_options(parser: argparse.ArgumentParser) -> None:
@@ -455,6 +637,24 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _record_ledger(
+    args: Optional[argparse.Namespace],
+    manifest,
+    outcomes: dict,
+    timing: Optional[dict] = None,
+) -> None:
+    """Append a ledger entry for a CLI run (best-effort, optional)."""
+    if args is not None and getattr(args, "no_ledger", False):
+        return
+    from repro.obs.ledger import ledger_enabled, record_run
+
+    if not ledger_enabled():
+        return
+    entry = record_run(manifest, outcomes, timing)
+    if entry is not None:
+        print(f"ledger            : recorded {entry['id']}")
+
+
 def _resolve_scale(name: Optional[str]) -> Scale:
     if name is None:
         return Scale.from_env()
@@ -543,6 +743,12 @@ def _cmd_run(
                     results.append(
                         run_experiment(eid, scale, seed, backend=backend)
                     )
+    from repro.obs.ledger import (
+        experiment_manifest,
+        experiment_outcomes,
+        timing_block,
+    )
+
     for eid, result in zip(targets, results):
         print(result.format_text())
         print()
@@ -561,6 +767,15 @@ def _cmd_run(
         _write_trace_outputs(session, trace_args)
     print(f"wall-clock per stage ({backend.name} backend):")
     print(timer.report())
+    # Recorded after the tables so stdout stays comparable across
+    # backends up to the timing footer (the entry id is sequential).
+    for eid, result in zip(targets, results):
+        _record_ledger(
+            trace_args,
+            experiment_manifest(eid, scale, seed, backend=backend),
+            experiment_outcomes(result),
+            timing_block(timer.stages.get(eid)),
+        )
     return 0
 
 
@@ -617,6 +832,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         policy = PolicySpec(args.policy, params)
     description = policy.describe()
     rate = PAPER_CONFIG.arrival_rate_for_load(args.load)
+    arrival = ArrivalSpec.poisson(rate)
+    backend = _resolve_backend(args)
     session = _make_trace_session(args)
     live_spec = _make_live_spec(args)
     telemetry_interval = (
@@ -626,13 +843,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     with timer.stage("simulate"), _maybe_tracing(session):
         result = run_replications(
             PAPER_CONFIG,
-            arrival=ArrivalSpec.poisson(rate),
+            arrival=arrival,
             policy=policy,
             n_transactions=args.transactions,
             replications=args.replications,
             seed=args.seed,
             warmup=args.warmup,
-            backend=_resolve_backend(args),
+            backend=backend,
             telemetry_interval_s=telemetry_interval,
             live=live_spec,
             profile=args.profile,
@@ -653,6 +870,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         profile = result.merged_profile()
         if profile is not None:
             print(profile.format_table())
+    from repro.obs.ledger import (
+        replicated_outcomes,
+        simulate_manifest,
+        timing_block,
+    )
+
+    _record_ledger(
+        args,
+        simulate_manifest(
+            PAPER_CONFIG,
+            arrival,
+            policy,
+            args.transactions,
+            args.replications,
+            args.seed,
+            warmup=args.warmup,
+            backend=backend,
+        ),
+        replicated_outcomes(result),
+        timing_block(
+            timer.total_s,
+            result.merged_profile() if args.profile else None,
+        ),
+    )
     rt_mean, rt_low, rt_high = result.response_time_interval()
     loss_mean, loss_low, loss_high = result.loss_interval()
     print(f"policy            : {description}")
@@ -735,6 +976,7 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
     if not scenarios:
         raise SystemExit(f"no scenarios in {args.scenarios!r}")
     policies = _resolve_campaign_policies(args.policies)
+    backend = _resolve_backend(args)
     session = _make_trace_session(args)
     live_spec = _make_live_spec(args)
     timer = StageTimer()
@@ -744,10 +986,31 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
             policies=policies,
             replications=args.replications,
             seed=args.seed,
-            backend=_resolve_backend(args),
+            backend=backend,
             live=live_spec,
             profile=args.profile,
         )
+    from repro.obs.ledger import (
+        campaign_manifest,
+        campaign_outcomes,
+        timing_block,
+    )
+
+    _record_ledger(
+        args,
+        campaign_manifest(
+            scenarios,
+            policies,
+            args.replications,
+            args.seed,
+            backend=backend,
+        ),
+        campaign_outcomes(campaign),
+        timing_block(
+            timer.total_s,
+            campaign.merged_profile() if args.profile else None,
+        ),
+    )
     print(campaign.format_table())
     if args.csv is not None:
         rows = write_scores_csv(args.csv, campaign.scores)
@@ -812,9 +1075,264 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _cmd_runs_list,
+        "show": _cmd_runs_show,
+        "diff": _cmd_runs_diff,
+        "baseline": _cmd_runs_baseline,
+        "check": _cmd_runs_check,
+        "bench": _cmd_runs_bench,
+    }
+    try:
+        handler = handlers[args.runs_command]
+    except KeyError:
+        raise AssertionError(
+            f"unhandled runs command {args.runs_command!r}"
+        ) from None
+    try:
+        return handler(args)
+    except LookupError as error:
+        # Bad refs / missing baselines are user errors, not tracebacks.
+        raise SystemExit(str(error)) from None
+
+
+def _open_ledger(args: argparse.Namespace):
+    from repro.obs.ledger import Ledger
+
+    return Ledger(args.ledger_dir)
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    entries = ledger.entries()
+    if args.kind is not None:
+        entries = [e for e in entries if e["kind"] == args.kind]
+    if args.last is not None:
+        entries = entries[-args.last :]
+    if not entries:
+        print(f"no recorded runs in {ledger.directory}")
+        return 0
+    pinned = {
+        pin["id"]: label for label, pin in ledger.baselines().items()
+    }
+    for entry in entries:
+        mark = f"  [baseline:{pinned[entry['id']]}]" if entry[
+            "id"
+        ] in pinned else ""
+        print(
+            f"{entry['id']}  {entry['created_utc']}  "
+            f"{entry['label']}{mark}"
+        )
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    entry = _open_ledger(args).get(args.ref)
+    if args.json:
+        print(json_module.dumps(entry, indent=2, sort_keys=True))
+        return 0
+    manifest = entry["manifest"]
+    environment = manifest["environment"]
+    execution = manifest["execution"]
+    seeds = manifest["seed_protocol"]
+    print(f"id            : {entry['id']}")
+    print(f"created       : {entry['created_utc']}")
+    print(f"kind          : {entry['kind']}")
+    print(f"label         : {entry['label']}")
+    print(f"manifest hash : {manifest['manifest_hash']}")
+    dirty = "-dirty" if environment.get("git_dirty") else ""
+    print(
+        f"provenance    : repro {environment.get('version')} "
+        f"(git {str(environment.get('git_sha'))[:12]}{dirty}), "
+        f"python {environment.get('python')} on "
+        f"{environment.get('platform')}/{environment.get('machine')}"
+    )
+    print(
+        f"execution     : {execution.get('backend')} backend, "
+        f"{execution.get('workers')} worker(s)"
+    )
+    print(
+        f"seed protocol : master {seeds.get('master')}, "
+        f"rule '{seeds.get('rule')}'"
+    )
+    from repro.obs.ledger import flatten
+
+    for path, value in sorted(flatten(entry["outcomes"]).items()):
+        print(f"outcome {path} = {value}")
+    wall = entry.get("timing", {}).get("wall_clock_s")
+    if wall is not None:
+        print(f"wall-clock    : {wall:.2f} s")
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import diff_entries, format_diff
+
+    ledger = _open_ledger(args)
+    left = ledger.get(args.left)
+    right = ledger.get(args.right)
+    differences = diff_entries(left, right)
+    if not differences:
+        print(f"{left['id']} and {right['id']} are identical")
+        return 0
+    print(f"{left['id']} vs {right['id']}: {len(differences)} differences")
+    rows = format_diff(differences, args.limit)
+    width = max(len(path) for path, _ in rows)
+    for path, text in rows:
+        print(f"  {path.ljust(width)}  {text}")
+    return 1
+
+
+def _cmd_runs_baseline(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    if args.ref is None:
+        pins = ledger.baselines()
+        if not pins:
+            print("no baselines pinned")
+            return 0
+        for label in sorted(pins):
+            pin = pins[label]
+            print(
+                f"{label}: {pin['id']} "
+                f"(hash {pin['manifest_hash'][:12]}, "
+                f"pinned {pin['pinned_utc']})"
+            )
+        return 0
+    entry = ledger.get(args.ref)
+    ledger.set_baseline(args.label, entry)
+    print(f"pinned {entry['id']} as baseline '{args.label}'")
+    return 0
+
+
+def _cmd_runs_check(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs.ledger import run_check
+
+    ledger = _open_ledger(args)
+    if args.against is not None:
+        if not os.path.exists(args.against):
+            raise SystemExit(f"no such baseline file: {args.against}")
+        with open(args.against, encoding="utf-8") as handle:
+            baseline = json_module.load(handle)
+    else:
+        try:
+            baseline = ledger.baseline_entry(args.baseline)
+        except LookupError as error:
+            raise SystemExit(str(error)) from None
+    try:
+        candidate = ledger.get(args.candidate)
+    except LookupError as error:
+        raise SystemExit(str(error)) from None
+    report = run_check(
+        ledger,
+        baseline,
+        candidate,
+        confidence=args.confidence,
+        tolerance=args.tolerance,
+        persistence=args.persistence,
+    )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_check_report(report)
+    if args.warn_only:
+        return 0
+    return report.exit_code
+
+
+def _print_check_report(report) -> int:
+    print(
+        f"check {report.candidate_id} against {report.baseline_id} "
+        f"(persistence {report.streak}/{report.persistence})"
+    )
+    if report.manifest_match:
+        print("  manifest      : match")
+    else:
+        print(
+            f"  manifest      : DRIFT in {len(report.drift)} field(s)"
+        )
+        for path in report.drift[:10]:
+            print(f"    {path}")
+        if len(report.drift) > 10:
+            print(f"    ... {len(report.drift) - 10} more")
+    for check in report.checks:
+        verdict = "EXCEEDED" if check.exceeded else "ok"
+        detail = f"{check.baseline:g} -> {check.candidate:g}"
+        if check.method == "welch-z":
+            detail += (
+                f", z = {check.statistic:+.2f} "
+                f"(|z| > {check.threshold:.2f} flags)"
+            )
+        elif check.method == "relative":
+            detail += (
+                f", delta = {check.relative_delta:+.2%} "
+                f"(tolerance {check.threshold:.0%})"
+            )
+        else:
+            detail = "result hashes identical"
+        print(f"  {check.metric.ljust(28)} {verdict.ljust(8)} {detail}")
+    if report.flagged:
+        print(
+            "verdict: FLAGGED (exceeded on "
+            f"{report.streak} consecutive checks)"
+        )
+    elif report.exceeded:
+        print(
+            "verdict: exceeded (streak "
+            f"{report.streak}/{report.persistence}; not yet persistent)"
+        )
+    else:
+        print("verdict: ok")
+    return 0
+
+
+def _cmd_runs_bench(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import (
+        list_trajectories,
+        load_trajectory,
+        validate_trajectory,
+    )
+
+    names = list_trajectories(args.bench_dir)
+    if not names:
+        print("no benchmark trajectories recorded")
+        return 0
+    status = 0
+    for name in names:
+        trajectory = load_trajectory(name, args.bench_dir)
+        problems = validate_trajectory(trajectory)
+        points = trajectory.get("points", [])
+        latest = points[-1] if points else None
+        if problems:
+            status = 1
+            print(f"{name}: INVALID ({'; '.join(problems)})")
+        elif latest is not None:
+            print(
+                f"{name}: {len(points)} point(s), latest "
+                f"{latest['value']:g} {latest['units']} "
+                f"at {latest['timestamp']}"
+            )
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(_build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        # Point stdout at devnull so interpreter shutdown does not try
+        # (and fail) to flush the closed descriptor.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "policies":
@@ -842,6 +1360,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -50,6 +50,13 @@ class ExecutionBackend(abc.ABC):
     ) -> Optional[ProgressHook]:
         return progress if progress is not None else self.progress
 
+    def describe(self) -> dict:
+        """Plain execution metadata for run manifests (never hashed)."""
+        return {
+            "backend": self.name,
+            "workers": int(getattr(self, "workers", 1)),
+        }
+
 
 def _emit(
     hook: Optional[ProgressHook],

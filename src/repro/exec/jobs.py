@@ -79,6 +79,28 @@ class ReplicationJob:
     #: (rides back on ``RunResult.profile``).
     profile: bool = False
 
+    def manifest_dict(self) -> dict:
+        """The job's deterministic identity, as canonical plain data.
+
+        Covers exactly the fields that shape the simulated trajectory
+        -- config, sources, horizon, seed, warmup, faults.  The
+        observability fields (tracing, telemetry, live taps, profiling)
+        are excluded on purpose: they watch the run without changing
+        it, so a traced and an untraced run of the same spec must
+        share one manifest hash.
+        """
+        from repro.obs.ledger.canonical import to_plain
+
+        return {
+            "config": to_plain(self.config),
+            "arrival": to_plain(self.arrival),
+            "policy": to_plain(self.policy),
+            "n_transactions": int(self.n_transactions),
+            "seed": self.seed,
+            "warmup": int(self.warmup),
+            "faults": to_plain(self.faults),
+        }
+
 
 def build_arrival(source: ArrivalSource) -> "ArrivalProcess":
     """A fresh arrival process from a spec or factory."""

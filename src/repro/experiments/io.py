@@ -11,6 +11,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import csv
+import gzip
 import json
 import os
 import re
@@ -84,16 +85,23 @@ def result_from_dict(payload: Dict[str, Any]) -> ExperimentResult:
     )
 
 
+def _open_text(path: str, mode: str):
+    """Text handle, transparently gzipped for ``.gz`` paths."""
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 def save_json(result: ExperimentResult, path: str) -> None:
-    """Write one experiment result as JSON."""
-    with open(path, "w") as handle:
+    """Write one experiment result as JSON (gzipped for ``.gz`` paths)."""
+    with _open_text(path, "w") as handle:
         json.dump(result_to_dict(result), handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 
 def load_json(path: str) -> ExperimentResult:
-    """Reload a result written by :func:`save_json`."""
-    with open(path) as handle:
+    """Reload a result written by :func:`save_json` (plain or ``.gz``)."""
+    with _open_text(path, "r") as handle:
         return result_from_dict(json.load(handle))
 
 

@@ -143,6 +143,22 @@ def run_experiment(
         return runner(scale, seed)
 
 
+def experiment_spec(experiment_id: str, scale: Scale) -> Dict[str, object]:
+    """The canonical (hashable) spec of one experiment invocation.
+
+    This is what a run manifest hashes for ``repro run`` entries: the
+    resolved experiment id plus the scale parameters.  Descriptions are
+    deliberately excluded -- rewording a docstring must not orphan a
+    pinned baseline.
+    """
+    from repro.obs.ledger.canonical import to_plain
+
+    return {
+        "experiment": resolve_experiment_id(experiment_id),
+        "scale": to_plain(scale),
+    }
+
+
 def resolve_experiment_id(experiment_id: str) -> str:
     """The canonical id behind a name or alias (raises on unknown)."""
     experiment_id = _ALIASES.get(experiment_id, experiment_id)

@@ -132,8 +132,70 @@ def _explain_run(run_id: Any, records: List[Dict[str, Any]]) -> List[str]:
     return lines
 
 
+def _is_flight_dump(record: Dict[str, Any]) -> bool:
+    """Is this a flight-recorder dump line rather than a trace event?
+
+    ``--flight`` files (see
+    :func:`repro.obs.live.recorder.write_flight_jsonl`) hold one *dump*
+    per line -- ``{"run", "reason", "ts", "events": [...]}`` -- where a
+    ``--trace`` file holds one *event* per line with a ``type`` key.
+    """
+    return "type" not in record and "reason" in record and "events" in record
+
+
+def _explain_flight_run(
+    run_id: Any, dumps: List[Dict[str, Any]]
+) -> List[str]:
+    lines = [f"run {run_id}  ({len(dumps)} flight dump(s))"]
+    for dump_no, dump in enumerate(dumps, 1):
+        events = dump.get("events", [])
+        counts: Dict[str, int] = {}
+        for event in events:
+            counts[event["type"]] = counts.get(event["type"], 0) + 1
+        if events:
+            window = (
+                f"t {events[0]['ts']:.1f}s..{events[-1]['ts']:.1f}s"
+            )
+        else:
+            window = "empty ring"
+        lines.append(
+            f"  [t={dump['ts']:12.3f}s] dump #{dump_no}: "
+            f"{dump['reason']} -- last {len(events)} events ({window})"
+        )
+        lines.append(
+            f"      ring: {counts.get(REQUEST_COMPLETE, 0)} completions, "
+            f"{counts.get(REQUEST_LOSS, 0)} losses, "
+            f"{counts.get(SYSTEM_GC, 0)} GCs, "
+            f"{counts.get(FAULT_INJECTED, 0)} faults injected"
+        )
+        trigger = next(
+            (
+                event
+                for event in reversed(events)
+                if event["type"] == POLICY_TRIGGER
+            ),
+            None,
+        )
+        if trigger is not None:
+            data = trigger.get("data", {})
+            lines.append(
+                f"      cause: bucket {data.get('level', 0)} overflowed; "
+                f"batch mean "
+                f"{data.get('batch_mean', float('nan')):.3f}s > threshold "
+                f"{data.get('threshold', float('nan')):.3f}s "
+                f"(n={data.get('sample_size', '?')})"
+            )
+    return lines
+
+
 def explain_records(records: List[Dict[str, Any]]) -> str:
-    """The explanation text for already-loaded JSONL records."""
+    """The explanation text for already-loaded JSONL records.
+
+    Accepts both record shapes the CLI can produce: per-event
+    ``--trace`` lines and per-dump ``--flight`` lines (the two may even
+    share a file; each run is explained with whichever narrative its
+    records call for).
+    """
     by_run: Dict[Any, List[Dict[str, Any]]] = {}
     for record in records:
         by_run.setdefault(record.get("run", 0), []).append(record)
@@ -142,7 +204,13 @@ def explain_records(records: List[Dict[str, Any]]) -> str:
         "",
     ]
     for run_id in sorted(by_run, key=lambda r: (str(type(r)), r)):
-        lines.extend(_explain_run(run_id, by_run[run_id]))
+        run_records = by_run[run_id]
+        dumps = [r for r in run_records if _is_flight_dump(r)]
+        events = [r for r in run_records if not _is_flight_dump(r)]
+        if events:
+            lines.extend(_explain_run(run_id, events))
+        if dumps:
+            lines.extend(_explain_flight_run(run_id, dumps))
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
 

@@ -1,0 +1,96 @@
+"""Canonical JSON and content hashing for run manifests.
+
+Cross-run comparison only works if "the same run" always serialises to
+the same bytes: a manifest hash must not depend on dict insertion
+order, on whether a policy arrived as a :class:`~repro.core.spec.PolicySpec`
+or a plain dict, or on which backend executed the jobs.  This module is
+that single point of truth: :func:`to_plain` normalises the library's
+spec objects (dataclasses, ``to_dict`` carriers, mappings, sequences)
+into JSON-safe plain data, :func:`canonical_json` renders plain data
+with sorted keys and compact separators, and :func:`canonical_hash`
+digests the result with SHA-256.
+
+Two spec dicts with the same content in different key order therefore
+hash identically (pinned by ``tests/obs/test_ledger_canonical.py``),
+which is what lets ``repro runs check`` match a candidate run to its
+baseline by manifest hash alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, is_dataclass
+from typing import Any, Mapping, Sequence
+
+#: JSON stand-ins for the non-finite floats (JSON itself has none, and
+#: fault-scenario ground truth legitimately uses ``math.inf``).
+NON_FINITE = {
+    math.inf: "Infinity",
+    -math.inf: "-Infinity",
+}
+
+
+def to_plain(obj: Any) -> Any:
+    """Recursively normalise ``obj`` into JSON-safe plain data.
+
+    Handles, in order: ``None``/bool/int/str; floats (non-finite values
+    become their string names, so canonical JSON never needs NaN
+    extensions); objects with a ``to_dict`` method (e.g.
+    :class:`~repro.faults.scenario.FaultScenario`); dataclasses (e.g.
+    :class:`~repro.core.spec.PolicySpec`,
+    :class:`~repro.ecommerce.config.SystemConfig`); mappings (keys
+    coerced to ``str``); sequences.  Bare callables -- the pre-spec
+    factory protocol -- are reduced to their qualified name, which keeps
+    legacy jobs hashable but *not* stable across refactors; prefer
+    specs.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "NaN"
+        if math.isinf(obj):
+            return NON_FINITE[obj]
+        return obj
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict):
+        return to_plain(to_dict())
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return to_plain(asdict(obj))
+    if isinstance(obj, Mapping):
+        return {str(key): to_plain(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)) or (
+        isinstance(obj, Sequence) and not isinstance(obj, (str, bytes))
+    ):
+        return [to_plain(item) for item in obj]
+    if callable(obj):
+        return {
+            "factory": f"{getattr(obj, '__module__', '?')}."
+            f"{getattr(obj, '__qualname__', repr(obj))}"
+        }
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__!r} ({obj!r}); pass a "
+        "spec, dataclass, mapping, sequence, or JSON scalar"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON text of ``obj``: sorted keys, compact, ASCII.
+
+    Equal content always renders to equal bytes, whatever the original
+    key order or container types.
+    """
+    return json.dumps(
+        to_plain(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def canonical_hash(obj: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json`."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()

@@ -1,0 +1,122 @@
+"""Field-by-field comparison of two ledger entries (``repro runs diff``).
+
+Entries are flattened to dotted paths (``manifest.spec.config.memory_max``,
+``outcomes.response_time.mean`` ...) and compared value-by-value; numeric
+differences carry a relative delta so a reader can tell a 0.1% wobble
+from a 2x regression at a glance.  The diff is purely structural -- the
+statistical judgement of whether a difference *matters* lives in
+:mod:`repro.obs.ledger.regress`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Entry sections compared by default (timing is noise; ids/timestamps
+#: differ by construction).
+DEFAULT_SECTIONS = ("manifest", "outcomes")
+
+#: Per-entry keys that are never meaningful to diff.
+_SKIPPED_MANIFEST_KEYS = {"environment", "execution"}
+
+
+def flatten(obj: Any, prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested dicts/lists into ``{dotted.path: leaf}``."""
+    out: Dict[str, Any] = {}
+    if isinstance(obj, Mapping):
+        for key in sorted(obj, key=str):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(obj[key], path))
+    elif isinstance(obj, (list, tuple)):
+        for index, item in enumerate(obj):
+            path = f"{prefix}[{index}]"
+            out.update(flatten(item, path))
+    else:
+        out[prefix] = obj
+    return out
+
+
+def _relative_delta(a: Any, b: Any) -> Optional[float]:
+    if isinstance(a, bool) or isinstance(b, bool):
+        return None
+    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+        return None
+    denom = max(abs(float(a)), abs(float(b)))
+    if denom == 0.0:
+        return 0.0
+    return (float(b) - float(a)) / denom
+
+
+def diff_flat(
+    left: Mapping[str, Any], right: Mapping[str, Any]
+) -> List[Dict[str, Any]]:
+    """Differences between two flattened views, sorted by path."""
+    out: List[Dict[str, Any]] = []
+    for path in sorted(set(left) | set(right)):
+        a = left.get(path, "<absent>")
+        b = right.get(path, "<absent>")
+        if a == b and type(a) is type(b):
+            continue
+        record: Dict[str, Any] = {"path": path, "left": a, "right": b}
+        rel = _relative_delta(a, b)
+        if rel is not None:
+            record["relative_delta"] = rel
+        out.append(record)
+    return out
+
+
+def diff_entries(
+    left: Mapping[str, Any],
+    right: Mapping[str, Any],
+    sections: Iterable[str] = DEFAULT_SECTIONS,
+) -> List[Dict[str, Any]]:
+    """Compare two full ledger entries over the deterministic sections.
+
+    The manifest's environment/execution blocks are skipped: differing
+    machines or worker counts are expected between comparable runs and
+    would drown the signal.  ``manifest_hash`` itself stays in, so spec
+    drift is always the first line of the diff.
+    """
+    out: List[Dict[str, Any]] = []
+    for section in sections:
+        a = dict(left.get(section) or {})
+        b = dict(right.get(section) or {})
+        if section == "manifest":
+            for key in _SKIPPED_MANIFEST_KEYS:
+                a.pop(key, None)
+                b.pop(key, None)
+        out.extend(
+            diff_flat(
+                flatten(a, prefix=section), flatten(b, prefix=section)
+            )
+        )
+    return out
+
+
+def spec_drift(
+    left: Mapping[str, Any], right: Mapping[str, Any]
+) -> List[str]:
+    """Paths where the two entries' hashed identities disagree."""
+    paths: List[str] = []
+    for section in ("kind", "spec", "seed_protocol"):
+        a = flatten(left["manifest"].get(section), prefix=section)
+        b = flatten(right["manifest"].get(section), prefix=section)
+        paths.extend(d["path"] for d in diff_flat(a, b))
+    return paths
+
+
+def format_diff(
+    differences: List[Dict[str, Any]], limit: int = 0
+) -> List[Tuple[str, str]]:
+    """Render differences as ``(path, description)`` display rows."""
+    rows: List[Tuple[str, str]] = []
+    shown = differences if limit <= 0 else differences[:limit]
+    for record in shown:
+        text = f"{record['left']!r} -> {record['right']!r}"
+        rel = record.get("relative_delta")
+        if rel is not None and rel != 0.0:
+            text += f" ({rel:+.2%})"
+        rows.append((record["path"], text))
+    if limit > 0 and len(differences) > limit:
+        rows.append(("...", f"{len(differences) - limit} more"))
+    return rows

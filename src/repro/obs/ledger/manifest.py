@@ -1,0 +1,208 @@
+"""Deterministic run manifests: the identity of a run as plain data.
+
+A :class:`RunManifest` answers "what exactly ran?" for the three
+invocation families of the CLI -- one-off simulations, registry
+experiments (including the figure sweeps), and fault campaigns.  The
+**hashed** portion is the deterministic identity: kind, canonical spec,
+and the CRN seed protocol.  Execution details (backend, workers) and
+provenance (git SHA, python, platform) ride alongside but are *never*
+hashed -- by the repo's bit-identical-across-backends contract they do
+not change outcomes, so a serial and a process-pool run of the same
+spec share one manifest hash (pinned by
+``tests/obs/test_ledger_manifest.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.obs.ledger.canonical import canonical_hash, to_plain
+from repro.obs.ledger.provenance import environment_info
+
+#: Schema version stamped into every manifest dict.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: The replication-harness seed rule (see ``ecommerce/runner.py``).
+REPLICATION_RULE = "seed + i"
+#: The sweep-grid seed rule (see ``experiments/sweep.py``).
+SWEEP_RULE = "seed + 1000 * load_index + i"
+#: The campaign seed rule (see ``faults/campaign.py``).
+CAMPAIGN_RULE = "seed + 1000 * scenario_index + i"
+
+
+def _execution_info(backend: Any) -> Dict[str, Any]:
+    """A plain execution block from a backend (or backend-ish dict)."""
+    if backend is None:
+        return {"backend": None, "workers": None}
+    describe = getattr(backend, "describe", None)
+    if callable(describe):
+        return dict(describe())
+    if isinstance(backend, Mapping):
+        return dict(backend)
+    return {
+        "backend": getattr(backend, "name", str(backend)),
+        "workers": getattr(backend, "workers", 1),
+    }
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The identity and provenance of one recorded run.
+
+    ``spec`` and ``seed_protocol`` must already be plain data (the
+    builders below pass everything through
+    :func:`~repro.obs.ledger.canonical.to_plain`).
+    """
+
+    kind: str
+    label: str
+    spec: Dict[str, Any]
+    seed_protocol: Dict[str, Any]
+    environment: Dict[str, Any] = field(default_factory=environment_info)
+    execution: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def manifest_hash(self) -> str:
+        """SHA-256 over the deterministic identity only.
+
+        Environment and execution are excluded on purpose: the same
+        spec+seed must hash identically on every machine, backend and
+        worker count.
+        """
+        return canonical_hash(
+            {
+                "kind": self.kind,
+                "spec": self.spec,
+                "seed_protocol": self.seed_protocol,
+            }
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ledger-entry representation (hash precomputed)."""
+        return {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "kind": self.kind,
+            "label": self.label,
+            "manifest_hash": self.manifest_hash,
+            "spec": self.spec,
+            "seed_protocol": self.seed_protocol,
+            "environment": dict(self.environment),
+            "execution": dict(self.execution),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Builders, one per invocation family
+# ---------------------------------------------------------------------------
+def manifest_from_jobs(
+    kind: str,
+    label: str,
+    jobs: Sequence[Any],
+    master_seed: int,
+    rule: str = REPLICATION_RULE,
+    backend: Any = None,
+) -> RunManifest:
+    """A manifest from the actual job list that ran.
+
+    The shared spec comes from the first job's
+    :meth:`~repro.exec.jobs.ReplicationJob.manifest_dict` (all
+    replications of one scenario share config/arrival/policy); the
+    per-job CRN seeds are recorded verbatim so the manifest describes
+    exactly the streams that were drawn, not just the rule.
+    """
+    if not jobs:
+        raise ValueError("need at least one job")
+    shared = jobs[0].manifest_dict()
+    seeds = [job.seed for job in jobs]
+    spec = {key: value for key, value in shared.items() if key != "seed"}
+    return RunManifest(
+        kind=kind,
+        label=label,
+        spec=spec,
+        seed_protocol={"master": master_seed, "rule": rule, "seeds": seeds},
+        execution=_execution_info(backend),
+    )
+
+
+def simulate_manifest(
+    config: Any,
+    arrival: Any,
+    policy: Any,
+    n_transactions: int,
+    replications: int,
+    seed: int,
+    warmup: int = 0,
+    backend: Any = None,
+    label: Optional[str] = None,
+) -> RunManifest:
+    """The ``repro simulate`` manifest (seed rule: ``seed + i``)."""
+    if label is None:
+        name = getattr(policy, "name", None) or "none"
+        label = f"simulate:{name}"
+    spec = {
+        "config": to_plain(config),
+        "arrival": to_plain(arrival),
+        "policy": to_plain(policy) if policy is not None else None,
+        "n_transactions": int(n_transactions),
+        "replications": int(replications),
+        "warmup": int(warmup),
+    }
+    seeds = [seed + i for i in range(replications)]
+    return RunManifest(
+        kind="simulate",
+        label=label,
+        spec=spec,
+        seed_protocol={
+            "master": seed,
+            "rule": REPLICATION_RULE,
+            "seeds": seeds,
+        },
+        execution=_execution_info(backend),
+    )
+
+
+def experiment_manifest(
+    experiment_id: str,
+    scale: Any,
+    seed: int,
+    backend: Any = None,
+) -> RunManifest:
+    """A registry-experiment manifest (covers the figure sweeps too)."""
+    from repro.experiments.registry import experiment_spec
+
+    spec = experiment_spec(experiment_id, scale)
+    return RunManifest(
+        kind="experiment",
+        label=f"experiment:{spec['experiment']}",
+        spec=spec,
+        seed_protocol={"master": seed, "rule": SWEEP_RULE},
+        execution=_execution_info(backend),
+    )
+
+
+def campaign_manifest(
+    scenarios: Sequence[Any],
+    policies: Mapping[str, Any],
+    replications: int,
+    seed: int,
+    backend: Any = None,
+) -> RunManifest:
+    """The ``repro faults run`` manifest (CRN seeds shared per cell)."""
+    spec = {
+        "scenarios": [to_plain(scenario) for scenario in scenarios],
+        "policies": {
+            label: to_plain(policy) for label, policy in policies.items()
+        },
+        "replications": int(replications),
+    }
+    names = ",".join(
+        getattr(scenario, "name", "?") for scenario in scenarios
+    )
+    return RunManifest(
+        kind="faults",
+        label=f"faults:{names[:60]}",
+        spec=spec,
+        seed_protocol={"master": seed, "rule": CAMPAIGN_RULE},
+        execution=_execution_info(backend),
+    )

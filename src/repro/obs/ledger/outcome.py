@@ -1,0 +1,130 @@
+"""Outcome blocks: what a run produced, as deterministic plain data.
+
+The ledger separates *outcomes* (simulation results -- bit-identical
+across backends for the same spec+seed, so serial and process-pool
+entries agree byte for byte; pinned by
+``tests/obs/test_ledger_manifest.py``) from *timing* (wall-clock and
+DES-profiler attribution -- machine noise by nature, recorded for
+trending but never compared statistically by ``repro runs check``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.stats.intervals import mean_confidence_interval
+
+
+def _interval(values, confidence: float = 0.95) -> Dict[str, float]:
+    mean, low, high = mean_confidence_interval(values, confidence)
+    return {"mean": mean, "low": low, "high": high}
+
+
+def replicated_outcomes(result: Any) -> Dict[str, Any]:
+    """The outcome block of a ``run_replications`` result.
+
+    Keeps the raw per-replication vectors: ``repro runs check`` needs
+    them for the CLT comparison against a baseline, and they are small
+    (one float per replication, not per transaction).  RT quantiles
+    come from the merged live sketches when the run carried them.
+    """
+    runs = result.runs
+    out: Dict[str, Any] = {
+        "replications": len(runs),
+        "per_replication": {
+            "avg_response_time": [r.avg_response_time for r in runs],
+            "rt_std": [r.rt_std for r in runs],
+            "loss_fraction": [r.loss_fraction for r in runs],
+            "rejuvenations": [r.rejuvenations for r in runs],
+            "gc_count": [r.gc_count for r in runs],
+            "completed": [r.completed for r in runs],
+            "lost": [r.lost for r in runs],
+        },
+        "response_time": _interval([r.avg_response_time for r in runs]),
+        "loss_fraction": _interval([r.loss_fraction for r in runs]),
+        "rejuvenations_per_replication": result.rejuvenations,
+        "gc_per_replication": result.gc_count,
+        "flight_dumps": sum(len(r.flight or ()) for r in runs),
+    }
+    merged = result.merged_live()
+    if merged is not None:
+        from repro.obs.live import live_outcome
+
+        out["live"] = live_outcome(merged)
+    return out
+
+
+def experiment_outcomes(result: Any) -> Dict[str, Any]:
+    """The outcome block of an :class:`ExperimentResult`.
+
+    ``result_hash`` is the canonical digest of the full result payload
+    -- two bit-identical reproductions of a figure share it, so drift
+    detection can short-circuit.  The per-series summaries keep checks
+    and diffs readable without storing every point twice.
+    """
+    from repro.experiments.io import result_to_dict
+    from repro.obs.ledger.canonical import canonical_hash
+
+    payload = result_to_dict(result)
+    tables = []
+    for table in result.tables:
+        series = []
+        for s in table.series:
+            values = [y for _, y in sorted(s.points.items())]
+            series.append(
+                {
+                    "label": s.label,
+                    "n": len(values),
+                    "mean": sum(values) / len(values) if values else 0.0,
+                    "min": min(values) if values else 0.0,
+                    "max": max(values) if values else 0.0,
+                }
+            )
+        tables.append({"title": table.title, "series": series})
+    return {
+        "experiment_id": result.experiment_id,
+        "result_hash": canonical_hash(payload),
+        "tables": tables,
+    }
+
+
+def campaign_outcomes(campaign: Any) -> Dict[str, Any]:
+    """The outcome block of a fault campaign: the robustness scores."""
+    from dataclasses import asdict
+
+    out: Dict[str, Any] = {
+        "scores": [asdict(score) for score in campaign.scores],
+    }
+    merged = campaign.merged_live()
+    if merged is not None:
+        from repro.obs.live import live_outcome
+
+        out["live"] = live_outcome(merged)
+    return out
+
+
+def timing_block(
+    wall_clock_s: Optional[float] = None, profile: Any = None
+) -> Dict[str, Any]:
+    """The non-deterministic timing section of a ledger entry.
+
+    Wall-clock and profiler *seconds* vary run to run; the profiler's
+    event counts are deterministic but ride here with their seconds to
+    keep the attribution table in one place.
+    """
+    out: Dict[str, Any] = {"wall_clock_s": wall_clock_s}
+    if profile is not None:
+        out["profile"] = {
+            "total_events": profile.total_events,
+            "total_seconds": profile.total_seconds,
+            "entries": [
+                {
+                    "kind": entry.kind,
+                    "subsystem": entry.subsystem,
+                    "events": entry.events,
+                    "seconds": entry.seconds,
+                }
+                for entry in profile.entries
+            ],
+        }
+    return out

@@ -1,0 +1,103 @@
+"""Provenance capture: which code, interpreter and machine produced a run.
+
+A manifest without provenance cannot answer "did the *code* drift?" --
+the whole point of the ledger is that two entries with the same
+manifest hash but different outcomes indict the code between their git
+SHAs.  Everything here is best-effort and non-fatal: a missing ``git``
+binary or a tarball checkout degrades to ``None`` fields, never to a
+failed run.
+
+Environment overrides (useful for hermetic tests and CI):
+
+``REPRO_GIT_SHA``
+    Use this SHA instead of asking ``git`` (dirty flag forced clean).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, Optional, Tuple
+
+#: Fallback version when package metadata is unavailable (running from
+#: a source tree via PYTHONPATH rather than an installed distribution).
+_SOURCE_VERSION = "1.0.0+src"
+
+#: Environment override for the git revision (hermetic tests, CI).
+GIT_SHA_ENV = "REPRO_GIT_SHA"
+
+
+def package_version() -> str:
+    """The installed ``repro`` distribution version, or a source marker."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            return _SOURCE_VERSION
+    except Exception:  # pragma: no cover - importlib.metadata is stdlib
+        return _SOURCE_VERSION
+
+
+def _git(args: Tuple[str, ...], cwd: Optional[str]) -> Optional[str]:
+    try:
+        completed = subprocess.run(
+            ("git",) + args,
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip()
+
+
+def git_revision(
+    cwd: Optional[str] = None,
+) -> Tuple[Optional[str], Optional[bool]]:
+    """``(sha, dirty)`` of the working tree, or ``(None, None)``.
+
+    ``cwd`` defaults to the directory of this source file, so the SHA
+    describes the *library* checkout even when the CLI runs elsewhere.
+    """
+    override = os.environ.get(GIT_SHA_ENV, "").strip()
+    if override:
+        return override, False
+    if cwd is None:
+        cwd = os.path.dirname(os.path.abspath(__file__))
+    sha = _git(("rev-parse", "HEAD"), cwd)
+    if sha is None:
+        return None, None
+    status = _git(("status", "--porcelain"), cwd)
+    dirty = None if status is None else bool(status)
+    return sha, dirty
+
+
+def environment_info() -> Dict[str, Any]:
+    """The informational (never hashed) provenance block of a manifest."""
+    sha, dirty = git_revision()
+    return {
+        "version": package_version(),
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+    }
+
+
+def version_string() -> str:
+    """The ``repro --version`` line: package version plus git SHA."""
+    sha, dirty = git_revision()
+    if sha is None:
+        return f"repro {package_version()}"
+    suffix = "-dirty" if dirty else ""
+    return f"repro {package_version()} (git {sha[:12]}{suffix})"

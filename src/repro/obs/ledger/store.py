@@ -1,0 +1,229 @@
+"""The run ledger: an append-only JSONL store under ``.repro/ledger/``.
+
+Layout (all files human-readable, all writes append-or-replace):
+
+``runs.jsonl``
+    One JSON object per recorded run: id, creation time, the full
+    :class:`~repro.obs.ledger.manifest.RunManifest` dict, the
+    deterministic outcome block, and the timing block.
+``baselines.json``
+    Pinned baselines: ``label -> {id, manifest_hash, pinned_utc}``.
+``check_state.json``
+    The SRAA-style persistence counters of ``repro runs check``
+    (consecutive exceedances per baseline; see
+    :mod:`repro.obs.ledger.regress`).
+
+Selection: the directory defaults to ``.repro/ledger`` under the
+current working directory; ``REPRO_LEDGER_DIR`` overrides it and
+``REPRO_LEDGER=0`` disables recording entirely.  Recording is
+best-effort by design -- :func:`record_run` never lets a ledger failure
+kill the simulation whose result it is trying to persist.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+
+from repro.obs.ledger.manifest import RunManifest
+
+#: Schema version stamped into every ledger entry.
+ENTRY_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the ledger directory.
+LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
+#: Environment variable disabling recording (``0``/``off``/``false``).
+LEDGER_ENV = "REPRO_LEDGER"
+#: Default directory, relative to the current working directory.
+DEFAULT_LEDGER_DIR = os.path.join(".repro", "ledger")
+
+
+def ledger_enabled() -> bool:
+    """Whether CLI invocations should record entries (env-controlled)."""
+    raw = os.environ.get(LEDGER_ENV, "1").strip().lower()
+    return raw not in {"0", "off", "false", "no"}
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+class Ledger:
+    """Append-only access to one ledger directory."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        if directory is None:
+            directory = (
+                os.environ.get(LEDGER_DIR_ENV, "").strip()
+                or DEFAULT_LEDGER_DIR
+            )
+        self.directory = directory
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def runs_path(self) -> str:
+        return os.path.join(self.directory, "runs.jsonl")
+
+    @property
+    def baselines_path(self) -> str:
+        return os.path.join(self.directory, "baselines.json")
+
+    @property
+    def check_state_path(self) -> str:
+        return os.path.join(self.directory, "check_state.json")
+
+    # ------------------------------------------------------------------
+    # Entries
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        """Every recorded entry, oldest first."""
+        if not os.path.exists(self.runs_path):
+            return []
+        out: List[Dict[str, Any]] = []
+        with open(self.runs_path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError as error:
+                    raise ValueError(
+                        f"{self.runs_path}:{lineno}: corrupt ledger line "
+                        f"({error})"
+                    ) from None
+        return out
+
+    def append(
+        self,
+        manifest: RunManifest,
+        outcomes: Dict[str, Any],
+        timing: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Record one run; returns the full entry (with its new id)."""
+        os.makedirs(self.directory, exist_ok=True)
+        manifest_dict = manifest.to_dict()
+        seq = len(self.entries()) + 1
+        entry = {
+            "schema_version": ENTRY_SCHEMA_VERSION,
+            "id": (
+                f"{manifest.kind[:3]}-{seq:04d}-"
+                f"{manifest_dict['manifest_hash'][:8]}"
+            ),
+            "created_utc": _utc_now(),
+            "kind": manifest.kind,
+            "label": manifest.label,
+            "manifest": manifest_dict,
+            "outcomes": outcomes,
+            "timing": timing or {},
+        }
+        with open(self.runs_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, separators=(",", ":")))
+            handle.write("\n")
+        return entry
+
+    def get(self, ref: str) -> Dict[str, Any]:
+        """Resolve ``ref``: an id, a unique id prefix, or ``latest``."""
+        entries = self.entries()
+        if not entries:
+            raise LookupError(
+                f"ledger {self.directory} is empty -- run something with "
+                "the ledger enabled first"
+            )
+        if ref in ("latest", "last"):
+            return entries[-1]
+        matches = [e for e in entries if e["id"] == ref]
+        if not matches:
+            matches = [e for e in entries if e["id"].startswith(ref)]
+        if not matches:
+            raise LookupError(f"no ledger entry matches {ref!r}")
+        if len(matches) > 1:
+            ids = ", ".join(e["id"] for e in matches[:5])
+            raise LookupError(f"ambiguous ref {ref!r}: matches {ids}")
+        return matches[0]
+
+    def latest(
+        self, manifest_hash: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
+        """The newest entry, optionally restricted to one manifest hash."""
+        for entry in reversed(self.entries()):
+            if (
+                manifest_hash is None
+                or entry["manifest"]["manifest_hash"] == manifest_hash
+            ):
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Baselines
+    # ------------------------------------------------------------------
+    def baselines(self) -> Dict[str, Dict[str, Any]]:
+        if not os.path.exists(self.baselines_path):
+            return {}
+        with open(self.baselines_path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def set_baseline(self, label: str, entry: Dict[str, Any]) -> None:
+        """Pin ``entry`` as the baseline under ``label``."""
+        os.makedirs(self.directory, exist_ok=True)
+        pins = self.baselines()
+        pins[label] = {
+            "id": entry["id"],
+            "manifest_hash": entry["manifest"]["manifest_hash"],
+            "pinned_utc": _utc_now(),
+        }
+        with open(self.baselines_path, "w", encoding="utf-8") as handle:
+            json.dump(pins, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def baseline_entry(self, label: str) -> Dict[str, Any]:
+        """The full ledger entry pinned under ``label``."""
+        pins = self.baselines()
+        if label not in pins:
+            known = ", ".join(sorted(pins)) or "(none pinned)"
+            raise LookupError(
+                f"no baseline {label!r}; pinned baselines: {known} -- "
+                "pin one with 'repro runs baseline <id>'"
+            )
+        return self.get(pins[label]["id"])
+
+    # ------------------------------------------------------------------
+    # Check persistence state
+    # ------------------------------------------------------------------
+    def check_state(self) -> Dict[str, Any]:
+        if not os.path.exists(self.check_state_path):
+            return {}
+        with open(self.check_state_path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def save_check_state(self, state: Dict[str, Any]) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        with open(self.check_state_path, "w", encoding="utf-8") as handle:
+            json.dump(state, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def record_run(
+    manifest: RunManifest,
+    outcomes: Dict[str, Any],
+    timing: Optional[Dict[str, Any]] = None,
+    directory: Optional[str] = None,
+) -> Optional[Dict[str, Any]]:
+    """Best-effort CLI recording: never raises, honours ``REPRO_LEDGER``.
+
+    Returns the appended entry, or ``None`` when recording is disabled
+    or failed (the failure is reported on stderr, not raised -- losing
+    a ledger line must not lose the run that produced it).
+    """
+    if not ledger_enabled():
+        return None
+    try:
+        return Ledger(directory).append(manifest, outcomes, timing)
+    except Exception as error:
+        print(f"ledger: recording failed: {error}", file=sys.stderr)
+        return None

@@ -45,6 +45,7 @@ from repro.obs.live.tap import (
     LiveTap,
     TeeTracer,
     compose_tracers,
+    live_outcome,
     merge_live,
 )
 from repro.obs.live.top import LiveDisplay, render_snapshot
@@ -69,6 +70,7 @@ __all__ = [
     "RollingWindow",
     "TeeTracer",
     "compose_tracers",
+    "live_outcome",
     "merge_live",
     "merge_profiles",
     "render_report",

@@ -81,6 +81,11 @@ class GKSketch:
         self._compress_every = max(1, int(1.0 / (2.0 * self.eps)))
         self._pending = 0
 
+    @property
+    def tuples(self) -> int:
+        """Number of summary tuples held (the sketch's actual size)."""
+        return len(self._entries)
+
     # ------------------------------------------------------------------
     def update(self, value: float) -> None:
         """Fold one observation into the summary."""

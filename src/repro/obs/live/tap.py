@@ -440,3 +440,20 @@ def merge_live(aggregators) -> Optional[LiveAggregator]:
             aggregator if merged is None else merged.merge(aggregator)
         )
     return merged
+
+
+def live_outcome(aggregator: LiveAggregator) -> Dict[str, Any]:
+    """The aggregator's ledger-entry block: snapshot plus sketch size.
+
+    Everything in the snapshot is deterministic for a given event
+    stream (submission-order merging keeps it so across backends), so
+    the block can sit in the *outcomes* section of a run ledger entry.
+    The sketch metadata records the error budget the quantiles carry.
+    """
+    snapshot = aggregator.snapshot()
+    snapshot["sketch"] = {
+        "count": aggregator.sketch.count,
+        "eps": aggregator.sketch.eps,
+        "tuples": aggregator.sketch.tuples,
+    }
+    return snapshot

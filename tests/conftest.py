@@ -7,6 +7,18 @@ from repro.ecommerce.config import SystemConfig
 from repro.queueing.mmc import MMcModel
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_ledger(tmp_path, monkeypatch):
+    """Point the run ledger and bench trajectories at the test's tmp dir.
+
+    CLI invocations under test record ledger entries like real ones;
+    without this, every ``main([...])`` call would append to the
+    repository's own ``.repro/ledger``.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "bench"))
+
+
 @pytest.fixture
 def paper_model() -> MMcModel:
     """M/M/16 at the paper's maximum load of interest (lambda = 1.6)."""

@@ -72,6 +72,61 @@ class TestJsonRoundTrip:
         assert restored.format_text() == original.format_text()
 
 
+class TestGzipRoundTrip:
+    def test_gz_suffix_writes_gzip(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "result.json.gz"
+        save_json(make_result(), str(path))
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_gz_file_round_trip(self, tmp_path):
+        path = tmp_path / "result.json.gz"
+        save_json(make_result(), str(path))
+        restored = load_json(str(path))
+        assert restored.format_text() == make_result().format_text()
+
+    def test_gz_smaller_than_plain_for_large_results(self, tmp_path):
+        result = make_result()
+        series = result.tables[0].get_series("A")
+        for i in range(2000):
+            series.add(3.0 + i, 1.234567)
+        plain, packed = tmp_path / "r.json", tmp_path / "r.json.gz"
+        save_json(result, str(plain))
+        save_json(result, str(packed))
+        assert packed.stat().st_size < plain.stat().st_size
+
+    def test_plain_json_is_not_gzip(self, tmp_path):
+        path = tmp_path / "result.json"
+        save_json(make_result(), str(path))
+        assert path.read_bytes()[:2] != b"\x1f\x8b"
+
+
+class TestCanonicalResultHash:
+    def test_hash_ignores_key_order(self):
+        from repro.obs.ledger import canonical_hash
+
+        payload = result_to_dict(make_result())
+        shuffled = dict(reversed(list(payload.items())))
+        assert canonical_hash(payload) == canonical_hash(shuffled)
+
+    def test_hash_changes_with_content(self):
+        from repro.obs.ledger import canonical_hash
+
+        assert canonical_hash(result_to_dict(make_result(1.0))) != (
+            canonical_hash(result_to_dict(make_result(1.1)))
+        )
+
+    def test_hash_stable_across_round_trip(self):
+        from repro.obs.ledger import canonical_hash
+
+        payload = result_to_dict(make_result())
+        rebuilt = result_to_dict(result_from_dict(payload))
+        assert canonical_hash(payload) == canonical_hash(rebuilt)
+
+
 class TestCsvExport:
     def test_one_file_per_table(self, tmp_path):
         paths = save_csv(make_result(), str(tmp_path))

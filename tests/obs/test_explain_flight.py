@@ -1,0 +1,96 @@
+"""``repro explain`` on flight-recorder dump files (satellite fix).
+
+Before the fix, ``explain_trace`` assumed every JSONL line was a trace
+event with a ``type`` key and crashed with ``KeyError: 'type'`` on
+``--flight`` output.  Dumps now get their own narrative, and a file
+mixing trace events with dumps explains both.
+"""
+
+import json
+
+from repro.obs.events import POLICY_TRIGGER, REQUEST_COMPLETE, TraceEvent
+from repro.obs.explain import explain_records, explain_trace
+from repro.obs.live.recorder import RecorderSpec, write_flight_jsonl
+
+
+def make_dumps():
+    recorder = RecorderSpec(capacity=8, cooldown_s=0.0).build()
+    for i in range(12):
+        recorder.push(
+            TraceEvent(
+                float(i), REQUEST_COMPLETE, "system",
+                {"response_time": 1.0},
+            )
+        )
+    recorder.push(
+        TraceEvent(
+            12.0,
+            POLICY_TRIGGER,
+            "sraa",
+            {
+                "level": 4,
+                "batch_mean": 60.953,
+                "threshold": 25.0,
+                "sample_size": 2,
+                "batch_seq": 9,
+            },
+        )
+    )
+    recorder.push(
+        TraceEvent(13.0, "system.rejuvenation", "node0", {"lost": 3})
+    )
+    return recorder.dumps
+
+
+class TestFlightDumpExplain:
+    def test_flight_file_explained_without_keyerror(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        count = write_flight_jsonl(path, [make_dumps()])
+        assert count >= 1
+        text = explain_trace(path)
+        assert "flight dump(s)" in text
+        assert "dump #1" in text
+        assert "ring:" in text
+
+    def test_cause_extracted_from_ring(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        write_flight_jsonl(path, [make_dumps()])
+        text = explain_trace(path)
+        assert "cause: bucket 4 overflowed" in text
+        assert "60.953s > threshold 25.000s" in text
+
+    def test_multiple_runs_grouped(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        write_flight_jsonl(path, [make_dumps(), make_dumps()])
+        text = explain_trace(path)
+        assert "run 0" in text
+        assert "run 1" in text
+
+    def test_mixed_trace_and_dump_records(self):
+        trace_event = {
+            "run": 0,
+            "ts": 1.0,
+            "type": REQUEST_COMPLETE,
+            "source": "system",
+            "data": {"response_time": 1.0},
+        }
+        dump = dict(make_dumps()[0].to_dict(), run=0)
+        text = explain_records([trace_event, dump])
+        assert "run 0" in text
+        assert "flight dump(s)" in text
+        assert "spans: 1 completions" in text
+
+    def test_empty_ring_dump(self):
+        dump = {"run": 0, "reason": "fault.injected", "ts": 5.0,
+                "events": []}
+        text = explain_records([dump])
+        assert "empty ring" in text
+
+    def test_jsonl_round_trip_preserves_shape(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        write_flight_jsonl(str(path), [make_dumps()])
+        with open(path) as handle:
+            first = json.loads(handle.readline())
+        assert first["run"] == 0
+        assert "type" not in first
+        assert {"reason", "ts", "events"} <= set(first)

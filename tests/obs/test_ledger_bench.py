@@ -1,0 +1,156 @@
+"""Benchmark trajectory files: BENCH_<name>.json append/validate."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger.bench import (
+    list_trajectories,
+    load_trajectory,
+    record_bench_point,
+    trajectory_path,
+    validate_trajectory,
+)
+
+
+@pytest.fixture
+def bench_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "bench"
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(directory))
+    monkeypatch.setenv("REPRO_BENCH_TIMESTAMP", "2026-08-05T00:00:00Z")
+    return directory
+
+
+class TestRecording:
+    def test_point_layout(self, bench_dir):
+        point = record_bench_point("mmc_baseline_smoke", 0.25, seed=123)
+        assert point == {
+            "value": 0.25,
+            "units": "s",
+            "seed": 123,
+            "git_sha": point["git_sha"],
+            "timestamp": "2026-08-05T00:00:00Z",
+        }
+
+    def test_appending_grows_trajectory(self, bench_dir):
+        record_bench_point("fig16_smoke", 1.0, seed=1)
+        record_bench_point("fig16_smoke", 1.1, seed=1)
+        trajectory = load_trajectory("fig16_smoke")
+        assert trajectory["name"] == "fig16_smoke"
+        assert [p["value"] for p in trajectory["points"]] == [1.0, 1.1]
+
+    def test_filename_is_slugged(self, bench_dir):
+        import os
+
+        record_bench_point("weird name/with:stuff", 1.0)
+        path = trajectory_path("weird name/with:stuff")
+        filename = os.path.basename(path)
+        assert filename == "BENCH_weird_name_with_stuff.json"
+        assert os.path.exists(path)
+
+    def test_file_is_plain_json(self, bench_dir):
+        record_bench_point("fig05_smoke", 0.5)
+        with open(trajectory_path("fig05_smoke")) as handle:
+            payload = json.load(handle)
+        assert payload["schema_version"] == 1
+
+
+class TestValidation:
+    def test_recorded_trajectories_validate(self, bench_dir):
+        for name in ("mmc_baseline_smoke", "false_alarm_smoke", "fig05_smoke"):
+            record_bench_point(name, 0.1, seed=7)
+        names = list_trajectories()
+        assert names == [
+            "false_alarm_smoke",
+            "fig05_smoke",
+            "mmc_baseline_smoke",
+        ]
+        for name in names:
+            assert validate_trajectory(load_trajectory(name)) == []
+
+    def test_bad_schema_version_reported(self, bench_dir):
+        record_bench_point("x", 1.0)
+        trajectory = load_trajectory("x")
+        trajectory["schema_version"] = 99
+        assert any(
+            "schema" in problem for problem in validate_trajectory(trajectory)
+        )
+
+    def test_negative_value_reported(self):
+        trajectory = {
+            "schema_version": 1,
+            "name": "x",
+            "points": [
+                {
+                    "value": -1.0,
+                    "units": "s",
+                    "seed": 0,
+                    "git_sha": "",
+                    "timestamp": "t",
+                }
+            ],
+        }
+        assert any(
+            "value" in problem for problem in validate_trajectory(trajectory)
+        )
+
+    def test_empty_points_reported(self):
+        trajectory = {"schema_version": 1, "name": "x", "points": []}
+        assert validate_trajectory(trajectory)
+
+    def test_missing_point_keys_reported(self):
+        trajectory = {
+            "schema_version": 1,
+            "name": "x",
+            "points": [{"value": 1.0}],
+        }
+        assert validate_trajectory(trajectory)
+
+    def test_list_trajectories_empty_dir(self, bench_dir):
+        assert list_trajectories() == []
+
+
+class TestBenchmarkSuiteIntegration:
+    """The benchmark suite itself emits trajectory points (acceptance)."""
+
+    def test_suite_emits_points_for_each_benchmark(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        bench_dir = tmp_path / "bench"
+        env = dict(os.environ)
+        env.update(
+            REPRO_BENCH_DIR=str(bench_dir),
+            REPRO_SCALE="smoke",
+            REPRO_LEDGER="0",
+        )
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "-q",
+                "-p",
+                "no:cacheprovider",
+                "benchmarks/test_bench_mmc_baseline.py",
+                "benchmarks/test_bench_false_alarm.py",
+                "benchmarks/test_bench_fig05_density.py",
+            ],
+            cwd=repo_root,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        names = list_trajectories(str(bench_dir))
+        assert len(names) >= 3, names
+        for name in names:
+            trajectory = load_trajectory(name, str(bench_dir))
+            assert validate_trajectory(trajectory) == []
+            assert trajectory["points"][-1]["seed"] == 2006

@@ -1,0 +1,72 @@
+"""Canonical JSON and content hashing: key-order and type invariance."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.spec import PolicySpec
+from repro.obs.ledger.canonical import canonical_hash, canonical_json, to_plain
+
+
+class TestKeyOrderInvariance:
+    def test_same_dict_different_order_same_hash(self):
+        a = {"n": 2, "K": 5, "D": 3, "nested": {"x": 1, "y": 2}}
+        b = {"nested": {"y": 2, "x": 1}, "D": 3, "K": 5, "n": 2}
+        assert canonical_hash(a) == canonical_hash(b)
+
+    def test_different_content_different_hash(self):
+        assert canonical_hash({"n": 2}) != canonical_hash({"n": 3})
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = canonical_json({"b": 1, "a": [1, 2]})
+        assert text == '{"a":[1,2],"b":1}'
+
+
+class TestToPlain:
+    def test_scalars_pass_through(self):
+        for value in (None, True, False, 0, -3, "text", 2.5):
+            assert to_plain(value) == value
+
+    def test_tuple_and_list_equivalent(self):
+        assert canonical_hash((1, 2, 3)) == canonical_hash([1, 2, 3])
+
+    def test_dataclass_spec_matches_its_dict(self):
+        spec = PolicySpec.sraa(2, 5, 3)
+        from dataclasses import asdict
+
+        assert canonical_hash(spec) == canonical_hash(asdict(spec))
+
+    def test_non_string_keys_coerced(self):
+        assert to_plain({1: "a"}) == {"1": "a"}
+
+    def test_non_finite_floats_named(self):
+        assert to_plain(math.inf) == "Infinity"
+        assert to_plain(-math.inf) == "-Infinity"
+        assert to_plain(math.nan) == "NaN"
+
+    def test_canonical_json_never_emits_bare_nan(self):
+        text = canonical_json({"limit": math.inf, "gap": math.nan})
+        # Must stay loadable by strict JSON parsers.
+        json.loads(text)
+
+    def test_callable_reduced_to_qualified_name(self):
+        plain = to_plain(math.sqrt)
+        assert plain == {"factory": "math.sqrt"}
+
+    def test_to_dict_carrier_used(self):
+        class Carrier:
+            def to_dict(self):
+                return {"kind": "carrier"}
+
+        assert to_plain(Carrier()) == {"kind": "carrier"}
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError, match="canonicalise"):
+            to_plain(object())
+
+    def test_nested_structures_normalised(self):
+        spec = {"policies": [PolicySpec.sraa(2, 5, 3), None]}
+        plain = to_plain(spec)
+        assert plain["policies"][1] is None
+        assert plain["policies"][0]["name"] == "sraa"

@@ -1,0 +1,109 @@
+"""Entry diffing: flattening, relative deltas, section selection."""
+
+from repro.core.spec import PolicySpec
+from repro.ecommerce.config import SystemConfig
+from repro.ecommerce.spec import ArrivalSpec
+from repro.obs.ledger import Ledger, diff_entries, flatten, format_diff
+from repro.obs.ledger.diff import spec_drift
+from repro.obs.ledger.manifest import simulate_manifest
+
+
+def make_entry(tmp_path, name, seed=7, outcomes=None, rate=1.8):
+    manifest = simulate_manifest(
+        config=SystemConfig(),
+        arrival=ArrivalSpec.poisson(rate),
+        policy=PolicySpec.sraa(2, 5, 3),
+        n_transactions=1000,
+        replications=2,
+        seed=seed,
+    )
+    return Ledger(str(tmp_path / name)).append(manifest, outcomes or {})
+
+
+class TestFlatten:
+    def test_nested_dicts_become_dotted_paths(self):
+        flat = flatten({"a": {"b": 1, "c": {"d": 2}}})
+        assert flat == {"a.b": 1, "a.c.d": 2}
+
+    def test_lists_become_indexed_paths(self):
+        assert flatten({"xs": [10, {"y": 1}]}) == {
+            "xs[0]": 10,
+            "xs[1].y": 1,
+        }
+
+    def test_scalar_at_root(self):
+        assert flatten(5, prefix="value") == {"value": 5}
+
+
+class TestDiffEntries:
+    def test_identical_entries_have_no_differences(self, tmp_path):
+        a = make_entry(tmp_path, "a", outcomes={"rt": 1.0})
+        b = make_entry(tmp_path, "b", outcomes={"rt": 1.0})
+        assert diff_entries(a, b) == []
+
+    def test_outcome_change_detected_with_relative_delta(self, tmp_path):
+        a = make_entry(tmp_path, "a", outcomes={"rt": 10.0})
+        b = make_entry(tmp_path, "b", outcomes={"rt": 20.0})
+        (difference,) = diff_entries(a, b)
+        assert difference["path"] == "outcomes.rt"
+        assert difference["relative_delta"] == 0.5
+
+    def test_missing_key_shows_absent(self, tmp_path):
+        a = make_entry(tmp_path, "a", outcomes={"rt": 1.0, "extra": 2})
+        b = make_entry(tmp_path, "b", outcomes={"rt": 1.0})
+        (difference,) = diff_entries(a, b)
+        assert difference["path"] == "outcomes.extra"
+        assert difference["right"] == "<absent>"
+
+    def test_environment_and_execution_ignored(self, tmp_path, monkeypatch):
+        a = make_entry(tmp_path, "a")
+        monkeypatch.setenv("REPRO_GIT_SHA", "feedface" * 5)
+        b = make_entry(tmp_path, "b")
+        assert diff_entries(a, b) == []
+
+    def test_spec_change_surfaces_hash_and_field(self, tmp_path):
+        a = make_entry(tmp_path, "a", rate=1.8)
+        b = make_entry(tmp_path, "b", rate=3.6)
+        paths = {d["path"] for d in diff_entries(a, b)}
+        assert "manifest.manifest_hash" in paths
+        assert "manifest.spec.arrival.params.rate" in paths
+
+    def test_bool_int_not_confused(self, tmp_path):
+        a = make_entry(tmp_path, "a", outcomes={"flag": True})
+        b = make_entry(tmp_path, "b", outcomes={"flag": 1})
+        (difference,) = diff_entries(a, b)
+        assert "relative_delta" not in difference
+
+
+class TestSpecDrift:
+    def test_only_hashed_sections_compared(self, tmp_path, monkeypatch):
+        a = make_entry(tmp_path, "a", seed=1)
+        monkeypatch.setenv("REPRO_GIT_SHA", "feedface" * 5)
+        b = make_entry(tmp_path, "b", seed=2)
+        paths = spec_drift(a, b)
+        assert all(p.startswith("seed_protocol") for p in paths)
+        assert paths  # the seeds differ
+
+
+class TestFormatDiff:
+    def test_limit_appends_more_row(self):
+        differences = [
+            {"path": f"outcomes.m{i}", "left": i, "right": i + 1}
+            for i in range(5)
+        ]
+        rows = format_diff(differences, limit=2)
+        assert len(rows) == 3
+        assert rows[-1] == ("...", "3 more")
+
+    def test_relative_delta_rendered_as_percent(self):
+        rows = format_diff(
+            [
+                {
+                    "path": "outcomes.rt",
+                    "left": 10.0,
+                    "right": 20.0,
+                    "relative_delta": 0.5,
+                }
+            ]
+        )
+        assert "+50.00%" in rows[0][1]

@@ -1,0 +1,191 @@
+"""Run manifests: deterministic identity, backend/observability invariance.
+
+The acceptance pin for the whole ledger: the same spec+seed must
+produce identical manifest hashes AND identical outcome blocks whether
+executed serially or on the process pool, and whether or not
+observability (tracing, live taps) watched the run.
+"""
+
+import pytest
+
+from repro.core.spec import PolicySpec
+from repro.ecommerce.config import SystemConfig
+from repro.ecommerce.runner import replication_jobs, run_replications
+from repro.ecommerce.spec import ArrivalSpec
+from repro.exec.backends import ProcessPoolBackend, SerialBackend
+from repro.exec.jobs import ReplicationJob
+from repro.obs.ledger import (
+    campaign_manifest,
+    experiment_manifest,
+    manifest_from_jobs,
+    replicated_outcomes,
+    simulate_manifest,
+)
+from repro.obs.live import LiveSpec
+
+
+CONFIG = SystemConfig()
+ARRIVAL = ArrivalSpec.poisson(1.8)
+POLICY = PolicySpec.sraa(2, 5, 3)
+
+
+def _manifest(backend=None, **overrides):
+    kwargs = dict(
+        config=CONFIG,
+        arrival=ARRIVAL,
+        policy=POLICY,
+        n_transactions=1000,
+        replications=2,
+        seed=7,
+        backend=backend,
+    )
+    kwargs.update(overrides)
+    return simulate_manifest(**kwargs)
+
+
+class TestManifestHash:
+    def test_backend_never_hashed(self):
+        serial = _manifest(backend=SerialBackend())
+        pooled = _manifest(backend=ProcessPoolBackend(4))
+        assert serial.manifest_hash == pooled.manifest_hash
+        assert serial.execution != pooled.execution
+
+    def test_environment_never_hashed(self, monkeypatch):
+        before = _manifest()
+        monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef" * 5)
+        after = _manifest()
+        assert before.manifest_hash == after.manifest_hash
+        assert after.environment["git_sha"] == "deadbeef" * 5
+
+    def test_spec_changes_hash(self):
+        assert _manifest().manifest_hash != _manifest(seed=8).manifest_hash
+        assert (
+            _manifest().manifest_hash
+            != _manifest(n_transactions=2000).manifest_hash
+        )
+
+    def test_seed_protocol_recorded(self):
+        manifest = _manifest()
+        assert manifest.seed_protocol == {
+            "master": 7,
+            "rule": "seed + i",
+            "seeds": [7, 8],
+        }
+
+    def test_to_dict_carries_hash_and_schema(self):
+        payload = _manifest().to_dict()
+        assert payload["schema_version"] == 1
+        assert payload["manifest_hash"] == _manifest().manifest_hash
+        assert payload["kind"] == "simulate"
+
+
+class TestJobManifestDict:
+    def test_observability_fields_excluded(self):
+        base = ReplicationJob(
+            config=CONFIG,
+            arrival=ARRIVAL,
+            policy=POLICY,
+            n_transactions=500,
+            seed=3,
+        )
+        traced = ReplicationJob(
+            config=CONFIG,
+            arrival=ARRIVAL,
+            policy=POLICY,
+            n_transactions=500,
+            seed=3,
+            trace_level="all",
+            telemetry_interval_s=50.0,
+            live=LiveSpec(),
+            profile=True,
+            collect_response_times=True,
+            tag=("replication", 0),
+        )
+        assert base.manifest_dict() == traced.manifest_dict()
+
+    def test_manifest_from_jobs_strips_per_job_seed(self):
+        jobs = replication_jobs(
+            CONFIG,
+            arrival=ARRIVAL,
+            policy=POLICY,
+            n_transactions=500,
+            replications=3,
+            seed=5,
+        )
+        manifest = manifest_from_jobs(
+            "simulate", "simulate:sraa", jobs, master_seed=5
+        )
+        assert "seed" not in manifest.spec
+        assert manifest.seed_protocol["seeds"] == [5, 6, 7]
+
+    def test_manifest_from_jobs_requires_jobs(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            manifest_from_jobs("simulate", "empty", [], master_seed=0)
+
+
+class TestExperimentManifest:
+    def test_alias_resolved_to_canonical_id(self):
+        from repro.experiments.scale import Scale
+
+        scale = Scale.smoke()
+        alias = experiment_manifest("sraa", scale, seed=0)
+        canonical = experiment_manifest("fig09_10", scale, seed=0)
+        assert alias.manifest_hash == canonical.manifest_hash
+        assert alias.spec["experiment"] == "fig09_10"
+
+    def test_scale_changes_hash(self):
+        from repro.experiments.scale import Scale
+
+        smoke = experiment_manifest("fig16", Scale.smoke(), seed=0)
+        quick = experiment_manifest("fig16", Scale.quick(), seed=0)
+        assert smoke.manifest_hash != quick.manifest_hash
+
+
+class TestCampaignManifest:
+    def test_policy_label_order_irrelevant(self):
+        from repro.faults.zoo import builtin_scenarios
+
+        scenarios = list(builtin_scenarios(300.0).values())[:1]
+        sraa, clta = PolicySpec.sraa(2, 5, 3), PolicySpec.clta(30)
+        forward = campaign_manifest(
+            scenarios, {"SRAA": sraa, "CLTA": clta}, 2, seed=0
+        )
+        backward = campaign_manifest(
+            scenarios, {"CLTA": clta, "SRAA": sraa}, 2, seed=0
+        )
+        assert forward.manifest_hash == backward.manifest_hash
+
+
+class TestOutcomeDeterminism:
+    """Same spec+seed => identical outcomes, serial vs process pool."""
+
+    @pytest.fixture(scope="class")
+    def run_kwargs(self):
+        return dict(
+            config=CONFIG,
+            arrival=ARRIVAL,
+            policy=POLICY,
+            n_transactions=1500,
+            replications=2,
+            seed=11,
+            live=LiveSpec(),
+        )
+
+    def test_outcome_block_identical_across_backends(self, run_kwargs):
+        serial = run_replications(backend=SerialBackend(), **run_kwargs)
+        pooled = run_replications(
+            backend=ProcessPoolBackend(2), **run_kwargs
+        )
+        assert replicated_outcomes(serial) == replicated_outcomes(pooled)
+
+    def test_outcome_block_shape(self, run_kwargs):
+        outcomes = replicated_outcomes(
+            run_replications(backend=SerialBackend(), **run_kwargs)
+        )
+        assert outcomes["replications"] == 2
+        per_rep = outcomes["per_replication"]
+        assert len(per_rep["avg_response_time"]) == 2
+        assert set(outcomes["response_time"]) == {"mean", "low", "high"}
+        live = outcomes["live"]
+        assert live["completed"] + live["lost"] > 0
+        assert live["sketch"]["count"] == live["completed"]

@@ -1,0 +1,148 @@
+"""The append-only ledger store: entries, refs, baselines, env gates."""
+
+import json
+
+import pytest
+
+from repro.core.spec import PolicySpec
+from repro.ecommerce.config import SystemConfig
+from repro.ecommerce.spec import ArrivalSpec
+from repro.obs.ledger import Ledger, ledger_enabled, record_run
+from repro.obs.ledger.manifest import simulate_manifest
+
+
+def make_manifest(seed=7, **overrides):
+    kwargs = dict(
+        config=SystemConfig(),
+        arrival=ArrivalSpec.poisson(1.8),
+        policy=PolicySpec.sraa(2, 5, 3),
+        n_transactions=1000,
+        replications=2,
+        seed=seed,
+    )
+    kwargs.update(overrides)
+    return simulate_manifest(**kwargs)
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return Ledger(str(tmp_path / "ledger"))
+
+
+class TestAppendAndGet:
+    def test_append_assigns_sequential_ids(self, ledger):
+        first = ledger.append(make_manifest(), {"x": 1})
+        second = ledger.append(make_manifest(), {"x": 2})
+        assert first["id"].startswith("sim-0001-")
+        assert second["id"].startswith("sim-0002-")
+        assert [e["id"] for e in ledger.entries()] == [
+            first["id"],
+            second["id"],
+        ]
+
+    def test_entry_layout(self, ledger):
+        entry = ledger.append(make_manifest(), {"x": 1}, {"wall_clock_s": 2.0})
+        assert entry["schema_version"] == 1
+        assert entry["kind"] == "simulate"
+        assert entry["outcomes"] == {"x": 1}
+        assert entry["timing"] == {"wall_clock_s": 2.0}
+        assert entry["manifest"]["manifest_hash"].startswith(entry["id"][-8:])
+
+    def test_get_by_full_id_prefix_and_latest(self, ledger):
+        entry = ledger.append(make_manifest(), {})
+        newest = ledger.append(make_manifest(seed=8), {})
+        assert ledger.get(entry["id"]) == entry
+        assert ledger.get(entry["id"][:10]) == entry
+        assert ledger.get("latest") == newest
+        assert ledger.get("last") == newest
+
+    def test_get_ambiguous_prefix_rejected(self, ledger):
+        ledger.append(make_manifest(), {})
+        ledger.append(make_manifest(), {})
+        with pytest.raises(LookupError, match="ambiguous"):
+            ledger.get("sim-")
+
+    def test_get_unknown_ref_rejected(self, ledger):
+        ledger.append(make_manifest(), {})
+        with pytest.raises(LookupError, match="no ledger entry"):
+            ledger.get("exp-9999")
+
+    def test_get_on_empty_ledger_explains(self, ledger):
+        with pytest.raises(LookupError, match="empty"):
+            ledger.get("latest")
+
+    def test_latest_filters_by_manifest_hash(self, ledger):
+        a = ledger.append(make_manifest(seed=1), {})
+        ledger.append(make_manifest(seed=2), {})
+        wanted = a["manifest"]["manifest_hash"]
+        assert ledger.latest(wanted)["id"] == a["id"]
+        assert ledger.latest("no-such-hash") is None
+
+    def test_corrupt_line_reported_with_location(self, ledger, tmp_path):
+        ledger.append(make_manifest(), {})
+        with open(ledger.runs_path, "a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ValueError, match="corrupt ledger line"):
+            ledger.entries()
+
+
+class TestBaselines:
+    def test_pin_and_resolve(self, ledger):
+        entry = ledger.append(make_manifest(), {})
+        ledger.set_baseline("default", entry)
+        assert ledger.baseline_entry("default")["id"] == entry["id"]
+        pins = ledger.baselines()
+        assert pins["default"]["manifest_hash"] == (
+            entry["manifest"]["manifest_hash"]
+        )
+
+    def test_missing_baseline_lists_known(self, ledger):
+        entry = ledger.append(make_manifest(), {})
+        ledger.set_baseline("smoke", entry)
+        with pytest.raises(LookupError, match="smoke"):
+            ledger.baseline_entry("paper")
+
+
+class TestCheckState:
+    def test_round_trip(self, ledger):
+        assert ledger.check_state() == {}
+        ledger.save_check_state({"abc": {"streak": 2}})
+        assert ledger.check_state() == {"abc": {"streak": 2}}
+
+
+class TestEnvironmentGates:
+    def test_ledger_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        assert ledger_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", "OFF"])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_LEDGER", value)
+        assert not ledger_enabled()
+
+    def test_record_run_honours_disable(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        assert record_run(make_manifest(), {}, directory=str(tmp_path)) is None
+
+    def test_record_run_never_raises(self, monkeypatch, tmp_path, capsys):
+        # Point the ledger directory at an existing *file*: mkdir fails.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        assert record_run(make_manifest(), {}, directory=str(blocker)) is None
+        assert "recording failed" in capsys.readouterr().err
+
+    def test_directory_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "custom"))
+        assert Ledger().directory == str(tmp_path / "custom")
+
+
+class TestEntriesAreJsonl:
+    def test_file_is_one_json_object_per_line(self, ledger):
+        ledger.append(make_manifest(), {"x": 1})
+        ledger.append(make_manifest(), {"x": 2})
+        with open(ledger.runs_path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)

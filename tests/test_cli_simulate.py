@@ -105,11 +105,23 @@ class TestSimulate:
         serial_out = capsys.readouterr().out
         assert main(args + ["--workers", "2"]) == 0
         parallel_out = capsys.readouterr().out
-        # Everything except the wall-clock line must be identical.
+        # Everything except per-invocation metadata (wall-clock, the
+        # sequential ledger entry id) must be identical.
         strip = lambda out: [
-            line for line in out.splitlines() if "wall-clock" not in line
+            line
+            for line in out.splitlines()
+            if "wall-clock" not in line and "ledger" not in line
         ]
         assert strip(serial_out) == strip(parallel_out)
+        # The ledger ids differ only in sequence number: the manifest
+        # hash suffix (run identity) is backend-independent.
+        ids = [
+            line.rsplit("-", 1)[-1]
+            for out in (serial_out, parallel_out)
+            for line in out.splitlines()
+            if "ledger" in line
+        ]
+        assert len(ids) == 2 and ids[0] == ids[1]
 
     def test_scientific_notation_param_end_to_end(self, capsys):
         code = main(
