@@ -1,0 +1,98 @@
+"""Fleet substrate: scheduler shape assertions and raw throughput.
+
+Two measurements ride here: the ``fleet`` registry experiment (the
+scheduler grid, timed like every other figure regeneration) and a raw
+fleet-throughput point -- simulated transactions per wall-clock second
+of a 100-node sharded run -- whose trajectory accumulates in
+``BENCH_fleet_throughput.json`` (see ``repro runs bench``;
+``REPRO_BENCH_DIR`` relocates the files, and the CI smoke job keeps a
+committed trajectory under ``ci/bench/``).
+"""
+
+import sys
+import time
+
+from conftest import BENCH_SEED, assertions_enabled, regenerate
+
+UNRESTRICTED = "unrestricted grants"
+ROLLING = "rolling (floor 0.8)"
+CANARY = "canary (120s soak, floor 0.8)"
+HIGH = 9.0
+LOW = 2.0
+
+#: The fixed throughput workload (independent of REPRO_SCALE so the
+#: trajectory stays comparable across sessions).
+THROUGHPUT_NODES = 100
+THROUGHPUT_SHARDS = 4
+THROUGHPUT_TRANSACTIONS = 40_000
+
+
+def test_fleet_experiment(benchmark):
+    result = regenerate(benchmark, "fleet")
+    if not assertions_enabled():
+        return
+    rt, loss, down = result.tables
+    # The capacity floor caps how much serving capacity rejuvenation
+    # may take away at once.
+    assert down.get_series(ROLLING).value_at(HIGH) <= down.get_series(
+        UNRESTRICTED
+    ).value_at(HIGH)
+    assert down.get_series(CANARY).value_at(HIGH) <= down.get_series(
+        UNRESTRICTED
+    ).value_at(HIGH)
+    # Bounding concurrent downtime keeps refusals (lost work) in check.
+    assert loss.get_series(ROLLING).value_at(HIGH) <= loss.get_series(
+        UNRESTRICTED
+    ).value_at(HIGH)
+    # At low per-node load nothing ages hard enough to matter.
+    for label in (UNRESTRICTED, ROLLING, CANARY):
+        assert loss.get_series(label).value_at(LOW) < 0.005
+
+
+def _run_throughput_fleet():
+    from repro.core.spec import PolicySpec
+    from repro.ecommerce.config import PAPER_CONFIG
+    from repro.ecommerce.spec import ArrivalSpec
+    from repro.systems import FleetSpec, SchedulerSpec
+
+    spec = FleetSpec(
+        n_nodes=THROUGHPUT_NODES,
+        shards=THROUGHPUT_SHARDS,
+        scheduler=SchedulerSpec.rolling(capacity_floor=0.9),
+    )
+    fleet = spec.build(
+        PAPER_CONFIG,
+        ArrivalSpec.poisson(1.8),
+        PolicySpec.sraa(2, 5, 3),
+        seed=BENCH_SEED,
+    )
+    return fleet.run(THROUGHPUT_TRANSACTIONS)
+
+
+def test_fleet_throughput(benchmark):
+    started = time.perf_counter()
+    result = benchmark.pedantic(
+        _run_throughput_fleet, rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - started
+    assert result.arrivals == THROUGHPUT_TRANSACTIONS
+    assert result.completed + result.lost == THROUGHPUT_TRANSACTIONS
+    throughput = THROUGHPUT_TRANSACTIONS / elapsed
+    print(
+        f"\nfleet throughput: {throughput:,.0f} transactions/s "
+        f"({THROUGHPUT_NODES} nodes, {THROUGHPUT_SHARDS} shards, "
+        f"{elapsed:.2f}s wall)"
+    )
+    try:
+        from repro.obs.ledger import record_bench_point
+
+        record_bench_point(
+            "fleet_throughput",
+            throughput,
+            units="txn/s",
+            seed=BENCH_SEED,
+        )
+    except Exception as error:  # pragma: no cover - diagnostics only
+        print(f"bench trajectory not recorded: {error}", file=sys.stderr)
+    # A 100-node fleet must stay comfortably inside the smoke budget.
+    assert elapsed < 120.0

@@ -251,6 +251,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_trace_options(faults_run)
     _add_live_options(faults_run)
     _add_ledger_option(faults_run)
+    _add_system_options(faults_run)
 
     faults_score = faults_sub.add_parser(
         "score",
@@ -417,6 +418,114 @@ def _add_ledger_option(parser: argparse.ArgumentParser) -> None:
         help="do not record this run in the ledger "
         "(REPRO_LEDGER=0 is the environment equivalent)",
     )
+
+
+def _add_system_options(parser: argparse.ArgumentParser) -> None:
+    """Substrate selection (see repro.systems and docs/systems.md)."""
+    parser.add_argument(
+        "--system",
+        choices=("ecommerce", "cluster", "fleet"),
+        default="ecommerce",
+        help="substrate to run against: the single Section-3 node "
+        "(default), a balanced cluster, or a sharded fleet",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="node count for --system cluster/fleet "
+        "(defaults: 4 / 100)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for --system fleet (default 4)",
+    )
+    parser.add_argument(
+        "--balancer",
+        default="round_robin",
+        help="load balancer for cluster/fleet "
+        "(round_robin, random, jsq; default round_robin)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=("rolling", "canary", "unrestricted"),
+        default=None,
+        help="fleet rejuvenation scheduler (default: independent "
+        "per-node triggers)",
+    )
+    parser.add_argument(
+        "--capacity-floor",
+        type=float,
+        default=None,
+        help="fraction of nodes that must stay up per scheduling "
+        "domain (e.g. 0.8)",
+    )
+    parser.add_argument(
+        "--max-nodes-down",
+        type=int,
+        default=None,
+        help="absolute cap on concurrently rejuvenating nodes",
+    )
+    parser.add_argument(
+        "--pod-size",
+        type=int,
+        default=None,
+        help="blast-radius pod size (consecutive global node indices)",
+    )
+    parser.add_argument(
+        "--max-down-per-pod",
+        type=int,
+        default=1,
+        help="concurrently-down cap within one pod (default 1)",
+    )
+    parser.add_argument(
+        "--min-gap",
+        type=float,
+        default=0.0,
+        help="minimum simulated seconds between grants (default 0)",
+    )
+    parser.add_argument(
+        "--canary-soak",
+        type=float,
+        default=0.0,
+        help="canary scheduler: soak seconds after the canary's "
+        "downtime before the wave opens",
+    )
+
+
+def _make_system_spec(args: argparse.Namespace):
+    """The ``--system`` options as a SystemSpec (None = single node)."""
+    if args.system == "ecommerce":
+        return None
+    from repro.systems import ClusterSpec, FleetSpec, SchedulerSpec
+
+    try:
+        scheduler = None
+        if args.scheduler is not None:
+            scheduler = SchedulerSpec(
+                kind=args.scheduler,
+                min_gap_s=args.min_gap,
+                max_nodes_down=args.max_nodes_down,
+                capacity_floor=args.capacity_floor,
+                pod_size=args.pod_size,
+                max_down_per_pod=args.max_down_per_pod,
+                canary_soak_s=args.canary_soak,
+            )
+        if args.system == "cluster":
+            kwargs = {"balancer": args.balancer, "scheduler": scheduler}
+            if args.nodes is not None:
+                kwargs["n_nodes"] = args.nodes
+            return ClusterSpec(**kwargs)
+        kwargs = {"balancer": args.balancer, "scheduler": scheduler}
+        if args.nodes is not None:
+            kwargs["n_nodes"] = args.nodes
+        if args.shards is not None:
+            kwargs["shards"] = args.shards
+        return FleetSpec(**kwargs)
+    except ValueError as error:
+        raise SystemExit(f"--system: {error}") from None
 
 
 def _add_simulate_options(parser: argparse.ArgumentParser) -> None:
@@ -979,6 +1088,7 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
     backend = _resolve_backend(args)
     session = _make_trace_session(args)
     live_spec = _make_live_spec(args)
+    system = _make_system_spec(args)
     timer = StageTimer()
     with timer.stage("campaign"), _maybe_tracing(session):
         campaign = run_campaign(
@@ -989,6 +1099,7 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
             backend=backend,
             live=live_spec,
             profile=args.profile,
+            system=system,
         )
     from repro.obs.ledger import (
         campaign_manifest,
@@ -1004,6 +1115,7 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
             args.replications,
             args.seed,
             backend=backend,
+            system=system,
         ),
         campaign_outcomes(campaign),
         timing_block(

@@ -130,3 +130,25 @@ class WeightedRoundRobin(LoadBalancer):
 
     def reset(self) -> None:
         self._current = [0.0] * len(self.weights)
+
+
+#: Balancer names accepted by declarative system specs and the CLI
+#: (``WeightedRoundRobin`` needs per-node weights, so it stays
+#: construct-by-hand).
+BALANCERS = {
+    "round_robin": RoundRobin,
+    "random": RandomBalancer,
+    "jsq": JoinShortestQueue,
+}
+
+
+def make_balancer(name: str) -> LoadBalancer:
+    """A fresh balancer from its registry name."""
+    try:
+        factory = BALANCERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown balancer {name!r}; available: "
+            f"{', '.join(sorted(BALANCERS))}"
+        ) from None
+    return factory()

@@ -9,6 +9,16 @@ triggers so restarts roll through the cluster.
 
 Transactions arriving while every node is down (only possible with a
 positive rejuvenation downtime) are refused and counted lost.
+
+The cluster implements the full :mod:`repro.systems` protocol surface:
+an optional tracer (per-node GC/rejuvenation spans plus front-end
+request events, decision listeners on every node's policy), the fault
+surface (``set_arrivals`` / ``inject_crash`` / ``emit_fault`` /
+``fault_nodes``) with per-node targeting, granted-trigger recording in
+``rejuvenation_times``, and optional response-time collection.  A
+:class:`~repro.systems.fleet.FleetSystem` shard is exactly one of
+these with a ``first_node_index`` offset into the fleet's global node
+numbering.
 """
 
 from __future__ import annotations
@@ -64,9 +74,43 @@ class ClusterSystem:
         Dispatching strategy; defaults to round-robin.
     coordinator:
         Trigger arbitration; defaults to unrestricted (independent
-        nodes).
+        nodes).  Any object speaking ``reset()`` / ``request(node,
+        now, downtime_s)`` works -- including the fleet schedulers of
+        :mod:`repro.systems.schedulers`.
     seed:
         Master seed; each node gets an independent service stream.
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer`-protocol sink.  With
+        ``spans`` on, the front end emits request arrival/completion/
+        loss events (source ``cluster``, with the node index) and each
+        node its GC/rejuvenation spans; with ``decisions`` on, a
+        tracing listener driven by the simulation clock is installed
+        on every node's policy.
+    faults:
+        Optional fault scenario (an object with ``injections`` or a
+        plain sequence); armed at the start of every :meth:`run`
+        against this cluster, so injections reach every node -- or one
+        node, via their ``node`` target -- through the fault surface.
+    profiler:
+        Optional DES profiler installed on the simulator; policy
+        ``observe`` calls are additionally bracketed under
+        ``policy.observe``.
+    arrival_scale:
+        Every inter-arrival draw is divided by this factor.  The
+        declarative specs use it to keep scenario arrival processes in
+        *per-node* units: a cluster spec scales the baseline process
+        (and any process a fault injector swaps in later) by its node
+        count, so per-node offered load matches the single-node
+        scenario.  Exact for Poisson processes (superposition).
+    first_node_index:
+        Global index of this cluster's first node.  Nodes are named
+        ``node{first_node_index + i}`` and fault targeting uses global
+        indices -- a fleet shard covering nodes 250..499 passes 250.
+    total_nodes:
+        Global fleet size for fault-target validation (defaults to
+        ``first_node_index + n_nodes``); a global node index outside
+        this range is an error, one outside *this* cluster's slice is
+        simply not local (``fault_nodes`` returns nothing).
 
     Examples
     --------
@@ -93,9 +137,19 @@ class ClusterSystem:
         balancer: Optional[LoadBalancer] = None,
         coordinator: Optional[RollingCoordinator] = None,
         seed: Optional[int] = None,
+        tracer: Optional[object] = None,
+        faults: Optional[object] = None,
+        profiler: Optional[object] = None,
+        arrival_scale: float = 1.0,
+        first_node_index: int = 0,
+        total_nodes: Optional[int] = None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("a cluster needs at least one node")
+        if arrival_scale <= 0:
+            raise ValueError("arrival scale must be positive")
+        if first_node_index < 0:
+            raise ValueError("first node index must be non-negative")
         if isinstance(config, SystemConfig):
             self.node_configs: List[SystemConfig] = [config] * n_nodes
         else:
@@ -106,15 +160,36 @@ class ClusterSystem:
                     f"{n_nodes} nodes"
                 )
         self.arrivals = arrivals
+        self._base_arrivals = arrivals
+        self.arrival_scale = float(arrival_scale)
+        self.first_node_index = int(first_node_index)
+        self._total_nodes = (
+            int(total_nodes)
+            if total_nodes is not None
+            else self.first_node_index + n_nodes
+        )
         self.balancer = balancer if balancer is not None else RoundRobin()
         self.coordinator = (
             coordinator if coordinator is not None else UnrestrictedCoordinator()
         )
+        self.faults = faults
+        self.tracer = tracer
+        self.profiler = profiler
+        self._span_tracer = (
+            tracer if tracer is not None and tracer.spans else None
+        )
+        self._life_tracer = (
+            self._span_tracer
+            if self._span_tracer is not None
+            and getattr(tracer, "lifecycle", True)
+            else None
+        )
         self.streams = RandomStreams(seed)
-        self.sim = Simulator()
+        self.sim = Simulator(tracer=tracer, profiler=profiler)
         self.nodes: List[ProcessingNode] = []
         self.policies: List[Optional[RejuvenationPolicy]] = []
         self._accounting: List[_NodeAccounting] = []
+        trace_decisions = tracer is not None and tracer.decisions
         for i in range(n_nodes):
             node = ProcessingNode(
                 self.node_configs[i],
@@ -122,17 +197,45 @@ class ClusterSystem:
                 self.streams[f"service.{i}"],
                 on_complete=lambda job, rt, i=i: self._on_complete(i, job, rt),
                 on_loss=lambda job, i=i: self._on_loss(i, job),
-                name=f"node{i}",
+                name=f"node{self.first_node_index + i}",
+                tracer=tracer,
             )
             self.nodes.append(node)
-            self.policies.append(policy_factory())
+            policy = policy_factory()
+            if trace_decisions and policy is not None:
+                # Deferred import: repro.obs is optional machinery on
+                # top of the simulator, not a model dependency.
+                from repro.obs.listener import TracingDecisionListener
+
+                policy.set_listener(
+                    TracingDecisionListener(
+                        tracer, clock=lambda: self.sim.now
+                    )
+                )
+            self.policies.append(policy)
             self._accounting.append(_NodeAccounting())
+        self._all_nodes = list(range(n_nodes))
         self._reset_counters()
 
     # ------------------------------------------------------------------
     @property
     def n_nodes(self) -> int:
         return len(self.nodes)
+
+    @property
+    def measured_moments(self) -> OnlineMoments:
+        """Running moments of measured response times (for merging)."""
+        return self._moments
+
+    @property
+    def measured_lost(self) -> int:
+        """Lost transactions after the warm-up cut (for merging)."""
+        return self._measured_lost
+
+    @property
+    def collected_response_times(self) -> Optional[List[float]]:
+        """Measured response times in completion order, when collected."""
+        return self._collected
 
     def _reset_counters(self) -> None:
         self._arrivals_generated = 0
@@ -143,14 +246,28 @@ class ClusterSystem:
         self._warmup = 0
         self._measured_lost = 0
         self._moments = OnlineMoments()
+        self._collected: Optional[List[float]] = None
+        self.rejuvenation_times: List[float] = []
+        #: Latest down_until over all nodes: while the clock is past
+        #: it, no node is down and eligibility is O(1).
+        self._latest_down_until = 0.0
 
     def _eligible_nodes(self) -> List[int]:
         now = self.sim.now
+        if self._latest_down_until <= now:
+            return self._all_nodes
         return [
             i
             for i, acc in enumerate(self._accounting)
             if acc.down_until <= now
         ]
+
+    def _mark_down(self, node_index: int, until: float) -> None:
+        accounting = self._accounting[node_index]
+        if until > accounting.down_until:
+            accounting.down_until = until
+        if until > self._latest_down_until:
+            self._latest_down_until = until
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -159,6 +276,8 @@ class ClusterSystem:
         if self._arrivals_generated >= self._n_target:
             return
         gap = self.arrivals.interarrival(self.streams["arrivals"])
+        if self.arrival_scale != 1.0:
+            gap /= self.arrival_scale
         self.sim.schedule(gap, self._on_arrival, kind="arrival")
 
     def _on_arrival(self) -> None:
@@ -166,11 +285,14 @@ class ClusterSystem:
         index = self._arrivals_generated
         self._arrivals_generated += 1
         self._schedule_next_arrival()
+        tracer = self._life_tracer
+        if tracer is not None:
+            tracer.emit(now, "request.arrival", "cluster", index=index)
         eligible = self._eligible_nodes()
         if not eligible:
             # Whole cluster in downtime: the request is refused.
             self._refused += 1
-            self._count_loss(index, node_index=None)
+            self._count_loss(index, node_index=None, reason="downtime")
             return
         target = self.balancer.select(self.nodes, eligible, self.streams["lb"])
         if target not in eligible:
@@ -187,42 +309,168 @@ class ClusterSystem:
         self._completed += 1
         if job.index >= self._warmup:
             self._moments.push(response_time)
+            if self._collected is not None:
+                self._collected.append(response_time)
+        tracer = self._span_tracer
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now,
+                "request.complete",
+                "cluster",
+                index=job.index,
+                node=self.first_node_index + node_index,
+                response_time=response_time,
+            )
         policy = self.policies[node_index]
-        if policy is not None and policy.observe(response_time):
+        if policy is None:
+            return
+        profiler = self.profiler
+        if profiler is None:
+            triggered = policy.observe(response_time)
+        else:
+            clock = profiler.clock
+            started = clock()
+            try:
+                triggered = policy.observe(response_time)
+            finally:
+                profiler.account("policy.observe", clock() - started)
+        if triggered:
             self._request_rejuvenation(node_index)
 
     def _on_loss(self, node_index: int, job: Job) -> None:
-        self._count_loss(job.index, node_index)
+        self._count_loss(job.index, node_index, reason="rejuvenation")
 
-    def _count_loss(self, index: int, node_index: Optional[int]) -> None:
+    def _count_loss(
+        self,
+        index: int,
+        node_index: Optional[int],
+        reason: str = "rejuvenation",
+    ) -> None:
         self._lost += 1
         if node_index is not None:
             self._accounting[node_index].lost += 1
         if index >= self._warmup:
             self._measured_lost += 1
+        tracer = self._span_tracer
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now,
+                "request.loss",
+                "cluster",
+                index=index,
+                reason=reason,
+            )
 
     def _request_rejuvenation(self, node_index: int) -> None:
         now = self.sim.now
         downtime = self.node_configs[node_index].rejuvenation_downtime_s
         if not self.coordinator.request(node_index, now, downtime):
             return
+        self.rejuvenation_times.append(now)
         self.nodes[node_index].rejuvenate()
         if downtime > 0.0:
-            self._accounting[node_index].down_until = now + downtime
+            self._mark_down(node_index, now + downtime)
+
+    # ------------------------------------------------------------------
+    # Fault-injection surface (see repro.systems protocol)
+    # ------------------------------------------------------------------
+    def set_arrivals(self, process: ArrivalProcess) -> ArrivalProcess:
+        """Swap the front-end arrival process; returns the previous one.
+
+        The swap affects the *next* inter-arrival draw.  The incoming
+        process is interpreted in per-node units -- ``arrival_scale``
+        keeps applying, so a workload-shift injector written for the
+        single-node scenarios shifts every node's offered load alike.
+        """
+        previous = self.arrivals
+        self.arrivals = process
+        return previous
+
+    def _local_indices(self, node: Optional[int]) -> List[int]:
+        """Local indices targeted by a global node index (or all)."""
+        if node is None:
+            return self._all_nodes
+        if not 0 <= node < self._total_nodes:
+            raise ValueError(
+                f"node index {node} out of range for a "
+                f"{self._total_nodes}-node system"
+            )
+        local = node - self.first_node_index
+        if 0 <= local < len(self.nodes):
+            return [local]
+        return []
+
+    def fault_nodes(self, node: Optional[int] = None) -> List[ProcessingNode]:
+        """The processing nodes a fault should touch.
+
+        ``None`` targets every node; a global index targets one node
+        -- possibly none, when that index lives in another shard of a
+        fleet.  Out-of-range indices raise.
+        """
+        return [self.nodes[i] for i in self._local_indices(node)]
+
+    def inject_crash(
+        self, restart_s: float = 0.0, node: Optional[int] = None
+    ) -> int:
+        """Crash every targeted node; returns transactions lost.
+
+        Requests routed to a crashed node during its ``restart_s``
+        restart window are dispatched elsewhere (the balancer skips
+        down nodes); with *every* node crashed, arrivals are refused.
+        Each crashed node's policy is reset -- a restarted monitor
+        starts from scratch.  Crashes are not rejuvenations: they are
+        neither counted nor recorded in ``rejuvenation_times``.
+        """
+        if restart_s < 0:
+            raise ValueError("restart time must be non-negative")
+        now = self.sim.now
+        lost = 0
+        for i in self._local_indices(node):
+            lost += self.nodes[i].crash()
+            if restart_s > 0.0:
+                self._mark_down(i, now + restart_s)
+            policy = self.policies[i]
+            if policy is not None:
+                policy.reset()
+        return lost
+
+    def emit_fault(self, kind: str, cleared: bool = False, **data) -> None:
+        """Emit a ``fault.injected`` / ``fault.cleared`` trace event."""
+        tracer = self._span_tracer
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now,
+                "fault.cleared" if cleared else "fault.injected",
+                "fault",
+                kind=kind,
+                **data,
+            )
 
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
-    def run(self, n_transactions: int, warmup: int = 0) -> ClusterResult:
+    def run(
+        self,
+        n_transactions: int,
+        warmup: int = 0,
+        collect_response_times: bool = False,
+    ) -> ClusterResult:
         """Generate ``n_transactions`` arrivals; run until all resolve."""
         if n_transactions < 1:
             raise ValueError("need at least one transaction")
         if not 0 <= warmup < n_transactions:
             raise ValueError("warmup must lie in [0, n_transactions)")
         self.sim.reset()
+        # Fault injectors may have swapped the arrival process in a
+        # previous run; every run starts from the constructor's process.
+        self.arrivals = self._base_arrivals
         self.arrivals.reset()
         self.balancer.reset()
         self.coordinator.reset()
+        if self.tracer is not None:
+            self.tracer.clear()
+        if self.profiler is not None:
+            self.profiler.clear()
         for i, node in enumerate(self.nodes):
             node.reset()
             policy = self.policies[i]
@@ -232,6 +480,12 @@ class ClusterSystem:
         self._reset_counters()
         self._warmup = warmup
         self._n_target = n_transactions
+        if collect_response_times:
+            self._collected = []
+        if self.faults is not None:
+            injections = getattr(self.faults, "injections", self.faults)
+            for injection in injections:
+                injection.arm(self)
         self._schedule_next_arrival()
         self.sim.run()
         resolved = self._completed + self._lost

@@ -54,6 +54,14 @@ class RunResult:
     live: Optional[object] = None
     flight: Optional[Tuple[object, ...]] = None
     profile: Optional[object] = None
+    #: Arrivals refused because every node was in downtime -- always 0
+    #: on the single-node system (refusals are counted as losses with
+    #: reason ``downtime``); cluster/fleet substrates report them here
+    #: as well as in ``lost``.
+    refused: int = 0
+    #: Per-node stats (``repro.cluster.metrics.NodeStats``) on cluster
+    #: and fleet substrates; ``None`` on the single-node system.
+    nodes: Optional[Tuple[object, ...]] = None
 
     @property
     def throughput(self) -> float:

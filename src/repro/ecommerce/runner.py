@@ -67,6 +67,7 @@ def replication_jobs(
     telemetry_interval_s: Optional[float] = None,
     live: Optional[Any] = None,
     profile: bool = False,
+    system: Optional[Any] = None,
 ) -> List[ReplicationJob]:
     """The job list behind :func:`run_replications`, in replication order.
 
@@ -89,6 +90,12 @@ def replication_jobs(
         raise ValueError("need at least one transaction")
     if trace_level is None:
         trace_level = active_trace_level()
+    spec = None
+    if system is not None:
+        from repro.systems import resolve_system
+
+        spec = resolve_system(system)
+        n_transactions = spec.job_transactions(n_transactions)
     return [
         ReplicationJob(
             config=config,
@@ -102,6 +109,7 @@ def replication_jobs(
             telemetry_interval_s=telemetry_interval_s,
             live=live,
             profile=profile,
+            system=spec,
         )
         for i in range(replications)
     ]
@@ -120,6 +128,7 @@ def run_replications(
     telemetry_interval_s: Optional[float] = None,
     live: Optional[Any] = None,
     profile: bool = False,
+    system: Optional[Any] = None,
     arrival_factory: Optional[ArrivalSource] = None,
     policy_factory: Optional[PolicySource] = None,
 ) -> ReplicatedResult:
@@ -162,6 +171,11 @@ def run_replications(
         Attribute per-event wall-clock and counts to subsystems; the
         per-run :class:`repro.obs.live.Profile` rides back on
         ``RunResult.profile``.
+    system:
+        Substrate selector (``None`` = the single Section-3 node, a
+        kind name, or a :class:`repro.systems.SystemSpec`); every
+        replication runs against it, with ``n_transactions`` scaled by
+        the substrate's convention (see ``SystemSpec.job_transactions``).
     arrival_factory, policy_factory:
         Deprecated aliases for ``arrival`` / ``policy`` (the pre-spec
         factory protocol); still accepted so existing callers keep
@@ -192,6 +206,7 @@ def run_replications(
         telemetry_interval_s=telemetry_interval_s,
         live=live,
         profile=profile,
+        system=system,
     )
     runs = resolve_backend(backend).map(execute_job, jobs, progress=progress)
     session = current_session()

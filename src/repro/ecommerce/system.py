@@ -296,7 +296,23 @@ class ECommerceSystem:
         self.arrivals = process
         return previous
 
-    def inject_crash(self, restart_s: float = 0.0) -> int:
+    def fault_nodes(self, node: "Optional[int]" = None) -> list:
+        """The processing nodes a fault should touch.
+
+        The single-node system only answers for global node index 0
+        (or ``None``, meaning "every node"); anything else is a
+        targeting error -- the fault was written for a larger
+        substrate.
+        """
+        if node is None or node == 0:
+            return [self.node]
+        raise ValueError(
+            f"node index {node} out of range for a single-node system"
+        )
+
+    def inject_crash(
+        self, restart_s: float = 0.0, node: "Optional[int]" = None
+    ) -> int:
         """Crash the node: all in-flight work dies, then restart.
 
         Requests arriving during the ``restart_s`` restart window are
@@ -310,6 +326,7 @@ class ECommerceSystem:
         """
         if restart_s < 0:
             raise ValueError("restart time must be non-negative")
+        self.fault_nodes(node)  # validate the target
         lost = self.node.crash()
         if restart_s > 0.0:
             self._down_until = max(

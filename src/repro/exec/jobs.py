@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple, Union
 
+from repro.systems.protocol import resolve_system
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.base import RejuvenationPolicy
     from repro.ecommerce.metrics import RunResult
@@ -78,6 +80,10 @@ class ReplicationJob:
     #: Attribute per-event wall-clock and counts to subsystems
     #: (rides back on ``RunResult.profile``).
     profile: bool = False
+    #: Substrate selector: ``None`` (the default single node), a kind
+    #: name from :data:`repro.systems.SYSTEM_KINDS`, or a configured
+    #: :class:`~repro.systems.SystemSpec` (e.g. a ``FleetSpec``).
+    system: Any = None
 
     def manifest_dict(self) -> dict:
         """The job's deterministic identity, as canonical plain data.
@@ -91,7 +97,7 @@ class ReplicationJob:
         """
         from repro.obs.ledger.canonical import to_plain
 
-        return {
+        manifest = {
             "config": to_plain(self.config),
             "arrival": to_plain(self.arrival),
             "policy": to_plain(self.policy),
@@ -100,6 +106,14 @@ class ReplicationJob:
             "warmup": int(self.warmup),
             "faults": to_plain(self.faults),
         }
+        if self.system is not None:
+            # Only non-default substrates appear in the manifest, so
+            # every pre-protocol single-node hash (and the committed
+            # ledger baselines) stays stable.
+            manifest["system"] = to_plain(
+                resolve_system(self.system).to_dict()
+            )
+        return manifest
 
 
 def build_arrival(source: ArrivalSource) -> "ArrivalProcess":
@@ -132,76 +146,34 @@ def build_policy(source: PolicySource) -> Optional["RejuvenationPolicy"]:
 
 
 def execute_job(job: ReplicationJob) -> "RunResult":
-    """Run one replication job to completion (in this process)."""
+    """Run one replication job to completion (in this process).
+
+    Dispatches through the :mod:`repro.systems` protocol: the job's
+    ``system`` spec builds the substrate (the single Section-3 node by
+    default) from the job's sources, and the substrate runs under the
+    job's observability sinks and fault scenario.  The result is a
+    :class:`~repro.ecommerce.metrics.RunResult` whatever the substrate.
+    """
     # Imported here, not at module level: repro.ecommerce.runner imports
     # this module, so a top-level import would be circular.
-    from repro.ecommerce.system import ECommerceSystem
+    from repro.systems.protocol import ObsSpec
 
-    tracer = None
-    if job.trace_level is not None:
-        from repro.obs.tracer import Tracer
-
-        tracer = Tracer(job.trace_level)
-    tap = None
-    if job.live is not None:
-        tap = job.live.build()
-    telemetry = None
-    if job.telemetry_interval_s is not None:
-        from repro.ecommerce.telemetry import Telemetry
-
-        telemetry = Telemetry(job.telemetry_interval_s)
-    profiler = None
-    if job.profile:
-        from repro.obs.live.profiler import DESProfiler
-
-        profiler = DESProfiler()
-    sink = tracer
-    if tap is not None:
-        from repro.obs.live.tap import compose_tracers
-
-        sink = compose_tracers(tracer, tap)
-    system = ECommerceSystem(
+    spec = resolve_system(job.system)
+    system = spec.build(
         job.config,
-        build_arrival(job.arrival),
-        policy=build_policy(job.policy),
+        job.arrival,
+        job.policy,
         seed=job.seed,
-        telemetry=telemetry,
-        tracer=sink,
+        obs=ObsSpec(
+            trace_level=job.trace_level,
+            telemetry_interval_s=job.telemetry_interval_s,
+            live=job.live,
+            profile=job.profile,
+        ),
         faults=job.faults,
-        profiler=profiler,
     )
-    if tap is not None:
-        # The tap's ring churns tracked containers; amortise the cyclic
-        # collector over larger batches for the duration of the run
-        # (see repro.obs.live.tap.amortised_gc).
-        from repro.obs.live.tap import amortised_gc
-
-        with amortised_gc():
-            result = system.run(
-                job.n_transactions,
-                warmup=job.warmup,
-                collect_response_times=job.collect_response_times,
-            )
-    else:
-        result = system.run(
-            job.n_transactions,
-            warmup=job.warmup,
-            collect_response_times=job.collect_response_times,
-        )
-    if tap is None and profiler is None:
-        return result
-    from dataclasses import replace as replace_result
-
-    updates: dict = {}
-    if tap is not None:
-        updates["live"] = tap.freeze()
-        updates["flight"] = tap.dumps()
-        if job.trace_level is None:
-            # The tap buffers nothing; without a real tracer the run
-            # stays "untraced" on the result.
-            updates["trace"] = None
-        if tap.display is not None:
-            tap.display.final(tap)
-    if profiler is not None:
-        updates["profile"] = profiler.snapshot()
-    return replace_result(result, **updates)
+    return system.run(
+        job.n_transactions,
+        warmup=job.warmup,
+        collect_response_times=job.collect_response_times,
+    )

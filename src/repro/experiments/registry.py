@@ -20,6 +20,7 @@ from repro.experiments.comparison import run_fig16
 from repro.experiments.degradation_exp import run_degradation
 from repro.experiments.faults_exp import run_faults
 from repro.experiments.fidelity import run_fidelity
+from repro.experiments.fleet_exp import run_fleet
 from repro.experiments.saraa_fig import run_fig15
 from repro.experiments.scale import Scale
 from repro.experiments.sraa_figs import (
@@ -40,6 +41,7 @@ _ALIASES: Dict[str, str] = {
     "saraa": "fig15",
     "robustness": "faults",
     "erosion": "degradation",
+    "rolling": "fleet",
 }
 
 _REGISTRY: Dict[str, Tuple[str, ExperimentRunner]] = {
@@ -103,6 +105,11 @@ _REGISTRY: Dict[str, Tuple[str, ExperimentRunner]] = {
         "Fault-injection campaign: policy robustness across the "
         "adversarial scenario zoo (beyond the paper)",
         run_faults,
+    ),
+    "fleet": (
+        "Sharded fleet: rolling/canary rejuvenation schedulers under "
+        "a capacity floor (beyond the paper)",
+        run_fleet,
     ),
     "availability": (
         "Huang et al. availability planning (analytical, ref. [9]; "

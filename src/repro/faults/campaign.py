@@ -83,6 +83,7 @@ def campaign_jobs(
     trace_level: Optional[str] = None,
     live: Optional[object] = None,
     profile: bool = False,
+    system: Optional[object] = None,
 ) -> List[ReplicationJob]:
     """The flat job list, in (scenario, policy, replication) order.
 
@@ -93,6 +94,13 @@ def campaign_jobs(
     ``live`` (a :class:`repro.obs.live.LiveSpec`) and ``profile`` stamp
     every cell's jobs with live telemetry / DES profiling, exactly as
     in :func:`repro.ecommerce.runner.replication_jobs`.
+
+    ``system`` selects the substrate (a kind name or a
+    :class:`~repro.systems.SystemSpec`; ``None`` keeps the single
+    Section-3 node).  A substrate that scales arrivals with its node
+    count also scales each scenario's transaction budget (see
+    ``SystemSpec.job_transactions``), so the simulated time horizon --
+    and with it the scenario's scripted fault times -- is preserved.
     """
     if replications < 1:
         raise ValueError("need at least one replication")
@@ -102,8 +110,16 @@ def campaign_jobs(
         raise ValueError("need at least one policy")
     if trace_level is None:
         trace_level = active_trace_level()
+    spec = None
+    if system is not None:
+        from repro.systems import resolve_system
+
+        spec = resolve_system(system)
     jobs: List[ReplicationJob] = []
     for s_index, scenario in enumerate(scenarios):
+        n_transactions = scenario.n_transactions
+        if spec is not None:
+            n_transactions = spec.job_transactions(n_transactions)
         for label, policy in policies.items():
             for i in range(replications):
                 jobs.append(
@@ -111,13 +127,14 @@ def campaign_jobs(
                         config=scenario.config,
                         arrival=scenario.arrival,
                         policy=policy,
-                        n_transactions=scenario.n_transactions,
+                        n_transactions=n_transactions,
                         seed=seed + 1000 * s_index + i,
                         tag=("faults", scenario.name, label, i),
                         trace_level=trace_level,
                         faults=scenario,
                         live=live,
                         profile=profile,
+                        system=spec,
                     )
                 )
     return jobs
@@ -132,6 +149,7 @@ def run_campaign(
     progress: Optional[ProgressHook] = None,
     live: Optional[object] = None,
     profile: bool = False,
+    system: Optional[object] = None,
 ) -> CampaignResult:
     """Run and score a full campaign.
 
@@ -151,6 +169,11 @@ def run_campaign(
     backend:
         Execution backend (instance, name, or ``None`` for the
         installed/environment default).
+    system:
+        Substrate every cell runs against: ``None`` (single node), a
+        kind name from :data:`repro.systems.SYSTEM_KINDS`, or a
+        configured spec -- the campaign, the CRN protocol, and the
+        robustness scoring are substrate-polymorphic.
 
     When a :class:`~repro.obs.session.TraceSession` is installed, the
     jobs are stamped with its level and the results ingested, so
@@ -167,6 +190,7 @@ def run_campaign(
         seed=seed,
         live=live,
         profile=profile,
+        system=system,
     )
     runs = resolve_backend(backend).map(execute_job, jobs, progress=progress)
     session = current_session()

@@ -69,6 +69,26 @@ def _check_time(name: str, value: float) -> None:
         raise ValueError(f"{name} must be non-negative, got {value!r}")
 
 
+def _target_nodes(system: Any, node: Optional[int]) -> list:
+    """The processing nodes a targeted injection should touch.
+
+    Resolved through the system's ``fault_nodes`` surface (see
+    :mod:`repro.systems`): ``None`` means every node; a global node
+    index means that one node -- which may be *no* node on a fleet
+    shard that does not own the index, in which case the injection
+    silently does nothing there (the owning shard fires it).  Systems
+    predating the protocol fall back to their single ``node``.
+    """
+    fault_nodes = getattr(system, "fault_nodes", None)
+    if fault_nodes is not None:
+        return fault_nodes(node)
+    if node is not None and node != 0:
+        raise ValueError(
+            f"node index {node} out of range for a single-node system"
+        )
+    return [system.node]
+
+
 @dataclass(frozen=True)
 class WorkloadShift(FaultInjection):
     """Step change of the arrival process at ``at_s``.
@@ -206,11 +226,15 @@ class ServiceSlowdown(FaultInjection):
     aging is only cured by rejuvenation -- which in this model restores
     *capacity* but not the injected slowdown, modelling a fault the
     paper's policies can only keep suppressing, not remove).
+
+    ``node`` targets one global node index on multi-node substrates
+    (``None`` degrades every node alike).
     """
 
     at_s: float
     factor: float
     duration_s: Optional[float] = None
+    node: Optional[int] = None
 
     def __post_init__(self) -> None:
         _check_time("at_s", self.at_s)
@@ -221,12 +245,17 @@ class ServiceSlowdown(FaultInjection):
 
     def arm(self, system: Any) -> None:
         def start() -> None:
-            system.node.service_scale *= self.factor
+            targets = _target_nodes(system, self.node)
+            if not targets:
+                return
+            for target in targets:
+                target.service_scale *= self.factor
             system.emit_fault("slowdown", factor=self.factor)
             if self.duration_s is not None:
 
                 def stop() -> None:
-                    system.node.service_scale /= self.factor
+                    for target in targets:
+                        target.service_scale /= self.factor
                     system.emit_fault("slowdown", cleared=True)
 
                 system.sim.schedule(self.duration_s, stop, kind="fault")
@@ -249,6 +278,7 @@ class HeavyTailContamination(FaultInjection):
     alpha: float
     scale_s: float
     duration_s: Optional[float] = None
+    node: Optional[int] = None
 
     def __post_init__(self) -> None:
         _check_time("at_s", self.at_s)
@@ -263,7 +293,11 @@ class HeavyTailContamination(FaultInjection):
 
     def arm(self, system: Any) -> None:
         def start() -> None:
-            system.node.contamination = (self.prob, self.alpha, self.scale_s)
+            targets = _target_nodes(system, self.node)
+            if not targets:
+                return
+            for target in targets:
+                target.contamination = (self.prob, self.alpha, self.scale_s)
             system.emit_fault(
                 "contamination",
                 prob=self.prob,
@@ -273,7 +307,8 @@ class HeavyTailContamination(FaultInjection):
             if self.duration_s is not None:
 
                 def stop() -> None:
-                    system.node.contamination = None
+                    for target in targets:
+                        target.contamination = None
                     system.emit_fault("contamination", cleared=True)
 
                 system.sim.schedule(self.duration_s, stop, kind="fault")
@@ -290,10 +325,14 @@ class NodeCrash(FaultInjection):
     rejuvenation, a crash is not a policy trigger: it never appears in
     ``RunResult.rejuvenation_times``, and the policy's detection state
     is wiped (a restarted monitor starts from scratch).
+
+    ``node`` crashes one global node index on multi-node substrates
+    (``None`` crashes every node -- a correlated outage).
     """
 
     at_s: float
     restart_s: float = 0.0
+    node: Optional[int] = None
 
     def __post_init__(self) -> None:
         _check_time("at_s", self.at_s)
@@ -301,7 +340,9 @@ class NodeCrash(FaultInjection):
 
     def arm(self, system: Any) -> None:
         def fire() -> None:
-            lost = system.inject_crash(self.restart_s)
+            if not _target_nodes(system, self.node):
+                return
+            lost = system.inject_crash(self.restart_s, node=self.node)
             system.emit_fault(
                 "crash", lost=lost, restart_s=self.restart_s
             )
@@ -328,6 +369,7 @@ class NodeHang(FaultInjection):
 
     at_s: float
     hang_s: float
+    node: Optional[int] = None
 
     def __post_init__(self) -> None:
         _check_time("at_s", self.at_s)
@@ -336,7 +378,12 @@ class NodeHang(FaultInjection):
 
     def arm(self, system: Any) -> None:
         def fire() -> None:
-            stalled = system.node.stall(self.hang_s)
+            targets = _target_nodes(system, self.node)
+            if not targets:
+                return
+            stalled = sum(
+                target.stall(self.hang_s) for target in targets
+            )
             system.emit_fault(
                 "hang", hang_s=self.hang_s, stalled=stalled
             )
@@ -364,6 +411,7 @@ class AgingAcceleration(FaultInjection):
     rate_mb_s: float
     interval_s: float = 10.0
     end_s: Optional[float] = None
+    node: Optional[int] = None
 
     def __post_init__(self) -> None:
         _check_time("start_s", self.start_s)
@@ -379,11 +427,14 @@ class AgingAcceleration(FaultInjection):
             if self.end_s is not None and system.sim.now >= self.end_s:
                 system.emit_fault("aging", cleared=True)
                 return
-            system.node.inject_garbage(self.rate_mb_s * self.interval_s)
+            for target in _target_nodes(system, self.node):
+                target.inject_garbage(self.rate_mb_s * self.interval_s)
             if system.sim.queue:
                 system.sim.schedule(self.interval_s, tick, kind="fault")
 
         def start() -> None:
+            if not _target_nodes(system, self.node):
+                return
             system.emit_fault(
                 "aging", rate_mb_s=self.rate_mb_s, interval_s=self.interval_s
             )

@@ -29,6 +29,8 @@ REPLICATION_RULE = "seed + i"
 SWEEP_RULE = "seed + 1000 * load_index + i"
 #: The campaign seed rule (see ``faults/campaign.py``).
 CAMPAIGN_RULE = "seed + 1000 * scenario_index + i"
+#: The fleet shard seed rule (see ``systems/fleet.py``).
+FLEET_RULE = "fleet shard i: seed + 104729 * (i + 1)"
 
 
 def _execution_info(backend: Any) -> Dict[str, Any]:
@@ -187,8 +189,17 @@ def campaign_manifest(
     replications: int,
     seed: int,
     backend: Any = None,
+    system: Any = None,
 ) -> RunManifest:
-    """The ``repro faults run`` manifest (CRN seeds shared per cell)."""
+    """The ``repro faults run`` manifest (CRN seeds shared per cell).
+
+    ``system`` is the substrate the campaign ran against.  The default
+    single node adds nothing to the spec -- every pre-protocol campaign
+    hash (including committed CI baselines) stays stable -- while a
+    cluster or fleet records its resolved spec (kind, topology,
+    scheduler) in the hashed identity: the same scenarios on a
+    different substrate are a different run.
+    """
     spec = {
         "scenarios": [to_plain(scenario) for scenario in scenarios],
         "policies": {
@@ -196,6 +207,10 @@ def campaign_manifest(
         },
         "replications": int(replications),
     }
+    if system is not None:
+        from repro.systems import resolve_system
+
+        spec["system"] = to_plain(resolve_system(system).to_dict())
     names = ",".join(
         getattr(scenario, "name", "?") for scenario in scenarios
     )

@@ -1,0 +1,167 @@
+"""The balanced-cluster substrate behind the ``System`` protocol.
+
+A :class:`ClusterSpec` describes the topology (node count, balancer,
+rejuvenation scheduler) while the job keeps supplying the per-node
+config, the arrival source, and the policy source -- so a fault
+campaign written for the single node runs on a cluster by swapping one
+spec.  Two conventions keep single-node scenarios meaningful at
+cluster scale:
+
+* ``scale_arrivals`` multiplies the offered load by the node count
+  (via the cluster's ``arrival_scale``, exact for Poisson processes),
+  so each node sees the scenario's intended per-node load.
+* ``scale_transactions`` multiplies the job's transaction budget by
+  the node count, preserving the simulated *time* horizon -- a
+  scenario's degraded interval hits the same wall-clock window.
+
+The cluster's native :class:`~repro.cluster.metrics.ClusterResult` is
+converted to the protocol's mergeable
+:class:`~repro.ecommerce.metrics.RunResult` (per-node stats ride on
+``nodes``, front-end refusals on ``refused``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.systems.protocol import (
+    ObsSpec,
+    SystemRun,
+    SystemSpec,
+    register_system,
+)
+from repro.systems.schedulers import SchedulerSpec
+
+
+class _PolicyFactory:
+    """Picklable per-node policy factory over a job's policy source."""
+
+    __slots__ = ("source",)
+
+    def __init__(self, source: Any) -> None:
+        self.source = source
+
+    def __call__(self):
+        from repro.exec.jobs import build_policy
+
+        return build_policy(self.source)
+
+
+@register_system
+@dataclass(frozen=True)
+class ClusterSpec(SystemSpec):
+    """N Section-3 nodes behind a balancer with per-node policies."""
+
+    kind = "cluster"
+
+    n_nodes: int = 4
+    balancer: str = "round_robin"
+    scheduler: Optional[SchedulerSpec] = None
+    scale_arrivals: bool = True
+    scale_transactions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        from repro.cluster.balancer import BALANCERS
+
+        if self.balancer not in BALANCERS:
+            raise ValueError(
+                f"unknown balancer {self.balancer!r}; "
+                f"available: {', '.join(sorted(BALANCERS))}"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClusterSpec":
+        payload = dict(payload)
+        scheduler = payload.get("scheduler")
+        if isinstance(scheduler, dict):
+            payload["scheduler"] = SchedulerSpec(**scheduler)
+        return cls(**payload)
+
+    def job_transactions(self, n_transactions: int) -> int:
+        if self.scale_transactions:
+            return n_transactions * self.n_nodes
+        return n_transactions
+
+    def build(
+        self,
+        config: Any,
+        arrival: Any,
+        policy: Any,
+        seed: Optional[int] = None,
+        obs: Optional[ObsSpec] = None,
+        faults: Any = None,
+        first_node_index: int = 0,
+        total_nodes: Optional[int] = None,
+    ) -> "_ClusterRun":
+        from repro.cluster.balancer import make_balancer
+        from repro.cluster.system import ClusterSystem
+        from repro.exec.jobs import build_arrival
+
+        obs = obs if obs is not None else ObsSpec()
+        if obs.telemetry_interval_s is not None:
+            raise ValueError(
+                "telemetry probes are single-node instrumentation; "
+                "the cluster substrate does not support them"
+            )
+        sinks = obs.build()
+        coordinator = None
+        if self.scheduler is not None:
+            coordinator = self.scheduler.build(
+                self.n_nodes, first_node=first_node_index
+            )
+        system = ClusterSystem(
+            config,
+            self.n_nodes,
+            build_arrival(arrival),
+            policy_factory=_PolicyFactory(policy),
+            balancer=make_balancer(self.balancer),
+            coordinator=coordinator,
+            seed=seed,
+            tracer=sinks.sink,
+            faults=faults,
+            profiler=sinks.profiler,
+            arrival_scale=float(self.n_nodes) if self.scale_arrivals else 1.0,
+            first_node_index=first_node_index,
+            total_nodes=total_nodes,
+        )
+        return _ClusterRun(system, sinks)
+
+
+class _ClusterRun(SystemRun):
+    """Runs a ``ClusterSystem`` and converts its result."""
+
+    def _run(self, n_transactions: int, warmup: int, collect: bool):
+        from repro.ecommerce.metrics import RunResult
+
+        cluster = self.system
+        cres = cluster.run(
+            n_transactions,
+            warmup=warmup,
+            collect_response_times=collect,
+        )
+        moments = cluster.measured_moments
+        collected = cluster.collected_response_times
+        sink = self.sinks.sink
+        return RunResult(
+            arrivals=cres.arrivals,
+            completed=cres.completed,
+            lost=cres.lost,
+            avg_response_time=cres.avg_response_time,
+            rt_std=cres.rt_std,
+            max_response_time=(moments.maximum if moments.count else 0.0),
+            loss_fraction=cres.loss_fraction,
+            gc_count=cres.gc_count,
+            rejuvenations=cres.rejuvenations,
+            sim_duration_s=cres.sim_duration_s,
+            response_times=(
+                tuple(collected) if collected is not None else None
+            ),
+            trace=(tuple(sink.events) if sink is not None else None),
+            telemetry=None,
+            rejuvenation_times=tuple(cluster.rejuvenation_times),
+            refused=cres.refused,
+            nodes=cres.nodes,
+        )

@@ -1,0 +1,53 @@
+"""The single-node Section-3 substrate behind the ``System`` protocol.
+
+The default -- and the identity baseline: a job with ``system=None``
+(or ``system="ecommerce"``) runs through this spec and must produce
+bit-identical results to the pre-protocol job runner, which is what
+keeps every CRN seed-protocol and backend bit-identity test, and every
+committed ledger baseline, valid across the refactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.systems.protocol import (
+    ObsSpec,
+    SystemRun,
+    SystemSpec,
+    register_system,
+)
+
+
+@register_system
+@dataclass(frozen=True)
+class EcommerceSpec(SystemSpec):
+    """One Section-3 e-commerce node (the paper's own substrate)."""
+
+    kind = "ecommerce"
+
+    def build(
+        self,
+        config: Any,
+        arrival: Any,
+        policy: Any,
+        seed: Optional[int] = None,
+        obs: Optional[ObsSpec] = None,
+        faults: Any = None,
+    ) -> SystemRun:
+        from repro.ecommerce.system import ECommerceSystem
+        from repro.exec.jobs import build_arrival, build_policy
+
+        sinks = (obs if obs is not None else ObsSpec()).build()
+        system = ECommerceSystem(
+            config,
+            build_arrival(arrival),
+            policy=build_policy(policy),
+            seed=seed,
+            telemetry=sinks.telemetry,
+            tracer=sinks.sink,
+            faults=faults,
+            profiler=sinks.profiler,
+        )
+        return SystemRun(system, sinks)

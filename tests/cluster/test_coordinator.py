@@ -56,6 +56,38 @@ class TestMaxNodesDown:
         assert coordinator.nodes_down(10.1) == 0
 
 
+class TestSimultaneousRequests:
+    """A burst of triggers at one instant (aging is correlated, so
+    whole-cluster simultaneous requests are the common case)."""
+
+    def test_cap_holds_under_simultaneous_triggers(self):
+        coordinator = RollingCoordinator(min_gap_s=0.0, max_nodes_down=2)
+        grants = [
+            coordinator.request(node, now=500.0, downtime_s=60.0)
+            for node in range(8)
+        ]
+        assert grants == [True, True] + [False] * 6
+        assert coordinator.granted == 2
+        assert coordinator.denied == 6
+        assert coordinator.nodes_down(500.0) == 2
+
+    def test_window_reopens_only_after_downtime(self):
+        coordinator = RollingCoordinator(min_gap_s=0.0, max_nodes_down=2)
+        for node in range(8):
+            coordinator.request(node, now=500.0, downtime_s=60.0)
+        assert not coordinator.request(5, now=559.9, downtime_s=60.0)
+        assert coordinator.request(5, now=560.1, downtime_s=60.0)
+        assert coordinator.nodes_down(560.1) == 1
+
+    def test_gap_serialises_a_simultaneous_burst(self):
+        coordinator = RollingCoordinator(min_gap_s=30.0, max_nodes_down=8)
+        grants = [
+            coordinator.request(node, now=100.0, downtime_s=0.0)
+            for node in range(4)
+        ]
+        assert grants == [True, False, False, False]
+
+
 class TestLifecycle:
     def test_reset(self):
         coordinator = RollingCoordinator(min_gap_s=60.0)

@@ -131,6 +131,69 @@ class TestRejuvenation:
         assert result.completed + result.lost == 4_000
 
 
+class _AlwaysTrigger:
+    """A policy that fires on every completion (worst-case flapping)."""
+
+    name = "always"
+
+    def observe(self, value):
+        return True
+
+    def reset(self):
+        pass
+
+    def set_listener(self, listener):
+        pass
+
+
+class TestWholeClusterDowntime:
+    """Lost-transaction accounting when every node is in rejuvenation
+    downtime at once (no coordinator to stagger the restarts)."""
+
+    def run_all_down(self, n_nodes=3):
+        config = dataclasses.replace(
+            PAPER_CONFIG, rejuvenation_downtime_s=500.0
+        )
+        cluster = make_cluster(
+            n_nodes=n_nodes,
+            rate_per_node=1.8,
+            policy_factory=_AlwaysTrigger,
+            config=config,
+            seed=17,
+        )
+        return cluster, cluster.run(3_000)
+
+    def test_refusals_counted_and_conserved(self):
+        cluster, result = self.run_all_down()
+        assert result.refused > 0
+        assert result.completed + result.lost == 3_000
+        assert result.arrivals == 3_000
+
+    def test_refusals_are_cluster_level_losses(self):
+        # A refusal happens before dispatch, so it belongs to no node:
+        # total lost = per-node (in-flight) losses + refused arrivals.
+        cluster, result = self.run_all_down()
+        per_node_lost = sum(n.lost for n in result.nodes)
+        assert result.lost == per_node_lost + result.refused
+        assert sum(n.dispatched for n in result.nodes) == (
+            3_000 - result.refused
+        )
+
+    def test_loss_fraction_includes_refusals(self):
+        cluster, result = self.run_all_down()
+        assert result.loss_fraction == pytest.approx(result.lost / 3_000)
+        assert result.loss_fraction > 0
+
+    def test_every_node_simultaneously_down(self):
+        cluster, result = self.run_all_down()
+        # With every node down the eligibility fast path must report
+        # an empty set, not fall back to "all nodes".
+        assert any(
+            acc.down_until > 0 for acc in cluster._accounting
+        )
+        assert result.rejuvenations >= cluster.n_nodes
+
+
 class TestValidationAndMetrics:
     def test_needs_a_node(self):
         with pytest.raises(ValueError):

@@ -8,6 +8,7 @@ import pytest
 
 from repro.experiments.arl_exp import run_arl
 from repro.experiments.cluster_exp import run_cluster
+from repro.experiments.fleet_exp import peak_nodes_down, run_fleet
 from repro.experiments.scale import Scale
 from repro.experiments.zoo import run_zoo, zoo_members
 
@@ -40,6 +41,37 @@ class TestClusterExperiment:
         assert rt.xs() == [2.0, 9.0]
         for series in loss.series:
             assert all(0.0 <= v <= 1.0 for v in series.points.values())
+
+
+class TestFleetExperiment:
+    def test_structure(self):
+        result = run_fleet(TINY, seed=0)
+        rt, loss, down = result.tables
+        assert len(rt.series) == 3
+        assert rt.xs() == [2.0, 9.0]
+        for series in loss.series:
+            assert all(0.0 <= v <= 1.0 for v in series.points.values())
+        for series in down.series:
+            assert all(v >= 0.0 for v in series.points.values())
+
+    def test_schedulers_bound_peak_downtime(self):
+        result = run_fleet(TINY, seed=0)
+        down = result.tables[2]
+        unrestricted = down.get_series("unrestricted grants")
+        rolling = down.get_series("rolling (floor 0.8)")
+        for load in (2.0, 9.0):
+            assert rolling.value_at(load) <= unrestricted.value_at(load)
+
+    def test_peak_nodes_down_sweep(self):
+        assert peak_nodes_down([]) == 0
+        assert peak_nodes_down([(0.0, 10.0), (5.0, 15.0)]) == 2
+        # Back-to-back restarts do not overlap.
+        assert peak_nodes_down([(0.0, 10.0), (10.0, 20.0)]) == 1
+        # The horizon clips intervals that outlive the run.
+        assert (
+            peak_nodes_down([(0.0, 50.0), (40.0, 60.0)], horizon_s=30.0)
+            == 1
+        )
 
 
 class TestArlExperiment:

@@ -41,8 +41,9 @@ class TestRegistry:
             describe("fig99")
 
     def test_beyond_paper_studies_registered(self):
-        assert {"faults", "degradation"} <= set(experiment_ids())
+        assert {"faults", "degradation", "fleet"} <= set(experiment_ids())
         assert "robustness" in describe("faults").lower()
+        assert resolve_experiment_id("rolling") == "fleet"
 
     def test_aliases_resolve_to_canonical_ids(self):
         assert resolve_experiment_id("robustness") == "faults"

@@ -1,0 +1,197 @@
+"""The System protocol: registry, resolution, spec round trips, obs."""
+
+import pytest
+
+from repro.ecommerce.metrics import RunResult
+from repro.systems import (
+    SYSTEM_KINDS,
+    ClusterSpec,
+    EcommerceSpec,
+    FleetSpec,
+    ObsSpec,
+    SchedulerSpec,
+    resolve_system,
+    system_spec_from_dict,
+)
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        assert set(SYSTEM_KINDS) >= {"ecommerce", "cluster", "fleet"}
+
+    def test_kind_attribute_matches_key(self):
+        for kind, cls in SYSTEM_KINDS.items():
+            assert cls.kind == kind
+
+
+class TestResolveSystem:
+    def test_none_is_the_single_node(self):
+        assert isinstance(resolve_system(None), EcommerceSpec)
+
+    def test_kind_name_builds_defaults(self):
+        spec = resolve_system("cluster")
+        assert isinstance(spec, ClusterSpec)
+        assert spec.n_nodes == 4
+
+    def test_spec_passes_through(self):
+        spec = FleetSpec(n_nodes=8, shards=2)
+        assert resolve_system(spec) is spec
+
+    def test_mapping_revives(self):
+        spec = resolve_system({"kind": "fleet", "n_nodes": 8, "shards": 2})
+        assert spec == FleetSpec(n_nodes=8, shards=2)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown system kind"):
+            resolve_system("mainframe")
+
+    def test_garbage_raises(self):
+        with pytest.raises(TypeError):
+            resolve_system(42)
+
+
+class TestSpecRoundTrips:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            EcommerceSpec(),
+            ClusterSpec(n_nodes=3, balancer="jsq"),
+            ClusterSpec(
+                n_nodes=6,
+                scheduler=SchedulerSpec.rolling(capacity_floor=0.5),
+            ),
+            FleetSpec(n_nodes=20, shards=4),
+            FleetSpec(
+                n_nodes=20,
+                shards=2,
+                scheduler=SchedulerSpec.canary(
+                    canary_soak_s=30.0, pod_size=5
+                ),
+            ),
+        ],
+    )
+    def test_to_dict_from_dict_identity(self, spec):
+        payload = spec.to_dict()
+        assert payload["kind"] == spec.kind
+        assert system_spec_from_dict(payload) == spec
+
+    def test_payload_is_plain_data(self):
+        import json
+
+        spec = FleetSpec(scheduler=SchedulerSpec.rolling(min_gap_s=5.0))
+        json.dumps(spec.to_dict())  # must not raise
+
+    def test_missing_kind_raises(self):
+        with pytest.raises(ValueError, match="kind"):
+            system_spec_from_dict({"n_nodes": 4})
+
+
+class TestJobTransactions:
+    def test_single_node_identity(self):
+        assert EcommerceSpec().job_transactions(1000) == 1000
+
+    def test_cluster_scales_with_nodes(self):
+        assert ClusterSpec(n_nodes=4).job_transactions(1000) == 4000
+
+    def test_fleet_scales_with_nodes(self):
+        assert FleetSpec(n_nodes=10, shards=2).job_transactions(100) == 1000
+
+    def test_scaling_can_be_disabled(self):
+        spec = ClusterSpec(n_nodes=4, scale_transactions=False)
+        assert spec.job_transactions(1000) == 1000
+
+
+class TestSpecValidation:
+    def test_cluster_needs_a_node(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=0)
+
+    def test_unknown_balancer(self):
+        with pytest.raises(ValueError, match="balancer"):
+            ClusterSpec(balancer="psychic")
+
+    def test_fleet_shards_bounded_by_nodes(self):
+        with pytest.raises(ValueError):
+            FleetSpec(n_nodes=4, shards=5)
+
+    def test_pod_straddling_shards_rejected(self):
+        # 10 nodes / 2 shards -> offsets 0 and 5; pods of 4 straddle.
+        with pytest.raises(ValueError, match="straddles"):
+            FleetSpec(
+                n_nodes=10,
+                shards=2,
+                scheduler=SchedulerSpec.rolling(pod_size=4),
+            )
+
+
+class TestObsSinks:
+    def test_empty_spec_builds_no_sinks(self):
+        sinks = ObsSpec().build()
+        assert sinks.sink is None
+        assert sinks.tracer is None
+        assert sinks.tap is None
+        assert sinks.profiler is None
+
+    def test_decorate_is_identity_without_instrumentation(self):
+        sinks = ObsSpec().build()
+        result = RunResult(
+            arrivals=1,
+            completed=1,
+            lost=0,
+            avg_response_time=1.0,
+            rt_std=0.0,
+            max_response_time=1.0,
+            loss_fraction=0.0,
+            gc_count=0,
+            rejuvenations=0,
+            sim_duration_s=1.0,
+        )
+        assert sinks.decorate(result) is result
+
+    def test_trace_level_builds_a_tracer(self):
+        sinks = ObsSpec(trace_level="spans").build()
+        assert sinks.tracer is not None
+        assert sinks.sink is sinks.tracer
+
+
+class TestManifestIdentity:
+    """The substrate is part of a job's hashed identity -- but only
+    when one was actually selected, so pre-protocol hashes survive."""
+
+    def _job(self, system):
+        from repro.ecommerce.config import PAPER_CONFIG
+        from repro.ecommerce.spec import ArrivalSpec
+        from repro.exec.jobs import ReplicationJob
+
+        return ReplicationJob(
+            config=PAPER_CONFIG,
+            arrival=ArrivalSpec.poisson(1.6),
+            policy=None,
+            n_transactions=100,
+            seed=0,
+            system=system,
+        )
+
+    def test_default_jobs_have_no_system_key(self):
+        assert "system" not in self._job(None).manifest_dict()
+
+    def test_substrate_recorded_when_selected(self):
+        manifest = self._job(FleetSpec(n_nodes=8, shards=2)).manifest_dict()
+        assert manifest["system"]["kind"] == "fleet"
+        assert manifest["system"]["n_nodes"] == 8
+
+    def test_campaign_manifest_hash_moves_with_substrate(self):
+        from repro.faults.zoo import get_scenario
+        from repro.obs.ledger.manifest import campaign_manifest
+
+        scenario = get_scenario("false_aging", 600.0)
+        base = campaign_manifest([scenario], {"SRAA": None}, 1, seed=0)
+        fleet = campaign_manifest(
+            [scenario],
+            {"SRAA": None},
+            1,
+            seed=0,
+            system=FleetSpec(n_nodes=8, shards=2),
+        )
+        assert "system" not in base.spec
+        assert base.manifest_hash != fleet.manifest_hash

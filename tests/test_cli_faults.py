@@ -69,6 +69,43 @@ class TestFaultsRun:
         assert "my_custom" in out
 
 
+class TestFaultsRunSystems:
+    def test_cluster_substrate(self, capsys):
+        assert (
+            main(
+                RUN
+                + ["--policies", "SRAA", "--system", "cluster",
+                   "--nodes", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "false_aging" in out and "SRAA" in out
+
+    def test_fleet_substrate_with_scheduler(self, capsys):
+        assert (
+            main(
+                RUN
+                + ["--policies", "SRAA", "--system", "fleet",
+                   "--nodes", "8", "--shards", "2",
+                   "--scheduler", "rolling", "--capacity-floor", "0.75"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "false_aging" in out
+
+    def test_invalid_fleet_layout_exits(self):
+        # Pods of 4 straddle the 10-node / 2-shard boundary at node 5.
+        with pytest.raises(SystemExit, match="--system"):
+            main(
+                RUN
+                + ["--policies", "SRAA", "--system", "fleet",
+                   "--nodes", "10", "--shards", "2",
+                   "--scheduler", "rolling", "--pod-size", "4"]
+            )
+
+
 class TestFaultsScoreRoundTrip:
     def test_score_reprints_the_run_table(self, tmp_path, capsys):
         trace = str(tmp_path / "campaign.jsonl")
