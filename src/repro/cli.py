@@ -164,6 +164,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "(repro simulate --top)",
     )
     _add_simulate_options(top)
+    top.add_argument(
+        "--follow",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="do not simulate; re-render every SECONDS from a running "
+        "'repro serve' (see --url) until interrupted",
+    )
+    top.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="snapshot source for --follow: a 'repro serve' base URL "
+        "or /api/live endpoint, or a JSON file path "
+        "(default http://127.0.0.1:8765/api/live)",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop --follow after N frames (default: follow forever)",
+    )
 
     explain = sub.add_parser(
         "explain",
@@ -288,6 +311,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="only the N most recent runs",
     )
+    runs_list.add_argument(
+        "--json",
+        action="store_true",
+        help="print the listing as JSON (the same payload "
+        "'repro serve' returns from GET /api/runs)",
+    )
     _add_ledger_dir_option(runs_list)
 
     runs_show = runs_sub.add_parser(
@@ -397,6 +426,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trajectory directory (default: REPRO_BENCH_DIR or "
         ".repro/bench)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP observability plane: JSON API over the run ledger, "
+        "live SSE telemetry, campaign launches, HTML dashboard",
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (default 8765; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--bench-dir",
+        dest="bench_dir",
+        metavar="DIR",
+        default=None,
+        help="benchmark trajectory directory served at /api/bench "
+        "(default: REPRO_BENCH_DIR or .repro/bench)",
+    )
+    _add_ledger_dir_option(serve)
     return parser
 
 
@@ -1042,23 +1097,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 def _resolve_campaign_policies(spec: str):
     """``--policies`` CSV to an ordered ``label -> PolicySpec`` dict."""
-    from repro.core.spec import PolicySpec
-    from repro.faults.campaign import DEFAULT_POLICIES
+    from repro.faults.campaign import resolve_policies
 
-    policies = {}
-    for name in (part.strip() for part in spec.split(",")):
-        if not name:
-            continue
-        if name.upper() in DEFAULT_POLICIES:
-            policies[name.upper()] = DEFAULT_POLICIES[name.upper()]
-        else:
-            try:
-                policies[name] = PolicySpec(name.lower())
-            except ValueError as error:
-                raise SystemExit(f"--policies: {error}") from None
-    if not policies:
-        raise SystemExit(f"no policy names in {spec!r}")
-    return policies
+    try:
+        return resolve_policies(spec)
+    except ValueError as error:
+        raise SystemExit(f"--policies: {error}") from None
 
 
 def _cmd_faults_run(args: argparse.Namespace) -> int:
@@ -1218,6 +1262,30 @@ def _open_ledger(args: argparse.Namespace):
 def _cmd_runs_list(args: argparse.Namespace) -> int:
     ledger = _open_ledger(args)
     entries = ledger.entries()
+    if args.json:
+        # The exact GET /api/runs payload (shared serializer), so
+        # scripts can swap the CLI and the serve API freely.
+        import json as json_module
+
+        from repro.obs.ledger import runs_payload
+
+        total = sum(
+            1
+            for e in entries
+            if args.kind is None or e["kind"] == args.kind
+        )
+        offset = (
+            max(0, total - args.last) if args.last is not None else 0
+        )
+        payload = runs_payload(
+            entries,
+            ledger.baselines(),
+            kind=args.kind,
+            limit=args.last,
+            offset=offset,
+        )
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if args.kind is not None:
         entries = [e for e in entries if e["kind"] == args.kind]
     if args.last is not None:
@@ -1444,6 +1512,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
 
+def _cmd_top_follow(args: argparse.Namespace) -> int:
+    from repro.obs.live import follow_snapshots
+
+    source = args.url or "http://127.0.0.1:8765/api/live"
+    if source.startswith(("http://", "https://")) and "/api/" not in source:
+        source = source.rstrip("/") + "/api/live"
+    follow_snapshots(
+        source, interval_s=args.follow, frames=args.frames
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import DEFAULT_HOST, DEFAULT_PORT, ReproServer
+
+    server = ReproServer(
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        ledger_dir=args.ledger_dir,
+        bench_dir=args.bench_dir,
+    )
+    print(
+        f"repro serve on {server.url}  "
+        f"(ledger {server.ledger().directory}; Ctrl-C stops)"
+    )
+    print(f"  dashboard  {server.url}/")
+    print(f"  API        {server.url}/api/health")
+    print(f"  events     {server.url}/api/events")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
@@ -1464,6 +1569,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "top":
+        if args.follow is not None:
+            return _cmd_top_follow(args)
         args.top = True
         return _cmd_simulate(args)
     if args.command == "explain":
@@ -1474,6 +1581,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_faults(args)
     if args.command == "runs":
         return _cmd_runs(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

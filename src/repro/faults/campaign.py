@@ -35,6 +35,29 @@ DEFAULT_POLICIES: Dict[str, PolicySpec] = {
 }
 
 
+def resolve_policies(spec: str) -> Dict[str, PolicySpec]:
+    """A ``--policies`` CSV as an ordered ``label -> PolicySpec`` dict.
+
+    Names matching :data:`DEFAULT_POLICIES` (case-insensitive) get the
+    paper's Section-5.6 parameters under their canonical upper-case
+    label; anything else is handed to :class:`PolicySpec` as a factory
+    name.  Raises ``ValueError`` on unknown names or an empty list --
+    shared by ``repro faults run --policies`` and the serve campaign
+    endpoint so both surfaces accept exactly the same spellings.
+    """
+    policies: Dict[str, PolicySpec] = {}
+    for name in (part.strip() for part in spec.split(",")):
+        if not name:
+            continue
+        if name.upper() in DEFAULT_POLICIES:
+            policies[name.upper()] = DEFAULT_POLICIES[name.upper()]
+        else:
+            policies[name] = PolicySpec(name.lower())
+    if not policies:
+        raise ValueError(f"no policy names in {spec!r}")
+    return policies
+
+
 @dataclass(frozen=True)
 class CampaignResult:
     """Everything a campaign produced, in submission order.

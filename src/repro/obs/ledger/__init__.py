@@ -46,9 +46,15 @@ from repro.obs.ledger.regress import (
     welch_check,
 )
 from repro.obs.ledger.store import Ledger, ledger_enabled, record_run
+from repro.obs.ledger.summary import (
+    LIST_SCHEMA_VERSION,
+    entry_summary,
+    runs_payload,
+)
 
 __all__ = [
     "CheckReport",
+    "LIST_SCHEMA_VERSION",
     "Ledger",
     "MetricCheck",
     "RunManifest",
@@ -58,6 +64,7 @@ __all__ = [
     "canonical_json",
     "compare_outcomes",
     "diff_entries",
+    "entry_summary",
     "environment_info",
     "experiment_manifest",
     "experiment_outcomes",
@@ -74,6 +81,7 @@ __all__ = [
     "relative_check",
     "replicated_outcomes",
     "run_check",
+    "runs_payload",
     "simulate_manifest",
     "timing_block",
     "to_plain",

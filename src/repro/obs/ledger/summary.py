@@ -1,0 +1,72 @@
+"""Machine-readable run listings, shared by the CLI and the serve API.
+
+``repro runs list --json`` and ``GET /api/runs`` must never drift
+apart, so both go through :func:`runs_payload`: one function that
+filters, paginates, and summarises ledger entries into plain JSON-safe
+data.  The round trip is pinned by ``tests/serve/test_serve_api.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Payload schema version (bumped on shape changes).
+LIST_SCHEMA_VERSION = 1
+
+
+def entry_summary(
+    entry: Dict[str, Any],
+    pinned: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """One run's listing row: identity, provenance, timing.
+
+    ``pinned`` maps entry id -> baseline label (see
+    :meth:`~repro.obs.ledger.store.Ledger.baselines`).
+    """
+    manifest = entry.get("manifest", {})
+    timing = entry.get("timing") or {}
+    return {
+        "id": entry.get("id"),
+        "created_utc": entry.get("created_utc"),
+        "kind": entry.get("kind"),
+        "label": entry.get("label"),
+        "manifest_hash": manifest.get("manifest_hash"),
+        "baseline": (pinned or {}).get(entry.get("id")),
+        "wall_clock_s": timing.get("wall_clock_s"),
+    }
+
+
+def runs_payload(
+    entries: Sequence[Dict[str, Any]],
+    baselines: Optional[Dict[str, Dict[str, Any]]] = None,
+    kind: Optional[str] = None,
+    limit: Optional[int] = None,
+    offset: int = 0,
+) -> Dict[str, Any]:
+    """The paginated listing payload over ``entries`` (oldest first).
+
+    ``kind`` filters before pagination; ``offset`` skips that many
+    filtered entries from the start and ``limit`` caps what remains
+    (plain forward pagination -- the CLI's ``--last N`` maps to
+    ``offset = total - N``).  ``total`` always reports the filtered
+    count so clients can page without a second request.
+    """
+    pinned = {
+        pin["id"]: label for label, pin in (baselines or {}).items()
+    }
+    filtered: List[Dict[str, Any]] = [
+        entry
+        for entry in entries
+        if kind is None or entry.get("kind") == kind
+    ]
+    offset = max(0, int(offset))
+    window = filtered[offset:]
+    if limit is not None:
+        window = window[: max(0, int(limit))]
+    return {
+        "schema_version": LIST_SCHEMA_VERSION,
+        "total": len(filtered),
+        "offset": offset,
+        "count": len(window),
+        "runs": [entry_summary(entry, pinned) for entry in window],
+    }

@@ -48,7 +48,12 @@ from repro.obs.live.tap import (
     live_outcome,
     merge_live,
 )
-from repro.obs.live.top import LiveDisplay, render_snapshot
+from repro.obs.live.top import (
+    LiveDisplay,
+    follow_snapshots,
+    read_snapshot_source,
+    render_snapshot,
+)
 
 __all__ = [
     "DEFAULT_EPS",
@@ -71,8 +76,10 @@ __all__ = [
     "TeeTracer",
     "compose_tracers",
     "live_outcome",
+    "follow_snapshots",
     "merge_live",
     "merge_profiles",
+    "read_snapshot_source",
     "render_report",
     "render_snapshot",
     "subsystem_of",

@@ -14,12 +14,16 @@ TTY (or forced), so piped output degrades to appended frames.
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from typing import Any, Callable, Dict, Optional, TextIO
 
 #: Default minimum wall-clock seconds between repaints.
 DEFAULT_REFRESH_S = 0.5
+
+#: Default re-render period of ``repro top --follow``.
+DEFAULT_FOLLOW_S = 2.0
 
 _BAR_WIDTH = 24
 
@@ -65,6 +69,80 @@ def render_snapshot(
         f"[{_bar(level / max_level if max_level else 0.0)}]",
     ]
     return "\n".join(lines)
+
+
+def read_snapshot_source(source: str) -> Dict[str, Any]:
+    """One aggregator snapshot from a URL or a local JSON file.
+
+    ``repro top --follow`` points this at a ``repro serve`` instance's
+    ``/api/live`` endpoint -- the same payload the dashboard's Live
+    panel renders -- or at a JSON file something else keeps fresh.
+    Returns ``{}`` when the server has no snapshot yet.
+    """
+    if source.startswith(("http://", "https://")):
+        from urllib.request import urlopen
+
+        with urlopen(source, timeout=5.0) as response:
+            return json.loads(response.read().decode("utf-8"))
+    with open(source, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def follow_snapshots(
+    source: str,
+    interval_s: float = DEFAULT_FOLLOW_S,
+    frames: Optional[int] = None,
+    stream: Optional[TextIO] = None,
+    ansi: Optional[bool] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    max_level: int = 5,
+) -> int:
+    """Re-render the ``repro top`` panel from ``source`` every period.
+
+    The observer side of the live channel: nothing here touches a
+    simulation -- each frame is one GET (or file read) against whatever
+    ``source`` serves.  ``frames`` bounds the loop (``None`` follows
+    until interrupted); returns the number of frames painted.  Fetch
+    errors paint a waiting line rather than aborting, so the follower
+    can outlive server restarts.
+    """
+    if stream is None:
+        stream = sys.stderr
+    if ansi is None:
+        isatty = getattr(stream, "isatty", None)
+        ansi = bool(isatty()) if callable(isatty) else False
+    painted = 0
+    last_height = 0
+    try:
+        while frames is None or painted < frames:
+            try:
+                snapshot = read_snapshot_source(source)
+            except (OSError, ValueError) as error:
+                panel = f"repro top  (waiting on {source}: {error})"
+            else:
+                if snapshot:
+                    panel = render_snapshot(
+                        snapshot,
+                        dumps=int(snapshot.get("flight_dumps") or 0),
+                        max_level=max_level,
+                    )
+                else:
+                    panel = (
+                        f"repro top  (no live snapshot at {source} "
+                        "yet -- launch a campaign)"
+                    )
+            if ansi and last_height:
+                stream.write(f"\x1b[{last_height}F\x1b[J")
+            stream.write(panel + "\n")
+            stream.flush()
+            last_height = panel.count("\n") + 1
+            painted += 1
+            if frames is not None and painted >= frames:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return painted
 
 
 class LiveDisplay:

@@ -1,0 +1,27 @@
+"""``repro serve``: the HTTP observability plane.
+
+One stdlib-only server (:class:`ReproServer`) exposes the run ledger
+as a JSON API, streams live telemetry over Server-Sent Events through
+an :class:`EventBroker` fed by a :class:`ServeTap` (the tracer-protocol
+sink attached to background runs), launches fault campaigns via a
+:class:`JobManager`, and renders a self-contained HTML dashboard.
+"""
+
+from repro.serve.app import DEFAULT_HOST, DEFAULT_PORT, ReproServer
+from repro.serve.broker import EventBroker, Subscription
+from repro.serve.dashboard import render_dashboard
+from repro.serve.jobs import Job, JobManager
+from repro.serve.tap import ServeSpec, ServeTap
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "EventBroker",
+    "Job",
+    "JobManager",
+    "ReproServer",
+    "ServeSpec",
+    "ServeTap",
+    "Subscription",
+    "render_dashboard",
+]

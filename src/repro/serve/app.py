@@ -1,0 +1,471 @@
+"""``repro serve``: the HTTP observability plane (stdlib only).
+
+A :class:`ReproServer` wraps one ``http.server.ThreadingHTTPServer``
+(one thread per request, daemonic) and exposes three surfaces over the
+subsystems earlier PRs built:
+
+* a JSON API over the run ledger (:mod:`repro.obs.ledger`) -- list,
+  show, diff, baselines, bench trajectories -- sharing its list
+  serialisation with ``repro runs list --json`` so the two can't drift;
+* a live-telemetry channel: ``GET /api/events`` streams the
+  :class:`~repro.serve.broker.EventBroker` as Server-Sent Events
+  (fault/rejuvenation/trigger incidents, flight-dump notices, GK-sketch
+  snapshots) while jobs run, and ``GET /api/live`` serves the latest
+  snapshot for pollers (``repro top --follow``);
+* campaign launches: ``POST /api/campaigns`` hands a request to the
+  :class:`~repro.serve.jobs.JobManager`, ``GET /api/campaigns[/<id>]``
+  polls status.
+
+The server is strictly an *observer* of the ledger directory it was
+pointed at: every GET re-reads the append-only files, so entries
+recorded by concurrent CLI runs appear without restarts, and nothing
+in the API mutates simulation state.
+
+Endpoints (see docs/observability.md for the curl tour):
+
+====  =========================  =======================================
+GET   ``/``                      self-contained HTML dashboard
+GET   ``/api/health``            server facts (version, counts, uptime)
+GET   ``/api/runs``              ledger listing; ``kind``/``limit``/
+                                 ``offset``/``last`` query parameters
+GET   ``/api/runs/<ref>``        one full entry (id, prefix or latest)
+GET   ``/api/diff``              ``left`` vs ``right`` field-by-field
+GET   ``/api/baselines``         pinned baselines
+GET   ``/api/bench``             benchmark trajectory listing
+GET   ``/api/bench/<name>``      one full trajectory + validation
+GET   ``/api/scenarios``         the fault zoo (``horizon`` parameter)
+GET   ``/api/live``              latest live snapshot (or ``{}``)
+GET   ``/api/events``            Server-Sent Events stream
+GET   ``/api/campaigns``         job listing
+GET   ``/api/campaigns/<id>``    one job's status
+POST  ``/api/campaigns``         launch a campaign (JSON body)
+====  =========================  =======================================
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.broker import EventBroker
+from repro.serve.jobs import JobManager
+
+#: Default bind address and port of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+#: SSE keepalive comment interval (seconds without an event).
+SSE_KEEPALIVE_S = 15.0
+
+#: Maximum request body accepted by POST endpoints.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ApiError(Exception):
+    """An error with an HTTP status, rendered as ``{"error": ...}``."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ReproServer:
+    """The observability server: state + the threaded HTTP listener."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        ledger_dir: Optional[str] = None,
+        bench_dir: Optional[str] = None,
+        title: str = "repro serve",
+    ) -> None:
+        self.ledger_dir = ledger_dir
+        self.bench_dir = bench_dir
+        self.title = title
+        self.broker = EventBroker()
+        self.jobs = JobManager(broker=self.broker, ledger_dir=ledger_dir)
+        self.started = time.monotonic()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        # The handler reaches back through the server object.
+        self._httpd.repro = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def ledger(self):
+        from repro.obs.ledger import Ledger
+
+        return Ledger(self.ledger_dir)
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Block serving requests (the ``repro serve`` foreground path)."""
+        self._httpd.serve_forever(poll_interval=0.2)
+
+    def start(self) -> "ReproServer":
+        """Serve on a daemon thread (tests, benchmarks); returns self."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routing, JSON envelopes, and the SSE writer."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # Quiet by default: per-request lines are noise under test/CI.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    @property
+    def app(self) -> ReproServer:
+        return self.server.repro  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        path, query = self._split()
+        try:
+            if path in ("/", "/dashboard"):
+                return self._send_html(self._dashboard())
+            if path == "/api/health":
+                return self._send_json(self._health())
+            if path == "/api/runs":
+                return self._send_json(self._runs(query))
+            if path.startswith("/api/runs/"):
+                ref = path[len("/api/runs/") :]
+                return self._send_json(self._run_entry(ref))
+            if path == "/api/diff":
+                return self._send_json(self._diff(query))
+            if path == "/api/baselines":
+                return self._send_json(
+                    {"baselines": self.app.ledger().baselines()}
+                )
+            if path == "/api/bench":
+                return self._send_json(self._bench_list())
+            if path.startswith("/api/bench/"):
+                name = path[len("/api/bench/") :]
+                return self._send_json(self._bench_one(name))
+            if path == "/api/scenarios":
+                return self._send_json(self._scenarios(query))
+            if path == "/api/live":
+                return self._send_json(
+                    self.app.broker.latest_snapshot or {}
+                )
+            if path == "/api/events":
+                return self._stream_events(query)
+            if path == "/api/campaigns":
+                return self._send_json({"jobs": self.app.jobs.jobs()})
+            if path.startswith("/api/campaigns/"):
+                job_id = path[len("/api/campaigns/") :]
+                return self._send_json({"job": self.app.jobs.get(job_id)})
+            raise ApiError(404, f"no such endpoint: {path}")
+        except ApiError as error:
+            self._send_json({"error": str(error)}, status=error.status)
+        except LookupError as error:
+            self._send_json({"error": str(error)}, status=404)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        path, _ = self._split()
+        try:
+            if path == "/api/campaigns":
+                body = self._read_json_body()
+                try:
+                    job = self.app.jobs.submit_campaign(body)
+                except ValueError as error:
+                    raise ApiError(400, str(error)) from None
+                return self._send_json({"job": job}, status=202)
+            raise ApiError(404, f"no such endpoint: {path}")
+        except ApiError as error:
+            self._send_json({"error": str(error)}, status=error.status)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    # ------------------------------------------------------------------
+    # Endpoint bodies
+    # ------------------------------------------------------------------
+    def _health(self) -> Dict[str, Any]:
+        from repro.obs.ledger.provenance import version_string
+
+        app = self.app
+        return {
+            "status": "ok",
+            "version": version_string(),
+            "ledger_dir": app.ledger().directory,
+            "runs": len(app.ledger().entries()),
+            "subscribers": app.broker.subscriber_count,
+            "events_published": app.broker.published,
+            "jobs": len(app.jobs.jobs()),
+            "uptime_s": round(time.monotonic() - app.started, 3),
+        }
+
+    def _runs(self, query: Dict[str, str]) -> Dict[str, Any]:
+        from repro.obs.ledger.summary import runs_payload
+
+        ledger = self.app.ledger()
+        entries = ledger.entries()
+        kind = query.get("kind")
+        limit = self._int_param(query, "limit")
+        offset = self._int_param(query, "offset") or 0
+        last = self._int_param(query, "last")
+        if last is not None:
+            # The CLI's --last N: the N newest of the filtered view.
+            total = sum(
+                1 for e in entries if kind is None or e["kind"] == kind
+            )
+            offset = max(0, total - last)
+            limit = last
+        return runs_payload(
+            entries,
+            ledger.baselines(),
+            kind=kind,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _run_entry(self, ref: str) -> Dict[str, Any]:
+        if not ref:
+            raise ApiError(404, "missing run ref")
+        return self.app.ledger().get(ref)
+
+    def _diff(self, query: Dict[str, str]) -> Dict[str, Any]:
+        from repro.obs.ledger import diff_entries
+
+        left_ref = query.get("left")
+        right_ref = query.get("right")
+        if not left_ref or not right_ref:
+            raise ApiError(400, "diff needs left and right query params")
+        ledger = self.app.ledger()
+        left = ledger.get(left_ref)
+        right = ledger.get(right_ref)
+        differences = diff_entries(left, right)
+        return {
+            "left": left["id"],
+            "right": right["id"],
+            "identical": not differences,
+            "differences": differences,
+        }
+
+    def _bench_list(self) -> Dict[str, Any]:
+        from repro.obs.ledger import (
+            list_trajectories,
+            load_trajectory,
+            validate_trajectory,
+        )
+
+        out = []
+        for name in list_trajectories(self.app.bench_dir):
+            trajectory = load_trajectory(name, self.app.bench_dir)
+            points = trajectory.get("points", [])
+            out.append(
+                {
+                    "name": name,
+                    "points": len(points),
+                    "latest": points[-1] if points else None,
+                    "problems": validate_trajectory(trajectory),
+                }
+            )
+        return {"trajectories": out}
+
+    def _bench_one(self, name: str) -> Dict[str, Any]:
+        from repro.obs.ledger import load_trajectory, validate_trajectory
+
+        try:
+            trajectory = load_trajectory(name, self.app.bench_dir)
+        except FileNotFoundError:
+            raise ApiError(404, f"no trajectory {name!r}") from None
+        trajectory["problems"] = validate_trajectory(trajectory)
+        return trajectory
+
+    def _scenarios(self, query: Dict[str, str]) -> Dict[str, Any]:
+        from repro.faults.zoo import builtin_scenarios
+
+        horizon = float(query.get("horizon", "900"))
+        out = []
+        for scenario in builtin_scenarios(horizon).values():
+            out.append(
+                {
+                    "name": scenario.name,
+                    "description": scenario.description,
+                    "n_transactions": scenario.n_transactions,
+                    "injections": len(scenario.injections),
+                    "degraded_intervals": len(scenario.degraded),
+                }
+            )
+        return {"horizon_s": horizon, "scenarios": out}
+
+    def _dashboard(self) -> str:
+        from repro.obs.ledger.provenance import version_string
+        from repro.serve.dashboard import render_dashboard
+
+        return render_dashboard(
+            {
+                "title": self.app.title,
+                "version": version_string(),
+                "ledger_dir": self.app.ledger().directory,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # SSE
+    # ------------------------------------------------------------------
+    def _stream_events(self, query: Dict[str, str]) -> None:
+        """The Server-Sent-Events channel over the broker.
+
+        ``max_events`` / ``timeout_s`` close the stream after that many
+        events or seconds -- curl- and test-friendly bounds; browsers
+        simply reconnect their ``EventSource``.  The stream opens with
+        an ``sse.hello`` event (subscription id + latest snapshot seq)
+        so a client knows it is attached before anything fires.
+        """
+        max_events = self._int_param(query, "max_events")
+        timeout_s = self._float_param(query, "timeout_s")
+        subscription = self.app.broker.subscribe()
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-store")
+            # Close-delimited stream: no Content-Length, no keep-alive.
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self._write_sse(
+                "sse.hello",
+                {"subscription": subscription.id},
+            )
+            sent = 0
+            deadline = (
+                time.monotonic() + timeout_s
+                if timeout_s is not None
+                else None
+            )
+            while max_events is None or sent < max_events:
+                wait = SSE_KEEPALIVE_S
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    wait = min(wait, remaining)
+                try:
+                    event = subscription.get(timeout=wait)
+                except queue.Empty:
+                    if deadline is None:
+                        self.wfile.write(b": keepalive\n\n")
+                        self.wfile.flush()
+                    continue
+                self._write_sse(
+                    event["event"], event["data"], event["seq"]
+                )
+                sent += 1
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client disconnected; normal SSE lifecycle
+        finally:
+            subscription.close()
+
+    def _write_sse(
+        self, etype: str, data: Dict[str, Any], seq: Optional[int] = None
+    ) -> None:
+        chunk = [f"event: {etype}"]
+        if seq is not None:
+            chunk.append(f"id: {seq}")
+        chunk.append(f"data: {json.dumps(data, sort_keys=True)}")
+        self.wfile.write(("\n".join(chunk) + "\n\n").encode("utf-8"))
+        self.wfile.flush()
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _split(self) -> Tuple[str, Dict[str, str]]:
+        parts = urlsplit(self.path)
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(parts.query).items()
+        }
+        path = parts.path.rstrip("/") or "/"
+        return path, query
+
+    @staticmethod
+    def _int_param(query: Dict[str, str], name: str) -> Optional[int]:
+        raw = query.get(name)
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            raise ApiError(400, f"{name} must be an integer") from None
+
+    @staticmethod
+    def _float_param(query: Dict[str, str], name: str) -> Optional[float]:
+        raw = query.get(name)
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            raise ApiError(400, f"{name} must be a number") from None
+
+    def _read_json_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ApiError(400, "a JSON request body is required")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, "request body too large")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ApiError(400, f"bad JSON body: {error}") from None
+        if not isinstance(body, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        return body
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        # Trailing newline keeps bodies byte-identical to the CLI's
+        # printed JSON (``cmp``-able) and curl-friendly.
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+            "utf-8"
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_html(self, page: str, status: int = 200) -> None:
+        body = page.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)

@@ -1,0 +1,120 @@
+"""The serve-side event bus: bounded fan-out from taps to subscribers.
+
+One :class:`EventBroker` lives in the serving process.  Publishers --
+:class:`~repro.serve.tap.ServeTap` instances riding on simulation jobs
+-- call :meth:`EventBroker.publish` from whatever thread the job runs
+in; each Server-Sent-Events subscriber owns a bounded
+:class:`queue.Queue` that the publish fans out to.
+
+Two disciplines keep the broker a *pure observer* of the simulation:
+
+* Publishing never blocks.  A subscriber that cannot keep up loses its
+  oldest queued events (counted on the subscription), not the
+  simulation's time -- ``put_nowait`` with drop-oldest, never a wait.
+* Published payloads are plain JSON-safe data built fresh per event, so
+  no subscriber can reach back into live simulation state.
+
+Every event carries a broker-assigned monotonically increasing ``seq``,
+so subscribers (and the ordering tests) can assert they saw the stream
+in publish order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import Any, Dict, List, Optional
+
+#: Default per-subscriber queue bound.
+DEFAULT_QUEUE_SIZE = 1024
+
+
+class Subscription:
+    """One subscriber's bounded view of the event stream."""
+
+    __slots__ = ("id", "queue", "dropped", "_broker")
+
+    def __init__(self, sub_id: int, maxsize: int, broker: "EventBroker"):
+        self.id = sub_id
+        self.queue: "queue.Queue[Dict[str, Any]]" = queue.Queue(
+            maxsize=maxsize
+        )
+        #: Events lost to backpressure (oldest dropped first).
+        self.dropped = 0
+        self._broker = broker
+
+    def get(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Next event, oldest first; raises ``queue.Empty`` on timeout."""
+        return self.queue.get(timeout=timeout)
+
+    def close(self) -> None:
+        self._broker.unsubscribe(self)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class EventBroker:
+    """Thread-safe bounded pub/sub plus the latest-snapshot register."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: List[Subscription] = []
+        self._seq = itertools.count(1)
+        self._ids = itertools.count(1)
+        #: Most recent ``live.snapshot`` payload (what ``/api/live``
+        #: serves); ``None`` until a tap publishes one.
+        self.latest_snapshot: Optional[Dict[str, Any]] = None
+        #: Total events published over the broker's lifetime.
+        self.published = 0
+
+    # ------------------------------------------------------------------
+    def subscribe(self, maxsize: int = DEFAULT_QUEUE_SIZE) -> Subscription:
+        subscription = Subscription(next(self._ids), maxsize, self)
+        with self._lock:
+            self._subscribers.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscription)
+            except ValueError:
+                pass  # already gone; close() is idempotent
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    # ------------------------------------------------------------------
+    def publish(self, etype: str, data: Dict[str, Any]) -> Dict[str, Any]:
+        """Fan one event out to every subscriber; never blocks.
+
+        Returns the stamped event (``{"seq", "event", "data"}``).
+        """
+        with self._lock:
+            event = {"seq": next(self._seq), "event": etype, "data": data}
+            self.published += 1
+            if etype == "live.snapshot":
+                self.latest_snapshot = data
+            subscribers = tuple(self._subscribers)
+        for subscription in subscribers:
+            try:
+                subscription.queue.put_nowait(event)
+            except queue.Full:
+                # Drop-oldest: the slow subscriber pays, not the run.
+                try:
+                    subscription.queue.get_nowait()
+                    subscription.dropped += 1
+                except queue.Empty:  # pragma: no cover - race window
+                    pass
+                try:
+                    subscription.queue.put_nowait(event)
+                except queue.Full:  # pragma: no cover - race window
+                    subscription.dropped += 1
+        return event

@@ -1,0 +1,190 @@
+"""The ``repro serve`` dashboard: one self-contained HTML page.
+
+Reuses the ``repro report`` renderer's stylesheet (same palette, same
+light/dark behaviour) and the ``repro top`` vocabulary, but renders
+*live*: a small inline script subscribes to ``/api/events`` with
+``EventSource``, polls ``/api/runs`` and ``/api/campaigns``, and posts
+campaign launches back to the API.  No external scripts, stylesheets,
+fonts or network fetches -- the page passes the same self-containment
+check CI applies to ``repro report`` output.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict
+
+from repro.obs.live.report import _CSS as REPORT_CSS
+
+_DASHBOARD_CSS = """
+.grid { display: grid; grid-template-columns: repeat(auto-fit,
+  minmax(240px, 1fr)); gap: 1rem; }
+.panel { background: var(--panel); border-radius: 6px; padding: 12px; }
+.panel h2 { margin-top: 0; }
+.stat { font-size: 1.3rem; font-variant-numeric: tabular-nums; }
+.muted { color: var(--ink-2); }
+#events { max-height: 280px; overflow-y: auto; font-family: ui-monospace,
+  monospace; font-size: 12px; }
+#events div { padding: 1px 0; border-bottom: 1px dotted var(--grid); }
+button, input, select { font: inherit; background: var(--surface);
+  color: var(--ink); border: 1px solid var(--grid); border-radius: 4px;
+  padding: 4px 8px; }
+button { cursor: pointer; }
+.badge { display: inline-block; padding: 0 6px; border-radius: 8px;
+  font-size: 11px; border: 1px solid var(--grid); }
+"""
+
+_SCRIPT = """
+function el(id) { return document.getElementById(id); }
+function fmt(x, d) { return (x === null || x === undefined)
+  ? "-" : Number(x).toFixed(d === undefined ? 3 : d); }
+
+async function refreshRuns() {
+  const response = await fetch("/api/runs?last=15");
+  const payload = await response.json();
+  const rows = payload.runs.reverse().map(run =>
+    `<tr><td>${run.id}</td><td>${run.kind}</td>` +
+    `<td>${run.label}</td><td>${run.created_utc}</td>` +
+    `<td>${run.baseline ? '<span class="badge">' + run.baseline +
+      '</span>' : ''}</td></tr>`).join("");
+  el("runs").innerHTML =
+    `<tr><th>id</th><th>kind</th><th>label</th><th>created</th>` +
+    `<th>baseline</th></tr>` + rows;
+  el("run-count").textContent = payload.total;
+}
+
+async function refreshJobs() {
+  const response = await fetch("/api/campaigns");
+  const payload = await response.json();
+  el("jobs").innerHTML = payload.jobs.slice().reverse().map(job =>
+    `<div>${job.id} <span class="badge">${job.status}</span> ` +
+    `${job.entry_id || ""} ${job.error || ""}</div>`).join("")
+    || '<div class="muted">no campaigns launched</div>';
+}
+
+function applySnapshot(s) {
+  el("live-ts").textContent = fmt(s.ts, 1);
+  el("live-rate").textContent = fmt(s.rate_per_s, 2);
+  el("live-completed").textContent = s.completed;
+  el("live-lost").textContent = s.lost;
+  el("live-rejuv").textContent = s.rejuvenations;
+  el("live-faults").textContent = s.faults;
+  el("live-dumps").textContent = s.flight_dumps ?? 0;
+  el("live-slo").textContent = (s.slo_s ? s.slo_breaches + " / " +
+    fmt(s.slo_s, 0) + "s" : "off");
+  const q = s.rt_quantiles || {};
+  el("live-quantiles").textContent = Object.keys(q).sort().map(
+    name => name + "=" + fmt(q[name]) + "s").join("  ") || "(none yet)";
+}
+
+function logEvent(kind, data) {
+  const line = document.createElement("div");
+  line.textContent = "[" + fmt(data.ts, 1) + "s] " + kind + " " +
+    JSON.stringify(data);
+  const log = el("events");
+  log.prepend(line);
+  while (log.childElementCount > 200) log.lastChild.remove();
+}
+
+function subscribe() {
+  const source = new EventSource("/api/events");
+  ["fault.injected", "fault.cleared", "system.rejuvenation",
+   "policy.trigger", "flight.dump", "job.started", "job.finished"]
+    .forEach(kind => source.addEventListener(kind, event => {
+      logEvent(kind, JSON.parse(event.data));
+      if (kind.startsWith("job.")) { refreshJobs(); refreshRuns(); }
+    }));
+  source.addEventListener("live.snapshot", event =>
+    applySnapshot(JSON.parse(event.data)));
+  source.onerror = () => el("sse-state").textContent = "reconnecting";
+  source.onopen = () => el("sse-state").textContent = "connected";
+}
+
+async function launchCampaign(event) {
+  event.preventDefault();
+  const body = {
+    scenarios: el("form-scenarios").value || "all",
+    policies: el("form-policies").value || "SRAA,SARAA,CLTA",
+    replications: Number(el("form-replications").value) || 2,
+    seed: Number(el("form-seed").value) || 0,
+    horizon: Number(el("form-horizon").value) || 900,
+  };
+  const response = await fetch("/api/campaigns", {
+    method: "POST",
+    headers: {"Content-Type": "application/json"},
+    body: JSON.stringify(body),
+  });
+  const payload = await response.json();
+  el("launch-result").textContent = response.ok
+    ? "launched " + payload.job.id
+    : "error: " + payload.error;
+  refreshJobs();
+}
+
+refreshRuns(); refreshJobs(); subscribe();
+document.getElementById("launch").addEventListener(
+  "submit", launchCampaign);
+setInterval(refreshJobs, 5000);
+"""
+
+
+def render_dashboard(context: Dict[str, Any]) -> str:
+    """The dashboard page for one server (context from the app)."""
+    title = html.escape(str(context.get("title", "repro serve")))
+    version = html.escape(str(context.get("version", "")))
+    ledger_dir = html.escape(str(context.get("ledger_dir", "")))
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{title}</title>
+<style>{REPORT_CSS}{_DASHBOARD_CSS}</style>
+</head>
+<body>
+<h1>{title}</h1>
+<p class="note">{version} &middot; ledger <code>{ledger_dir}</code>
+&middot; SSE <span id="sse-state">connecting</span></p>
+
+<div class="grid">
+<div class="panel"><h2>Live</h2>
+<p>t=<span class="stat" id="live-ts">-</span>s &middot;
+<span class="stat" id="live-rate">-</span>/s</p>
+<p>completed <span id="live-completed">0</span> &middot;
+lost <span id="live-lost">0</span> &middot;
+rejuvenations <span id="live-rejuv">0</span> &middot;
+faults <span id="live-faults">0</span></p>
+<p>flight dumps <span id="live-dumps">0</span> &middot;
+SLO breaches <span id="live-slo">off</span></p>
+<p class="muted">rt <span id="live-quantiles">(none yet)</span></p>
+</div>
+
+<div class="panel"><h2>Launch campaign</h2>
+<form id="launch">
+<p><label>scenarios <input id="form-scenarios"
+  placeholder="all"></label></p>
+<p><label>policies <input id="form-policies"
+  placeholder="SRAA,SARAA,CLTA"></label></p>
+<p><label>replications <input id="form-replications" type="number"
+  value="2" min="1" size="4"></label>
+<label>seed <input id="form-seed" type="number" value="0"
+  size="6"></label>
+<label>horizon <input id="form-horizon" type="number" value="900"
+  size="6"></label></p>
+<p><button type="submit">launch</button>
+<span class="muted" id="launch-result"></span></p>
+</form>
+<div id="jobs"></div>
+</div>
+</div>
+
+<h2>Incidents (Server-Sent Events)</h2>
+<div class="panel" id="events"></div>
+
+<h2>Run ledger (<span id="run-count">0</span> recorded)</h2>
+<table id="runs"></table>
+
+<script>{_SCRIPT}</script>
+</body>
+</html>
+"""

@@ -1,0 +1,163 @@
+"""``ServeTap``: the live tap that also publishes to the serving plane.
+
+A :class:`ServeTap` *is* a :class:`~repro.obs.live.LiveTap` -- it
+implements the PR-4 tracer protocol (``spans`` / ``decisions`` /
+``engine`` / ``lifecycle`` flags plus ``emit``), aggregates into the
+same constant-memory GK-sketch/window/EWMA state, and feeds the same
+flight recorder -- that additionally forwards the macroscopic story to
+an :class:`~repro.serve.broker.EventBroker` while the run executes:
+
+* discrete incidents (``fault.injected`` / ``fault.cleared`` /
+  ``system.rejuvenation`` / ``policy.trigger``) the moment they fire,
+* ``flight.dump`` notices whenever the recorder snapshots its ring
+  (rejuvenation, fault, or SLO breach), and
+* throttled ``live.snapshot`` events carrying the aggregator's
+  dashboard view (GK quantiles, EWMA rate, SLO state, counts).
+
+The tap stays a **pure observer**: publishing reads aggregator state
+into fresh plain dicts and enqueues without blocking (see the broker's
+drop-oldest discipline), so a simulation with a ``ServeTap`` attached
+produces bit-identical results to one without -- pinned by
+``tests/serve/test_serve_tap.py``.
+
+A :class:`ServeSpec` is a :class:`~repro.obs.live.LiveSpec` carrying
+the broker handle.  Like a ``display``, a broker makes the spec
+unpicklable *on purpose*: the process-pool backend then runs the job in
+the serving process, which is exactly where the subscribers live (the
+serve job runner uses the serial backend in a background thread
+anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.obs.events import (
+    FAULT_CLEARED,
+    FAULT_INJECTED,
+    POLICY_TRIGGER,
+    REQUEST_COMPLETE,
+    SYSTEM_REJUVENATION,
+)
+from repro.obs.live.tap import LiveAggregator, LiveSpec, LiveTap
+
+#: Event types forwarded to the broker the moment they fire.
+PUBLISHED_TYPES = frozenset(
+    {
+        FAULT_INJECTED,
+        FAULT_CLEARED,
+        SYSTEM_REJUVENATION,
+        POLICY_TRIGGER,
+    }
+)
+
+#: Default completions between ``live.snapshot`` publishes.  Counted on
+#: the simulated event stream (not wall clock), so the publish points
+#: are deterministic for a given run.
+DEFAULT_SNAPSHOT_EVERY = 1000
+
+
+@dataclass(frozen=True)
+class ServeSpec(LiveSpec):
+    """A ``LiveSpec`` bound to a broker (see module docstring).
+
+    Parameters beyond :class:`~repro.obs.live.LiveSpec`:
+
+    broker:
+        The serving process's :class:`~repro.serve.broker.EventBroker`.
+        ``None`` degrades the tap to a plain ``LiveTap`` (nothing to
+        publish into).
+    run_tag:
+        Opaque label stamped onto every published payload (e.g. a
+        campaign job id), so one SSE stream can interleave runs.
+    snapshot_every:
+        Completions between ``live.snapshot`` publishes.
+    """
+
+    broker: Any = None
+    run_tag: Optional[str] = None
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY
+
+    def build(self) -> "ServeTap":
+        return ServeTap(self)
+
+
+class ServeTap(LiveTap):
+    """A :class:`LiveTap` that forwards the macro record to a broker."""
+
+    __slots__ = (
+        "broker",
+        "run_tag",
+        "snapshot_every",
+        "_since_snapshot",
+        "_dumps_published",
+    )
+
+    def __init__(self, spec: ServeSpec) -> None:
+        super().__init__(spec)
+        self.broker = spec.broker
+        self.run_tag = spec.run_tag
+        self.snapshot_every = max(1, int(spec.snapshot_every))
+        self._since_snapshot = 0
+        self._dumps_published = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, ts: float, etype: str, source: str, **data: Any) -> None:
+        super().emit(ts, etype, source, **data)
+        broker = self.broker
+        if broker is None:
+            return
+        if etype in PUBLISHED_TYPES:
+            payload = {"ts": ts, "type": etype, "source": source}
+            payload.update(data)
+            if self.run_tag is not None:
+                payload["run"] = self.run_tag
+            broker.publish(etype, payload)
+        recorder = self.recorder
+        if recorder is not None and len(recorder.dumps) > self._dumps_published:
+            for dump in recorder.dumps[self._dumps_published :]:
+                notice = {
+                    "ts": dump.ts,
+                    "reason": dump.reason,
+                    "records": len(dump.records),
+                }
+                if self.run_tag is not None:
+                    notice["run"] = self.run_tag
+                broker.publish("flight.dump", notice)
+            self._dumps_published = len(recorder.dumps)
+        if etype == REQUEST_COMPLETE:
+            self._since_snapshot += 1
+            if self._since_snapshot >= self.snapshot_every:
+                self._since_snapshot = 0
+                broker.publish("live.snapshot", self.snapshot_payload())
+
+    # ------------------------------------------------------------------
+    def snapshot_payload(self) -> Dict[str, Any]:
+        """The aggregator snapshot plus serve-side context (SLO, dumps)."""
+        payload = self.aggregator.snapshot()
+        recorder = self.recorder
+        if recorder is not None:
+            payload["flight_dumps"] = len(recorder.dumps)
+            payload["slo_s"] = recorder.spec.slo_s
+            payload["slo_breaches"] = sum(
+                1 for dump in recorder.dumps if dump.reason == "slo_breach"
+            )
+        else:
+            payload["flight_dumps"] = 0
+            payload["slo_s"] = None
+            payload["slo_breaches"] = 0
+        if self.run_tag is not None:
+            payload["run"] = self.run_tag
+        return payload
+
+    def clear(self) -> None:
+        super().clear()
+        self._since_snapshot = 0
+        self._dumps_published = 0
+
+    def freeze(self) -> LiveAggregator:
+        """Publish the end-of-run snapshot, then hand the state home."""
+        if self.broker is not None:
+            self.broker.publish("live.snapshot", self.snapshot_payload())
+        return super().freeze()

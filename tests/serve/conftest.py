@@ -1,0 +1,109 @@
+"""Fixtures for the HTTP observability plane.
+
+``served`` starts one real :class:`~repro.serve.ReproServer` on an
+OS-assigned port (port 0) over the test's hermetic ledger directory,
+with a tiny HTTP client bolted on.  Requests run against actual
+sockets -- the same code path curl and the dashboard hit.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ReproServer
+
+#: Small but non-trivial simulation used to seed ledger entries.
+SIMULATE = [
+    "simulate",
+    "--transactions", "400",
+    "--replications", "2",
+    "--seed", "7",
+]
+
+
+class ServerClient:
+    """A ``ReproServer`` plus blocking JSON/raw helpers for tests."""
+
+    def __init__(self, server: ReproServer):
+        self.server = server
+        self.url = server.url
+
+    def get(self, path: str, timeout: float = 30.0):
+        """GET returning ``(status, parsed JSON body)``."""
+        try:
+            with urllib.request.urlopen(
+                self.url + path, timeout=timeout
+            ) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def get_raw(self, path: str, timeout: float = 30.0):
+        """GET returning ``(status, headers, text body)``."""
+        with urllib.request.urlopen(
+            self.url + path, timeout=timeout
+        ) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                response.read().decode("utf-8"),
+            )
+
+    def post(self, path: str, payload, timeout: float = 30.0):
+        """POST a JSON body, returning ``(status, parsed JSON body)``."""
+        request = urllib.request.Request(
+            self.url + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout
+            ) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def sse_events(
+        self, max_events: int, timeout_s: float = 30.0
+    ):
+        """Parsed events from one bounded ``/api/events`` stream."""
+        path = (
+            f"/api/events?max_events={max_events}&timeout_s={timeout_s}"
+        )
+        events = []
+        current = {}
+        with urllib.request.urlopen(
+            self.url + path, timeout=timeout_s + 10.0
+        ) as response:
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n")
+                if not line:
+                    if current:
+                        events.append(current)
+                        current = {}
+                    continue
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                field, _, value = line.partition(": ")
+                if field == "data":
+                    current["data"] = json.loads(value)
+                elif field == "id":
+                    current["seq"] = int(value)
+                elif field == "event":
+                    current["event"] = value
+        if current:
+            events.append(current)
+        return events
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A running server over the hermetic ledger; closed on teardown."""
+    server = ReproServer(port=0).start()
+    client = ServerClient(server)
+    yield client
+    server.close()

@@ -1,0 +1,83 @@
+"""EventBroker semantics: ordering, fan-out, backpressure."""
+
+import queue
+
+import pytest
+
+from repro.serve import EventBroker
+
+
+class TestPublish:
+    def test_sequence_is_monotonic_from_one(self):
+        broker = EventBroker()
+        events = [broker.publish("x", {"i": i}) for i in range(5)]
+        assert [e["seq"] for e in events] == [1, 2, 3, 4, 5]
+
+    def test_fan_out_to_every_subscriber_in_order(self):
+        broker = EventBroker()
+        a, b = broker.subscribe(), broker.subscribe()
+        for i in range(3):
+            broker.publish("x", {"i": i})
+        for subscription in (a, b):
+            got = [subscription.get(timeout=1.0) for _ in range(3)]
+            assert [e["data"]["i"] for e in got] == [0, 1, 2]
+            assert [e["seq"] for e in got] == [1, 2, 3]
+
+    def test_publish_without_subscribers_is_fine(self):
+        broker = EventBroker()
+        broker.publish("x", {})
+        assert broker.published == 1
+        assert broker.subscriber_count == 0
+
+    def test_latest_snapshot_register(self):
+        broker = EventBroker()
+        assert broker.latest_snapshot is None
+        broker.publish("fault.injected", {"ts": 1.0})
+        assert broker.latest_snapshot is None  # only live.snapshot
+        broker.publish("live.snapshot", {"completed": 7})
+        broker.publish("live.snapshot", {"completed": 9})
+        assert broker.latest_snapshot == {"completed": 9}
+
+
+class TestBackpressure:
+    def test_slow_subscriber_drops_oldest_never_blocks(self):
+        broker = EventBroker()
+        slow = broker.subscribe(maxsize=3)
+        for i in range(10):
+            broker.publish("x", {"i": i})
+        # The three newest survive; seven oldest were dropped.
+        kept = [slow.get(timeout=0.1)["data"]["i"] for _ in range(3)]
+        assert kept == [7, 8, 9]
+        assert slow.dropped == 7
+        with pytest.raises(queue.Empty):
+            slow.get(timeout=0.01)
+
+    def test_fast_subscriber_unaffected_by_slow_one(self):
+        broker = EventBroker()
+        slow = broker.subscribe(maxsize=1)
+        fast = broker.subscribe(maxsize=100)
+        for i in range(5):
+            broker.publish("x", {"i": i})
+        assert [fast.get(timeout=0.1)["data"]["i"] for _ in range(5)] == [
+            0, 1, 2, 3, 4,
+        ]
+        assert slow.dropped == 4
+
+
+class TestSubscription:
+    def test_close_is_idempotent_and_removes(self):
+        broker = EventBroker()
+        subscription = broker.subscribe()
+        assert broker.subscriber_count == 1
+        subscription.close()
+        subscription.close()
+        assert broker.subscriber_count == 0
+
+    def test_context_manager_unsubscribes(self):
+        broker = EventBroker()
+        with broker.subscribe() as subscription:
+            broker.publish("x", {"i": 0})
+            assert subscription.get(timeout=1.0)["data"]["i"] == 0
+        assert broker.subscriber_count == 0
+        broker.publish("x", {"i": 1})  # goes nowhere, still fine
+        assert broker.published == 2

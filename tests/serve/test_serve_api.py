@@ -1,0 +1,181 @@
+"""The JSON API over the run ledger, against a live server.
+
+The ledger endpoints must agree byte-for-byte with the CLI's JSON
+output (they share one serializer) and read the same append-only files
+the CLI writes -- entries recorded after the server started appear
+without a restart.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.serve.conftest import SIMULATE
+
+
+def seed_ledger(extra=()):
+    assert main(SIMULATE + list(extra)) == 0
+
+
+class TestHealthAndErrors:
+    def test_health(self, served):
+        status, payload = served.get("/api/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["runs"] == 0
+        assert payload["version"].startswith("repro ")
+        assert payload["uptime_s"] >= 0
+
+    def test_unknown_endpoint_is_json_404(self, served):
+        status, payload = served.get("/api/nope")
+        assert status == 404
+        assert "no such endpoint" in payload["error"]
+
+    def test_unknown_run_ref_is_404(self, served):
+        seed_ledger()
+        status, payload = served.get("/api/runs/zzz-no-such-run")
+        assert status == 404
+        assert "error" in payload
+
+    def test_bad_query_parameter_is_400(self, served):
+        status, payload = served.get("/api/runs?limit=banana")
+        assert status == 400
+        assert "limit" in payload["error"]
+
+
+class TestRunsEndpoints:
+    def test_list_matches_cli_json_exactly(self, served, capsys):
+        seed_ledger()
+        seed_ledger(["--seed", "8"])
+        capsys.readouterr()  # drop the simulate output
+        assert main(["runs", "list", "--json"]) == 0
+        cli_payload = json.loads(capsys.readouterr().out)
+        status, api_payload = served.get("/api/runs")
+        assert status == 200
+        assert api_payload == cli_payload
+        # Byte-for-byte, not just equal-after-parsing: CI pins the two
+        # with ``cmp``, so the API body must match the printed JSON
+        # exactly (including the trailing newline).
+        cli_text = json.dumps(cli_payload, indent=2, sort_keys=True) + "\n"
+        _, _, api_text = served.get_raw("/api/runs")
+        assert api_text == cli_text
+
+    def test_list_filters_and_paginates(self, served):
+        for seed in ("7", "8", "9"):
+            seed_ledger(["--seed", seed])
+        status, page = served.get("/api/runs?limit=2&offset=1")
+        assert status == 200
+        assert page["total"] == 3 and page["count"] == 2
+        assert page["offset"] == 1
+        status, last = served.get("/api/runs?last=2")
+        assert [r["id"] for r in last["runs"]] == [
+            r["id"] for r in page["runs"]
+        ]
+        status, none = served.get("/api/runs?kind=faults")
+        assert none["total"] == 0
+
+    def test_new_entries_visible_without_restart(self, served):
+        _, before = served.get("/api/runs")
+        assert before["total"] == 0
+        seed_ledger()
+        _, after = served.get("/api/runs")
+        assert after["total"] == 1
+
+    def test_show_matches_cli_json_exactly(self, served, capsys):
+        seed_ledger()
+        capsys.readouterr()  # drop the simulate output
+        assert main(["runs", "show", "latest", "--json"]) == 0
+        cli_entry = json.loads(capsys.readouterr().out)
+        status, api_entry = served.get("/api/runs/latest")
+        assert status == 200
+        assert api_entry == cli_entry
+        # Prefix and exact-id lookups resolve the same entry.
+        status, by_id = served.get(f"/api/runs/{api_entry['id']}")
+        assert by_id == api_entry
+        status, by_prefix = served.get(f"/api/runs/{api_entry['id'][:8]}")
+        assert by_prefix == api_entry
+
+    def test_diff_identical_and_different(self, served):
+        seed_ledger()
+        seed_ledger()  # same spec + seed -> identical entries
+        seed_ledger(["--seed", "8"])
+        _, runs = served.get("/api/runs")
+        first, second, third = [r["id"] for r in runs["runs"]]
+        _, same = served.get(f"/api/diff?left={first}&right={second}")
+        assert same["identical"] is True and same["differences"] == []
+        _, diff = served.get(f"/api/diff?left={first}&right={third}")
+        assert diff["identical"] is False
+        paths = [d["path"] for d in diff["differences"]]
+        assert any("manifest" in p for p in paths)
+
+    def test_diff_requires_both_refs(self, served):
+        status, payload = served.get("/api/diff?left=latest")
+        assert status == 400
+        assert "right" in payload["error"]
+
+    def test_baselines_round_trip(self, served):
+        seed_ledger()
+        assert main(["runs", "baseline", "latest", "--label", "gold"]) == 0
+        _, payload = served.get("/api/baselines")
+        assert "gold" in payload["baselines"]
+        _, runs = served.get("/api/runs")
+        assert runs["runs"][0]["baseline"] == "gold"
+
+
+class TestBenchEndpoints:
+    def test_empty_then_recorded(self, served):
+        _, empty = served.get("/api/bench")
+        assert empty == {"trajectories": []}
+        from repro.obs.ledger import record_bench_point
+
+        record_bench_point("api_check", 1.25, "s", seed=1)
+        record_bench_point("api_check", 1.5, "s", seed=1)
+        _, listing = served.get("/api/bench")
+        assert listing["trajectories"][0]["name"] == "api_check"
+        assert listing["trajectories"][0]["points"] == 2
+        assert listing["trajectories"][0]["problems"] == []
+        _, one = served.get("/api/bench/api_check")
+        assert [p["value"] for p in one["points"]] == [1.25, 1.5]
+        assert one["problems"] == []
+
+    def test_missing_trajectory_is_404(self, served):
+        status, payload = served.get("/api/bench/never_recorded")
+        assert status == 404
+        assert "never_recorded" in payload["error"]
+
+
+class TestScenarioEndpoint:
+    def test_zoo_listing_with_horizon(self, served):
+        from repro.faults.zoo import scenario_names
+
+        status, payload = served.get("/api/scenarios?horizon=600")
+        assert status == 200
+        assert payload["horizon_s"] == 600.0
+        assert [s["name"] for s in payload["scenarios"]] == list(
+            scenario_names()
+        )
+        assert all(s["n_transactions"] > 0 for s in payload["scenarios"])
+
+
+class TestDashboard:
+    @pytest.mark.parametrize("path", ["/", "/dashboard"])
+    def test_served_and_self_contained(self, served, path):
+        status, headers, page = served.get_raw(path)
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        assert page.startswith("<!DOCTYPE html>")
+        # Same self-containment bar as `repro report` output.
+        for marker in ("http://", "https://", "src=", "@import"):
+            assert marker not in page
+        for hook in ("/api/events", "/api/runs", "/api/campaigns"):
+            assert hook in page
+
+
+class TestLiveEndpoint:
+    def test_empty_until_a_snapshot_exists(self, served):
+        status, payload = served.get("/api/live")
+        assert status == 200 and payload == {}
+        served.server.broker.publish("live.snapshot", {"completed": 3})
+        _, payload = served.get("/api/live")
+        assert payload["completed"] == 3

@@ -1,0 +1,116 @@
+"""Server-Sent Events end to end: campaign in, ordered stream out.
+
+A real subscriber attaches over HTTP, a campaign is POSTed, and the
+stream must deliver the hello, the job lifecycle, and the simulation's
+fault/rejuvenation/SLO story in sequence order.
+"""
+
+import threading
+
+#: Campaign small enough that the stream closes within the test budget.
+CAMPAIGN = {
+    "scenarios": "aging_onset",
+    "policies": "SRAA",
+    "replications": 1,
+    "seed": 3,
+    "horizon": 300,
+    "slo": 1.0,
+}
+
+
+class TestEventStream:
+    def test_hello_opens_every_stream(self, served):
+        events = served.sse_events(max_events=0, timeout_s=0.2)
+        assert events[0]["event"] == "sse.hello"
+        assert events[0]["data"]["subscription"] >= 1
+
+    def test_timeout_bound_closes_idle_stream(self, served):
+        events = served.sse_events(max_events=5, timeout_s=0.3)
+        assert len(events) == 1  # just the hello; nothing published
+
+    def test_campaign_story_arrives_in_order(self, served):
+        import queue
+
+        # Calibration pass: a direct broker subscription counts how
+        # many events this (deterministic) campaign publishes, so the
+        # HTTP stream below can ask for exactly that many and close.
+        calibration = served.server.broker.subscribe()
+        status, payload = served.post("/api/campaigns", CAMPAIGN)
+        assert status == 202
+        first = served.server.jobs.wait(payload["job"]["id"], 90.0)
+        assert first["status"] == "done", first["error"]
+        expected = 0
+        while True:
+            try:
+                calibration.get(timeout=0.5)
+            except queue.Empty:
+                break
+            expected += 1
+        calibration.close()
+        assert expected > 0
+
+        collected = []
+        done = threading.Event()
+
+        def subscriber():
+            collected.extend(
+                served.sse_events(max_events=expected, timeout_s=90.0)
+            )
+            done.set()
+
+        thread = threading.Thread(target=subscriber, daemon=True)
+        thread.start()
+        # Give the subscriber a moment to attach before launching.
+        threading.Event().wait(0.3)
+        status, payload = served.post("/api/campaigns", CAMPAIGN)
+        assert status == 202
+        job_id = payload["job"]["id"]
+        final = served.server.jobs.wait(job_id, timeout_s=90.0)
+        assert final["status"] == "done", final["error"]
+        assert done.wait(60.0)
+
+        assert collected[0]["event"] == "sse.hello"
+        stream = collected[1:]
+        kinds = [e["event"] for e in stream]
+        # Lifecycle brackets the simulation story.
+        assert kinds[0] == "job.started"
+        assert "job.finished" in kinds
+        story = kinds[: kinds.index("job.finished")]
+        assert "fault.injected" in story
+        assert "system.rejuvenation" in story
+        assert "flight.dump" in story  # SLO breaches under slo=1.0
+        assert "live.snapshot" in kinds
+        # Broker sequence numbers arrive strictly increasing.
+        seqs = [e["seq"] for e in stream]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        # Every simulation event is tagged with the producing job.
+        for event in stream:
+            if event["event"] in (
+                "fault.injected",
+                "system.rejuvenation",
+                "flight.dump",
+            ):
+                assert event["data"]["run"] == job_id
+        # Simulated time is non-decreasing within the run's events.
+        times = [
+            e["data"]["ts"]
+            for e in stream
+            if e["event"] in ("fault.injected", "system.rejuvenation",
+                              "flight.dump")
+        ]
+        assert times == sorted(times)
+
+    def test_snapshot_endpoint_agrees_with_stream(self, served):
+        status, payload = served.post("/api/campaigns", CAMPAIGN)
+        assert status == 202
+        final = served.server.jobs.wait(
+            payload["job"]["id"], timeout_s=90.0
+        )
+        assert final["status"] == "done", final["error"]
+        _, live = served.get("/api/live")
+        # freeze() published the end-of-run snapshot.
+        assert live["run"] == payload["job"]["id"]
+        assert live["completed"] > 0
+        assert live["slo_s"] == 1.0
+        assert live["flight_dumps"] > 0
