@@ -65,7 +65,6 @@ import os
 import sys
 from typing import List, Optional, Tuple
 
-from repro.core.factory import available_policies
 from repro.exec.backends import (
     ExecutionBackend,
     SerialBackend,
@@ -111,7 +110,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registered experiments")
-    sub.add_parser("policies", help="list available policy names")
+    policies = sub.add_parser(
+        "policies", help="list available policy names"
+    )
+    policies.add_argument(
+        "--params",
+        action="store_true",
+        help="also show each policy's parameters (the '-p name=value' "
+        "spellings and their defaults)",
+    )
 
     run = sub.add_parser("run", help="run an experiment and print its tables")
     run.add_argument(
@@ -844,9 +851,17 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_policies() -> int:
-    for name in available_policies():
-        print(name)
+def _cmd_policies(show_params: bool = False) -> int:
+    from repro.core.factory import policy_schema
+
+    for entry in policy_schema():
+        print(f"{entry['name']:<16} {entry['summary']}")
+        if show_params:
+            for param in entry["params"]:
+                print(
+                    f"    -p {param['name']}=<{param['type']}>"
+                    f"  (default {param['default']}) -- {param['doc']}"
+                )
     return 0
 
 
@@ -1553,7 +1568,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "policies":
-        return _cmd_policies()
+        return _cmd_policies(args.params)
     if args.command == "run":
         return _cmd_run(
             args.experiment,

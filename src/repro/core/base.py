@@ -11,7 +11,7 @@ so the paper's algorithms and every baseline are interchangeable.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Mapping, Optional
 
 
 class DecisionListener:
@@ -68,6 +68,32 @@ class DecisionListener:
         sample_size: int,
     ) -> None:
         """Rejuvenation was demanded; arguments carry the full cause."""
+
+    def on_trigger_cause(
+        self,
+        policy: "RejuvenationPolicy",
+        cause: Mapping[str, object],
+    ) -> None:
+        """Rejuvenation was demanded, with a free-form cause mapping.
+
+        The paper's policies all decide by comparing a batch mean
+        against a threshold, which is exactly what :meth:`on_trigger`'s
+        positional arguments encode.  The adaptive/learned detectors
+        (:mod:`repro.detect`) trigger on other evidence -- an entropy
+        shift, a projected trajectory -- so they report their cause as
+        a mapping instead.  The base implementation forwards whatever
+        numeric essentials the cause carries to :meth:`on_trigger`, so
+        a listener that only overrides the classic hook still sees
+        every trigger; listeners that want the full cause override
+        this hook (the tracing listener records the mapping verbatim).
+        """
+        self.on_trigger(
+            policy,
+            float(cause.get("batch_mean", float("nan"))),  # type: ignore[arg-type]
+            float(cause.get("threshold", float("nan"))),  # type: ignore[arg-type]
+            int(cause.get("level", 0)),  # type: ignore[arg-type]
+            int(cause.get("sample_size", 1)),  # type: ignore[arg-type]
+        )
 
     def on_resize(
         self,

@@ -1,8 +1,17 @@
-"""String-keyed construction of policies (CLI and config files)."""
+"""String-keyed construction of policies (CLI, config files, serve).
+
+Besides the builders themselves this module carries a *parameter
+schema* per policy (:func:`policy_schema`): the parameter letters each
+builder accepts, their types, defaults and one-line docs.  The serve
+layer publishes it verbatim as ``GET /api/policies`` and
+:func:`make_policy` validates parameter names against it, so a typo in
+``-p`` params or a campaign request fails loudly with the valid
+spellings instead of being silently ignored.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.core.base import RejuvenationPolicy
 from repro.core.baselines import NeverRejuvenate, PeriodicRejuvenation
@@ -100,7 +109,59 @@ def _build_ewma(slo: ServiceLevelObjective, **kw: Any) -> RejuvenationPolicy:
     )
 
 
+def _build_adaptive(
+    slo: ServiceLevelObjective, **kw: Any
+) -> RejuvenationPolicy:
+    from repro.detect.adaptive import AdaptiveThresholdPolicy
+
+    return AdaptiveThresholdPolicy(
+        slo,
+        sample_size=int(kw.get("n", 2)),
+        window=int(kw.get("window", 64)),
+        k_sigmas=float(kw.get("k", 4.0)),
+        patience=int(kw.get("patience", 6)),
+        grow_limit_sigmas=float(kw.get("grow", 0.75)),
+        warmup=int(kw.get("warmup", 16)),
+    )
+
+
+def _build_entropy(
+    slo: ServiceLevelObjective, **kw: Any
+) -> RejuvenationPolicy:
+    from repro.detect.entropy import EntropyPolicy
+
+    return EntropyPolicy(
+        slo,
+        window=int(kw.get("window", 128)),
+        bins=int(kw.get("bins", 12)),
+        drift=float(kw.get("drift", 0.5)),
+        patience=int(kw.get("patience", 16)),
+        warmup=int(kw.get("warmup", 256)),
+        adapt=float(kw.get("adapt", 0.002)),
+    )
+
+
+def _build_predictor(
+    slo: ServiceLevelObjective, **kw: Any
+) -> RejuvenationPolicy:
+    from repro.detect.predictor import TrendProjectionPolicy
+
+    return TrendProjectionPolicy(
+        slo,
+        sample_size=int(kw.get("n", 5)),
+        alpha=float(kw.get("alpha", 0.3)),
+        beta=float(kw.get("beta", 0.1)),
+        lookahead=int(kw.get("lookahead", 12)),
+        bound=float(kw["bound"]) if "bound" in kw else None,
+        warmup=int(kw.get("warmup", 10)),
+        patience=int(kw.get("patience", 3)),
+    )
+
+
 _BUILDERS: Dict[str, Callable[..., RejuvenationPolicy]] = {
+    "adaptive": _build_adaptive,
+    "entropy": _build_entropy,
+    "predictor": _build_predictor,
     "cusum": _build_cusum,
     "ewma": _build_ewma,
     "quantile": _build_quantile,
@@ -116,9 +177,160 @@ _BUILDERS: Dict[str, Callable[..., RejuvenationPolicy]] = {
 }
 
 
+def _p(name: str, kind: str, default: str, doc: str) -> Dict[str, str]:
+    return {"name": name, "type": kind, "default": default, "doc": doc}
+
+
+#: One-line summary + parameter schema per factory name, published as
+#: ``GET /api/policies`` and enforced by :func:`make_policy`.
+_SCHEMAS: Dict[str, Tuple[str, Tuple[Dict[str, str], ...]]] = {
+    "sraa": (
+        "the paper's Software Rejuvenation Alert Algorithm",
+        (
+            _p("n", "int", "1", "batch size"),
+            _p("K", "int", "1", "buckets to climb before triggering"),
+            _p("D", "int", "1", "bucket depth (net exceedances per level)"),
+        ),
+    ),
+    "saraa": (
+        "SRAA with sampling acceleration (adaptive batch size)",
+        (
+            _p("n", "int", "5", "initial batch size"),
+            _p("K", "int", "1", "buckets to climb before triggering"),
+            _p("D", "int", "1", "bucket depth (net exceedances per level)"),
+        ),
+    ),
+    "clta": (
+        "central-limit-theorem alert (single z-test per batch)",
+        (
+            _p("n", "int", "30", "batch size"),
+            _p("z", "float", "1.96", "one-sided z threshold"),
+        ),
+    ),
+    "static": (
+        "the original static-threshold alert (SRAA with n=1)",
+        (
+            _p("K", "int", "1", "buckets to climb before triggering"),
+            _p("D", "int", "1", "bucket depth (net exceedances per level)"),
+        ),
+    ),
+    "never": ("no rejuvenation ever (control arm)", ()),
+    "periodic": (
+        "time-blind rejuvenation every N observations",
+        (_p("period", "int", "1000", "observations between rejuvenations"),),
+    ),
+    "threshold": (
+        "deterministic single-observation threshold",
+        (_p("limit", "float", "slo.mean + 3*slo.std", "hard limit in seconds"),),
+    ),
+    "risk-threshold": (
+        "two-level soft/hard threshold",
+        (
+            _p("soft", "float", "slo.mean + 1*slo.std", "soft limit (warning)"),
+            _p("hard", "float", "slo.mean + 4*slo.std", "hard limit (trigger)"),
+        ),
+    ),
+    "trend": (
+        "Mann-Kendall/Theil-Sen slope test over recent batch means",
+        (
+            _p("n", "int", "5", "batch size"),
+            _p("window", "int", "12", "batch means in the test window"),
+            _p("alpha", "float", "0.05", "Mann-Kendall significance level"),
+            _p("min_slope", "float", "0.0", "minimum Theil-Sen slope (s/batch)"),
+        ),
+    ),
+    "quantile": (
+        "windowed tail-quantile threshold",
+        (
+            _p("q", "float", "0.95", "tracked quantile"),
+            _p("limit", "float", "10.0", "quantile limit in seconds"),
+            _p("window", "int", "100", "window size in observations"),
+            _p("patience", "int", "2", "consecutive breaches to trigger"),
+        ),
+    ),
+    "cusum": (
+        "one-sided CUSUM control chart on raw observations",
+        (
+            _p("k", "float", "0.5", "reference offset in sigmas"),
+            _p("h", "float", "5.0", "decision interval in sigmas"),
+        ),
+    ),
+    "ewma": (
+        "EWMA control chart on raw observations",
+        (
+            _p("lam", "float", "0.2", "EWMA weight"),
+            _p("L", "float", "3.0", "control-limit width in sigmas"),
+        ),
+    ),
+    "adaptive": (
+        "self-recalibrating k-sigma threshold (workload-shift robust)",
+        (
+            _p("n", "int", "2", "batch size"),
+            _p("window", "int", "64", "rolling baseline window (batch means)"),
+            _p("k", "float", "4.0", "detection threshold in baseline sigmas"),
+            _p("patience", "int", "6", "consecutive exceedances to decide"),
+            _p("grow", "float", "0.75", "shift/aging growth limit in sigmas"),
+            _p("warmup", "int", "16", "accepted batches before arming"),
+        ),
+    ),
+    "entropy": (
+        "CHAOS-style windowed-entropy shift detector",
+        (
+            _p("window", "int", "128", "sliding window (raw observations)"),
+            _p("bins", "int", "12", "histogram buckets before overflow"),
+            _p("drift", "float", "0.5", "entropy deviation band in nats"),
+            _p("patience", "int", "16", "consecutive deviations to trigger"),
+            _p("warmup", "int", "256", "observations before the reference"),
+            _p("adapt", "float", "0.002", "reference EWMA weight when healthy"),
+        ),
+    ),
+    "predictor": (
+        "Holt trend projection against the SLA bound",
+        (
+            _p("n", "int", "5", "batch size"),
+            _p("alpha", "float", "0.3", "Holt level smoothing weight"),
+            _p("beta", "float", "0.1", "Holt trend smoothing weight"),
+            _p("lookahead", "int", "12", "projection horizon in batches"),
+            _p("bound", "float", "slo.mean + 4*slo.std", "SLA bound in seconds"),
+            _p("warmup", "int", "10", "batches before the model is trusted"),
+            _p("patience", "int", "3", "consecutive projected breaches"),
+        ),
+    ),
+}
+
+assert set(_SCHEMAS) == set(_BUILDERS)
+
+
 def available_policies() -> tuple[str, ...]:
     """Names accepted by :func:`make_policy`."""
     return tuple(sorted(_BUILDERS))
+
+
+def policy_parameters(name: str) -> Tuple[Dict[str, str], ...]:
+    """The parameter schema of one policy (raises on unknown names)."""
+    try:
+        return _SCHEMAS[name][1]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: "
+            f"{', '.join(available_policies())}"
+        ) from None
+
+
+def policy_schema() -> List[Dict[str, Any]]:
+    """Every factory-constructible policy with its parameter schema.
+
+    JSON-ready: a list of ``{"name", "summary", "params"}`` dicts in
+    :func:`available_policies` order (served as ``GET /api/policies``).
+    """
+    return [
+        {
+            "name": name,
+            "summary": _SCHEMAS[name][0],
+            "params": [dict(p) for p in _SCHEMAS[name][1]],
+        }
+        for name in available_policies()
+    ]
 
 
 def make_policy(
@@ -149,4 +361,11 @@ def make_policy(
         raise ValueError(
             f"unknown policy {name!r}; available: {', '.join(available_policies())}"
         ) from None
+    allowed = {p["name"] for p in _SCHEMAS[name][1]}
+    unknown = sorted(set(params) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {', '.join(unknown)} for policy "
+            f"{name!r}; accepted: {', '.join(sorted(allowed)) or '(none)'}"
+        )
     return builder(slo, **params)

@@ -1,0 +1,73 @@
+"""Adaptive and learned aging detectors beyond the paper's three.
+
+The paper's SRAA/SARAA/CLTA all compare batch means against thresholds
+derived from one *stationary* healthy baseline -- exactly the
+assumption the zoo's workload-shift and ramp scenarios break.  This
+package houses the successor detector families named in PAPERS.md,
+each implementing the same :class:`~repro.core.base.RejuvenationPolicy`
+contract (so they slot into the factory, the campaigns, the fleet and
+the serve API unchanged) and reporting full audit causes through
+:meth:`~repro.core.base.DecisionListener.on_trigger_cause`:
+
+:class:`AdaptiveThresholdPolicy` (factory name ``adaptive``)
+    Recalibrates its healthy baseline online from a rolling window of
+    batch means, suppresses re-baselining while a degradation is
+    suspected, and separates operating-point changes from aging by the
+    *growth rate* of the exceedance (Moura et al., "Adaptive Detection
+    of Software Aging under Workload Shift").
+
+:class:`EntropyPolicy` (factory name ``entropy``)
+    Windowed Shannon entropy over a bucketed response-time
+    distribution; aging concentrates mass in the overflow bucket and
+    collapses the entropy (Chen et al., "CHAOS: Accurate and Realtime
+    Detection of Aging-Oriented Failure Using Entropy").
+
+:class:`TrendProjectionPolicy` (factory name ``predictor``)
+    An incremental Holt double-exponential smoother over batch means
+    that triggers when the *projected* trajectory crosses the SLA
+    bound within a lookahead horizon (the learning-predictor spirit of
+    Sumathi & Raju, kept dependency-free).
+
+:data:`DETECTOR_POLICIES` gives the three detectors campaign-grade
+parameters under canonical labels (``ADAPTIVE``/``ENTROPY``/``TREND``)
+the same way :data:`repro.faults.campaign.DEFAULT_POLICIES` does for
+the paper's contenders, and :func:`head_to_head_policies` is the full
+six-way lineup the ``detectors`` experiment runs across the zoo.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.spec import PolicySpec
+from repro.detect.adaptive import AdaptiveThresholdPolicy
+from repro.detect.entropy import EntropyPolicy
+from repro.detect.predictor import TrendProjectionPolicy
+
+#: The detector family at campaign-grade parameters, under canonical
+#: labels (mirrors ``DEFAULT_POLICIES`` for the paper's contenders).
+#: ``TREND`` is the *projection* detector -- the factory name ``trend``
+#: (Mann-Kendall slope test) is a different, paper-era policy.
+DETECTOR_POLICIES: Dict[str, PolicySpec] = {
+    "ADAPTIVE": PolicySpec("adaptive"),
+    "ENTROPY": PolicySpec("entropy"),
+    "TREND": PolicySpec("predictor"),
+}
+
+
+def head_to_head_policies() -> Dict[str, PolicySpec]:
+    """The zoo head-to-head lineup: the paper's three + the new three."""
+    from repro.faults.campaign import DEFAULT_POLICIES
+
+    lineup = dict(DEFAULT_POLICIES)
+    lineup.update(DETECTOR_POLICIES)
+    return lineup
+
+
+__all__ = [
+    "AdaptiveThresholdPolicy",
+    "EntropyPolicy",
+    "TrendProjectionPolicy",
+    "DETECTOR_POLICIES",
+    "head_to_head_policies",
+]

@@ -1,0 +1,210 @@
+"""Workload-shift-robust adaptive thresholding (Moura et al.).
+
+The static policies derive their thresholds from one offline SLO; when
+the operating point legitimately moves (a load step, a saturation
+ramp) the old baseline reads the new healthy plateau as aging.  The
+adaptive detector instead learns the healthy baseline *online* from a
+rolling window of batch means and recalibrates it whenever the
+workload demonstrably shifted, while still suppressing learning during
+a suspected degradation so the baseline never chases the very signal
+it exists to detect (the :class:`~repro.monitoring.adaptive.AdaptiveSLO`
+guard construction, applied to a windowed baseline).
+
+The discriminator between *shift* and *aging* is the growth rate of
+the exceedance.  A workload change settles on a new plateau: batch
+means stop rising once the queue reaches its new equilibrium, so an
+exceedance streak whose values have stabilised is absorbed into the
+baseline (recalibration).  Software aging in this repo's zoo is an
+unstable queue: response times keep growing while the exceedance
+streak lasts, and a streak that *keeps rising* is answered with a
+trigger.  The learned standard deviation is clamped to
+``[std_floor, std_cap]`` so a noisy plateau cannot widen the threshold
+band without bound (which would let the baseline chase genuine aging).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.base import BatchBuffer, RejuvenationPolicy
+from repro.core.sla import ServiceLevelObjective
+from repro.obs.live.sketches import RollingWindow
+
+
+class AdaptiveThresholdPolicy(RejuvenationPolicy):
+    """Self-recalibrating k-sigma threshold over batch means.
+
+    Parameters
+    ----------
+    slo:
+        The offline-calibrated starting point; the rolling baseline
+        takes over once ``warmup`` batch means have been accepted.
+    sample_size:
+        Batch size ``n`` (the paper's batching discipline).
+    window:
+        Rolling-window length, in accepted batch means, of the healthy
+        baseline (:class:`~repro.obs.live.sketches.RollingWindow`).
+    k_sigmas:
+        Detection threshold: ``baseline_mean + k_sigmas * s`` where
+        ``s`` is the clamped baseline standard deviation.
+    std_floor / std_cap:
+        Clamp bounds for the learned deviation, as fractions of
+        ``slo.std`` (defaults 0.1 and 1.0).  The floor keeps a
+        constant-series baseline from collapsing the band to zero; the
+        cap keeps a noisy saturation plateau from widening it until
+        aging becomes invisible.
+    patience:
+        Consecutive exceeding batches required before the detector
+        decides anything (trigger *or* recalibrate).
+    grow_limit_sigmas:
+        The shift/aging discriminator: a full-patience exceedance
+        streak whose net growth exceeds ``grow_limit_sigmas * s`` is
+        aging (trigger); one that stabilised is a workload shift
+        (recalibrate the baseline from the streak itself).
+    warmup:
+        Accepted batches before the detector arms; during warmup every
+        batch mean is learned and nothing triggers.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        slo: ServiceLevelObjective,
+        sample_size: int = 2,
+        window: int = 64,
+        k_sigmas: float = 4.0,
+        std_floor: Optional[float] = None,
+        std_cap: Optional[float] = None,
+        patience: int = 6,
+        grow_limit_sigmas: float = 0.75,
+        warmup: int = 16,
+    ) -> None:
+        if window < 2:
+            raise ValueError("baseline window must be >= 2")
+        if k_sigmas <= 0:
+            raise ValueError("k_sigmas must be positive")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if grow_limit_sigmas <= 0:
+            raise ValueError("grow_limit_sigmas must be positive")
+        if warmup < 2:
+            raise ValueError("warmup must be >= 2")
+        self.slo = slo
+        self.buffer = BatchBuffer(sample_size)
+        self.k_sigmas = float(k_sigmas)
+        self.std_floor = (
+            0.1 * slo.std if std_floor is None else float(std_floor)
+        )
+        self.std_cap = slo.std if std_cap is None else float(std_cap)
+        if self.std_cap < self.std_floor:
+            raise ValueError("std_cap must be >= std_floor")
+        self.patience = int(patience)
+        self.grow_limit_sigmas = float(grow_limit_sigmas)
+        self.warmup = int(warmup)
+        self.baseline = RollingWindow(size=window)
+        self.accepted = 0
+        self.recalibrations = 0
+        self.streak = 0
+        self._exceedances: List[float] = []
+
+    # ------------------------------------------------------------------
+    def _clamp_std(self, value: float) -> float:
+        return min(max(value, self.std_floor), self.std_cap)
+
+    def baseline_stats(self) -> tuple:
+        """Current ``(mean, clamped std)`` of the healthy baseline."""
+        if self.accepted >= self.warmup:
+            return self.baseline.mean, self._clamp_std(self.baseline.std)
+        # Pre-warmup: the offline SLO, scaled to batch means of n.
+        n = self.buffer.size
+        return self.slo.mean, self._clamp_std(self.slo.std / n ** 0.5)
+
+    @property
+    def current_threshold(self) -> float:
+        mean, std = self.baseline_stats()
+        return mean + self.k_sigmas * std
+
+    def _learn(self, batch_mean: float) -> None:
+        self.baseline.push(batch_mean)
+        self.accepted += 1
+
+    def observe(self, value: float) -> bool:
+        batch_mean = self.buffer.push(value)
+        if batch_mean is None:
+            return False
+        return self._observe_batch(batch_mean)
+
+    def _observe_batch(self, batch_mean: float) -> bool:
+        mean, std = self.baseline_stats()
+        threshold = mean + self.k_sigmas * std
+        exceeded = batch_mean > threshold
+        listener = self._listener
+        if listener is not None and listener.wants_batches:
+            listener.on_batch(
+                self, batch_mean, threshold, self.buffer.size, exceeded
+            )
+        if not exceeded or self.accepted < self.warmup:
+            # Healthy (or still calibrating): fold into the baseline.
+            self._learn(batch_mean)
+            self.streak = 0
+            self._exceedances.clear()
+            return False
+        # Suspected degradation: suppress re-baselining, watch the streak.
+        self.streak += 1
+        self._exceedances.append(batch_mean)
+        if len(self._exceedances) > self.patience:
+            del self._exceedances[0]
+        if self.streak < self.patience:
+            return False
+        growth = self._exceedances[-1] - self._exceedances[0]
+        if growth <= self.grow_limit_sigmas * std:
+            # The exceedance stabilised: a new healthy operating point,
+            # not aging.  Recalibrate the baseline from the streak.
+            for value in self._exceedances:
+                self._learn(value)
+            self.recalibrations += 1
+            self.streak = 0
+            self._exceedances.clear()
+            if listener is not None:
+                listener.on_transition(
+                    self,
+                    "recalibrate",
+                    self.recalibrations,
+                    len(self.baseline.values()),
+                    self.current_threshold,
+                )
+            return False
+        cause = {
+            "kind": "adaptive-threshold",
+            "batch_mean": batch_mean,
+            "threshold": threshold,
+            "baseline_mean": mean,
+            "baseline_std": std,
+            "streak": self.streak,
+            "growth": growth,
+            "grow_limit": self.grow_limit_sigmas * std,
+            "recalibrations": self.recalibrations,
+            "sample_size": self.buffer.size,
+        }
+        self.streak = 0
+        self._exceedances.clear()
+        self.buffer.clear()
+        if listener is not None:
+            listener.on_trigger_cause(self, cause)
+        return True
+
+    def reset(self) -> None:
+        """Clear detection state (the learned baseline is calibration,
+        not detection state, and survives a rejuvenation)."""
+        self.buffer.clear()
+        self.streak = 0
+        self._exceedances.clear()
+        if self._listener is not None:
+            self._listener.on_reset(self)
+
+    def describe(self) -> str:
+        return (
+            f"Adaptive(n={self.buffer.size}, W={self.baseline.size}, "
+            f"k={self.k_sigmas:g}, patience={self.patience})"
+        )

@@ -1,0 +1,181 @@
+"""CHAOS-style entropy detection (Chen et al.).
+
+Aging reshapes the *distribution* of response times before any single
+threshold is crossed for good: mass drains out of the healthy buckets
+and piles up in the slow tail.  Windowed Shannon entropy over a
+bucketed response-time histogram summarises that reshaping in one
+number -- a healthy operating point holds the entropy near a
+calibrated reference, while aging concentrates the distribution in the
+overflow bucket and collapses it (or, for heavy-tail contamination,
+smears it upward).  The detector triggers on a sustained shift of the
+windowed entropy away from its reference, in either direction.
+
+The reference itself tracks slowly (an EWMA over healthy windows), so
+a legitimate operating-point change eventually re-centres the detector
+-- but unlike :mod:`repro.detect.adaptive` there is no explicit
+shift/aging discriminator: the entropy family's false alarms on the
+zoo's workload scenarios are part of the robustness story the
+``detectors`` experiment publishes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.core.base import RejuvenationPolicy
+from repro.core.sla import ServiceLevelObjective
+
+
+def shannon_entropy(counts: List[int], total: int) -> float:
+    """Entropy (nats) of a histogram given its total count."""
+    if total <= 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts:
+        if count:
+            p = count / total
+            entropy -= p * math.log(p)
+    return entropy
+
+
+class EntropyPolicy(RejuvenationPolicy):
+    """Windowed-entropy shift detector over bucketed response times.
+
+    Parameters
+    ----------
+    slo:
+        Supplies the default bucket width (``slo.std / 2``); the
+        histogram spans ``bins`` regular buckets plus one overflow.
+    window:
+        Sliding window length, in raw observations.
+    bins:
+        Number of regular buckets before the overflow bucket.
+    bin_width:
+        Bucket width in seconds (default ``slo.std / 2``).
+    drift:
+        Trigger band: an absolute entropy deviation ``|H - ref|`` at or
+        above this (nats) counts towards the alarm streak.
+    patience:
+        Consecutive deviating observations required to trigger.
+    warmup:
+        Observations before the reference entropy is frozen in
+        (must be >= ``window``; nothing triggers before that).
+    adapt:
+        EWMA weight by which the reference follows the windowed
+        entropy while the detector is healthy (0 disables).
+    """
+
+    name = "entropy"
+
+    def __init__(
+        self,
+        slo: ServiceLevelObjective,
+        window: int = 128,
+        bins: int = 12,
+        bin_width: Optional[float] = None,
+        drift: float = 0.5,
+        patience: int = 16,
+        warmup: int = 256,
+        adapt: float = 0.002,
+    ) -> None:
+        if window < 8:
+            raise ValueError("entropy window must be >= 8")
+        if bins < 2:
+            raise ValueError("need at least 2 buckets")
+        if drift <= 0:
+            raise ValueError("drift must be positive")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if warmup < window:
+            raise ValueError("warmup must be >= window")
+        if not 0.0 <= adapt < 1.0:
+            raise ValueError("adapt must lie in [0, 1)")
+        self.slo = slo
+        self.window = int(window)
+        self.bins = int(bins)
+        self.bin_width = (
+            slo.std / 2.0 if bin_width is None else float(bin_width)
+        )
+        if self.bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.drift = float(drift)
+        self.patience = int(patience)
+        self.warmup = int(warmup)
+        self.adapt = float(adapt)
+        self._indices: Deque[int] = deque()
+        self._counts: List[int] = [0] * (self.bins + 1)
+        self.observations = 0
+        self.reference: Optional[float] = None
+        self.streak = 0
+
+    # ------------------------------------------------------------------
+    def _bucket(self, value: float) -> int:
+        if value < 0:
+            return 0
+        return min(int(value / self.bin_width), self.bins)
+
+    @property
+    def entropy(self) -> float:
+        """Entropy (nats) of the current window's histogram."""
+        return shannon_entropy(self._counts, len(self._indices))
+
+    def observe(self, value: float) -> bool:
+        index = self._bucket(value)
+        self._indices.append(index)
+        self._counts[index] += 1
+        if len(self._indices) > self.window:
+            evicted = self._indices.popleft()
+            self._counts[evicted] -= 1
+        self.observations += 1
+        if len(self._indices) < self.window:
+            return False
+        entropy = self.entropy
+        if self.observations < self.warmup:
+            return False
+        if self.reference is None:
+            # Calibration complete: freeze the healthy reference.
+            self.reference = entropy
+            return False
+        deviation = entropy - self.reference
+        if abs(deviation) < self.drift:
+            self.streak = 0
+            if self.adapt:
+                self.reference += self.adapt * deviation
+            return False
+        self.streak += 1
+        if self.streak < self.patience:
+            return False
+        cause = {
+            "kind": "entropy-shift",
+            "entropy": entropy,
+            "reference": self.reference,
+            "deviation": deviation,
+            "drift": self.drift,
+            "window": self.window,
+            "bins": self.bins,
+            "streak": self.streak,
+        }
+        self._clear_window()
+        if self._listener is not None:
+            self._listener.on_trigger_cause(self, cause)
+        return True
+
+    def _clear_window(self) -> None:
+        self._indices.clear()
+        self._counts = [0] * (self.bins + 1)
+        self.streak = 0
+
+    def reset(self) -> None:
+        """Clear the window and streak; the calibrated reference (and
+        the warmed-up state) survive a rejuvenation."""
+        self._clear_window()
+        if self._listener is not None:
+            self._listener.on_reset(self)
+
+    def describe(self) -> str:
+        return (
+            f"Entropy(W={self.window}, bins={self.bins}+1, "
+            f"drift={self.drift:g}, patience={self.patience})"
+        )

@@ -1,0 +1,168 @@
+"""Trend-projection detection: trigger on the *predicted* breach.
+
+The learning line of aging work (Sumathi & Raju's neural predictors)
+forecasts the monitored statistic and rejuvenates when the forecast --
+not the current value -- violates the SLA.  This detector keeps that
+spirit dependency-free with Holt double-exponential smoothing: an
+incremental level/trend model over batch means, O(1) state, updated
+per batch.  It triggers when the projected trajectory
+
+    ``level + lookahead * trend``
+
+crosses the SLA bound within the lookahead horizon while the trend is
+genuinely upward, sustained for ``patience`` consecutive batches.  On
+clean aging this fires *before* the raw signal reaches the bound
+(latency is its strength); on saturation ramps the projection chases
+the workload and pays in false alarms -- the trade the ``detectors``
+robustness table quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import BatchBuffer, RejuvenationPolicy
+from repro.core.sla import ServiceLevelObjective
+
+
+class TrendProjectionPolicy(RejuvenationPolicy):
+    """Holt-smoothed trend projection against an SLA bound.
+
+    Parameters
+    ----------
+    slo:
+        Supplies the default bound (``slo.shift_threshold(4)``, the
+        top of the paper's escalation ladder).
+    sample_size:
+        Batch size ``n`` over which means are smoothed.
+    alpha / beta:
+        Holt smoothing weights for the level and the trend.
+    lookahead:
+        Projection horizon, in batches.
+    bound:
+        The SLA bound the projection is tested against.
+    warmup:
+        Batches before the model is trusted (nothing triggers before).
+    patience:
+        Consecutive projected breaches required to trigger.
+    """
+
+    name = "predictor"
+
+    def __init__(
+        self,
+        slo: ServiceLevelObjective,
+        sample_size: int = 5,
+        alpha: float = 0.3,
+        beta: float = 0.1,
+        lookahead: int = 12,
+        bound: Optional[float] = None,
+        warmup: int = 10,
+        patience: int = 3,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        if not 0.0 < beta <= 1.0:
+            raise ValueError("beta must lie in (0, 1]")
+        if lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+        if warmup < 2:
+            raise ValueError("warmup must be >= 2")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.slo = slo
+        self.buffer = BatchBuffer(sample_size)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.lookahead = int(lookahead)
+        self.bound = (
+            slo.shift_threshold(4) if bound is None else float(bound)
+        )
+        self.warmup = int(warmup)
+        self.patience = int(patience)
+        self.level: Optional[float] = None
+        self.trend = 0.0
+        self.batches = 0
+        self.streak = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def projection(self) -> Optional[float]:
+        """The forecast ``lookahead`` batches out (``None`` pre-model)."""
+        if self.level is None:
+            return None
+        return self.level + self.lookahead * self.trend
+
+    def observe(self, value: float) -> bool:
+        batch_mean = self.buffer.push(value)
+        if batch_mean is None:
+            return False
+        return self._observe_batch(batch_mean)
+
+    def _observe_batch(self, batch_mean: float) -> bool:
+        if self.level is None:
+            self.level = batch_mean
+            self.trend = 0.0
+        else:
+            previous = self.level
+            self.level = self.alpha * batch_mean + (1.0 - self.alpha) * (
+                previous + self.trend
+            )
+            self.trend = (
+                self.beta * (self.level - previous)
+                + (1.0 - self.beta) * self.trend
+            )
+        self.batches += 1
+        projected = self.level + self.lookahead * self.trend
+        breach = (
+            self.batches >= self.warmup
+            and self.trend > 0.0
+            and projected >= self.bound
+        )
+        listener = self._listener
+        if listener is not None and listener.wants_batches:
+            listener.on_batch(
+                self, batch_mean, self.bound, self.buffer.size, breach
+            )
+        if not breach:
+            self.streak = 0
+            return False
+        self.streak += 1
+        if self.streak < self.patience:
+            return False
+        cause = {
+            "kind": "trend-projection",
+            "projected": projected,
+            "bound": self.bound,
+            "holt_level": self.level,
+            "holt_trend": self.trend,
+            "lookahead": self.lookahead,
+            "batch_mean": batch_mean,
+            "streak": self.streak,
+            "sample_size": self.buffer.size,
+        }
+        self._clear_model()
+        if listener is not None:
+            listener.on_trigger_cause(self, cause)
+        return True
+
+    def _clear_model(self) -> None:
+        self.buffer.clear()
+        self.level = None
+        self.trend = 0.0
+        self.batches = 0
+        self.streak = 0
+
+    def reset(self) -> None:
+        """Forget the fitted model entirely (a rejuvenation or crash
+        invalidates the trajectory it was fitted to)."""
+        self._clear_model()
+        if self._listener is not None:
+            self._listener.on_reset(self)
+
+    def describe(self) -> str:
+        return (
+            f"TrendProjection(n={self.buffer.size}, "
+            f"alpha={self.alpha:g}, beta={self.beta:g}, "
+            f"H={self.lookahead}, bound={self.bound:g})"
+        )

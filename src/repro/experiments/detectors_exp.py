@@ -1,0 +1,119 @@
+"""The detector head-to-head: paper's three vs the adaptive family.
+
+Runs the full scenario zoo (:mod:`repro.faults.zoo`) against the
+six-way lineup of :func:`repro.detect.head_to_head_policies` -- SRAA,
+SARAA and CLTA at the paper's Section-5.6 parameters next to the
+``ADAPTIVE``, ``ENTROPY`` and ``TREND`` detectors of
+:mod:`repro.detect` at campaign-grade parameters -- and reports the
+robustness scores as figure-style tables: detection latency, missed
+rate, false alarms per healthy hour and recovery cost per scenario.
+
+The headline is the ``workload_ramp`` scenario: a saturation ramp the
+static baselines inevitably read as aging (SRAA pays tens of false
+alarms per healthy hour) while the adaptive threshold recalibrates
+along the drift and keeps a clean record for the genuine onset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.detect import head_to_head_policies
+from repro.experiments.faults_exp import horizon_for_scale
+from repro.experiments.scale import Scale
+from repro.experiments.tables import ExperimentResult, Series, Table
+from repro.faults.campaign import CampaignResult, run_campaign
+from repro.faults.zoo import builtin_scenarios
+
+
+def run_detectors_campaign(
+    scale: Scale, seed: int = 0
+) -> CampaignResult:
+    """The raw zoo x six-policy campaign behind the experiment."""
+    horizon_s = horizon_for_scale(scale)
+    scenarios = list(builtin_scenarios(horizon_s).values())
+    return run_campaign(
+        scenarios=scenarios,
+        policies=head_to_head_policies(),
+        replications=scale.replications,
+        seed=seed,
+    )
+
+
+def run_detectors(scale: Scale, seed: int = 0) -> ExperimentResult:
+    """The detector head-to-head as a registry experiment."""
+    horizon_s = horizon_for_scale(scale)
+    scenarios = list(builtin_scenarios(horizon_s).values())
+    campaign = run_detectors_campaign(scale, seed)
+    index_of = {s.name: float(i) for i, s in enumerate(scenarios)}
+    notes = [
+        f"x = {i:g}: {s.name} -- {s.description}"
+        for i, s in enumerate(scenarios)
+    ] + [
+        f"horizon {horizon_s:g} s, {scale.replications} replication(s) "
+        f"per cell, CRN seeds from {seed}"
+    ]
+    latency = Table(
+        title="Detector head-to-head: mean detection latency (s)",
+        x_label="scenario",
+        y_label="latency_s",
+        notes=list(notes),
+    )
+    misses = Table(
+        title="Detector head-to-head: missed-detection rate",
+        x_label="scenario",
+        y_label="missed_rate",
+        notes=list(notes),
+    )
+    alarms = Table(
+        title="Detector head-to-head: false alarms per healthy hour",
+        x_label="scenario",
+        y_label="false_alarms_per_healthy_hour",
+        notes=list(notes),
+    )
+    cost = Table(
+        title="Detector head-to-head: recovery cost (loss fraction)",
+        x_label="scenario",
+        y_label="loss_fraction",
+        notes=list(notes),
+    )
+    series: Dict[str, Dict[str, Series]] = {}
+    for score in campaign.scores:
+        per_policy = series.setdefault(score.policy, {})
+        if not per_policy:
+            for key, table in (
+                ("latency", latency),
+                ("misses", misses),
+                ("alarms", alarms),
+                ("cost", cost),
+            ):
+                per_policy[key] = Series(label=score.policy)
+                table.add_series(per_policy[key])
+        x = index_of[score.scenario]
+        if score.mean_detection_latency_s is not None:
+            per_policy["latency"].add(x, score.mean_detection_latency_s)
+        per_policy["misses"].add(x, score.missed_rate)
+        per_policy["alarms"].add(x, score.false_alarms_per_healthy_hour)
+        per_policy["cost"].add(x, score.mean_loss_fraction)
+    return ExperimentResult(
+        experiment_id="detectors",
+        description=(
+            "Adaptive/entropy/trend detectors vs SRAA/SARAA/CLTA "
+            "across the adversarial scenario zoo"
+        ),
+        tables=[latency, misses, alarms, cost],
+        paper_expectations=[
+            "on the saturation ramp the static baselines read the "
+            "healthy drift as aging (SRAA pays tens of false alarms "
+            "per healthy hour) while the adaptive threshold "
+            "recalibrates along it and stays clean -- the Moura et "
+            "al. workload-shift robustness claim",
+            "the trend projection detects the clean x3 slowdown "
+            "earlier than SRAA (it fires on the forecast, not the "
+            "level) but pays false alarms wherever the workload "
+            "itself drifts upward",
+            "the entropy detector rejuvenates least and loses the "
+            "fewest transactions: distribution shape moves later "
+            "than the mean, so it trades latency for recovery cost",
+        ],
+    )

@@ -18,6 +18,7 @@ from repro.experiments.availability_exp import run_availability
 from repro.experiments.cluster_exp import run_cluster
 from repro.experiments.comparison import run_fig16
 from repro.experiments.degradation_exp import run_degradation
+from repro.experiments.detectors_exp import run_detectors
 from repro.experiments.faults_exp import run_faults
 from repro.experiments.fidelity import run_fidelity
 from repro.experiments.fleet_exp import run_fleet
@@ -42,6 +43,7 @@ _ALIASES: Dict[str, str] = {
     "robustness": "faults",
     "erosion": "degradation",
     "rolling": "fleet",
+    "head-to-head": "detectors",
 }
 
 _REGISTRY: Dict[str, Tuple[str, ExperimentRunner]] = {
@@ -105,6 +107,11 @@ _REGISTRY: Dict[str, Tuple[str, ExperimentRunner]] = {
         "Fault-injection campaign: policy robustness across the "
         "adversarial scenario zoo (beyond the paper)",
         run_faults,
+    ),
+    "detectors": (
+        "Detector head-to-head: adaptive/entropy/trend vs "
+        "SRAA/SARAA/CLTA across the zoo (beyond the paper)",
+        run_detectors,
     ),
     "fleet": (
         "Sharded fleet: rolling/canary rejuvenation schedulers under "

@@ -40,19 +40,44 @@ def resolve_policies(spec: str) -> Dict[str, PolicySpec]:
 
     Names matching :data:`DEFAULT_POLICIES` (case-insensitive) get the
     paper's Section-5.6 parameters under their canonical upper-case
-    label; anything else is handed to :class:`PolicySpec` as a factory
-    name.  Raises ``ValueError`` on unknown names or an empty list --
-    shared by ``repro faults run --policies`` and the serve campaign
-    endpoint so both surfaces accept exactly the same spellings.
+    label; exact (lower-case) factory names build at factory defaults;
+    the detector labels of :data:`repro.detect.DETECTOR_POLICIES`
+    (``ADAPTIVE``, ``ENTROPY``, ``TREND``) match case-insensitively
+    after that, so ``trend`` stays the paper-era Mann-Kendall factory
+    policy while every other spelling of ``TREND`` means the
+    projection detector.  Raises ``ValueError`` naming every valid
+    spelling on unknown names or an empty list -- shared by ``repro
+    faults run --policies`` and the serve campaign endpoint so both
+    surfaces accept exactly the same spellings.
     """
+    from repro.core.factory import available_policies
+    from repro.detect import DETECTOR_POLICIES
+
     policies: Dict[str, PolicySpec] = {}
     for name in (part.strip() for part in spec.split(",")):
         if not name:
             continue
         if name.upper() in DEFAULT_POLICIES:
             policies[name.upper()] = DEFAULT_POLICIES[name.upper()]
-        else:
+        elif name in available_policies():
+            # Exact factory names keep their factory defaults (so the
+            # paper-era ``trend`` policy stays reachable even though
+            # ``TREND`` is the projection detector's canonical label).
+            policies[name] = PolicySpec(name)
+        elif name.upper() in DETECTOR_POLICIES:
+            policies[name.upper()] = DETECTOR_POLICIES[name.upper()]
+        elif name.lower() in available_policies():
             policies[name] = PolicySpec(name.lower())
+        else:
+            labels = (
+                tuple(DEFAULT_POLICIES)
+                + tuple(DETECTOR_POLICIES)
+                + available_policies()
+            )
+            raise ValueError(
+                f"unknown policy {name!r}; valid spellings: "
+                f"{', '.join(labels)}"
+            )
     if not policies:
         raise ValueError(f"no policy names in {spec!r}")
     return policies
@@ -232,37 +257,69 @@ def run_campaign(
 
 
 # ---------------------------------------------------------------------------
-# Re-scoring from a JSONL trace (``repro faults score``)
+# Re-scoring from a JSONL trace (``repro faults score``, ``repro report``)
 # ---------------------------------------------------------------------------
-def score_trace(
-    path: str, horizon_s: float = 3600.0
-) -> Tuple[PolicyScore, ...]:
-    """Re-score a ``repro faults run --trace`` JSONL file.
+#: Fault kinds that *are* software aging: an injection of one of these
+#: opens a ground-truth degraded interval (workload shifts, surges,
+#: crashes and hangs are confounders, not degradation).
+AGING_FAULT_KINDS: Tuple[str, ...] = ("aging", "contamination", "slowdown")
 
-    Rebuilds each replication's trigger times from its
-    ``system.rejuvenation`` span events and its duration from the
-    ``run.meta`` summary, groups by the ``("faults", scenario, policy,
-    rep)`` job tags, and scores against the built-in scenario's ground
-    truth laid out for ``horizon_s`` (pass the value the campaign ran
-    with).
+
+def degraded_intervals_from_records(
+    run_records: Sequence[dict],
+) -> Tuple[Tuple[float, float], ...]:
+    """Ground-truth degraded intervals from one run's own fault events.
+
+    Every ``fault.injected`` event with an aging kind
+    (:data:`AGING_FAULT_KINDS`) opens an interval; a matching
+    ``fault.cleared`` closes it, otherwise it runs to infinity --
+    exactly how the zoo scenarios lay out their ground truth, but
+    recoverable from any campaign trace without knowing the horizon
+    the campaign ran at.
+    """
+    import math as _math
+
+    from repro.obs.events import FAULT_CLEARED, FAULT_INJECTED
+
+    opened: Dict[str, float] = {}
+    intervals: List[Tuple[float, float]] = []
+    for record in run_records:
+        kind = record.get("data", {}).get("kind")
+        if kind not in AGING_FAULT_KINDS:
+            continue
+        if record["type"] == FAULT_INJECTED and kind not in opened:
+            opened[kind] = record["ts"]
+        elif record["type"] == FAULT_CLEARED and kind in opened:
+            intervals.append((opened.pop(kind), record["ts"]))
+    intervals.extend((ts, _math.inf) for ts in opened.values())
+    return tuple(sorted(intervals))
+
+
+def campaign_runs_from_records(
+    records: Sequence[dict], origin: str = "trace"
+) -> List[Tuple[Tuple[str, ...], List[dict], RunResult]]:
+    """Campaign replications reconstructed from flat JSONL records.
+
+    Returns ``(tag, run_records, result)`` triples in run order for
+    every run tagged ``("faults", scenario, policy, rep)``; each
+    result's trigger times come from its ``system.rejuvenation`` span
+    events and its summary from ``run.meta``.
     """
     from repro.obs.events import RUN_META, SYSTEM_REJUVENATION
-    from repro.obs.exporters import read_jsonl
 
-    records = read_jsonl(path)
     by_run: Dict[int, List[dict]] = {}
     for record in records:
         by_run.setdefault(record.get("run", 0), []).append(record)
 
-    cells: Dict[Tuple[str, str], List[RunResult]] = {}
+    replications: List[Tuple[Tuple[str, ...], List[dict], RunResult]] = []
     for run_id in sorted(by_run):
         run_records = by_run[run_id]
         meta = next(
-            (r for r in run_records if r["type"] == RUN_META), None
+            (r for r in run_records if r.get("type") == RUN_META), None
         )
         if meta is None:
             raise ValueError(
-                f"{path}: run {run_id} has no run.meta record"
+                f"{origin}: run {run_id} has no run.meta record"
             )
         tag = tuple(meta.get("tag") or ())
         if len(tag) < 4 or tag[0] != "faults":
@@ -271,11 +328,11 @@ def score_trace(
         triggers = tuple(
             r["ts"]
             for r in run_records
-            if r["type"] == SYSTEM_REJUVENATION
+            if r.get("type") == SYSTEM_REJUVENATION
         )
         if summary.get("rejuvenations", 0) and not triggers:
             raise ValueError(
-                f"{path}: run {run_id} reports rejuvenations but the "
+                f"{origin}: run {run_id} reports rejuvenations but the "
                 "trace has no system.rejuvenation events -- re-run the "
                 "campaign with --trace-level spans or all"
             )
@@ -294,6 +351,55 @@ def score_trace(
             sim_duration_s=float(summary.get("sim_duration_s", 0.0)),
             rejuvenation_times=triggers,
         )
+        replications.append((tag, run_records, result))
+    return replications
+
+
+def score_records(records: Sequence[dict]) -> Tuple[PolicyScore, ...]:
+    """Robustness scores from flat JSONL records, horizon-free.
+
+    Each replication is scored against ground truth derived from its
+    *own* aging fault events (:func:`degraded_intervals_from_records`),
+    so no scenario horizon needs to be supplied -- this is what the
+    ``repro report`` robustness section renders.  Returns an empty
+    tuple when the records hold no campaign replications.
+    """
+    from repro.faults.score import score_cell
+
+    cells: Dict[Tuple[str, str], List[RunResult]] = {}
+    intervals: Dict[Tuple[str, str], List[Tuple[Tuple[float, float], ...]]] = {}
+    for tag, run_records, result in campaign_runs_from_records(records):
+        key = (str(tag[1]), str(tag[2]))
+        cells.setdefault(key, []).append(result)
+        intervals.setdefault(key, []).append(
+            degraded_intervals_from_records(run_records)
+        )
+    return tuple(
+        score_cell(scenario, policy, cells[key], intervals[key])
+        for key in cells
+        for scenario, policy in (key,)
+    )
+
+
+def score_trace(
+    path: str, horizon_s: float = 3600.0
+) -> Tuple[PolicyScore, ...]:
+    """Re-score a ``repro faults run --trace`` JSONL file.
+
+    Rebuilds each replication's trigger times from its
+    ``system.rejuvenation`` span events and its duration from the
+    ``run.meta`` summary, groups by the ``("faults", scenario, policy,
+    rep)`` job tags, and scores against the built-in scenario's ground
+    truth laid out for ``horizon_s`` (pass the value the campaign ran
+    with).
+    """
+    from repro.obs.exporters import read_jsonl
+
+    records = read_jsonl(path)
+    cells: Dict[Tuple[str, str], List[RunResult]] = {}
+    for tag, _run_records, result in campaign_runs_from_records(
+        records, origin=path
+    ):
         cells.setdefault((str(tag[1]), str(tag[2])), []).append(result)
 
     if not cells:

@@ -145,9 +145,36 @@ def score_policy(
     results: Sequence[RunResult],
 ) -> PolicyScore:
     """Aggregate one policy's replications on one scenario."""
+    return score_cell(
+        scenario.name,
+        policy_label,
+        results,
+        [scenario.degraded] * len(results),
+    )
+
+
+def score_cell(
+    scenario_name: str,
+    policy_label: str,
+    results: Sequence[RunResult],
+    degraded_per_result: Sequence[Sequence[Tuple[float, float]]],
+) -> PolicyScore:
+    """Aggregate replications with per-replication ground truth.
+
+    The general form behind :func:`score_policy`: each replication is
+    scored against its own degraded intervals, which lets callers that
+    reconstruct ground truth from a run's *own* fault events (the
+    ``repro report`` robustness section) share the exact aggregation
+    arithmetic of the campaign scorer.
+    """
     if not results:
         raise ValueError("need at least one replication to score")
-    run_scores = [score_run(r, scenario.degraded) for r in results]
+    if len(results) != len(degraded_per_result):
+        raise ValueError("one degraded-interval list per result required")
+    run_scores = [
+        score_run(r, degraded)
+        for r, degraded in zip(results, degraded_per_result)
+    ]
     detected = sum(s.detected for s in run_scores)
     missed = sum(s.missed for s in run_scores)
     realised = detected + missed
@@ -159,7 +186,7 @@ def score_policy(
     false_alarms = sum(s.false_alarms for s in run_scores)
     healthy_hours = sum(s.healthy_hours for s in run_scores)
     return PolicyScore(
-        scenario=scenario.name,
+        scenario=scenario_name,
         policy=policy_label,
         replications=len(results),
         detected=detected,

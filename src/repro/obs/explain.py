@@ -50,6 +50,38 @@ def _summary_line(summary: Dict[str, Any]) -> str:
     return ", ".join(parts)
 
 
+def _format_cause(data: Dict[str, Any]) -> str:
+    """A trigger's cause, whatever its shape.
+
+    The paper's policies emit the classic batch-mean-vs-threshold
+    cause; the :mod:`repro.detect` family emits free-form mappings
+    (entropy/reference, projection/bound, ...).  Classic causes keep
+    their historical phrasing; anything else is rendered generically
+    as ``key=value`` pairs so no detector's evidence is dropped.
+    """
+    if "batch_mean" in data and "threshold" in data:
+        return (
+            f"bucket {data.get('level', 0)} overflowed; "
+            f"batch mean {data.get('batch_mean', float('nan')):.3f}s > "
+            f"threshold {data.get('threshold', float('nan')):.3f}s "
+            f"(n={data.get('sample_size', '?')}"
+        ) + (
+            f", batch #{data['batch_seq']})"
+            if "batch_seq" in data
+            else ")"
+        )
+    pairs = []
+    for key in sorted(data):
+        if key == "batch_seq":
+            continue
+        value = data[key]
+        if isinstance(value, float):
+            pairs.append(f"{key}={value:.3f}")
+        else:
+            pairs.append(f"{key}={value}")
+    return ", ".join(pairs) if pairs else "(no cause data)"
+
+
 def _explain_run(run_id: Any, records: List[Dict[str, Any]]) -> List[str]:
     lines: List[str] = []
     meta = next((r for r in records if r["type"] == RUN_META), None)
@@ -109,14 +141,9 @@ def _explain_run(run_id: Any, records: List[Dict[str, Any]]) -> List[str]:
         elif etype == POLICY_TRIGGER:
             trigger_no += 1
             data = record.get("data", {})
-            level = data.get("level", 0)
             lines.append(
                 f"  [t={record['ts']:12.3f}s] trigger #{trigger_no} by "
-                f"{record.get('source', '?')}: bucket {level} overflowed; "
-                f"batch mean {data.get('batch_mean', float('nan')):.3f}s > "
-                f"threshold {data.get('threshold', float('nan')):.3f}s "
-                f"(n={data.get('sample_size', '?')}, "
-                f"batch #{data.get('batch_seq', '?')})"
+                f"{record.get('source', '?')}: {_format_cause(data)}"
             )
             ups = [c for c in climb if c.get("data", {}).get("direction") == "up"]
             if ups:
@@ -177,14 +204,12 @@ def _explain_flight_run(
             None,
         )
         if trigger is not None:
-            data = trigger.get("data", {})
-            lines.append(
-                f"      cause: bucket {data.get('level', 0)} overflowed; "
-                f"batch mean "
-                f"{data.get('batch_mean', float('nan')):.3f}s > threshold "
-                f"{data.get('threshold', float('nan')):.3f}s "
-                f"(n={data.get('sample_size', '?')})"
-            )
+            data = {
+                k: v
+                for k, v in trigger.get("data", {}).items()
+                if k != "batch_seq"
+            }
+            lines.append(f"      cause: {_format_cause(data)}")
     return lines
 
 

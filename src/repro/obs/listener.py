@@ -139,6 +139,23 @@ class TracingDecisionListener(DecisionListener):
             sample_size=sample_size,
         )
 
+    def on_trigger_cause(self, policy: RejuvenationPolicy, cause) -> None:
+        # Free-form causes (the repro.detect family) are recorded
+        # verbatim: the trigger event carries whatever evidence the
+        # detector decided on -- entropy/reference, projection/bound --
+        # and ``repro explain`` renders unknown shapes generically.
+        tracer = self.tracer
+        if not tracer.decisions:
+            return
+        source = policy_source(policy)
+        tracer.emit(
+            self.clock(),
+            POLICY_TRIGGER,
+            source,
+            batch_seq=self._batch_seq.get(source, 0),
+            **dict(cause),
+        )
+
     def on_resize(
         self,
         policy: RejuvenationPolicy,

@@ -336,20 +336,32 @@ def _summary_table(
 
 
 def _decision_rows(records: List[Dict[str, Any]]) -> List[str]:
+    from repro.obs.explain import _format_cause
+
     rows = []
     for record in records:
         if record["type"] != POLICY_TRIGGER:
             continue
         data = record.get("data", {})
+        classic = "batch_mean" in data and "threshold" in data
         rows.append(
             "<tr>"
             f"<td>{record['ts']:.1f}</td>"
             f"<td>{html.escape(str(record.get('source', '')))}</td>"
-            f"<td>{data.get('level', '')}</td>"
-            f"<td>{data.get('batch_mean', 0.0):.3f}</td>"
-            f"<td>{data.get('threshold', 0.0):.3f}</td>"
-            f"<td>{data.get('sample_size', '')}</td>"
-            "</tr>"
+            f"<td>{data.get('level', '&mdash;')}</td>"
+            + (
+                f"<td>{data.get('batch_mean', 0.0):.3f}</td>"
+                f"<td>{data.get('threshold', 0.0):.3f}</td>"
+                if classic
+                else "<td>&mdash;</td><td>&mdash;</td>"
+            )
+            + f"<td>{data.get('sample_size', '&mdash;')}</td>"
+            + (
+                "<td></td>"
+                if classic
+                else f"<td>{html.escape(_format_cause(data))}</td>"
+            )
+            + "</tr>"
         )
     return rows
 
@@ -415,7 +427,8 @@ def _run_section(
         parts.append("<h3>rejuvenation decisions</h3>")
         parts.append(
             "<table><tr><th>t (s)</th><th>policy</th><th>bucket</th>"
-            "<th>batch mean (s)</th><th>threshold (s)</th><th>n</th></tr>"
+            "<th>batch mean (s)</th><th>threshold (s)</th><th>n</th>"
+            "<th>cause</th></tr>"
             + "".join(decisions)
             + "</table>"
         )
@@ -432,6 +445,62 @@ def _run_section(
             + "</table></details>"
         )
     return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Campaign robustness
+# ---------------------------------------------------------------------------
+def _robustness_section(records: Sequence[Dict[str, Any]]) -> str:
+    """The campaign robustness table, or ``""`` for non-campaign traces.
+
+    When the trace holds ``("faults", scenario, policy, rep)``-tagged
+    replications, every cell is re-scored against ground truth derived
+    from its own aging fault events
+    (:func:`repro.faults.campaign.score_records`), so the detector
+    head-to-head's headline numbers -- detection latency, misses, false
+    alarms per healthy hour, recovery cost -- appear right in the
+    dashboard.
+    """
+    from repro.faults.campaign import score_records
+
+    try:
+        scores = score_records(records)
+    except ValueError:
+        return ""  # malformed / partial runs: skip, keep the charts
+    if not scores:
+        return ""
+    rows = []
+    for s in scores:
+        latency = (
+            f"{s.mean_detection_latency_s:.1f}"
+            if s.mean_detection_latency_s is not None
+            else "&mdash;"
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(s.scenario)}</td>"
+            f"<td>{html.escape(s.policy)}</td>"
+            f"<td>{s.replications}</td>"
+            f"<td>{s.detected}/{s.detected + s.missed}</td>"
+            f"<td>{s.missed_rate:.2f}</td>"
+            f"<td>{latency}</td>"
+            f"<td>{s.false_alarms}</td>"
+            f"<td>{s.false_alarms_per_healthy_hour:.2f}</td>"
+            f"<td>{s.mean_loss_fraction:.5f}</td>"
+            f"<td>{s.mean_rejuvenations:.1f}</td>"
+            "</tr>"
+        )
+    return (
+        "<h2>campaign robustness</h2>"
+        '<p class="note">per (scenario, policy) cell, scored against '
+        "ground truth recovered from each run&rsquo;s own aging fault "
+        "events (workload shifts, surges, crashes and hangs count as "
+        "healthy time).</p>"
+        "<table><tr><th>scenario</th><th>policy</th><th>reps</th>"
+        "<th>detected</th><th>miss rate</th><th>latency (s)</th>"
+        "<th>FA</th><th>FA/healthy h</th><th>loss</th>"
+        "<th>rejuv</th></tr>" + "".join(rows) + "</table>"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -454,6 +523,7 @@ def render_report(
         f"{len(runs)} run(s).</p>",
         "<h2>replications</h2>",
         _summary_table(runs),
+        _robustness_section(records),
     ]
     for run_id, run_records in runs[:max_runs]:
         parts.append(_run_section(run_id, run_records))

@@ -33,6 +33,7 @@ GET   ``/api/diff``              ``left`` vs ``right`` field-by-field
 GET   ``/api/baselines``         pinned baselines
 GET   ``/api/bench``             benchmark trajectory listing
 GET   ``/api/bench/<name>``      one full trajectory + validation
+GET   ``/api/policies``          every policy + parameter schema/labels
 GET   ``/api/scenarios``         the fault zoo (``horizon`` parameter)
 GET   ``/api/live``              latest live snapshot (or ``{}``)
 GET   ``/api/events``            Server-Sent Events stream
@@ -176,6 +177,8 @@ class _Handler(BaseHTTPRequestHandler):
             if path.startswith("/api/bench/"):
                 name = path[len("/api/bench/") :]
                 return self._send_json(self._bench_one(name))
+            if path == "/api/policies":
+                return self._send_json(self._policies())
             if path == "/api/scenarios":
                 return self._send_json(self._scenarios(query))
             if path == "/api/live":
@@ -308,6 +311,26 @@ class _Handler(BaseHTTPRequestHandler):
             raise ApiError(404, f"no trajectory {name!r}") from None
         trajectory["problems"] = validate_trajectory(trajectory)
         return trajectory
+
+    def _policies(self) -> Dict[str, Any]:
+        """Every constructible policy with its parameter schema.
+
+        ``policies`` mirrors :func:`repro.core.factory.policy_schema`
+        (the same validation that rejects a bad ``POST /api/campaigns``
+        body), ``labels`` the campaign spellings ``resolve_policies``
+        accepts on top of the factory names -- the paper trio at its
+        Section-5.6 parameters plus the :mod:`repro.detect` lineup.
+        """
+        from repro.core.factory import policy_schema
+        from repro.detect import DETECTOR_POLICIES
+        from repro.faults.campaign import DEFAULT_POLICIES
+
+        labels = [
+            {"label": label, "policy": spec.name, "params": dict(spec.params)}
+            for mapping in (DEFAULT_POLICIES, DETECTOR_POLICIES)
+            for label, spec in mapping.items()
+        ]
+        return {"policies": policy_schema(), "labels": labels}
 
     def _scenarios(self, query: Dict[str, str]) -> Dict[str, Any]:
         from repro.faults.zoo import builtin_scenarios

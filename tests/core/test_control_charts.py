@@ -132,3 +132,44 @@ class TestComparisonWithBuckets:
             SRAA(SLO, 2, 5, 3),
         ):
             assert policy.observe_many(list(degraded))
+
+
+class TestEdgeCases:
+    def test_cusum_empty_stream_statistic_is_zero(self):
+        policy = CUSUMPolicy(SLO)
+        assert policy.statistic == 0.0
+        assert policy.observe_many([]) == []
+
+    def test_cusum_single_sample_below_reference(self):
+        policy = CUSUMPolicy(SLO, k_sigmas=0.5, h_sigmas=5.0)
+        assert policy.observe(SLO.mean) is False
+        assert policy.statistic == 0.0
+
+    def test_cusum_constant_series_at_reference_never_triggers(self):
+        # Exactly at mu + k*sigma the increments are zero: the chart
+        # must hold at zero variance forever, not drift or trigger.
+        policy = CUSUMPolicy(SLO, k_sigmas=0.5, h_sigmas=5.0)
+        reference = SLO.mean + 0.5 * SLO.std
+        assert policy.observe_many([reference] * 500) == []
+        assert policy.statistic == 0.0
+
+    def test_cusum_deterministic_after_rejuvenation_reset(self):
+        trace = [15.0] * 10 + [2.0] * 5 + [30.0] * 10
+        veteran = CUSUMPolicy(SLO)
+        veteran.observe_many(trace)
+        veteran.reset()
+        fresh = CUSUMPolicy(SLO)
+        assert veteran.observe_many(trace) == fresh.observe_many(trace)
+
+    def test_ewma_constant_series_at_mean_never_triggers(self):
+        policy = EWMAPolicy(SLO, lam=0.2)
+        assert policy.observe_many([SLO.mean] * 500) == []
+        assert policy.statistic == pytest.approx(SLO.mean)
+
+    def test_ewma_deterministic_after_rejuvenation_reset(self):
+        trace = [12.0, 18.0, 25.0, 3.0] * 10
+        veteran = EWMAPolicy(SLO, lam=0.3)
+        veteran.observe_many(trace)
+        veteran.reset()
+        fresh = EWMAPolicy(SLO, lam=0.3)
+        assert veteran.observe_many(trace) == fresh.observe_many(trace)

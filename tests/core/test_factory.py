@@ -66,3 +66,83 @@ class TestFactory:
     def test_unknown_name(self):
         with pytest.raises(ValueError, match="unknown policy"):
             make_policy("quantum", PAPER_SLO)
+
+
+class TestDetectorConstruction:
+    def test_adaptive_parameters(self):
+        from repro.detect.adaptive import AdaptiveThresholdPolicy
+
+        policy = make_policy(
+            "adaptive", PAPER_SLO, n=3, window=32, k=3.5, patience=4
+        )
+        assert isinstance(policy, AdaptiveThresholdPolicy)
+        assert policy.buffer.size == 3
+        assert policy.baseline.size == 32
+        assert policy.k_sigmas == 3.5
+        assert policy.patience == 4
+
+    def test_entropy_parameters(self):
+        from repro.detect.entropy import EntropyPolicy
+
+        policy = make_policy(
+            "entropy", PAPER_SLO, window=64, bins=8, drift=0.4, warmup=64
+        )
+        assert isinstance(policy, EntropyPolicy)
+        assert (policy.window, policy.bins) == (64, 8)
+        assert policy.drift == 0.4
+
+    def test_predictor_parameters(self):
+        from repro.detect.predictor import TrendProjectionPolicy
+
+        policy = make_policy(
+            "predictor", PAPER_SLO, n=4, lookahead=8, bound=30.0
+        )
+        assert isinstance(policy, TrendProjectionPolicy)
+        assert policy.buffer.size == 4
+        assert policy.lookahead == 8
+        assert policy.bound == 30.0
+
+    def test_predictor_default_bound_follows_slo(self):
+        policy = make_policy("predictor", PAPER_SLO)
+        assert policy.bound == PAPER_SLO.shift_threshold(4)
+
+
+class TestParameterSchema:
+    def test_schema_covers_every_policy_in_order(self):
+        from repro.core.factory import policy_schema
+
+        schema = policy_schema()
+        assert [entry["name"] for entry in schema] == list(
+            available_policies()
+        )
+        for entry in schema:
+            assert entry["summary"]
+            for param in entry["params"]:
+                assert set(param) == {"name", "type", "default", "doc"}
+
+    def test_policy_parameters_raises_on_unknown(self):
+        from repro.core.factory import policy_parameters
+
+        with pytest.raises(ValueError, match="unknown policy"):
+            policy_parameters("quantum")
+
+    def test_unknown_parameter_rejected_with_accepted_list(self):
+        with pytest.raises(ValueError, match="accepted"):
+            make_policy("sraa", PAPER_SLO, n=2, bogus=1)
+        with pytest.raises(ValueError, match="accepted"):
+            make_policy("adaptive", PAPER_SLO, window=16, k_sigmas=3.0)
+
+    def test_schema_params_match_builder_acceptance(self):
+        # Every advertised parameter must actually be accepted by the
+        # builder it documents (defaults exercise the full set).
+        from repro.core.factory import policy_parameters
+
+        by_type = {"int": 8, "float": 0.5}
+        special = {"hard": 60.0, "warmup": 64, "window": 16}
+        for name in available_policies():
+            params = {
+                p["name"]: special.get(p["name"], by_type[p["type"]])
+                for p in policy_parameters(name)
+            }
+            policy = make_policy(name, PAPER_SLO, **params)
+            assert policy.observe(5.0) in (True, False)

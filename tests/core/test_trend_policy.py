@@ -69,3 +69,44 @@ class TestLifecycle:
     def test_describe(self):
         text = TrendPolicy(sample_size=3, window=8).describe()
         assert "window=8" in text
+
+
+class TestEdgeCases:
+    def test_empty_window_reset_is_a_noop(self):
+        policy = TrendPolicy(sample_size=2, window=5)
+        policy.reset()
+        assert len(policy._means) == 0
+        assert policy.buffer.pending == 0
+
+    def test_one_sample_window_never_decides(self):
+        # A single batch mean can never fill a >= 5 window, so no
+        # Mann-Kendall test runs and nothing triggers.
+        policy = TrendPolicy(sample_size=1, window=5)
+        assert policy.observe(1_000_000.0) is False
+        assert len(policy._means) == 1
+
+    def test_constant_series_zero_variance_never_triggers(self):
+        # All-tie windows drive the Mann-Kendall variance to zero; the
+        # tie-corrected test must stay silent instead of dividing by it.
+        policy = TrendPolicy(sample_size=1, window=6)
+        assert policy.observe_many([5.0] * 120) == []
+
+    def test_mann_kendall_needs_three_observations(self):
+        from repro.stats.trend import mann_kendall
+
+        with pytest.raises(ValueError):
+            mann_kendall([])
+        with pytest.raises(ValueError):
+            mann_kendall([1.0])
+        with pytest.raises(ValueError):
+            mann_kendall([1.0, 2.0])
+
+    def test_deterministic_after_rejuvenation_reset(self):
+        # Post-reset the policy must replay a trace exactly like a
+        # fresh instance: rejuvenation leaves no hidden state behind.
+        trace = [float(v) for v in range(40)]
+        veteran = TrendPolicy(sample_size=2, window=8)
+        veteran.observe_many(trace)
+        veteran.reset()
+        fresh = TrendPolicy(sample_size=2, window=8)
+        assert veteran.observe_many(trace) == fresh.observe_many(trace)

@@ -1,0 +1,148 @@
+"""The adaptive threshold: recalibration vs triggering."""
+
+import pickle
+
+import pytest
+
+from repro.core.base import DecisionListener
+from repro.core.sla import PAPER_SLO
+from repro.detect.adaptive import AdaptiveThresholdPolicy
+
+
+def make_policy(**kw):
+    defaults = dict(
+        sample_size=1, window=16, k_sigmas=3.0, patience=4, warmup=8
+    )
+    defaults.update(kw)
+    return AdaptiveThresholdPolicy(PAPER_SLO, **defaults)
+
+
+class Recorder(DecisionListener):
+    def __init__(self):
+        self.causes = []
+        self.transitions = []
+        self.resets = 0
+
+    def on_trigger_cause(self, policy, cause):
+        self.causes.append(dict(cause))
+
+    def on_transition(self, policy, kind, index, count, threshold):
+        self.transitions.append((kind, index))
+
+    def on_reset(self, policy):
+        self.resets += 1
+
+
+class TestWarmup:
+    def test_never_triggers_during_warmup(self):
+        policy = make_policy(warmup=32)
+        assert policy.observe_many([500.0] * 31) == []
+
+    def test_prewarmup_threshold_uses_offline_slo(self):
+        policy = make_policy(sample_size=4, warmup=100)
+        mean, std = policy.baseline_stats()
+        assert mean == PAPER_SLO.mean
+        # Batch means of n=4 have sigma/sqrt(4), clamped to the floor.
+        assert std == pytest.approx(
+            max(PAPER_SLO.std / 2.0, policy.std_floor)
+        )
+
+    def test_baseline_takes_over_after_warmup(self):
+        policy = make_policy(warmup=8)
+        policy.observe_many([10.0] * 8)
+        mean, std = policy.baseline_stats()
+        assert mean == pytest.approx(10.0)
+        # Constant series: learned std collapses onto the clamp floor.
+        assert std == pytest.approx(policy.std_floor)
+
+
+class TestDiscriminator:
+    def test_plateau_shift_recalibrates_instead_of_triggering(self):
+        policy = make_policy()
+        listener = Recorder()
+        policy.set_listener(listener)
+        policy.observe_many([5.0] * 8)
+        # Step to a flat plateau far above threshold: a workload shift.
+        assert policy.observe_many([40.0] * 4) == []
+        assert policy.recalibrations == 1
+        assert ("recalibrate", 1) in listener.transitions
+        assert listener.causes == []
+        # The plateau is now the baseline: more of it stays healthy.
+        assert policy.observe_many([40.0] * 20) == []
+
+    def test_growing_exceedance_triggers(self):
+        policy = make_policy()
+        listener = Recorder()
+        policy.set_listener(listener)
+        policy.observe_many([5.0] * 8)
+        ramp = [40.0, 60.0, 80.0, 100.0]
+        triggers = policy.observe_many(ramp)
+        assert len(triggers) == 1
+        assert policy.recalibrations == 0
+        (cause,) = listener.causes
+        assert cause["kind"] == "adaptive-threshold"
+        assert cause["growth"] > cause["grow_limit"]
+        assert cause["batch_mean"] > cause["threshold"]
+
+    def test_single_blip_is_absorbed(self):
+        policy = make_policy()
+        policy.observe_many([5.0] * 8)
+        assert policy.observe(60.0) is False
+        assert policy.streak == 1
+        assert policy.observe(5.0) is False
+        assert policy.streak == 0
+
+
+class TestLifecycle:
+    def test_reset_keeps_learned_baseline(self):
+        policy = make_policy()
+        listener = Recorder()
+        policy.set_listener(listener)
+        policy.observe_many([10.0] * 12)
+        before = policy.baseline_stats()
+        policy.observe(300.0)  # open a streak
+        policy.reset()
+        assert policy.streak == 0
+        assert policy.baseline_stats() == before
+        assert listener.resets == 1
+
+    def test_deterministic_after_reset(self):
+        trace = [5.0] * 8 + [40.0, 60.0, 80.0, 100.0]
+        one = make_policy()
+        one.observe_many(trace)
+        one.reset()
+        two = make_policy()
+        two.observe_many(trace)
+        two.reset()
+        assert one.observe_many(trace) == two.observe_many(trace)
+
+    def test_picklable_mid_stream(self):
+        policy = make_policy()
+        policy.observe_many([5.0] * 10 + [40.0, 41.0])
+        clone = pickle.loads(pickle.dumps(policy))
+        tail = [60.0, 80.0, 100.0, 120.0, 140.0]
+        assert clone.observe_many(tail) == policy.observe_many(tail)
+
+    def test_describe_mentions_parameters(self):
+        text = make_policy().describe()
+        assert "Adaptive" in text and "patience=4" in text
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"window": 1},
+            {"k_sigmas": 0.0},
+            {"patience": 0},
+            {"grow_limit_sigmas": 0.0},
+            {"warmup": 1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kw):
+        with pytest.raises(ValueError):
+            make_policy(**kw)
+
+    def test_std_cap_must_dominate_floor(self):
+        with pytest.raises(ValueError):
+            make_policy(std_floor=2.0, std_cap=1.0)

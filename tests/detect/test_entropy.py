@@ -1,0 +1,116 @@
+"""The windowed-entropy shift detector."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.core.base import DecisionListener
+from repro.core.sla import PAPER_SLO
+from repro.detect.entropy import EntropyPolicy, shannon_entropy
+
+
+def make_policy(**kw):
+    defaults = dict(window=16, bins=4, patience=4, warmup=16, adapt=0.0)
+    defaults.update(kw)
+    return EntropyPolicy(PAPER_SLO, **defaults)
+
+
+class Recorder(DecisionListener):
+    def __init__(self):
+        self.causes = []
+
+    def on_trigger_cause(self, policy, cause):
+        self.causes.append(dict(cause))
+
+
+class TestShannonEntropy:
+    def test_empty_histogram_is_zero(self):
+        assert shannon_entropy([], 0) == 0.0
+
+    def test_point_mass_is_zero(self):
+        assert shannon_entropy([8, 0, 0], 8) == 0.0
+
+    def test_uniform_is_log_k(self):
+        assert shannon_entropy([4, 4, 4, 4], 16) == pytest.approx(
+            math.log(4)
+        )
+
+
+class TestDetection:
+    def spread(self):
+        # One observation per bucket, cycling: maximal-entropy traffic.
+        width = make_policy().bin_width
+        return [width * (i % 4) + width / 2 for i in range(16)]
+
+    def test_healthy_traffic_never_triggers(self):
+        policy = make_policy()
+        assert policy.observe_many(self.spread() * 8) == []
+
+    def test_collapse_to_overflow_bucket_triggers(self):
+        policy = make_policy()
+        listener = Recorder()
+        policy.set_listener(listener)
+        policy.observe_many(self.spread() * 2)  # warm up, freeze ref
+        slow = [1000.0] * 32  # all mass in the overflow bucket
+        assert policy.observe_many(slow)
+        (cause,) = listener.causes
+        assert cause["kind"] == "entropy-shift"
+        assert "batch_mean" not in cause  # exercises the explain fallback
+        assert cause["deviation"] == pytest.approx(
+            cause["entropy"] - cause["reference"]
+        )
+        assert abs(cause["deviation"]) >= cause["drift"]
+
+    def test_nothing_triggers_before_warmup(self):
+        policy = make_policy(warmup=64)
+        assert policy.observe_many([1000.0] * 63) == []
+
+    def test_negative_values_clamp_to_first_bucket(self):
+        assert make_policy()._bucket(-3.0) == 0
+
+    def test_reference_tracks_when_adapt_enabled(self):
+        policy = make_policy(adapt=0.1, drift=10.0)
+        policy.observe_many(self.spread() * 2)
+        frozen = policy.reference
+        policy.observe_many([1000.0] * 16)  # deviates, but inside drift
+        assert policy.reference != frozen
+
+
+class TestLifecycle:
+    def test_reset_keeps_reference(self):
+        policy = make_policy()
+        policy.observe_many(
+            [make_policy().bin_width * (i % 4) for i in range(16)]
+        )
+        reference = policy.reference
+        policy.observe_many([1000.0] * 3)
+        policy.reset()
+        assert policy.streak == 0
+        assert len(policy._indices) == 0
+        assert policy.reference == reference
+
+    def test_picklable_mid_stream(self):
+        policy = make_policy()
+        policy.observe_many([1.0, 7.0, 3.0] * 6)
+        clone = pickle.loads(pickle.dumps(policy))
+        tail = [1000.0] * 40
+        assert clone.observe_many(tail) == policy.observe_many(tail)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"window": 4},
+            {"bins": 1},
+            {"drift": 0.0},
+            {"patience": 0},
+            {"warmup": 8},
+            {"adapt": 1.0},
+            {"bin_width": 0.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kw):
+        with pytest.raises(ValueError):
+            make_policy(**kw)

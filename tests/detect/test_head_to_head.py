@@ -1,0 +1,155 @@
+"""The detector head-to-head campaign: resolution, determinism, wins.
+
+The module-scoped campaign covers the two scenarios the acceptance
+criteria name (the saturation ramp and a clean aging onset) against
+the full six-policy lineup; the committed full-zoo robustness table
+(``ci/detectors_robustness.csv``) is pinned separately so the numbers
+the docs cite cannot drift from what the code produces.
+"""
+
+import csv
+import pathlib
+
+import pytest
+
+from repro.detect import DETECTOR_POLICIES, head_to_head_policies
+from repro.exec.backends import ProcessPoolBackend, SerialBackend
+from repro.faults.campaign import (
+    DEFAULT_POLICIES,
+    resolve_policies,
+    run_campaign,
+)
+from repro.faults.zoo import get_scenario
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+HORIZON_S = 600.0
+REPLICATIONS = 2
+
+
+def _scenarios():
+    return [
+        get_scenario(name, HORIZON_S)
+        for name in ("workload_ramp", "aging_onset")
+    ]
+
+
+def _run(backend):
+    return run_campaign(
+        scenarios=_scenarios(),
+        policies=head_to_head_policies(),
+        replications=REPLICATIONS,
+        seed=2006,
+        backend=backend,
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return _run(SerialBackend())
+
+
+class TestResolution:
+    def test_lineup_is_paper_trio_plus_detectors(self):
+        lineup = head_to_head_policies()
+        assert list(lineup) == [
+            "SRAA", "SARAA", "CLTA", "ADAPTIVE", "ENTROPY", "TREND",
+        ]
+        assert lineup["ADAPTIVE"].name == "adaptive"
+        assert lineup["ENTROPY"].name == "entropy"
+        # The TREND label means the projection detector...
+        assert lineup["TREND"].name == "predictor"
+
+    def test_detector_labels_resolve_case_insensitively(self):
+        resolved = resolve_policies("adaptive,Entropy,TREND")
+        assert [spec.name for spec in resolved.values()] == [
+            "adaptive", "entropy", "predictor",
+        ]
+
+    def test_factory_name_trend_stays_mann_kendall(self):
+        # ...while the lowercase factory name keeps the Mann-Kendall
+        # policy it always meant.
+        resolved = resolve_policies("trend")
+        assert list(resolved) == ["trend"]
+        assert resolved["trend"].name == "trend"
+
+    def test_unknown_name_lists_valid_spellings(self):
+        with pytest.raises(ValueError) as error:
+            resolve_policies("SRAA,bogus")
+        message = str(error.value)
+        for spelling in ("SRAA", "ADAPTIVE", "ENTROPY", "TREND", "sraa"):
+            assert spelling in message
+
+    def test_default_policies_unchanged(self):
+        assert list(DEFAULT_POLICIES) == ["SRAA", "SARAA", "CLTA"]
+        assert list(DETECTOR_POLICIES) == ["ADAPTIVE", "ENTROPY", "TREND"]
+
+
+class TestDeterminism:
+    def test_serial_and_pool_backends_bit_identical(self, campaign):
+        pooled = _run(ProcessPoolBackend(workers=2))
+        assert pooled.scores == campaign.scores
+        assert pooled.runs == campaign.runs
+
+
+class TestAdaptiveWins:
+    def test_adaptive_clean_on_the_saturation_ramp(self, campaign):
+        fa = {
+            (s.scenario, s.policy): s.false_alarms_per_healthy_hour
+            for s in campaign.scores
+        }
+        assert fa[("workload_ramp", "ADAPTIVE")] == 0.0
+        assert (
+            fa[("workload_ramp", "ADAPTIVE")]
+            < fa[("workload_ramp", "SRAA")]
+        )
+
+    def test_nobody_misses_the_genuine_onset(self, campaign):
+        for score in campaign.scores:
+            if score.scenario == "aging_onset":
+                assert score.missed == 0, score.policy
+
+
+class TestCommittedTable:
+    """The acceptance criteria, pinned against the committed artifact."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        path = REPO / "ci" / "detectors_robustness.csv"
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows, "ci/detectors_robustness.csv must not be empty"
+        return {
+            (row["scenario"], row["policy"]): row for row in rows
+        }
+
+    def test_covers_full_zoo_times_six_policies(self, table):
+        from repro.faults.zoo import scenario_names
+
+        scenarios = {key[0] for key in table}
+        policies = {key[1] for key in table}
+        assert scenarios == set(scenario_names())
+        assert policies == set(head_to_head_policies())
+
+    def test_adaptive_beats_sraa_on_workload_scenarios(self, table):
+        def fa(scenario, policy):
+            return float(
+                table[(scenario, policy)]["false_alarms_per_healthy_hour"]
+            )
+
+        assert fa("workload_shift", "ADAPTIVE") <= fa(
+            "workload_shift", "SRAA"
+        )
+        assert fa("workload_ramp", "ADAPTIVE") < fa(
+            "workload_ramp", "SRAA"
+        )
+        combined_adaptive = fa("workload_shift", "ADAPTIVE") + fa(
+            "workload_ramp", "ADAPTIVE"
+        )
+        combined_sraa = fa("workload_shift", "SRAA") + fa(
+            "workload_ramp", "SRAA"
+        )
+        assert combined_adaptive < combined_sraa
+
+    def test_no_policy_misses_the_clean_onset(self, table):
+        for policy in head_to_head_policies():
+            assert table[("aging_onset", policy)]["missed"] == "0"

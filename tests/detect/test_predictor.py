@@ -1,0 +1,119 @@
+"""The Holt trend-projection detector."""
+
+import pickle
+
+import pytest
+
+from repro.core.base import DecisionListener
+from repro.core.sla import PAPER_SLO
+from repro.detect.predictor import TrendProjectionPolicy
+
+
+def make_policy(**kw):
+    defaults = dict(
+        sample_size=1, lookahead=10, bound=50.0, warmup=5, patience=2
+    )
+    defaults.update(kw)
+    return TrendProjectionPolicy(PAPER_SLO, **defaults)
+
+
+class Recorder(DecisionListener):
+    def __init__(self):
+        self.causes = []
+        self.batches = []
+
+    def on_batch(self, policy, batch_mean, threshold, n, breach):
+        self.batches.append((batch_mean, breach))
+
+    def on_trigger_cause(self, policy, cause):
+        self.causes.append(dict(cause))
+
+
+class TestDetection:
+    def test_fires_before_the_level_reaches_the_bound(self):
+        policy = make_policy()
+        listener = Recorder()
+        policy.set_listener(listener)
+        ramp = [5.0 + 2.0 * i for i in range(40)]
+        triggers = policy.observe_many(ramp)
+        assert triggers
+        (cause,) = [listener.causes[0]]
+        assert cause["kind"] == "trend-projection"
+        assert cause["projected"] >= cause["bound"]
+        # The forecast breached while the raw signal was still healthy.
+        assert cause["batch_mean"] < cause["bound"]
+        assert cause["holt_trend"] > 0.0
+
+    def test_flat_traffic_never_triggers(self):
+        policy = make_policy()
+        assert policy.observe_many([5.0] * 200) == []
+
+    def test_downward_trend_never_triggers(self):
+        policy = make_policy()
+        falling = [200.0 - i for i in range(150)]
+        assert policy.observe_many(falling) == []
+
+    def test_no_trigger_during_warmup(self):
+        policy = make_policy(warmup=50)
+        steep = [5.0 + 10.0 * i for i in range(49)]
+        assert policy.observe_many(steep) == []
+
+    def test_patience_suppresses_a_single_projected_breach(self):
+        policy = make_policy(patience=10)
+        # One spike bends the trend briefly; flat traffic then clears
+        # the streak before patience is exhausted.
+        values = [5.0] * 10 + [300.0] + [5.0] * 50
+        assert policy.observe_many(values) == []
+
+    def test_default_bound_is_the_ladder_top(self):
+        policy = TrendProjectionPolicy(PAPER_SLO)
+        assert policy.bound == pytest.approx(PAPER_SLO.shift_threshold(4))
+
+
+class TestLifecycle:
+    def test_trigger_and_reset_forget_the_model(self):
+        policy = make_policy()
+        for i in range(40):
+            if policy.observe(5.0 + 2.0 * i):
+                break
+        else:
+            pytest.fail("ramp never triggered")
+        # The trigger itself cleared the fitted model.
+        assert policy.level is None
+        assert policy.trend == 0.0
+        assert policy.batches == 0
+        policy.observe_many([5.0, 6.0])
+        policy.reset()
+        assert policy.level is None and policy.batches == 0
+
+    def test_deterministic_after_reset(self):
+        ramp = [5.0 + 2.0 * i for i in range(40)]
+        one = make_policy()
+        one.observe_many(ramp)
+        one.reset()
+        two = make_policy()
+        assert one.observe_many(ramp) == two.observe_many(ramp)
+
+    def test_picklable_mid_stream(self):
+        policy = make_policy()
+        policy.observe_many([5.0 + i for i in range(8)])
+        clone = pickle.loads(pickle.dumps(policy))
+        tail = [20.0 + 3.0 * i for i in range(20)]
+        assert clone.observe_many(tail) == policy.observe_many(tail)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"beta": 0.0},
+            {"lookahead": 0},
+            {"warmup": 1},
+            {"patience": 0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kw):
+        with pytest.raises(ValueError):
+            make_policy(**kw)

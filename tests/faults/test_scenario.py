@@ -158,6 +158,18 @@ class TestZoo:
         with pytest.raises(ValueError):
             get_scenario("aging_onset", MIN_HORIZON_S / 2)
 
+    def test_workload_ramp_is_saturation_then_aging(self):
+        import math as _math
+
+        scenario = get_scenario("workload_ramp", 3600.0)
+        ramp, slowdown = scenario.injections
+        # The ramp itself is healthy ground truth: only the slowdown
+        # opens a degraded interval.
+        assert type(ramp).__name__ == "WorkloadRamp"
+        assert scenario.degraded == ((slowdown.at_s, _math.inf),)
+        assert ramp.end_s < slowdown.at_s
+        assert ramp.to_rate > ramp.from_rate
+
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown scenario"):
             get_scenario("nonesuch")

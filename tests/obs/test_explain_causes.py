@@ -1,0 +1,96 @@
+"""``repro explain`` cause formatting: classic and free-form shapes."""
+
+from repro.obs.explain import _format_cause, explain_records
+
+
+def _trigger(data, ts=120.0, source="policy:x"):
+    return {
+        "run": 0,
+        "ts": ts,
+        "type": "policy.trigger",
+        "source": source,
+        "data": data,
+    }
+
+
+class TestFormatCause:
+    def test_classic_shape_keeps_historical_phrasing(self):
+        text = _format_cause(
+            {
+                "level": 3,
+                "batch_mean": 12.345,
+                "threshold": 10.0,
+                "sample_size": 2,
+            }
+        )
+        assert text == (
+            "bucket 3 overflowed; batch mean 12.345s > "
+            "threshold 10.000s (n=2)"
+        )
+
+    def test_classic_shape_appends_batch_seq(self):
+        text = _format_cause(
+            {
+                "level": 1,
+                "batch_mean": 8.0,
+                "threshold": 7.0,
+                "sample_size": 5,
+                "batch_seq": 42,
+            }
+        )
+        assert text.endswith("(n=5, batch #42)")
+
+    def test_free_form_cause_renders_sorted_key_values(self):
+        text = _format_cause(
+            {
+                "kind": "entropy-shift",
+                "entropy": 0.25,
+                "reference": 1.75,
+                "streak": 16,
+                "batch_seq": 99,
+            }
+        )
+        assert text == (
+            "entropy=0.250, kind=entropy-shift, reference=1.750, streak=16"
+        )
+        assert "batch_seq" not in text
+
+    def test_empty_cause_has_a_placeholder(self):
+        assert _format_cause({}) == "(no cause data)"
+
+
+class TestExplainRecords:
+    def test_detector_trigger_line_shows_its_evidence(self):
+        text = explain_records(
+            [
+                _trigger(
+                    {
+                        "kind": "trend-projection",
+                        "projected": 55.2,
+                        "bound": 50.0,
+                        "holt_trend": 1.5,
+                    },
+                    source="policy:predictor",
+                )
+            ]
+        )
+        assert "trigger #1 by policy:predictor" in text
+        assert "projected=55.200" in text
+        assert "bound=50.000" in text
+
+    def test_classic_trigger_line_unchanged(self):
+        text = explain_records(
+            [
+                _trigger(
+                    {
+                        "level": 4,
+                        "batch_mean": 26.0,
+                        "threshold": 25.0,
+                        "sample_size": 2,
+                    },
+                    source="policy:sraa",
+                )
+            ]
+        )
+        assert "bucket 4 overflowed" in text
+        assert "batch mean 26.000s > threshold 25.000s" in text

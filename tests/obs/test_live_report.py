@@ -174,3 +174,97 @@ class TestWriteReport:
         write_report(trace, out)
         content = open(out, encoding="utf-8").read()
         assert re.search(r"<title>.*t\.jsonl</title>", content)
+
+
+class TestDecisionCauses:
+    def generic_trigger(self):
+        return {
+            "run": 0,
+            "ts": 400.0,
+            "type": "policy.trigger",
+            "source": "policy:entropy",
+            "data": {
+                "kind": "entropy-shift",
+                "entropy": 0.4,
+                "reference": 1.8,
+                "deviation": -1.4,
+                "streak": 16,
+            },
+        }
+
+    def test_classic_cause_keeps_numeric_columns(self):
+        document = render_report(trace_records())
+        assert "<td>12.500</td>" in document
+        assert "<td>10.000</td>" in document
+
+    def test_generic_cause_rendered_without_fake_numbers(self):
+        records = trace_records() + [self.generic_trigger()]
+        document = render_report(records)
+        assert "entropy-shift" in document
+        assert "deviation=-1.400" in document
+        # The batch-mean/threshold cells must show a dash, not 0.000.
+        row = document.split("policy:entropy")[1].split("</tr>")[0]
+        assert row.count("&mdash;") == 4
+        assert "0.000" not in row
+
+
+class TestRobustnessSection:
+    def campaign_records(self):
+        records = []
+        for run, policy in enumerate(["SRAA", "ADAPTIVE"]):
+            records.append(
+                {
+                    "run": run,
+                    "tag": ["faults", "aging_onset", policy, 0],
+                    "seed": run,
+                    "ts": 0.0,
+                    "type": "run.meta",
+                    "data": {
+                        "arrivals": 100,
+                        "completed": 90,
+                        "lost": 10,
+                        "avg_response_time": 6.0,
+                        "loss_fraction": 0.1,
+                        "gc_count": 0,
+                        "rejuvenations": 1,
+                        "sim_duration_s": 3600.0,
+                    },
+                }
+            )
+            records.append(
+                {
+                    "run": run,
+                    "ts": 1000.0,
+                    "type": "fault.injected",
+                    "data": {"kind": "slowdown"},
+                }
+            )
+            records.append(
+                {
+                    "run": run,
+                    "ts": 1100.0 + run * 50.0,
+                    "type": "system.rejuvenation",
+                    "data": {},
+                }
+            )
+        return records
+
+    def test_campaign_trace_gets_a_robustness_table(self):
+        document = render_report(self.campaign_records())
+        assert "campaign robustness" in document
+        assert "<td>aging_onset</td>" in document
+        assert "<td>ADAPTIVE</td>" in document
+        assert "FA/healthy h" in document
+
+    def test_scores_match_the_campaign_scorer(self):
+        from repro.faults.campaign import score_records
+
+        records = self.campaign_records()
+        scores = {s.policy: s for s in score_records(records)}
+        assert scores["SRAA"].mean_detection_latency_s == 100.0
+        assert scores["ADAPTIVE"].mean_detection_latency_s == 150.0
+        assert scores["SRAA"].false_alarms == 0
+
+    def test_non_campaign_trace_has_no_section(self):
+        document = render_report(trace_records())
+        assert "campaign robustness" not in document

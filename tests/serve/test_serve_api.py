@@ -158,6 +158,51 @@ class TestScenarioEndpoint:
         assert all(s["n_transactions"] > 0 for s in payload["scenarios"])
 
 
+class TestPoliciesEndpoint:
+    def test_lists_every_factory_policy_with_schema(self, served):
+        from repro.core.factory import available_policies
+
+        status, payload = served.get("/api/policies")
+        assert status == 200
+        names = [p["name"] for p in payload["policies"]]
+        assert names == list(available_policies())
+        adaptive = next(
+            p for p in payload["policies"] if p["name"] == "adaptive"
+        )
+        assert adaptive["summary"]
+        assert {param["name"] for param in adaptive["params"]} == {
+            "n", "window", "k", "patience", "grow", "warmup",
+        }
+        for param in adaptive["params"]:
+            assert set(param) == {"name", "type", "default", "doc"}
+
+    def test_labels_cover_paper_trio_and_detectors(self, served):
+        _, payload = served.get("/api/policies")
+        labels = {entry["label"]: entry for entry in payload["labels"]}
+        assert set(labels) == {
+            "SRAA", "SARAA", "CLTA", "ADAPTIVE", "ENTROPY", "TREND",
+        }
+        assert labels["SRAA"]["policy"] == "sraa"
+        assert labels["SRAA"]["params"] == {"n": 2, "K": 5, "D": 3}
+        assert labels["TREND"]["policy"] == "predictor"
+
+    def test_campaign_launch_rejects_unknown_policy_naming_choices(
+        self, served
+    ):
+        status, payload = served.post(
+            "/api/campaigns",
+            {
+                "scenarios": ["aging_onset"],
+                "policies": ["bogus"],
+                "replications": 1,
+            },
+        )
+        assert status == 400
+        message = payload["error"]
+        for spelling in ("SRAA", "ADAPTIVE", "ENTROPY", "TREND", "sraa"):
+            assert spelling in message
+
+
 class TestDashboard:
     @pytest.mark.parametrize("path", ["/", "/dashboard"])
     def test_served_and_self_contained(self, served, path):
