@@ -19,19 +19,27 @@ Subcommands
     List the policy names the factory accepts.
 ``repro simulate [--policy NAME] [--workers N] [--telemetry-csv PATH]``
     One-off simulation of the Section-3 system under a policy.
-``repro explain TRACE``
-    Human-readable timeline from a ``--trace`` JSONL file (plain or
-    ``.gz``): names the bucket, batch mean and threshold behind every
-    rejuvenation.
+``repro explain TRACE [--since TS] [--until TS] [--kind KIND]``
+    Human-readable timeline from a ``--trace`` file (JSONL or columnar,
+    plain or ``.gz``): names the bucket, batch mean and threshold
+    behind every rejuvenation.  ``--since``/``--until`` window the
+    narration by simulation time; ``--kind`` (repeatable) restricts it
+    to exact event types or dotted prefixes (``policy`` matches
+    ``policy.trigger``).
 ``repro faults list|run|score``
     The fault-injection subsystem: list the built-in adversarial
     scenarios, run a (scenario x policy x replication) campaign with
     robustness scoring (``--workers``, ``--trace``, ``--csv``), or
     re-score an existing campaign trace.
 ``repro report TRACE [-o PATH]``
-    Render a trace (plain or ``.gz``) as a self-contained HTML
-    dashboard: RT percentiles over time, bucket levels, fault
-    intervals, decisions.
+    Render a trace (JSONL or columnar, plain or ``.gz``) as a
+    self-contained HTML dashboard: RT percentiles over time, bucket
+    levels, fault intervals, decisions.
+``repro trace convert IN OUT [--to jsonl|columnar]``
+    Convert a trace between JSONL and the columnar ``.rcol`` store
+    (either direction, ``.gz`` aware; the output format is inferred
+    from the extension unless ``--to`` forces it).  The round trip is
+    lossless: JSONL -> columnar -> JSONL is byte-identical.
 ``repro top [simulate options]``
     Run a simulation with a live-refreshing terminal snapshot
     (equivalent to ``repro simulate --top``).
@@ -47,8 +55,9 @@ Subcommands
     the ``BENCH_*.json`` benchmark trajectories.
 
 ``repro run`` and ``repro simulate`` both accept ``--trace PATH``
-(JSONL trace), ``--trace-level spans|decisions|all``, ``--trace-chrome
-PATH`` (Chrome/Perfetto ``trace_event`` JSON) and ``--metrics PATH``
+(``--trace-format jsonl|columnar`` picks the encoding),
+``--trace-level spans|decisions|all``, ``--trace-chrome PATH``
+(Chrome/Perfetto ``trace_event`` JSON) and ``--metrics PATH``
 (Prometheus textfile snapshot).  ``repro simulate``, ``repro top`` and
 ``repro faults run`` additionally accept the live-telemetry options:
 ``--live`` (constant-memory streaming summary), ``--top`` (live
@@ -197,10 +206,63 @@ def _build_parser() -> argparse.ArgumentParser:
 
     explain = sub.add_parser(
         "explain",
-        help="explain every rejuvenation in a --trace JSONL file",
+        help="explain every rejuvenation in a --trace file",
     )
     explain.add_argument(
-        "trace", help="path to a JSONL trace file (plain or .gz)"
+        "trace",
+        help="path to a trace file (JSONL or columnar, plain or .gz)",
+    )
+    explain.add_argument(
+        "--since",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="only narrate events at or after this simulated time",
+    )
+    explain.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="only narrate events at or before this simulated time",
+    )
+    explain.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        metavar="TYPE",
+        help="only narrate events of this type or dotted prefix "
+        "(e.g. 'fault' keeps fault.injected and fault.cleared; "
+        "repeatable)",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="trace-file utilities (JSONL <-> columnar conversion)",
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_convert = trace_sub.add_parser(
+        "convert",
+        help="losslessly convert a trace between JSONL and the "
+        "columnar container",
+    )
+    trace_convert.add_argument(
+        "input",
+        help="source trace (JSONL or columnar, plain or .gz; the "
+        "format is sniffed from the file's bytes)",
+    )
+    trace_convert.add_argument(
+        "output",
+        help="destination path (a '.gz' suffix gzips; '.jsonl'/'.rcol' "
+        "name the format, otherwise the opposite of the input is "
+        "written)",
+    )
+    trace_convert.add_argument(
+        "--to",
+        choices=("jsonl", "columnar"),
+        default=None,
+        help="force the output format (default: inferred from the "
+        "output path)",
     )
 
     report = sub.add_parser(
@@ -208,7 +270,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render a trace as a self-contained HTML dashboard",
     )
     report.add_argument(
-        "trace", help="path to a JSONL trace file (plain or .gz)"
+        "trace",
+        help="path to a trace file (JSONL or columnar, plain or .gz)",
     )
     report.add_argument(
         "-o",
@@ -736,7 +799,7 @@ def _add_trace_options(parser: argparse.ArgumentParser) -> None:
         "--trace",
         metavar="PATH",
         default=None,
-        help="write a JSONL trace of every replication "
+        help="write a trace of every replication "
         "(inspect with 'repro explain PATH')",
     )
     parser.add_argument(
@@ -745,6 +808,14 @@ def _add_trace_options(parser: argparse.ArgumentParser) -> None:
         default="all",
         help="what to record: request spans, policy decisions, or "
         "everything including engine events (default: all)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "columnar"),
+        default="jsonl",
+        help="trace representation: one JSON record per line, or the "
+        "columnar container (smaller, loads vectorized; convert "
+        "either way with 'repro trace convert'; default: jsonl)",
     )
     parser.add_argument(
         "--trace-chrome",
@@ -776,12 +847,15 @@ def _make_trace_session(args: argparse.Namespace):
         return None
     from repro.obs.session import TraceSession
 
-    return TraceSession(level=args.trace_level)
+    return TraceSession(
+        level=args.trace_level,
+        trace_format=getattr(args, "trace_format", "jsonl"),
+    )
 
 
 def _write_trace_outputs(session, args: argparse.Namespace) -> None:
     if args.trace is not None:
-        lines = session.write_jsonl(args.trace)
+        lines = session.write_trace(args.trace)
         print(f"wrote {args.trace} ({lines} records)")
     if args.trace_chrome is not None:
         count = session.write_chrome(args.trace_chrome)
@@ -821,7 +895,10 @@ def _record_ledger(
 
     if not ledger_enabled():
         return
-    entry = record_run(manifest, outcomes, timing)
+    artifacts = None
+    if args is not None and getattr(args, "trace", None):
+        artifacts = {"trace": os.path.abspath(args.trace)}
+    entry = record_run(manifest, outcomes, timing, artifacts=artifacts)
     if entry is not None:
         print(f"ledger            : recorded {entry['id']}")
 
@@ -1213,13 +1290,40 @@ def _cmd_faults_score(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_explain(trace_path: str) -> int:
+def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.obs.explain import explain_trace
 
-    if not os.path.exists(trace_path):
-        raise SystemExit(f"no such trace file: {trace_path}")
-    print(explain_trace(trace_path), end="")
+    if not os.path.exists(args.trace):
+        raise SystemExit(f"no such trace file: {args.trace}")
+    print(
+        explain_trace(
+            args.trace,
+            since=args.since,
+            until=args.until,
+            kinds=args.kind,
+        ),
+        end="",
+    )
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "convert":
+        from repro.obs.columnar.convert import convert_trace
+
+        if not os.path.exists(args.input):
+            raise SystemExit(f"no such trace file: {args.input}")
+        in_format, out_format, records = convert_trace(
+            args.input, args.output, to=args.to
+        )
+        print(
+            f"wrote {args.output} "
+            f"({in_format} -> {out_format}, {records} records)"
+        )
+        return 0
+    raise AssertionError(
+        f"unhandled trace command {args.trace_command!r}"
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -1589,7 +1693,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         args.top = True
         return _cmd_simulate(args)
     if args.command == "explain":
-        return _cmd_explain(args.trace)
+        return _cmd_explain(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "faults":

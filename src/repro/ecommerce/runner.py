@@ -30,7 +30,11 @@ from repro.exec.jobs import (
     execute_job,
 )
 from repro.exec.progress import ProgressHook
-from repro.obs.session import active_trace_level, current_session
+from repro.obs.session import (
+    active_trace_format,
+    active_trace_level,
+    current_session,
+)
 
 # Backward-compatible aliases: the pre-exec-layer factory protocol.
 PolicyFactory = PolicySource
@@ -90,6 +94,7 @@ def replication_jobs(
         raise ValueError("need at least one transaction")
     if trace_level is None:
         trace_level = active_trace_level()
+    trace_format = active_trace_format()
     spec = None
     if system is not None:
         from repro.systems import resolve_system
@@ -106,6 +111,7 @@ def replication_jobs(
             warmup=warmup,
             tag=("replication", i),
             trace_level=trace_level,
+            trace_format=trace_format,
             telemetry_interval_s=telemetry_interval_s,
             live=live,
             profile=profile,

@@ -457,7 +457,7 @@ class ECommerceSystem:
                 tuple(self._collected) if self._collected is not None else None
             ),
             trace=(
-                tuple(self.tracer.events) if self.tracer is not None else None
+                self.tracer.payload() if self.tracer is not None else None
             ),
             telemetry=(
                 tuple(self.telemetry.samples)

@@ -70,6 +70,12 @@ class ReplicationJob:
     collect_response_times: bool = False
     tag: Tuple[Any, ...] = ()
     trace_level: Optional[str] = None
+    #: How the worker buffers and returns the trace: ``None``/"jsonl"
+    #: for the tuple-of-TraceEvent payload, "columnar" for an encoded
+    #: :class:`~repro.obs.columnar.store.EventBatch`.  Pure
+    #: representation -- excluded from the manifest like all
+    #: observability fields.
+    trace_format: Optional[str] = None
     telemetry_interval_s: Optional[float] = None
     #: Optional fault scenario (e.g. repro.faults FaultScenario) or a
     #: plain sequence of picklable injections, armed at run start.
@@ -166,6 +172,7 @@ def execute_job(job: ReplicationJob) -> "RunResult":
         seed=job.seed,
         obs=ObsSpec(
             trace_level=job.trace_level,
+            trace_format=job.trace_format,
             telemetry_interval_s=job.telemetry_interval_s,
             live=job.live,
             profile=job.profile,

@@ -27,7 +27,11 @@ from repro.exec.jobs import PolicySource, ReplicationJob, execute_job
 from repro.exec.progress import ProgressHook
 from repro.experiments.scale import Scale
 from repro.experiments.tables import Series, Table
-from repro.obs.session import active_trace_level, current_session
+from repro.obs.session import (
+    active_trace_format,
+    active_trace_level,
+    current_session,
+)
 
 
 @dataclass(frozen=True)
@@ -108,6 +112,7 @@ def sweep_jobs(
     job is stamped with its trace level so the whole grid is traced.
     """
     trace_level = active_trace_level()
+    trace_format = active_trace_format()
     jobs: List[ReplicationJob] = []
     for config in configs:
         for load_index, load in enumerate(scale.loads):
@@ -123,6 +128,7 @@ def sweep_jobs(
                         warmup=warmup,
                         tag=(config.label, load, i),
                         trace_level=trace_level,
+                        trace_format=trace_format,
                     )
                 )
     return jobs

@@ -25,7 +25,11 @@ from repro.exec.progress import ProgressHook
 from repro.faults.scenario import FaultScenario
 from repro.faults.score import PolicyScore, format_scores, score_policy
 from repro.faults.zoo import builtin_scenarios, get_scenario
-from repro.obs.session import active_trace_level, current_session
+from repro.obs.session import (
+    active_trace_format,
+    active_trace_level,
+    current_session,
+)
 
 #: The paper's three contenders at their Section-5.6 parameters.
 DEFAULT_POLICIES: Dict[str, PolicySpec] = {
@@ -158,6 +162,7 @@ def campaign_jobs(
         raise ValueError("need at least one policy")
     if trace_level is None:
         trace_level = active_trace_level()
+    trace_format = active_trace_format()
     spec = None
     if system is not None:
         from repro.systems import resolve_system
@@ -179,6 +184,7 @@ def campaign_jobs(
                         seed=seed + 1000 * s_index + i,
                         tag=("faults", scenario.name, label, i),
                         trace_level=trace_level,
+                        trace_format=trace_format,
                         faults=scenario,
                         live=live,
                         profile=profile,
@@ -296,45 +302,46 @@ def degraded_intervals_from_records(
 
 
 def campaign_runs_from_records(
-    records: Sequence[dict], origin: str = "trace"
+    source, origin: str = "trace"
 ) -> List[Tuple[Tuple[str, ...], List[dict], RunResult]]:
-    """Campaign replications reconstructed from flat JSONL records.
+    """Campaign replications reconstructed from a trace.
 
-    Returns ``(tag, run_records, result)`` triples in run order for
-    every run tagged ``("faults", scenario, policy, rep)``; each
-    result's trigger times come from its ``system.rejuvenation`` span
-    events and its summary from ``run.meta``.
+    ``source`` is anything :func:`repro.obs.columnar.query.as_query`
+    accepts: a flat list of JSONL record dicts, a columnar trace, or an
+    already-built query.  Returns ``(tag, fault_records, result)``
+    triples in run order for every run tagged ``("faults", scenario,
+    policy, rep)``; each result's trigger times come from its
+    ``system.rejuvenation`` span events, its summary from ``run.meta``,
+    and ``fault_records`` holds the run's ``fault.injected`` /
+    ``fault.cleared`` events (the ground-truth inputs of
+    :func:`degraded_intervals_from_records`).
     """
-    from repro.obs.events import RUN_META, SYSTEM_REJUVENATION
-
-    by_run: Dict[int, List[dict]] = {}
-    for record in records:
-        by_run.setdefault(record.get("run", 0), []).append(record)
+    from repro.obs.columnar.query import as_query
+    from repro.obs.events import (
+        FAULT_CLEARED,
+        FAULT_INJECTED,
+        SYSTEM_REJUVENATION,
+    )
 
     replications: List[Tuple[Tuple[str, ...], List[dict], RunResult]] = []
-    for run_id in sorted(by_run):
-        run_records = by_run[run_id]
-        meta = next(
-            (r for r in run_records if r.get("type") == RUN_META), None
-        )
+    for view in as_query(source).run_views():
+        meta = view.meta
         if meta is None:
             raise ValueError(
-                f"{origin}: run {run_id} has no run.meta record"
+                f"{origin}: run {view.run_id} has no run.meta record"
             )
         tag = tuple(meta.get("tag") or ())
         if len(tag) < 4 or tag[0] != "faults":
             continue  # not a campaign replication
         summary = meta.get("data", {})
         triggers = tuple(
-            r["ts"]
-            for r in run_records
-            if r.get("type") == SYSTEM_REJUVENATION
+            float(ts) for ts in view.ts_of(SYSTEM_REJUVENATION)
         )
         if summary.get("rejuvenations", 0) and not triggers:
             raise ValueError(
-                f"{origin}: run {run_id} reports rejuvenations but the "
-                "trace has no system.rejuvenation events -- re-run the "
-                "campaign with --trace-level spans or all"
+                f"{origin}: run {view.run_id} reports rejuvenations but "
+                "the trace has no system.rejuvenation events -- re-run "
+                "the campaign with --trace-level spans or all"
             )
         result = RunResult(
             arrivals=int(summary.get("arrivals", 0)),
@@ -351,28 +358,31 @@ def campaign_runs_from_records(
             sim_duration_s=float(summary.get("sim_duration_s", 0.0)),
             rejuvenation_times=triggers,
         )
-        replications.append((tag, run_records, result))
+        faults = view.records(types=(FAULT_INJECTED, FAULT_CLEARED))
+        replications.append((tag, faults, result))
     return replications
 
 
-def score_records(records: Sequence[dict]) -> Tuple[PolicyScore, ...]:
-    """Robustness scores from flat JSONL records, horizon-free.
+def score_records(source) -> Tuple[PolicyScore, ...]:
+    """Robustness scores from a trace, horizon-free.
 
     Each replication is scored against ground truth derived from its
     *own* aging fault events (:func:`degraded_intervals_from_records`),
     so no scenario horizon needs to be supplied -- this is what the
-    ``repro report`` robustness section renders.  Returns an empty
-    tuple when the records hold no campaign replications.
+    ``repro report`` robustness section renders.  ``source`` is
+    records, a columnar trace, or a query (see
+    :func:`campaign_runs_from_records`).  Returns an empty tuple when
+    the trace holds no campaign replications.
     """
     from repro.faults.score import score_cell
 
     cells: Dict[Tuple[str, str], List[RunResult]] = {}
     intervals: Dict[Tuple[str, str], List[Tuple[Tuple[float, float], ...]]] = {}
-    for tag, run_records, result in campaign_runs_from_records(records):
+    for tag, fault_records, result in campaign_runs_from_records(source):
         key = (str(tag[1]), str(tag[2]))
         cells.setdefault(key, []).append(result)
         intervals.setdefault(key, []).append(
-            degraded_intervals_from_records(run_records)
+            degraded_intervals_from_records(fault_records)
         )
     return tuple(
         score_cell(scenario, policy, cells[key], intervals[key])
@@ -384,21 +394,21 @@ def score_records(records: Sequence[dict]) -> Tuple[PolicyScore, ...]:
 def score_trace(
     path: str, horizon_s: float = 3600.0
 ) -> Tuple[PolicyScore, ...]:
-    """Re-score a ``repro faults run --trace`` JSONL file.
+    """Re-score a ``repro faults run --trace`` file (either format).
 
     Rebuilds each replication's trigger times from its
     ``system.rejuvenation`` span events and its duration from the
     ``run.meta`` summary, groups by the ``("faults", scenario, policy,
     rep)`` job tags, and scores against the built-in scenario's ground
     truth laid out for ``horizon_s`` (pass the value the campaign ran
-    with).
+    with).  The trace may be JSONL or columnar; both score
+    identically.
     """
-    from repro.obs.exporters import read_jsonl
+    from repro.obs.columnar.query import load_query
 
-    records = read_jsonl(path)
     cells: Dict[Tuple[str, str], List[RunResult]] = {}
-    for tag, _run_records, result in campaign_runs_from_records(
-        records, origin=path
+    for tag, _fault_records, result in campaign_runs_from_records(
+        load_query(path), origin=path
     ):
         cells.setdefault((str(tag[1]), str(tag[2])), []).append(result)
 

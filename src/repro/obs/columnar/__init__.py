@@ -1,0 +1,46 @@
+"""``repro.obs.columnar``: the columnar trace pipeline.
+
+Structured-array storage for trace events (:mod:`.store`), an
+mmap/gzip-friendly on-disk container with a footer segment index
+(:mod:`.io`), a tracer-protocol tap that ships encoded batches across
+process pools (:mod:`.tap`), a vectorized query layer shared by
+``report``/``explain``/re-scoring/``serve`` (:mod:`.query`), lossless
+format conversion (:mod:`.convert`), and a synthetic trace generator
+for scale testing (:mod:`.synth`).
+
+The JSONL path remains the compatibility baseline: every record a
+columnar trace stores decodes back to the exact dict its JSONL twin
+parses to, and consumers produce byte-identical output from either
+representation (pinned by tests/obs/columnar).
+"""
+
+from .io import (
+    read_columnar,
+    read_footer,
+    sniff_format,
+    write_columnar,
+)
+from .query import (
+    ColumnarQuery,
+    RecordsQuery,
+    as_query,
+    load_query,
+)
+from .store import ColumnarTrace, EventBatch, encode_records
+from .tap import ColumnarRun, ColumnarTap
+
+__all__ = [
+    "ColumnarQuery",
+    "ColumnarRun",
+    "ColumnarTap",
+    "ColumnarTrace",
+    "EventBatch",
+    "RecordsQuery",
+    "as_query",
+    "encode_records",
+    "load_query",
+    "read_columnar",
+    "read_footer",
+    "sniff_format",
+    "write_columnar",
+]

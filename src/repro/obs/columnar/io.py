@@ -1,0 +1,227 @@
+"""On-disk container for columnar traces.
+
+Layout (all integers little-endian)::
+
+    8 bytes   magic  b"RCOLTRC1"
+    ...       column arrays, raw C-order bytes, each 8-byte aligned
+    ...       footer: one UTF-8 JSON object
+    8 bytes   u64 footer byte length
+    8 bytes   trailer magic b"RCOLEND1"
+
+The footer carries everything except the bulk data: format version,
+the four string dictionaries (event types, sources, payload strings,
+raw JSON fragments), the shape table, an array table (name, dtype,
+byte offset, element count per column) and the *segment index* -- one
+``{rows: [start, stop], events, ts_min, ts_max, kinds}`` entry per
+source batch, where ``kinds`` is a bitmap over the event-type
+dictionary.  Readers parse the footer first and can skip whole
+segments on a time-range or kind filter without touching their bytes.
+
+Plain files are mapped with ``numpy.memmap`` so loading a trace costs
+one footer parse regardless of size; ``.gz`` paths are transparently
+(de)compressed whole -- the same convention as the JSONL exporters.
+The arrays are written in fixed little-endian dtypes, so the bytes a
+given trace produces are platform-independent (and serial vs
+process-pool runs of the same campaign produce byte-identical files).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io as _io
+import json
+import os
+from typing import Any, BinaryIO, Dict, List, Tuple
+
+import numpy as np
+
+from .store import ColumnarTrace
+
+MAGIC = b"RCOLTRC1"
+TRAILER = b"RCOLEND1"
+FORMAT_VERSION = 1
+
+#: (attribute name, on-disk little-endian dtype) for every bulk column.
+_ARRAYS: Tuple[Tuple[str, str], ...] = (
+    ("run", "<i8"),
+    ("ts", "<f8"),
+    ("type_id", "<u4"),
+    ("source_id", "<u4"),
+    ("shape_id", "<u4"),
+    ("ints_off", "<u8"),
+    ("floats_off", "<u8"),
+    ("strs_off", "<u8"),
+    ("jsons_off", "<u8"),
+    ("ints", "<i8"),
+    ("floats", "<f8"),
+    ("strs", "<u4"),
+    ("jsons", "<u4"),
+)
+
+_ALIGN = 8
+
+
+def _is_gz(path: str) -> bool:
+    return str(path).endswith(".gz")
+
+
+def write_columnar(trace: ColumnarTrace, path: str) -> None:
+    """Write ``trace`` to ``path`` (gzip-compressed on a ``.gz`` suffix)."""
+    buffer = _io.BytesIO()
+    _write_stream(trace, buffer)
+    payload = buffer.getvalue()
+    if _is_gz(path):
+        # mtime=0 keeps repeated writes of the same trace byte-identical.
+        with open(path, "wb") as handle:
+            with gzip.GzipFile(
+                fileobj=handle, mode="wb", mtime=0
+            ) as zipped:
+                zipped.write(payload)
+    else:
+        with open(path, "wb") as handle:
+            handle.write(payload)
+
+
+def _write_stream(trace: ColumnarTrace, out: BinaryIO) -> None:
+    out.write(MAGIC)
+    position = len(MAGIC)
+    table: List[Dict[str, Any]] = []
+    for name, dtype in _ARRAYS:
+        pad = (-position) % _ALIGN
+        if pad:
+            out.write(b"\0" * pad)
+            position += pad
+        array = np.ascontiguousarray(
+            getattr(trace, name), dtype=np.dtype(dtype)
+        )
+        raw = array.tobytes()
+        table.append(
+            {
+                "name": name,
+                "dtype": dtype,
+                "offset": position,
+                "count": int(array.shape[0]),
+            }
+        )
+        out.write(raw)
+        position += len(raw)
+    footer = {
+        "version": FORMAT_VERSION,
+        "arrays": table,
+        "types": list(trace.types),
+        "sources": list(trace.sources),
+        "strings": list(trace.strings),
+        "fragments": list(trace.fragments),
+        "shapes": [
+            [kind, [[key, tag] for key, tag in fields]]
+            for kind, fields in trace.shapes
+        ],
+        "segments": [
+            {
+                "rows": [start, stop],
+                "events": stop - start,
+                "ts_min": ts_min,
+                "ts_max": ts_max,
+                "kinds": kind_mask,
+            }
+            for start, stop, ts_min, ts_max, kind_mask in trace.segments
+        ],
+    }
+    encoded = json.dumps(
+        footer, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    out.write(encoded)
+    out.write(len(encoded).to_bytes(8, "little"))
+    out.write(TRAILER)
+
+
+def _trace_from_bytes(data: Any) -> ColumnarTrace:
+    """Build a trace over a bytes-like buffer (mmap or decompressed)."""
+    size = len(data)
+    if size < len(MAGIC) + 16 or bytes(data[: len(MAGIC)]) != MAGIC:
+        raise ValueError("not a columnar trace (bad magic)")
+    if bytes(data[size - 8 : size]) != TRAILER:
+        raise ValueError("truncated columnar trace (bad trailer)")
+    footer_len = int.from_bytes(bytes(data[size - 16 : size - 8]), "little")
+    footer_start = size - 16 - footer_len
+    if footer_start < len(MAGIC):
+        raise ValueError("corrupt columnar trace (bad footer length)")
+    footer = json.loads(bytes(data[footer_start : size - 16]))
+    if footer.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            "unsupported columnar trace version: %r"
+            % (footer.get("version"),)
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    for entry in footer["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        start = entry["offset"]
+        stop = start + entry["count"] * dtype.itemsize
+        arrays[entry["name"]] = np.frombuffer(
+            data, dtype=dtype, count=entry["count"], offset=start
+        )
+        if stop > footer_start:
+            raise ValueError("corrupt columnar trace (array overrun)")
+    return ColumnarTrace(
+        types=list(footer["types"]),
+        sources=list(footer["sources"]),
+        strings=list(footer["strings"]),
+        fragments=list(footer["fragments"]),
+        shapes=[
+            (kind, tuple((key, tag) for key, tag in fields))
+            for kind, fields in footer["shapes"]
+        ],
+        segments=[
+            (
+                segment["rows"][0],
+                segment["rows"][1],
+                segment["ts_min"],
+                segment["ts_max"],
+                segment["kinds"],
+            )
+            for segment in footer["segments"]
+        ],
+        **arrays,
+    )
+
+
+def read_columnar(path: str) -> ColumnarTrace:
+    """Load a columnar trace (gz-aware; plain files are memory-mapped)."""
+    if _is_gz(path):
+        with gzip.open(path, "rb") as handle:
+            return _trace_from_bytes(handle.read())
+    data = np.memmap(path, dtype=np.uint8, mode="r")
+    return _trace_from_bytes(data)
+
+
+def read_footer(path: str) -> Dict[str, Any]:
+    """Parse only the footer (dictionaries + segment index), cheaply."""
+    if _is_gz(path):
+        with gzip.open(path, "rb") as handle:
+            data = handle.read()
+        size = len(data)
+        footer_len = int.from_bytes(data[size - 16 : size - 8], "little")
+        return json.loads(data[size - 16 - footer_len : size - 16])
+    with open(path, "rb") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        handle.seek(size - 16)
+        tail = handle.read(16)
+        if tail[8:] != TRAILER:
+            raise ValueError("truncated columnar trace (bad trailer)")
+        footer_len = int.from_bytes(tail[:8], "little")
+        handle.seek(size - 16 - footer_len)
+        return json.loads(handle.read(footer_len))
+
+
+def sniff_format(path: str) -> str:
+    """``"columnar"`` or ``"jsonl"`` by magic bytes (gz-transparent)."""
+    with open(path, "rb") as handle:
+        head = handle.read(2)
+        if head == b"\x1f\x8b":
+            handle.seek(0)
+            with gzip.open(handle, "rb") as zipped:
+                head = zipped.read(len(MAGIC))
+        else:
+            head += handle.read(len(MAGIC) - len(head))
+    return "columnar" if head[: len(MAGIC)] == MAGIC else "jsonl"

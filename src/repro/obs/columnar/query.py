@@ -1,0 +1,471 @@
+"""One query interface over both trace representations.
+
+``repro report``, ``repro explain``, offline re-scoring and ``repro
+serve`` all ask the same questions of a trace: which runs does it
+hold, what does each run's ``run.meta`` say, how many events of each
+kind, where are the completions/faults/triggers, what do the
+response-time percentiles look like over time.  This module gives
+those questions one interface -- :class:`TraceQuery` / :class:`RunView`
+-- with two implementations:
+
+:class:`RecordsQuery`
+    Wraps an already-parsed list of JSONL record dicts and answers by
+    the exact scans the consumers used to inline.  This is the
+    compatibility baseline: running a consumer through a
+    ``RecordsQuery`` produces byte-identical output to the historical
+    record-list code path.
+
+:class:`ColumnarQuery`
+    Wraps a :class:`~repro.obs.columnar.store.ColumnarTrace` and
+    answers vectorized: counts are one ``bincount``, run grouping is
+    one stable argsort, completions are a per-shape float gather, and
+    windowed percentiles bin a million latencies without building a
+    million dicts.  Sparse questions (the handful of fault/trigger
+    records a narrative needs) decode just those rows.
+
+Both implementations share filter semantics (``filtered``):
+``run.meta`` records are always kept; other records must fall inside
+``[since, until]`` and -- when ``kinds`` is given -- have a type that
+equals a requested kind or extends it as a dotted prefix
+(``fault`` matches ``fault.injected``).  Records with no type (flight
+dumps) survive time filters but never a kind filter.
+
+:func:`load_query` sniffs a path (JSONL or columnar, gz-transparent)
+and returns the right implementation, which is all a CLI entry point
+needs to become format-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.events import REQUEST_COMPLETE, RUN_META
+
+from .store import ColumnarTrace, ENV_OPAQUE, TAG_FLOAT, TAG_INT
+
+#: Bins used by the report percentile charts (must match the JSONL
+#: path's histogram exactly -- see ``_binned_percentiles``).
+DEFAULT_BINS = 60
+
+
+def exact_percentile(ordered: Sequence[float], q: float) -> float:
+    """Exact order-statistic percentile of a pre-sorted sequence.
+
+    The rank is ``round(q * (n - 1))`` with Python's round-half-to-even
+    -- the same statistic on either representation, bit for bit.
+    """
+    n = len(ordered)
+    if not n:
+        return 0.0
+    rank = max(0, min(n - 1, round(q * (n - 1))))
+    return ordered[int(rank)]
+
+
+def _kind_matches(etype: str, kinds: Sequence[str]) -> bool:
+    return any(
+        etype == kind or etype.startswith(kind + ".") for kind in kinds
+    )
+
+
+def _keep_record(
+    record: Dict[str, Any],
+    since: Optional[float],
+    until: Optional[float],
+    kinds: Optional[Sequence[str]],
+) -> bool:
+    """The shared filter predicate (see the module docstring)."""
+    if record.get("type") == RUN_META:
+        return True
+    ts = record.get("ts", 0.0)
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        ts = 0.0
+    if since is not None and ts < since:
+        return False
+    if until is not None and ts > until:
+        return False
+    if kinds is not None:
+        etype = record.get("type")
+        if not isinstance(etype, str) or not _kind_matches(etype, kinds):
+            return False
+    return True
+
+
+def is_flight_dump(record: Dict[str, Any]) -> bool:
+    """Flight-recorder dump line rather than a trace event?"""
+    return (
+        "type" not in record and "reason" in record and "events" in record
+    )
+
+
+# ---------------------------------------------------------------------------
+# Records (dict list) implementation
+# ---------------------------------------------------------------------------
+class RecordsRunView:
+    """One run's records, answered by plain scans."""
+
+    __slots__ = ("run_id", "_records")
+
+    def __init__(self, run_id: Any, records: List[Dict[str, Any]]) -> None:
+        self.run_id = run_id
+        self._records = records
+
+    @property
+    def meta(self) -> Optional[Dict[str, Any]]:
+        return next(
+            (r for r in self._records if r.get("type") == RUN_META), None
+        )
+
+    @property
+    def n_records(self) -> int:
+        return len(self._records)
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            etype = record.get("type")
+            if isinstance(etype, str):
+                counts[etype] = counts.get(etype, 0) + 1
+        return counts
+
+    def records(
+        self, types: Optional[Sequence[str]] = None
+    ) -> List[Dict[str, Any]]:
+        if types is None:
+            return list(self._records)
+        wanted = set(types)
+        return [r for r in self._records if r.get("type") in wanted]
+
+    def flight_dumps(self) -> List[Dict[str, Any]]:
+        return [r for r in self._records if is_flight_dump(r)]
+
+    def event_records(self) -> List[Dict[str, Any]]:
+        """Everything that is not a flight dump (the event narrative)."""
+        return [r for r in self._records if not is_flight_dump(r)]
+
+    def ts_of(self, etype: str) -> List[float]:
+        return [
+            r["ts"] for r in self._records if r.get("type") == etype
+        ]
+
+    def max_ts(self) -> float:
+        return max(
+            (r.get("ts", 0.0) for r in self._records), default=1.0
+        )
+
+    def completions(self) -> Tuple[List[float], List[float]]:
+        ts: List[float] = []
+        rt: List[float] = []
+        for record in self._records:
+            if record.get("type") != REQUEST_COMPLETE:
+                continue
+            data = record.get("data", {})
+            if "response_time" not in data:
+                continue
+            ts.append(record["ts"])
+            rt.append(data["response_time"])
+        return ts, rt
+
+    def binned_percentiles(
+        self, horizon: float, bins: int = DEFAULT_BINS
+    ) -> List[Tuple[float, float, float]]:
+        """``(bin_mid_ts, p50, p95)`` per non-empty time bin."""
+        ts, rt = self.completions()
+        if not ts or horizon <= 0.0:
+            return []
+        width = horizon / bins
+        buckets: List[List[float]] = [[] for _ in range(bins)]
+        for t, r in zip(ts, rt):
+            buckets[min(bins - 1, int(t / width))].append(r)
+        out = []
+        for index, values in enumerate(buckets):
+            if not values:
+                continue
+            values.sort()
+            out.append(
+                (
+                    (index + 0.5) * width,
+                    exact_percentile(values, 0.50),
+                    exact_percentile(values, 0.95),
+                )
+            )
+        return out
+
+
+class RecordsQuery:
+    """The record-list implementation (the JSONL compatibility path)."""
+
+    def __init__(self, records: Sequence[Dict[str, Any]]) -> None:
+        self._records = list(records)
+
+    @property
+    def n_records(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[Dict[str, Any]]:
+        return list(self._records)
+
+    def filtered(
+        self,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> "RecordsQuery":
+        if since is None and until is None and kinds is None:
+            return self
+        return RecordsQuery(
+            [
+                r
+                for r in self._records
+                if _keep_record(r, since, until, kinds)
+            ]
+        )
+
+    def run_views(self) -> List[RecordsRunView]:
+        by_run: Dict[Any, List[Dict[str, Any]]] = {}
+        for record in self._records:
+            by_run.setdefault(record.get("run", 0), []).append(record)
+        return [
+            RecordsRunView(run_id, by_run[run_id])
+            for run_id in sorted(
+                by_run, key=lambda r: (str(type(r)), r)
+            )
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            etype = record.get("type")
+            if isinstance(etype, str):
+                counts[etype] = counts.get(etype, 0) + 1
+        return counts
+
+    def response_times(self) -> List[float]:
+        out = []
+        for record in self._records:
+            if record.get("type") != REQUEST_COMPLETE:
+                continue
+            data = record.get("data", {})
+            if "response_time" in data:
+                out.append(data["response_time"])
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Columnar implementation
+# ---------------------------------------------------------------------------
+class ColumnarRunView:
+    """One run's rows in a columnar trace, answered vectorized."""
+
+    __slots__ = ("run_id", "_trace", "_rows")
+
+    def __init__(
+        self, run_id: Any, trace: ColumnarTrace, rows: np.ndarray
+    ) -> None:
+        self.run_id = run_id
+        self._trace = trace
+        self._rows = rows  # ascending row indices == original order
+
+    @property
+    def n_records(self) -> int:
+        return int(self._rows.shape[0])
+
+    @property
+    def meta(self) -> Optional[Dict[str, Any]]:
+        rows = self._type_rows((RUN_META,))
+        if not rows.shape[0]:
+            return None
+        return self._trace.decode(int(rows[0]))
+
+    def _type_rows(self, types: Sequence[str]) -> np.ndarray:
+        trace = self._trace
+        mask = trace.mask_of_types(types)[self._rows]
+        return self._rows[mask]
+
+    def counts(self) -> Dict[str, int]:
+        counts = self._trace.counts_by_type(self._rows)
+        # Rows with no type key (opaque flight dumps) are stored under
+        # the empty type; the record path never counts them.
+        counts.pop("", None)
+        return counts
+
+    def records(
+        self, types: Optional[Sequence[str]] = None
+    ) -> List[Dict[str, Any]]:
+        rows = (
+            self._rows if types is None else self._type_rows(types)
+        )
+        return list(self._trace.iter_records(rows))
+
+    def flight_dumps(self) -> List[Dict[str, Any]]:
+        trace = self._trace
+        opaque = np.asarray(
+            [
+                trace.shape_table.shapes[sid][0] == ENV_OPAQUE
+                for sid in range(len(trace.shapes))
+            ],
+            dtype=bool,
+        )
+        if not opaque.any():
+            return []
+        rows = self._rows[opaque[trace.shape_id[self._rows]]]
+        return [
+            record
+            for record in trace.iter_records(rows)
+            if is_flight_dump(record)
+        ]
+
+    def ts_of(self, etype: str) -> List[float]:
+        return [float(t) for t in self._trace.ts[self._type_rows((etype,))]]
+
+    def max_ts(self) -> float:
+        if not self._rows.shape[0]:
+            return 1.0
+        return float(self._trace.ts[self._rows].max())
+
+    def completions(self) -> Tuple[np.ndarray, np.ndarray]:
+        rows = self._type_rows((REQUEST_COMPLETE,))
+        rows, values = self._trace.field_float("response_time", rows)
+        return self._trace.ts[rows], values
+
+    def binned_percentiles(
+        self, horizon: float, bins: int = DEFAULT_BINS
+    ) -> List[Tuple[float, float, float]]:
+        """Same statistic as the records path, vectorized.
+
+        Bin assignment truncates ``ts / width`` exactly as ``int()``
+        does for non-negative floats, and per-bin ranks use
+        :func:`exact_percentile` over the same sorted values, so the
+        chart a columnar trace renders is bit-identical to the chart
+        its JSONL twin renders.
+        """
+        ts, rt = self.completions()
+        if not ts.shape[0] or horizon <= 0.0:
+            return []
+        width = horizon / bins
+        index = np.minimum(
+            bins - 1, (ts / width).astype(np.int64)
+        )
+        order = np.argsort(index, kind="stable")
+        index = index[order]
+        values = rt[order]
+        out = []
+        starts = np.searchsorted(index, np.arange(bins), side="left")
+        stops = np.searchsorted(index, np.arange(bins), side="right")
+        for b in range(bins):
+            chunk = values[starts[b] : stops[b]]
+            if not chunk.shape[0]:
+                continue
+            chunk = np.sort(chunk)
+            out.append(
+                (
+                    (b + 0.5) * width,
+                    float(exact_percentile(chunk, 0.50)),
+                    float(exact_percentile(chunk, 0.95)),
+                )
+            )
+        return out
+
+
+class ColumnarQuery:
+    """The vectorized implementation over a :class:`ColumnarTrace`."""
+
+    def __init__(
+        self,
+        trace: ColumnarTrace,
+        rows: Optional[np.ndarray] = None,
+    ) -> None:
+        self.trace = trace
+        self._rows = (
+            np.arange(len(trace), dtype=np.int64) if rows is None else rows
+        )
+
+    @property
+    def n_records(self) -> int:
+        return int(self._rows.shape[0])
+
+    def records(self) -> List[Dict[str, Any]]:
+        return list(self.trace.iter_records(self._rows))
+
+    def filtered(
+        self,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> "ColumnarQuery":
+        if since is None and until is None and kinds is None:
+            return self
+        trace = self.trace
+        rows = self._rows
+        ts = trace.ts[rows]
+        mask = np.ones(rows.shape[0], dtype=bool)
+        if since is not None:
+            mask &= ts >= since
+        if until is not None:
+            mask &= ts <= until
+        if kinds is not None:
+            keep_type = np.asarray(
+                [_kind_matches(t, kinds) for t in trace.types],
+                dtype=bool,
+            )
+            mask &= keep_type[trace.type_id[rows]]
+        meta_mask = trace.mask_of_types((RUN_META,))[rows]
+        mask |= meta_mask
+        return ColumnarQuery(trace, rows[mask])
+
+    def run_views(self) -> List[ColumnarRunView]:
+        rows = self._rows
+        runs = self.trace.run[rows]
+        order = np.argsort(runs, kind="stable")
+        sorted_rows = rows[order]
+        sorted_runs = runs[order]
+        run_ids = np.unique(sorted_runs)
+        starts = np.searchsorted(sorted_runs, run_ids, side="left")
+        stops = np.searchsorted(sorted_runs, run_ids, side="right")
+        return [
+            ColumnarRunView(
+                int(run_id), self.trace, sorted_rows[start:stop]
+            )
+            for run_id, start, stop in zip(run_ids, starts, stops)
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        counts = self.trace.counts_by_type(self._rows)
+        counts.pop("", None)
+        return counts
+
+    def response_times(self) -> np.ndarray:
+        rows = self._rows[
+            self.trace.mask_of_types((REQUEST_COMPLETE,))[self._rows]
+        ]
+        _rows, values = self.trace.field_float("response_time", rows)
+        return values
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+def as_query(source: Any) -> Any:
+    """Whatever the caller holds, as a :class:`TraceQuery`.
+
+    A list/tuple of record dicts becomes a :class:`RecordsQuery`; a
+    :class:`ColumnarTrace` becomes a :class:`ColumnarQuery`; an
+    existing query passes through.
+    """
+    if isinstance(source, (RecordsQuery, ColumnarQuery)):
+        return source
+    if isinstance(source, ColumnarTrace):
+        return ColumnarQuery(source)
+    return RecordsQuery(source)
+
+
+def load_query(path: str) -> Any:
+    """Load a trace file (either format, gz-transparent) as a query."""
+    from repro.obs.exporters import read_jsonl
+
+    from .io import read_columnar, sniff_format
+
+    if sniff_format(path) == "columnar":
+        return ColumnarQuery(read_columnar(path))
+    return RecordsQuery(read_jsonl(path))

@@ -1,0 +1,105 @@
+"""The columnar tracer: buffer raw tuples, ship typed columns.
+
+:class:`ColumnarTap` satisfies the tracer protocol (the ``spans`` /
+``decisions`` / ``engine`` / ``lifecycle`` flags plus ``emit``), so
+every instrumented call site works unchanged.  The difference is what
+crosses the process boundary: instead of a tuple of
+:class:`~repro.obs.events.TraceEvent` dataclasses, ``payload()``
+returns a :class:`ColumnarRun` -- the run's events already encoded
+into one :class:`~repro.obs.columnar.store.EventBatch` of numpy
+arrays.  Pickling arrays is a buffer copy, so a million-event
+replication returns to the parent without a million object
+serializations, and the parent-side merge is array concatenation
+(:meth:`~repro.obs.columnar.store.ColumnarTrace.from_batches`) rather
+than re-parsing.
+
+``emit`` itself appends one plain tuple -- the same discipline as the
+flight recorder's ring, which the paired-round overhead benchmark
+already pins at write-path cost; encoding happens once, at
+``payload()`` time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.events import TraceEvent
+from repro.obs.tracer import Tracer
+
+from .store import ColumnarTrace, EventBatch, encode_events
+
+
+class ColumnarRun:
+    """One run's trace as a picklable column batch.
+
+    Iterating yields :class:`TraceEvent` (decoded on demand), so
+    consumers written against the tuple-of-events payload -- metrics
+    aggregation, the Chrome exporter -- keep working; fast consumers
+    take :attr:`batch` and stay columnar.
+    """
+
+    __slots__ = ("batch", "_trace")
+
+    def __init__(self, batch: EventBatch) -> None:
+        self.batch = batch
+        self._trace: Optional[ColumnarTrace] = None
+
+    def __getstate__(self) -> EventBatch:
+        return self.batch
+
+    def __setstate__(self, batch: EventBatch) -> None:
+        self.batch = batch
+        self._trace = None
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+    @property
+    def trace(self) -> ColumnarTrace:
+        """The batch consolidated into a queryable single-segment trace."""
+        if self._trace is None:
+            self._trace = ColumnarTrace.from_batches([self.batch])
+        return self._trace
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        for record in self.trace.iter_records():
+            yield TraceEvent(
+                record["ts"],
+                record["type"],
+                record["source"],
+                record["data"],
+            )
+
+
+class ColumnarTap(Tracer):
+    """A tracer whose buffer is destined for column encoding.
+
+    The emit hot path appends one ``(ts, type, source, data)`` tuple;
+    no event object is constructed.  ``payload()`` encodes the buffer
+    into an :class:`EventBatch` (run index 0 -- the session assigns the
+    real index at ingest) and returns it wrapped in a
+    :class:`ColumnarRun`.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self, level: str = "all") -> None:
+        super().__init__(level)
+        self._buffer: List[Tuple[float, str, str, Dict[str, Any]]] = []
+
+    def emit(self, ts: float, etype: str, source: str, **data: Any) -> None:
+        self._buffer.append((ts, etype, source, data))
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def payload(self) -> ColumnarRun:
+        return ColumnarRun(encode_events(self._buffer))
+
+    def raw_events(self) -> Tuple[Tuple[float, str, str, Dict[str, Any]], ...]:
+        """The unencoded emit tuples (test/debug hook)."""
+        return tuple(self._buffer)

@@ -1,4 +1,4 @@
-"""Human-readable timelines from a JSONL trace: ``repro explain``.
+"""Human-readable timelines from a trace: ``repro explain``.
 
 The paper's industrial story is an *explainability* failure -- the
 operators could not see why the system was degrading.  ``explain``
@@ -7,12 +7,20 @@ rejuvenation in a trace, *why did it fire?*  It joins each
 ``policy.trigger`` event back to the batch decision that caused it and
 prints the bucket index, the batch mean, the active threshold and the
 sample size, plus the bucket-climb path that led there.
+
+Traces load through the shared query layer
+(:mod:`repro.obs.columnar.query`), so JSONL and columnar files narrate
+identically, and ``--since`` / ``--until`` / ``--kind`` filters slice
+the timeline before narration (``run.meta`` headers always survive;
+kind filters match a type exactly or as a dotted prefix, so ``fault``
+keeps both ``fault.injected`` and ``fault.cleared``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.columnar.query import as_query, load_query
 from repro.obs.events import (
     FAULT_CLEARED,
     FAULT_INJECTED,
@@ -21,11 +29,18 @@ from repro.obs.events import (
     POLICY_TRIGGER,
     REQUEST_COMPLETE,
     REQUEST_LOSS,
-    RUN_META,
     SYSTEM_GC,
     SYSTEM_REJUVENATION,
 )
-from repro.obs.exporters import read_jsonl
+
+#: The event types the per-run narrative loop walks, in trace order.
+_NARRATIVE_TYPES = (
+    POLICY_LEVEL,
+    FAULT_INJECTED,
+    FAULT_CLEARED,
+    MONITOR_TRIGGER,
+    POLICY_TRIGGER,
+)
 
 
 def _format_tag(tag: Any) -> str:
@@ -82,10 +97,10 @@ def _format_cause(data: Dict[str, Any]) -> str:
     return ", ".join(pairs) if pairs else "(no cause data)"
 
 
-def _explain_run(run_id: Any, records: List[Dict[str, Any]]) -> List[str]:
+def _explain_run(view: Any) -> List[str]:
     lines: List[str] = []
-    meta = next((r for r in records if r["type"] == RUN_META), None)
-    header = f"run {run_id}"
+    meta = view.meta
+    header = f"run {view.run_id}"
     if meta is not None:
         tag = _format_tag(meta.get("tag"))
         if tag:
@@ -96,9 +111,7 @@ def _explain_run(run_id: Any, records: List[Dict[str, Any]]) -> List[str]:
     if meta is not None:
         lines.append(f"  {_summary_line(meta.get('data', {}))}")
 
-    counts: Dict[str, int] = {}
-    for record in records:
-        counts[record["type"]] = counts.get(record["type"], 0) + 1
+    counts: Dict[str, int] = view.counts()
     if counts.get(REQUEST_COMPLETE) or counts.get(REQUEST_LOSS):
         lines.append(
             f"  spans: {counts.get(REQUEST_COMPLETE, 0)} completions, "
@@ -106,8 +119,7 @@ def _explain_run(run_id: Any, records: List[Dict[str, Any]]) -> List[str]:
             f"{counts.get(SYSTEM_GC, 0)} GCs"
         )
 
-    triggers = [r for r in records if r["type"] == POLICY_TRIGGER]
-    if not triggers and counts.get(SYSTEM_REJUVENATION):
+    if not counts.get(POLICY_TRIGGER) and counts.get(SYSTEM_REJUVENATION):
         lines.append(
             f"  {counts[SYSTEM_REJUVENATION]} rejuvenation(s) recorded, "
             "but no policy decision events in this trace -- re-run with "
@@ -115,7 +127,7 @@ def _explain_run(run_id: Any, records: List[Dict[str, Any]]) -> List[str]:
         )
     climb: List[Dict[str, Any]] = []
     trigger_no = 0
-    for record in records:
+    for record in view.records(types=_NARRATIVE_TYPES):
         etype = record["type"]
         if etype == POLICY_LEVEL:
             climb.append(record)
@@ -154,20 +166,9 @@ def _explain_run(run_id: Any, records: List[Dict[str, Any]]) -> List[str]:
                 )
                 lines.append(f"      climb: {path}")
             climb = []
-    if not triggers and not counts.get(SYSTEM_REJUVENATION):
+    if not counts.get(POLICY_TRIGGER) and not counts.get(SYSTEM_REJUVENATION):
         lines.append("  no rejuvenations in this run")
     return lines
-
-
-def _is_flight_dump(record: Dict[str, Any]) -> bool:
-    """Is this a flight-recorder dump line rather than a trace event?
-
-    ``--flight`` files (see
-    :func:`repro.obs.live.recorder.write_flight_jsonl`) hold one *dump*
-    per line -- ``{"run", "reason", "ts", "events": [...]}`` -- where a
-    ``--trace`` file holds one *event* per line with a ``type`` key.
-    """
-    return "type" not in record and "reason" in record and "events" in record
 
 
 def _explain_flight_run(
@@ -213,36 +214,53 @@ def _explain_flight_run(
     return lines
 
 
-def explain_records(records: List[Dict[str, Any]]) -> str:
+def explain_query(query: Any) -> str:
+    """The explanation text for an already-built trace query."""
+    views = query.run_views()
+    lines: List[str] = [
+        f"{query.n_records} trace records across {len(views)} run(s)",
+        "",
+    ]
+    for view in views:
+        dumps = view.flight_dumps()
+        if view.n_records > len(dumps):
+            lines.extend(_explain_run(view))
+        if dumps:
+            lines.extend(_explain_flight_run(view.run_id, dumps))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def explain_records(
+    records: List[Dict[str, Any]],
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+    kinds: Optional[Sequence[str]] = None,
+) -> str:
     """The explanation text for already-loaded JSONL records.
 
     Accepts both record shapes the CLI can produce: per-event
     ``--trace`` lines and per-dump ``--flight`` lines (the two may even
     share a file; each run is explained with whichever narrative its
-    records call for).
+    records call for).  ``since``/``until``/``kinds`` narrow the
+    timeline before narration; ``run.meta`` headers always survive.
     """
-    by_run: Dict[Any, List[Dict[str, Any]]] = {}
-    for record in records:
-        by_run.setdefault(record.get("run", 0), []).append(record)
-    lines: List[str] = [
-        f"{len(records)} trace records across {len(by_run)} run(s)",
-        "",
-    ]
-    for run_id in sorted(by_run, key=lambda r: (str(type(r)), r)):
-        run_records = by_run[run_id]
-        dumps = [r for r in run_records if _is_flight_dump(r)]
-        events = [r for r in run_records if not _is_flight_dump(r)]
-        if events:
-            lines.extend(_explain_run(run_id, events))
-        if dumps:
-            lines.extend(_explain_flight_run(run_id, dumps))
-        lines.append("")
-    return "\n".join(lines).rstrip() + "\n"
+    query = as_query(records)
+    if since is not None or until is not None or kinds:
+        query = query.filtered(since=since, until=until, kinds=kinds)
+    return explain_query(query)
 
 
-def explain_trace(path: str) -> str:
-    """Load a JSONL trace file and explain every rejuvenation in it."""
-    records = read_jsonl(path)
-    if not records:
+def explain_trace(
+    path: str,
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+    kinds: Optional[Sequence[str]] = None,
+) -> str:
+    """Load a trace file (JSONL or columnar) and explain it."""
+    query = load_query(path)
+    if query.n_records == 0:
         return f"{path}: empty trace\n"
-    return explain_records(records)
+    if since is not None or until is not None or kinds:
+        query = query.filtered(since=since, until=until, kinds=kinds)
+    return explain_query(query)

@@ -104,8 +104,15 @@ class Ledger:
         manifest: RunManifest,
         outcomes: Dict[str, Any],
         timing: Optional[Dict[str, Any]] = None,
+        artifacts: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        """Record one run; returns the full entry (with its new id)."""
+        """Record one run; returns the full entry (with its new id).
+
+        ``artifacts`` maps artifact names to filesystem paths the run
+        left behind (e.g. ``{"trace": "/abs/path/trace.rcol"}``); the
+        block sits outside the manifest, so it never perturbs the
+        manifest hash.
+        """
         os.makedirs(self.directory, exist_ok=True)
         manifest_dict = manifest.to_dict()
         seq = len(self.entries()) + 1
@@ -122,6 +129,8 @@ class Ledger:
             "outcomes": outcomes,
             "timing": timing or {},
         }
+        if artifacts:
+            entry["artifacts"] = dict(artifacts)
         with open(self.runs_path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry, separators=(",", ":")))
             handle.write("\n")
@@ -213,6 +222,7 @@ def record_run(
     outcomes: Dict[str, Any],
     timing: Optional[Dict[str, Any]] = None,
     directory: Optional[str] = None,
+    artifacts: Optional[Dict[str, Any]] = None,
 ) -> Optional[Dict[str, Any]]:
     """Best-effort CLI recording: never raises, honours ``REPRO_LEDGER``.
 
@@ -223,7 +233,9 @@ def record_run(
     if not ledger_enabled():
         return None
     try:
-        return Ledger(directory).append(manifest, outcomes, timing)
+        return Ledger(directory).append(
+            manifest, outcomes, timing, artifacts=artifacts
+        )
     except Exception as error:
         print(f"ledger: recording failed: {error}", file=sys.stderr)
         return None

@@ -26,11 +26,8 @@ from repro.obs.events import (
     FAULT_INJECTED,
     POLICY_LEVEL,
     POLICY_TRIGGER,
-    REQUEST_COMPLETE,
-    RUN_META,
     SYSTEM_REJUVENATION,
 )
-from repro.obs.exporters import read_jsonl
 
 #: Detail charts rendered per run before folding into the note below
 #: the summary table (campaign traces can hold hundreds of runs).
@@ -84,51 +81,9 @@ svg { display: block; max-width: 100%; height: auto; }
 
 
 # ---------------------------------------------------------------------------
-# Data extraction
+# Data extraction (routed through the shared trace-query layer; the
+# record-list path computes the identical statistics it always did)
 # ---------------------------------------------------------------------------
-def _group_runs(
-    records: Sequence[Dict[str, Any]],
-) -> List[Tuple[Any, List[Dict[str, Any]]]]:
-    by_run: Dict[Any, List[Dict[str, Any]]] = {}
-    for record in records:
-        by_run.setdefault(record.get("run", 0), []).append(record)
-    return sorted(by_run.items(), key=lambda kv: (str(type(kv[0])), kv[0]))
-
-
-def _percentile(ordered: List[float], q: float) -> float:
-    """Exact order-statistic percentile of a pre-sorted list."""
-    if not ordered:
-        return 0.0
-    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
-    return ordered[int(rank)]
-
-
-def _binned_percentiles(
-    completions: List[Tuple[float, float]], horizon: float
-) -> List[Tuple[float, float, float]]:
-    """``(bin_mid_ts, p50, p95)`` per non-empty time bin."""
-    if not completions or horizon <= 0.0:
-        return []
-    width = horizon / _BINS
-    bins: List[List[float]] = [[] for _ in range(_BINS)]
-    for ts, rt in completions:
-        index = min(_BINS - 1, int(ts / width))
-        bins[index].append(rt)
-    out = []
-    for index, values in enumerate(bins):
-        if not values:
-            continue
-        values.sort()
-        out.append(
-            (
-                (index + 0.5) * width,
-                _percentile(values, 0.50),
-                _percentile(values, 0.95),
-            )
-        )
-    return out
-
-
 def _fault_intervals(
     records: Sequence[Dict[str, Any]], horizon: float
 ) -> List[Tuple[float, float, str]]:
@@ -306,17 +261,16 @@ def _legend(entries: List[Tuple[str, str]]) -> str:
     return f'<div class="legend">{spans}</div>'
 
 
-def _summary_table(
-    runs: List[Tuple[Any, List[Dict[str, Any]]]],
-) -> str:
+def _summary_table(views: List[Any]) -> str:
     head = (
         "<tr><th>run</th><th>tag</th><th>seed</th><th>arrivals</th>"
         "<th>completed</th><th>lost</th><th>avg RT (s)</th><th>GCs</th>"
         "<th>rejuvenations</th></tr>"
     )
     rows = []
-    for run_id, records in runs:
-        meta = next((r for r in records if r["type"] == RUN_META), None)
+    for view in views:
+        run_id = view.run_id
+        meta = view.meta
         summary = (meta or {}).get("data", {})
         tag = ", ".join(str(p) for p in (meta or {}).get("tag") or ())
         rows.append(
@@ -366,29 +320,20 @@ def _decision_rows(records: List[Dict[str, Any]]) -> List[str]:
     return rows
 
 
-def _run_section(
-    run_id: Any, records: List[Dict[str, Any]]
-) -> str:
-    meta = next((r for r in records if r["type"] == RUN_META), None)
+def _run_section(view: Any) -> str:
+    run_id = view.run_id
+    meta = view.meta
     summary = (meta or {}).get("data", {})
-    horizon = float(summary.get("sim_duration_s", 0.0)) or max(
-        (r["ts"] for r in records), default=1.0
-    )
-    completions = [
-        (r["ts"], r["data"]["response_time"])
-        for r in records
-        if r["type"] == REQUEST_COMPLETE
-        and "response_time" in r.get("data", {})
-    ]
+    horizon = float(summary.get("sim_duration_s", 0.0)) or view.max_ts()
     tag = ", ".join(str(p) for p in (meta or {}).get("tag") or ())
     title = f"run {run_id}" + (f" ({tag})" if tag else "")
     parts = [f"<h2>{html.escape(title)}</h2>"]
 
-    series = _binned_percentiles(completions, horizon)
-    faults = _fault_intervals(records, horizon)
-    rejuvenations = [
-        r["ts"] for r in records if r["type"] == SYSTEM_REJUVENATION
-    ]
+    series = view.binned_percentiles(horizon, _BINS)
+    faults = _fault_intervals(
+        view.records(types=(FAULT_INJECTED, FAULT_CLEARED)), horizon
+    )
+    rejuvenations = view.ts_of(SYSTEM_REJUVENATION)
     if series:
         legend = [("p50", "--p50"), ("p95", "--p95")]
         if rejuvenations:
@@ -411,8 +356,7 @@ def _run_section(
 
     levels = [
         (r["ts"], float(r["data"].get("level", 0)))
-        for r in records
-        if r["type"] == POLICY_LEVEL
+        for r in view.records(types=(POLICY_LEVEL,))
     ]
     if levels:
         parts.append("<h3>detector bucket level</h3>")
@@ -422,7 +366,7 @@ def _run_section(
             + "</div>"
         )
 
-    decisions = _decision_rows(records)
+    decisions = _decision_rows(view.records(types=(POLICY_TRIGGER,)))
     if decisions:
         parts.append("<h3>rejuvenation decisions</h3>")
         parts.append(
@@ -450,7 +394,7 @@ def _run_section(
 # ---------------------------------------------------------------------------
 # Campaign robustness
 # ---------------------------------------------------------------------------
-def _robustness_section(records: Sequence[Dict[str, Any]]) -> str:
+def _robustness_section(query: Any) -> str:
     """The campaign robustness table, or ``""`` for non-campaign traces.
 
     When the trace holds ``("faults", scenario, policy, rep)``-tagged
@@ -464,7 +408,7 @@ def _robustness_section(records: Sequence[Dict[str, Any]]) -> str:
     from repro.faults.campaign import score_records
 
     try:
-        scores = score_records(records)
+        scores = score_records(query)
     except ValueError:
         return ""  # malformed / partial runs: skip, keep the charts
     if not scores:
@@ -507,30 +451,39 @@ def _robustness_section(records: Sequence[Dict[str, Any]]) -> str:
 # Entry points
 # ---------------------------------------------------------------------------
 def render_report(
-    records: Sequence[Dict[str, Any]],
+    records: Any,
     title: str = "repro trace report",
     max_runs: int = DEFAULT_MAX_RUNS,
 ) -> str:
-    """The full self-contained HTML document for loaded JSONL records."""
-    runs = _group_runs(records)
+    """The full self-contained HTML document for a loaded trace.
+
+    ``records`` is a list of JSONL record dicts (the historical
+    interface) or any trace query
+    (:func:`repro.obs.columnar.query.as_query`); both representations
+    of the same trace render byte-identical documents.
+    """
+    from repro.obs.columnar.query import as_query
+
+    query = as_query(records)
+    views = query.run_views()
     parts = [
         "<!DOCTYPE html>",
         '<html lang="en"><head><meta charset="utf-8">',
         f"<title>{html.escape(title)}</title>",
         f"<style>{_CSS}</style></head><body>",
         f"<h1>{html.escape(title)}</h1>",
-        f'<p class="note">{len(records)} trace records across '
-        f"{len(runs)} run(s).</p>",
+        f'<p class="note">{query.n_records} trace records across '
+        f"{len(views)} run(s).</p>",
         "<h2>replications</h2>",
-        _summary_table(runs),
-        _robustness_section(records),
+        _summary_table(views),
+        _robustness_section(query),
     ]
-    for run_id, run_records in runs[:max_runs]:
-        parts.append(_run_section(run_id, run_records))
-    if len(runs) > max_runs:
+    for view in views[:max_runs]:
+        parts.append(_run_section(view))
+    if len(views) > max_runs:
         parts.append(
             f'<p class="note">detail charts shown for the first '
-            f"{max_runs} of {len(runs)} runs; raise --max-runs to "
+            f"{max_runs} of {len(views)} runs; raise --max-runs to "
             "render more.</p>"
         )
     parts.append("</body></html>")
@@ -543,16 +496,19 @@ def write_report(
     title: Optional[str] = None,
     max_runs: int = DEFAULT_MAX_RUNS,
 ) -> int:
-    """Render ``trace_path`` (JSONL, optionally gzipped) to ``out_path``.
+    """Render ``trace_path`` (JSONL or columnar, optionally gzipped)
+    to ``out_path``.
 
     Returns the number of trace records rendered.
     """
-    records = read_jsonl(trace_path)
+    from repro.obs.columnar.query import load_query
+
+    query = load_query(trace_path)
     document = render_report(
-        records,
+        query,
         title=title or f"repro trace report — {trace_path}",
         max_runs=max_runs,
     )
     with open(out_path, "w", encoding="utf-8") as handle:
         handle.write(document)
-    return len(records)
+    return query.n_records

@@ -322,6 +322,10 @@ class LiveTap:
         """The tap buffers nothing; the aggregates ARE the record."""
         return ()
 
+    def payload(self) -> Tuple[TraceEvent, ...]:
+        """The tap buffers nothing; its trace payload is empty."""
+        return ()
+
     def clear(self) -> None:
         """Reset all live state (a fresh run starts clean)."""
         self.aggregator = LiveAggregator(self.spec)
@@ -387,6 +391,17 @@ class TeeTracer:
             events = sink.events
             if events:
                 return tuple(events)
+        return ()
+
+    def payload(self) -> Any:
+        """The first buffering sink's trace payload (see
+        :meth:`repro.obs.tracer.Tracer.payload`)."""
+        for sink in self.sinks:
+            sink_payload = getattr(sink, "payload", None)
+            if sink_payload is not None:
+                result = sink_payload()
+                if len(result):
+                    return result
         return ()
 
     def clear(self) -> None:

@@ -36,15 +36,34 @@ from repro.obs.metrics import MetricsRegistry, registry_for_runs
 from repro.obs.tracer import validate_level
 
 
+#: Accepted trace buffer representations.
+TRACE_FORMATS: Tuple[str, ...] = ("jsonl", "columnar")
+
+
+def validate_format(trace_format: str) -> str:
+    """Return ``trace_format`` if valid, raise ``ValueError`` otherwise."""
+    if trace_format not in TRACE_FORMATS:
+        raise ValueError(
+            f"unknown trace format {trace_format!r}; "
+            f"expected one of {TRACE_FORMATS}"
+        )
+    return trace_format
+
+
 @dataclass(frozen=True)
 class TracedRun:
-    """One replication's bookkeeping plus its trace events."""
+    """One replication's bookkeeping plus its trace events.
+
+    ``events`` is either a tuple of :class:`TraceEvent` (the JSONL
+    path) or a :class:`~repro.obs.columnar.tap.ColumnarRun` (an encoded
+    column batch, iterable as events on demand).
+    """
 
     index: int
     tag: Tuple[Any, ...]
     seed: Optional[int]
     summary: Dict[str, Any]
-    events: Tuple[TraceEvent, ...]
+    events: Any
 
 
 def _run_summary(run: Any) -> Dict[str, Any]:
@@ -71,8 +90,11 @@ class TraceSession:
         installed (``spans`` / ``decisions`` / ``all``).
     """
 
-    def __init__(self, level: str = "all") -> None:
+    def __init__(
+        self, level: str = "all", trace_format: str = "jsonl"
+    ) -> None:
         self.level = validate_level(level)
+        self.trace_format = validate_format(trace_format)
         self.runs: List[TracedRun] = []
         #: Per-run DES profiles (submission order) for runs that carried
         #: one; only their deterministic event counts reach metrics.
@@ -88,17 +110,27 @@ class TraceSession:
         order; each run's trace (if any) was carried back on
         ``RunResult.trace``.
         """
+        from repro.obs.columnar.tap import ColumnarRun
+
         if len(jobs) != len(runs):
             raise ValueError("jobs and runs must be parallel sequences")
         for job, run in zip(jobs, runs):
             events = getattr(run, "trace", None) or ()
+            if isinstance(events, ColumnarRun):
+                # Worker batches are encoded with run index 0; stamp
+                # the submission-order index the parent assigns.
+                events = ColumnarRun(
+                    events.batch.with_run(len(self.runs))
+                )
+            else:
+                events = tuple(events)
             self.runs.append(
                 TracedRun(
                     index=len(self.runs),
                     tag=tuple(getattr(job, "tag", ())),
                     seed=getattr(job, "seed", None),
                     summary=_run_summary(run),
-                    events=tuple(events),
+                    events=events,
                 )
             )
             profile = getattr(run, "profile", None)
@@ -113,22 +145,68 @@ class TraceSession:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
+    @staticmethod
+    def _meta_record(run: TracedRun) -> Dict[str, Any]:
+        return {
+            "run": run.index,
+            "tag": list(run.tag),
+            "seed": run.seed,
+            "ts": 0.0,
+            "type": RUN_META,
+            "source": "session",
+            "data": dict(run.summary),
+        }
+
     def records(self) -> Iterator[Dict[str, Any]]:
         """Flat JSONL records: one ``run.meta`` per run, then its events."""
+        from repro.obs.columnar.tap import ColumnarRun
+
         for run in self.runs:
-            yield {
-                "run": run.index,
-                "tag": list(run.tag),
-                "seed": run.seed,
-                "ts": 0.0,
-                "type": RUN_META,
-                "source": "session",
-                "data": dict(run.summary),
-            }
-            for event in run.events:
+            yield self._meta_record(run)
+            events = run.events
+            if isinstance(events, ColumnarRun):
+                # Decoded on demand; run indices were stamped at ingest.
+                yield from events.trace.iter_records()
+                continue
+            for event in events:
                 record = event.to_dict()
                 record["run"] = run.index
                 yield record
+
+    def columnar_trace(self) -> "Any":
+        """The whole session as one consolidated columnar trace.
+
+        Runs traced columnar contribute their worker-encoded batches
+        as-is (no re-parse); dict-path runs are encoded here.  Each
+        run becomes two segments -- its ``run.meta`` record, then its
+        events -- in submission order, so the segment index maps
+        directly onto runs.
+        """
+        from repro.obs.columnar.store import (
+            ColumnarTrace,
+            encode_events,
+            encode_records,
+        )
+        from repro.obs.columnar.tap import ColumnarRun
+
+        batches = []
+        for run in self.runs:
+            batches.append(encode_records([self._meta_record(run)]))
+            events = run.events
+            if isinstance(events, ColumnarRun):
+                if len(events):
+                    batches.append(events.batch)
+            elif events:
+                batches.append(
+                    encode_events(
+                        [
+                            (event.ts, event.etype, event.source, event.data)
+                            for event in events
+                        ],
+                        run=run.index,
+                    )
+                )
+        return ColumnarTrace.from_batches(batches)
 
     def registry(self) -> MetricsRegistry:
         """Metrics over all ingested runs, merged in submission order."""
@@ -155,6 +233,20 @@ class TraceSession:
     def write_jsonl(self, path: str) -> int:
         """Write the JSONL trace; return the line count."""
         return write_jsonl(path, self.records())
+
+    def write_columnar(self, path: str) -> int:
+        """Write the columnar trace container; return the record count."""
+        from repro.obs.columnar.io import write_columnar
+
+        trace = self.columnar_trace()
+        write_columnar(trace, path)
+        return len(trace)
+
+    def write_trace(self, path: str) -> int:
+        """Write the trace in this session's format; return records."""
+        if self.trace_format == "columnar":
+            return self.write_columnar(path)
+        return self.write_jsonl(path)
 
     def write_chrome(self, path: str) -> int:
         """Write the Chrome/Perfetto trace; return the record count."""
@@ -192,11 +284,20 @@ def active_trace_level() -> Optional[str]:
     return session.level if session is not None else None
 
 
+def active_trace_format() -> Optional[str]:
+    """The trace format jobs should be stamped with, or ``None``."""
+    session = current_session()
+    return session.trace_format if session is not None else None
+
+
 __all__ = [
+    "TRACE_FORMATS",
     "TraceSession",
     "TracedRun",
+    "active_trace_format",
     "active_trace_level",
     "current_session",
     "registry_for_runs",
     "use_tracing",
+    "validate_format",
 ]

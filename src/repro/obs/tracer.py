@@ -92,6 +92,17 @@ class Tracer:
     def __len__(self) -> int:
         return len(self.events)
 
+    def payload(self) -> Tuple[TraceEvent, ...]:
+        """What this run attaches to ``RunResult.trace``.
+
+        The buffering tracer returns its events as a tuple;
+        :class:`repro.obs.columnar.tap.ColumnarTap` overrides this to
+        return an encoded column batch instead.  Substrates call
+        ``payload()`` rather than reading ``.events``, so the trace
+        representation is the tracer's choice, not theirs.
+        """
+        return tuple(self.events)
+
 
 def make_tracer(level: Optional[str]) -> Optional[Tracer]:
     """A tracer for the level, or ``None`` (the fast path) when unset."""

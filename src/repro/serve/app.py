@@ -29,6 +29,10 @@ GET   ``/api/health``            server facts (version, counts, uptime)
 GET   ``/api/runs``              ledger listing; ``kind``/``limit``/
                                  ``offset``/``last`` query parameters
 GET   ``/api/runs/<ref>``        one full entry (id, prefix or latest)
+GET   ``/api/runs/<ref>/trace/summary``  event counts + latency
+                                 quantiles of the run's ``--trace``
+                                 artifact (``limit``/``offset``
+                                 paginate the per-run rows)
 GET   ``/api/diff``              ``left`` vs ``right`` field-by-field
 GET   ``/api/baselines``         pinned baselines
 GET   ``/api/bench``             benchmark trajectory listing
@@ -163,6 +167,13 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._send_json(self._health())
             if path == "/api/runs":
                 return self._send_json(self._runs(query))
+            if path.startswith("/api/runs/") and path.endswith(
+                "/trace/summary"
+            ):
+                ref = path[
+                    len("/api/runs/") : -len("/trace/summary")
+                ]
+                return self._send_json(self._trace_summary(ref, query))
             if path.startswith("/api/runs/"):
                 ref = path[len("/api/runs/") :]
                 return self._send_json(self._run_entry(ref))
@@ -262,6 +273,94 @@ class _Handler(BaseHTTPRequestHandler):
         if not ref:
             raise ApiError(404, "missing run ref")
         return self.app.ledger().get(ref)
+
+    def _trace_summary(
+        self, ref: str, query: Dict[str, str]
+    ) -> Dict[str, Any]:
+        """Event counts and latency quantiles of a run's trace artifact.
+
+        The entry must carry a ``trace`` artifact path (runs recorded
+        by ``--trace`` do); the file may be JSONL or columnar, plain or
+        gzipped -- both summarise identically.  Per-run rows paginate
+        with ``limit``/``offset`` exactly like ``GET /api/runs``
+        (``total`` reports the unpaginated run count).
+        """
+        import os
+
+        import numpy as np
+
+        from repro.obs.columnar.io import sniff_format
+        from repro.obs.columnar.query import (
+            exact_percentile,
+            load_query,
+        )
+        from repro.obs.events import (
+            REQUEST_COMPLETE,
+            SYSTEM_REJUVENATION,
+        )
+
+        if not ref:
+            raise ApiError(404, "missing run ref")
+        entry = self.app.ledger().get(ref)
+        trace_path = (entry.get("artifacts") or {}).get("trace")
+        if not trace_path:
+            raise ApiError(
+                404,
+                f"run {entry['id']} has no trace artifact -- re-run "
+                "with --trace PATH to record one",
+            )
+        if not os.path.exists(trace_path):
+            raise ApiError(
+                404, f"trace artifact missing on disk: {trace_path}"
+            )
+        trace_query = load_query(trace_path)
+        values = np.sort(
+            np.asarray(trace_query.response_times(), dtype=np.float64)
+        )
+        quantiles = (
+            {
+                f"p{int(q * 100):02d}": float(
+                    exact_percentile(values, q)
+                )
+                for q in (0.50, 0.90, 0.95, 0.99)
+            }
+            if values.shape[0]
+            else {}
+        )
+        views = trace_query.run_views()
+        offset = max(0, self._int_param(query, "offset") or 0)
+        limit = self._int_param(query, "limit")
+        window = views[offset:]
+        if limit is not None:
+            window = window[: max(0, limit)]
+        runs = []
+        for view in window:
+            meta = view.meta or {}
+            counts = view.counts()
+            runs.append(
+                {
+                    "run": view.run_id,
+                    "records": view.n_records,
+                    "tag": list(meta.get("tag") or ()),
+                    "seed": meta.get("seed"),
+                    "completions": counts.get(REQUEST_COMPLETE, 0),
+                    "rejuvenations": counts.get(
+                        SYSTEM_REJUVENATION, 0
+                    ),
+                }
+            )
+        return {
+            "id": entry["id"],
+            "trace": trace_path,
+            "format": sniff_format(trace_path),
+            "records": trace_query.n_records,
+            "events_by_kind": trace_query.counts(),
+            "latency_quantiles": quantiles,
+            "total": len(views),
+            "offset": offset,
+            "count": len(runs),
+            "runs": runs,
+        }
 
     def _diff(self, query: Dict[str, str]) -> Dict[str, Any]:
         from repro.obs.ledger import diff_entries

@@ -159,7 +159,7 @@ class _ClusterRun(SystemRun):
             response_times=(
                 tuple(collected) if collected is not None else None
             ),
-            trace=(tuple(sink.events) if sink is not None else None),
+            trace=(sink.payload() if sink is not None else None),
             telemetry=None,
             rejuvenation_times=tuple(cluster.rejuvenation_times),
             refused=cres.refused,

@@ -1,0 +1,152 @@
+"""`repro explain --since/--until/--kind` on both trace formats."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.explain import explain_records, explain_trace
+from repro.obs.columnar.convert import convert_trace
+
+SIMULATE = [
+    "simulate",
+    "--policy", "sraa",
+    "-p", "n=2", "-p", "K=5", "-p", "D=3",
+    "--load", "9",
+    "--transactions", "2000",
+    "--seed", "3",
+]
+
+RECORDS = [
+    {
+        "run": 0,
+        "tag": ["demo"],
+        "seed": 1,
+        "ts": 0.0,
+        "type": "run.meta",
+        "source": "session",
+        "data": {"arrivals": 2, "avg_response_time": 1.0},
+    },
+    {
+        "ts": 50.0,
+        "type": "fault.injected",
+        "source": "scenario",
+        "data": {"kind": "aging"},
+        "run": 0,
+    },
+    {
+        "ts": 200.0,
+        "type": "policy.trigger",
+        "source": "policy:sraa",
+        "data": {
+            "level": 3,
+            "batch_mean": 0.5,
+            "threshold": 0.25,
+            "sample_size": 40,
+        },
+        "run": 0,
+    },
+    {
+        "ts": 210.0,
+        "type": "system.rejuvenation",
+        "source": "system",
+        "data": {"downtime_s": 30.0},
+        "run": 0,
+    },
+    {
+        "ts": 400.0,
+        "type": "fault.cleared",
+        "source": "scenario",
+        "data": {"kind": "aging"},
+        "run": 0,
+    },
+]
+
+
+class TestExplainRecords:
+    def test_unfiltered_narrates_everything(self):
+        text = explain_records(RECORDS)
+        assert "fault" in text and "trigger" in text
+
+    def test_until_cuts_late_events(self):
+        text = explain_records(RECORDS, until=100.0)
+        assert "injected" in text
+        assert "trigger" not in text
+
+    def test_since_cuts_early_events(self):
+        text = explain_records(RECORDS, since=100.0)
+        assert "injected" not in text
+        assert "trigger" in text
+
+    def test_kind_filter_exact_and_prefix(self):
+        text = explain_records(RECORDS, kinds=["fault.injected"])
+        assert "injected" in text and "cleared" not in text
+        text = explain_records(RECORDS, kinds=["fault"])
+        assert "injected" in text and "cleared" in text
+
+    def test_meta_survives_any_filter(self):
+        # run.meta is always kept, so the header stays even when the
+        # window excludes every event.
+        text = explain_records(RECORDS, since=9000.0)
+        assert "run 0" in text
+
+
+class TestExplainTrace:
+    @pytest.fixture(scope="class")
+    def traces(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("explain")
+        jsonl = str(root / "t.jsonl")
+        assert main(SIMULATE + ["--trace", jsonl]) == 0
+        rcol = str(root / "t.rcol")
+        convert_trace(jsonl, rcol)
+        return jsonl, rcol
+
+    def test_filters_agree_across_formats(self, traces):
+        jsonl, rcol = traces
+        for kwargs in (
+            {},
+            {"since": 100.0},
+            {"until": 500.0},
+            {"kinds": ["policy"]},
+            {"since": 50.0, "until": 800.0, "kinds": ["policy.trigger"]},
+        ):
+            assert explain_trace(jsonl, **kwargs) == explain_trace(
+                rcol, **kwargs
+            ), kwargs
+
+    def test_cli_flags_reach_the_filter(self, traces, capsys):
+        jsonl, _rcol = traces
+        assert main(["explain", jsonl]) == 0
+        full = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "explain", jsonl,
+                    "--kind", "run",
+                    "--until", "0.0",
+                ]
+            )
+            == 0
+        )
+        narrow = capsys.readouterr().out
+        assert len(narrow) < len(full)
+        assert "trigger #1" in full
+        assert "trigger #1" not in narrow
+
+    def test_repeated_kind_flags_accumulate(self, traces, capsys):
+        jsonl, _rcol = traces
+        assert (
+            main(
+                [
+                    "explain", jsonl,
+                    "--kind", "policy.trigger",
+                    "--kind", "system.rejuvenation",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trigger #1" in out
+
+    def test_empty_trace_message(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert "empty trace" in explain_trace(str(empty))
