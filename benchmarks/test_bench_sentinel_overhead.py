@@ -1,0 +1,164 @@
+"""Sentinel overhead: alert rules on the broker must not tax the run.
+
+The ISSUE acceptance bound: a served simulation with the alert engine
+evaluating burn-rate rules against every ``live.snapshot`` (plus run
+start/end bookkeeping) must stay within 10% of the same served
+simulation with no rules configured.  Both sides carry the full
+serving stack -- ``ServeTap`` publishing into a live broker with the
+HTTP server up -- so the ratio isolates the sentinel itself: rule
+evaluation, window maintenance, and incident bookkeeping on the
+broker's tap path.
+
+Methodology follows ``test_bench_serve_overhead``: each round times
+unwatched and watched back-to-back and the acceptance pin takes the
+**best paired round** (the quietest-machine bound on the systematic
+overhead) with a small absolute slack against timer quantisation.
+
+The workload is healthy against a generous SLO -- essentially no
+completion misses it -- so the run doubles as the false-alarm pin: the engine must evaluate the
+whole campaign without opening a single incident.
+"""
+
+import time
+
+from conftest import BENCH_SEED, bench_scale
+
+from repro.core.spec import PolicySpec
+from repro.ecommerce.config import PAPER_CONFIG
+from repro.ecommerce.runner import run_replications
+from repro.ecommerce.spec import ArrivalSpec
+from repro.obs.ledger import record_bench_point
+from repro.obs.live import RecorderSpec
+from repro.serve import ReproServer, ServeSpec
+
+#: Paired unwatched/watched rounds; the pin takes the quietest pair.
+ROUNDS = 7
+
+#: The acceptance bound: watched vs unwatched serving.
+OVERHEAD_FACTOR = 1.10
+
+#: Absolute slack (s): sub-100ms baselines are dominated by noise.
+ABSOLUTE_SLACK_S = 0.015
+
+#: Completions between live.snapshot publishes -- denser than the
+#: serve default so the engine evaluates often enough to matter.
+SNAPSHOT_EVERY = 500
+
+#: Burn-rate rules the watched server evaluates on every snapshot.
+#: The 120s SLO matches the recorder's and sits far above the
+#: workload's response-time tail, so any incident is a false alarm.
+RULES = {
+    "burn_rate": [
+        {
+            "name": "bench-slo",
+            "slo_s": 120.0,
+            "objective": 0.9,
+            "factor": 2.0,
+            "long_window_s": 600.0,
+            "short_window_s": 120.0,
+            "min_count": 50,
+        }
+    ]
+}
+
+
+def _workload(server):
+    scale = bench_scale()
+    n = max(10_000, scale.transactions // 2)
+    spec = ServeSpec(
+        recorder=RecorderSpec(slo_s=120.0),
+        broker=server.broker,
+        run_tag="bench",
+        snapshot_every=SNAPSHOT_EVERY,
+    )
+    return run_replications(
+        PAPER_CONFIG,
+        arrival=ArrivalSpec.poisson(1.8),
+        policy=PolicySpec.sraa(2, 5, 3),
+        n_transactions=n,
+        replications=2,
+        seed=BENCH_SEED,
+        live=spec,
+    )
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def _result_key(run):
+    return (
+        run.arrivals,
+        run.completed,
+        run.lost,
+        run.avg_response_time,
+        run.loss_fraction,
+        run.rejuvenations,
+        run.rejuvenation_times,
+    )
+
+
+def test_sentinel_overhead(benchmark):
+    plain = ReproServer(port=0).start()
+    watched = ReproServer(port=0, rules=RULES).start()
+
+    try:
+        # Warm-up outside the timings (imports, allocator, sockets).
+        _workload(plain)
+        _workload(watched)
+
+        pairs = []
+        for _ in range(ROUNDS):
+            base_s, base_result = _timed(lambda: _workload(plain))
+            watched_s, watched_result = _timed(
+                lambda: _workload(watched)
+            )
+            pairs.append((base_s, watched_s))
+        base_s, watched_s = min(
+            pairs, key=lambda pair: pair[1] / pair[0]
+        )
+
+        # Watching must not perturb the simulation: bit-identical runs.
+        assert [_result_key(r) for r in watched_result.runs] == [
+            _result_key(r) for r in base_result.runs
+        ]
+        # The engine really evaluated the stream: the burn rule built
+        # per-target windows from the snapshots it saw.
+        rule = watched.sentinel.rules[0]
+        assert rule._windows, "no snapshots reached the sentinel"
+        # ... and a healthy campaign stays alarm-free, end to end.
+        assert watched.sentinel.open_count == 0
+        assert watched.sentinel.incidents() == []
+    finally:
+        plain.close()
+        watched.close()
+
+    overhead = watched_s / base_s if base_s else float("nan")
+    benchmark.extra_info["unwatched_s"] = round(base_s, 4)
+    benchmark.extra_info["watched_s"] = round(watched_s, 4)
+    benchmark.extra_info["sentinel_overhead_factor"] = round(overhead, 4)
+    print(
+        f"\nbest pair of {ROUNDS}: served {base_s:.3f}s, "
+        f"served+sentinel {watched_s:.3f}s ({overhead:.2%} of "
+        "baseline); zero incidents on the healthy campaign"
+    )
+    record_bench_point(
+        f"sentinel_{bench_scale().label}",
+        round(overhead, 4),
+        units="x",
+        seed=BENCH_SEED,
+    )
+
+    # The acceptance pin: rule evaluation within 10% of rule-free
+    # serving on the quietest paired round.
+    bound = base_s * OVERHEAD_FACTOR + ABSOLUTE_SLACK_S
+    assert watched_s <= bound, (
+        f"sentinel costs {watched_s:.3f}s vs unwatched {base_s:.3f}s "
+        f"on the quietest of {ROUNDS} paired rounds -- beyond the 10% "
+        "acceptance bound"
+    )
+
+    # Keep pytest-benchmark's timing machinery fed with the cheap path.
+    benchmark.pedantic(time.sleep, args=(0.0,), rounds=1, iterations=1)

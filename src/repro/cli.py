@@ -70,6 +70,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 from typing import List, Optional, Tuple
@@ -234,6 +235,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="only narrate events of this type or dotted prefix "
         "(e.g. 'fault' keeps fault.injected and fault.cleared; "
         "repeatable)",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the timeline as machine-readable JSON records "
+        "(the same evidence format the sentinel alert engine attaches "
+        "to incidents) instead of prose",
     )
 
     trace_cmd = sub.add_parser(
@@ -521,7 +529,175 @@ def _build_parser() -> argparse.ArgumentParser:
         help="benchmark trajectory directory served at /api/bench "
         "(default: REPRO_BENCH_DIR or .repro/bench)",
     )
+    serve.add_argument(
+        "--watch",
+        metavar="RULES.json",
+        default=None,
+        help="alert rules file evaluated continuously while serving "
+        "(see docs/observability.md: burn_rate / regression families)",
+    )
+    serve.add_argument(
+        "--alerts",
+        dest="alerts_dir",
+        metavar="DIR",
+        default=None,
+        help="append incident transitions to DIR/alerts.jsonl "
+        "(default: REPRO_ALERTS_DIR when set, else not persisted)",
+    )
+    serve.add_argument(
+        "--schedule-tick",
+        dest="schedule_tick",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="wall-clock scheduler tick period (default 1.0; 0 "
+        "disables the ticker so POST /api/schedules/tick drives a "
+        "virtual clock)",
+    )
     _add_ledger_dir_option(serve)
+
+    watch = sub.add_parser(
+        "watch",
+        help="continuous assurance: evaluate alert rules over recorded "
+        "runs (--tick) or tail a serve process's alert stream "
+        "(--follow)",
+    )
+    mode = watch.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--tick",
+        action="store_true",
+        help="one-shot evaluation: replay --trace / walk the ledger, "
+        "print incidents, exit 1 if any is open (default mode)",
+    )
+    mode.add_argument(
+        "--follow",
+        action="store_true",
+        help="attach to a 'repro serve' SSE stream and print alerts "
+        "as they fire (reconnects with Last-Event-ID + backoff)",
+    )
+    watch.add_argument(
+        "--rules",
+        metavar="RULES.json",
+        default=None,
+        help="alert rules file ({'burn_rate': [...], "
+        "'regression': [...]})",
+    )
+    watch.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="trace file (JSONL or .rcol) replayed through the "
+        "burn-rate rules in --tick mode",
+    )
+    watch.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="convenience burn-rate rule: response-time SLO "
+        "(equivalent to a one-rule --rules file)",
+    )
+    watch.add_argument(
+        "--objective",
+        type=float,
+        default=0.95,
+        help="SLO objective for --slo (default 0.95)",
+    )
+    watch.add_argument(
+        "--factor",
+        type=float,
+        default=4.0,
+        help="burn-rate factor for --slo (default 4.0)",
+    )
+    watch.add_argument(
+        "--long-window",
+        dest="long_window",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="burn-rate long window for --slo (default 600)",
+    )
+    watch.add_argument(
+        "--short-window",
+        dest="short_window",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="burn-rate short window for --slo (default 120)",
+    )
+    watch.add_argument(
+        "--min-count",
+        dest="min_count",
+        type=int,
+        default=50,
+        help="minimum long-window completions for --slo (default 50)",
+    )
+    watch.add_argument(
+        "--baseline",
+        default=None,
+        metavar="LABEL",
+        help="convenience regression rule: compare every ledger entry "
+        "against this pinned baseline label",
+    )
+    watch.add_argument(
+        "--persistence",
+        type=int,
+        default=None,
+        help="consecutive exceedances before a regression fires "
+        "(default 2, the paper's SRAA discipline)",
+    )
+    watch.add_argument(
+        "--snapshot-every",
+        dest="snapshot_every",
+        type=int,
+        default=500,
+        metavar="N",
+        help="completions between synthetic snapshots when replaying "
+        "a trace (default 500)",
+    )
+    watch.add_argument(
+        "--alerts",
+        dest="alerts_dir",
+        metavar="DIR",
+        default=None,
+        help="append incident transitions to DIR/alerts.jsonl",
+    )
+    watch.add_argument(
+        "--sink",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="alert sink: stdout, file:PATH, or webhook:URL "
+        "(repeatable)",
+    )
+    watch.add_argument(
+        "--json",
+        action="store_true",
+        help="print the incident table as JSON (--tick mode)",
+    )
+    watch.add_argument(
+        "--url",
+        default=None,
+        help="serve base URL for --follow "
+        "(default http://127.0.0.1:8765)",
+    )
+    watch.add_argument(
+        "--max-events",
+        dest="max_events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop --follow after printing N events",
+    )
+    watch.add_argument(
+        "--timeout",
+        dest="timeout_s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop --follow after this many seconds",
+    )
+    _add_ledger_dir_option(watch)
     return parser
 
 
@@ -1291,10 +1467,19 @@ def _cmd_faults_score(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    from repro.obs.explain import explain_trace
+    from repro.obs.explain import explain_trace, timeline_from_trace
 
     if not os.path.exists(args.trace):
         raise SystemExit(f"no such trace file: {args.trace}")
+    if args.json:
+        records = timeline_from_trace(
+            args.trace,
+            since=args.since,
+            until=args.until,
+            kinds=args.kind,
+        )
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
     print(
         explain_trace(
             args.trace,
@@ -1643,15 +1828,36 @@ def _cmd_top_follow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_rules_file(path: str):
+    from repro.obs.sentinel import rules_from_dict
+
+    if not os.path.exists(path):
+        raise SystemExit(f"no such rules file: {path}")
+    with open(path, encoding="utf-8") as handle:
+        try:
+            config = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"bad rules file {path}: {error}") from None
+    try:
+        return rules_from_dict(config)
+    except (TypeError, ValueError) as error:
+        raise SystemExit(f"bad rules file {path}: {error}") from None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import DEFAULT_HOST, DEFAULT_PORT, ReproServer
 
+    rules = _load_rules_file(args.watch) if args.watch else None
     server = ReproServer(
         host=args.host if args.host is not None else DEFAULT_HOST,
         port=args.port if args.port is not None else DEFAULT_PORT,
         ledger_dir=args.ledger_dir,
         bench_dir=args.bench_dir,
+        rules=rules,
+        alerts_dir=args.alerts_dir,
     )
+    if args.schedule_tick > 0:
+        server.start_ticker(args.schedule_tick)
     print(
         f"repro serve on {server.url}  "
         f"(ledger {server.ledger().directory}; Ctrl-C stops)"
@@ -1659,6 +1865,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"  dashboard  {server.url}/")
     print(f"  API        {server.url}/api/health")
     print(f"  events     {server.url}/api/events")
+    if rules:
+        print(f"  alerts     {server.url}/api/alerts  ({len(rules)} rule(s))")
+    if args.schedule_tick > 0:
+        print(f"  schedules  tick every {args.schedule_tick:g}s")
+    else:
+        print("  schedules  virtual clock (POST /api/schedules/tick)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -1666,6 +1878,85 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.close()
     return 0
+
+
+def _watch_rules(args: argparse.Namespace):
+    """Assemble the rule set from --rules and/or convenience flags."""
+    from repro.obs.sentinel import BurnRateRule, RegressionRule
+
+    rules = list(_load_rules_file(args.rules)) if args.rules else []
+    if args.slo is not None:
+        rules.append(
+            BurnRateRule(
+                "slo-burn",
+                slo_s=args.slo,
+                objective=args.objective,
+                factor=args.factor,
+                long_window_s=args.long_window,
+                short_window_s=args.short_window,
+                min_count=args.min_count,
+            )
+        )
+    if args.baseline is not None:
+        from repro.obs.ledger.regress import DEFAULT_PERSISTENCE
+
+        rules.append(
+            RegressionRule(
+                "baseline-regression",
+                baseline=args.baseline,
+                persistence=(
+                    args.persistence
+                    if args.persistence is not None
+                    else DEFAULT_PERSISTENCE
+                ),
+            )
+        )
+    return rules
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.sentinel import AlertLedger, sinks_from_specs
+    from repro.obs.sentinel.watch import follow_alerts, watch_tick
+
+    if args.follow:
+        url = args.url or "http://127.0.0.1:8765"
+        follow_alerts(
+            url,
+            max_events=args.max_events,
+            timeout_s=args.timeout_s,
+        )
+        return 0
+    rules = _watch_rules(args)
+    if not rules:
+        raise SystemExit(
+            "watch --tick needs rules: --rules FILE, --slo S, "
+            "or --baseline LABEL"
+        )
+    if args.trace is not None and not os.path.exists(args.trace):
+        raise SystemExit(f"no such trace file: {args.trace}")
+    ledger = None
+    if args.baseline is not None or args.ledger_dir is not None or (
+        args.rules and any(r.kind == "regression" for r in rules)
+    ):
+        from repro.obs.ledger import Ledger
+
+        ledger = Ledger(args.ledger_dir)
+    try:
+        sinks = sinks_from_specs(args.sink or ())
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    alerts = (
+        AlertLedger(args.alerts_dir) if args.alerts_dir is not None else None
+    )
+    return watch_tick(
+        rules,
+        trace=args.trace,
+        ledger=ledger,
+        alerts=alerts,
+        sinks=sinks,
+        snapshot_every=args.snapshot_every,
+        json_out=args.json,
+    )
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -1704,6 +1995,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_runs(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -42,6 +42,37 @@ _NARRATIVE_TYPES = (
     POLICY_TRIGGER,
 )
 
+#: The machine-readable timeline walks the narrative types plus the
+#: rejuvenations themselves (the prose narrative infers those from the
+#: triggers; a downstream consumer should not have to).
+_TIMELINE_TYPES = _NARRATIVE_TYPES + (SYSTEM_REJUVENATION,)
+
+
+def event_record(
+    ts: float,
+    kind: str,
+    detail: Optional[Dict[str, Any]] = None,
+    run: Optional[Any] = None,
+    source: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One machine-readable timeline record.
+
+    This is the shared evidence shape: ``repro explain --json`` emits
+    it, and the sentinel alert engine attaches the same records as
+    incident evidence, so a consumer parses one format everywhere.
+    """
+    record: Dict[str, Any] = {
+        "record": "event",
+        "ts": float(ts),
+        "kind": kind,
+        "detail": dict(detail) if detail else {},
+    }
+    if run is not None:
+        record["run"] = run
+    if source is not None:
+        record["source"] = source
+    return record
+
 
 def _format_tag(tag: Any) -> str:
     if not tag:
@@ -212,6 +243,65 @@ def _explain_flight_run(
             }
             lines.append(f"      cause: {_format_cause(data)}")
     return lines
+
+
+def timeline_records(query: Any) -> List[Dict[str, Any]]:
+    """The decision/fault timeline as machine-readable records.
+
+    Per run: one ``{"record": "run", ...}`` header (tag, seed, summary
+    block), then one :func:`event_record` per narrative event in trace
+    order, then one ``{"record": "flight_dump", ...}`` per recorder
+    dump.  Identical for JSONL and ``.rcol`` traces (both load through
+    the same query layer), pinned by ``tests/obs/test_explain_json.py``.
+    """
+    records: List[Dict[str, Any]] = []
+    for view in query.run_views():
+        meta = view.meta
+        header: Dict[str, Any] = {
+            "record": "run",
+            "run": view.run_id,
+            "events": view.n_records,
+        }
+        if meta is not None:
+            tag = meta.get("tag")
+            header["tag"] = list(tag) if tag else []
+            header["seed"] = meta.get("seed")
+            header["summary"] = dict(meta.get("data", {}))
+        records.append(header)
+        for record in view.records(types=_TIMELINE_TYPES):
+            records.append(
+                event_record(
+                    record["ts"],
+                    record["type"],
+                    record.get("data", {}),
+                    run=view.run_id,
+                    source=record.get("source"),
+                )
+            )
+        for dump in view.flight_dumps():
+            records.append(
+                {
+                    "record": "flight_dump",
+                    "run": view.run_id,
+                    "ts": float(dump["ts"]),
+                    "reason": dump["reason"],
+                    "events": len(dump.get("events", [])),
+                }
+            )
+    return records
+
+
+def timeline_from_trace(
+    path: str,
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+    kinds: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """Load a trace file and return its machine-readable timeline."""
+    query = load_query(path)
+    if since is not None or until is not None or kinds:
+        query = query.filtered(since=since, until=until, kinds=kinds)
+    return timeline_records(query)
 
 
 def explain_query(query: Any) -> str:

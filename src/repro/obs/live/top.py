@@ -88,6 +88,10 @@ def read_snapshot_source(source: str) -> Dict[str, Any]:
         return json.load(handle)
 
 
+#: ``--follow`` retry backoff ceiling (seconds) while the source is down.
+MAX_BACKOFF_S = 30.0
+
+
 def follow_snapshots(
     source: str,
     interval_s: float = DEFAULT_FOLLOW_S,
@@ -96,6 +100,7 @@ def follow_snapshots(
     ansi: Optional[bool] = None,
     sleep: Callable[[float], None] = time.sleep,
     max_level: int = 5,
+    max_backoff_s: float = MAX_BACKOFF_S,
 ) -> int:
     """Re-render the ``repro top`` panel from ``source`` every period.
 
@@ -103,8 +108,10 @@ def follow_snapshots(
     simulation -- each frame is one GET (or file read) against whatever
     ``source`` serves.  ``frames`` bounds the loop (``None`` follows
     until interrupted); returns the number of frames painted.  Fetch
-    errors paint a waiting line rather than aborting, so the follower
-    can outlive server restarts.
+    errors paint a waiting line rather than aborting, and consecutive
+    errors back off exponentially (doubling from ``interval_s`` up to
+    ``max_backoff_s``, reset by the first good fetch), so a follower
+    rides out server restarts without hammering the socket.
     """
     if stream is None:
         stream = sys.stderr
@@ -113,13 +120,16 @@ def follow_snapshots(
         ansi = bool(isatty()) if callable(isatty) else False
     painted = 0
     last_height = 0
+    errors = 0
     try:
         while frames is None or painted < frames:
             try:
                 snapshot = read_snapshot_source(source)
             except (OSError, ValueError) as error:
+                errors += 1
                 panel = f"repro top  (waiting on {source}: {error})"
             else:
+                errors = 0
                 if snapshot:
                     panel = render_snapshot(
                         snapshot,
@@ -139,7 +149,12 @@ def follow_snapshots(
             painted += 1
             if frames is not None and painted >= frames:
                 break
-            sleep(interval_s)
+            delay = interval_s
+            if errors:
+                delay = min(
+                    interval_s * (2 ** (errors - 1)), max_backoff_s
+                )
+            sleep(delay)
     except KeyboardInterrupt:
         pass
     return painted

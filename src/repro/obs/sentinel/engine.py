@@ -1,0 +1,347 @@
+"""The alert engine: rule signals in, incident lifecycle out.
+
+An :class:`AlertEngine` owns a rule set and a table of open incidents
+keyed by ``(rule, target)``.  Rules emit a :class:`Signal` per
+observation; the engine records only the *transitions*:
+
+* not-firing -> firing: an incident **opens** (fresh ``inc-NNNN`` id,
+  opening signal's summary/observed/evidence attached).
+* firing while open: the incident's latest observation is refreshed in
+  place -- no new ledger record, alerts do not spam.
+* firing -> not-firing: the incident **closes** (``resolved`` reason,
+  or ``run_ended`` when the watched run finished while still burning).
+
+Every transition is appended to the
+:class:`~repro.obs.sentinel.alerts.AlertLedger`, pushed through every
+sink, and published as an SSE ``alert`` event when a broker is
+attached.  Incident ids, order, and contents are a pure function of
+the observation sequence -- no wall clock ever enters an incident
+(the alert ledger stamps its own envelope timestamps), so fixed
+fixtures replay to byte-identical incident tables.
+
+The engine rides the serve broker as a synchronous tap
+(:meth:`AlertEngine.attach`): ``live.snapshot`` events feed burn-rate
+rules, ``job.finished`` events feed regression rules with the job's
+freshly-recorded ledger entry and resolve that run's burn state.
+:func:`replay_trace` drives the same rule set offline from a recorded
+trace (JSONL or ``.rcol``) for ``repro watch --tick``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.sentinel.rules import BurnRateRule, RegressionRule, Signal
+
+__all__ = ["AlertEngine", "Incident", "replay_trace"]
+
+
+class Incident:
+    """One alert with an open/close lifecycle and full provenance."""
+
+    __slots__ = (
+        "id",
+        "rule",
+        "rule_kind",
+        "target",
+        "status",
+        "opened_ts",
+        "closed_ts",
+        "close_reason",
+        "summary",
+        "observed",
+        "evidence",
+        "runs",
+        "updates",
+        "last_ts",
+    )
+
+    def __init__(self, incident_id: str, signal: Signal):
+        self.id = incident_id
+        self.rule = signal.rule
+        self.rule_kind = signal.kind
+        self.target = signal.target
+        self.status = "open"
+        self.opened_ts = signal.ts
+        self.closed_ts: Optional[float] = None
+        self.close_reason: Optional[str] = None
+        self.summary = signal.summary
+        self.observed = dict(signal.observed)
+        self.evidence = [dict(r) for r in signal.evidence]
+        self.runs = self._runs_of(signal)
+        #: Refreshes received while open (firing signals after the first).
+        self.updates = 0
+        self.last_ts = signal.ts
+
+    @staticmethod
+    def _runs_of(signal: Signal) -> List[str]:
+        runs = []
+        for record in signal.evidence:
+            run = record.get("run")
+            if run is not None and str(run) not in runs:
+                runs.append(str(run))
+        observed = signal.observed
+        for key in ("baseline_id", "candidate_id"):
+            value = observed.get(key)
+            if value is not None and str(value) not in runs:
+                runs.append(str(value))
+        return runs
+
+    def refresh(self, signal: Signal) -> None:
+        self.updates += 1
+        self.summary = signal.summary
+        self.observed = dict(signal.observed)
+        self.last_ts = signal.ts
+        for run in self._runs_of(signal):
+            if run not in self.runs:
+                self.runs.append(run)
+
+    def close(self, ts: float, reason: str) -> None:
+        self.status = "closed"
+        self.closed_ts = ts
+        self.close_reason = reason
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "rule": self.rule,
+            "rule_kind": self.rule_kind,
+            "target": self.target,
+            "status": self.status,
+            "opened_ts": self.opened_ts,
+            "closed_ts": self.closed_ts,
+            "close_reason": self.close_reason,
+            "summary": self.summary,
+            "observed": self.observed,
+            "evidence": self.evidence,
+            "runs": list(self.runs),
+            "updates": self.updates,
+        }
+
+
+class AlertEngine:
+    """Evaluate rules over observations; maintain the incident table."""
+
+    def __init__(
+        self,
+        rules: Iterable[Any] = (),
+        ledger: Any = None,
+        alerts: Any = None,
+        sinks: Iterable[Any] = (),
+        broker: Any = None,
+    ):
+        self.rules = list(rules)
+        #: Run ledger handle for regression rules (may be ``None``).
+        self.ledger = ledger
+        #: Alert ledger (``alerts.jsonl``); transitions are appended.
+        self.alerts = alerts
+        self.sinks = list(sinks)
+        self.broker = broker
+        self._lock = threading.Lock()
+        self._open: Dict[Tuple[str, str], Incident] = {}
+        self._closed: List[Incident] = []
+        self._counter = 0
+        #: Ledger entry ids already evaluated (regression rules must
+        #: see each run exactly once, whatever feeds the engine).
+        self._seen_entries: set = set()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, broker: Any) -> None:
+        """Ride a serve broker as a synchronous event tap."""
+        self.broker = broker
+        broker.add_tap(self.observe_event)
+
+    def observe_event(self, event: Mapping[str, Any]) -> None:
+        """Broker tap: route stamped events to the rule families."""
+        etype = event.get("event")
+        data = event.get("data", {})
+        if etype == "live.snapshot":
+            self.observe_snapshot(data)
+        elif etype == "job.finished":
+            run = data.get("job")
+            entry_id = data.get("entry_id")
+            if entry_id is not None and self.ledger is not None:
+                try:
+                    entry = self.ledger.get(entry_id)
+                except LookupError:
+                    entry = None
+                if entry is not None:
+                    self.observe_entry(entry)
+            if run is not None:
+                self.resolve_target(str(run), reason="run_ended")
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def observe_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        for rule in self.rules:
+            if isinstance(rule, BurnRateRule):
+                self._apply(rule.observe_snapshot(snapshot))
+
+    def observe_entry(self, entry: Mapping[str, Any]) -> None:
+        entry_id = entry.get("id")
+        with self._lock:
+            if entry_id in self._seen_entries:
+                return
+            self._seen_entries.add(entry_id)
+        for rule in self.rules:
+            if isinstance(rule, RegressionRule):
+                self._apply(rule.observe_entry(entry, self.ledger))
+
+    def resolve_target(self, target: str, reason: str = "run_ended") -> None:
+        """Close any open incidents for a finished run tag."""
+        to_close = []
+        with self._lock:
+            for key, incident in list(self._open.items()):
+                if incident.target == target:
+                    incident.close(incident.last_ts, reason)
+                    self._closed.append(incident)
+                    del self._open[key]
+                    to_close.append(incident)
+        for rule in self.rules:
+            if isinstance(rule, BurnRateRule):
+                rule.forget(target)
+        for incident in to_close:
+            self._record("close", incident)
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def _apply(self, signal: Optional[Signal]) -> None:
+        if signal is None:
+            return
+        key = (signal.rule, signal.target)
+        opened = closed = None
+        with self._lock:
+            incident = self._open.get(key)
+            if signal.firing and incident is None:
+                self._counter += 1
+                incident = Incident(f"inc-{self._counter:04d}", signal)
+                self._open[key] = incident
+                opened = incident
+            elif signal.firing and incident is not None:
+                incident.refresh(signal)
+            elif not signal.firing and incident is not None:
+                incident.refresh(signal)
+                incident.close(signal.ts, "resolved")
+                self._closed.append(incident)
+                del self._open[key]
+                closed = incident
+        if opened is not None:
+            self._record("open", opened)
+        if closed is not None:
+            self._record("close", closed)
+
+    def _record(self, action: str, incident: Incident) -> None:
+        record = {"action": action, "incident": incident.to_dict()}
+        if self.alerts is not None:
+            self.alerts.append(record)
+        for sink in self.sinks:
+            try:
+                sink.emit(record)
+            except Exception:  # noqa: BLE001 - a broken sink never pages out
+                pass
+        if self.broker is not None:
+            self.broker.publish("alert", record)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def incidents(self, include_closed: bool = True) -> List[Dict[str, Any]]:
+        """All incidents in id order (open and, optionally, closed)."""
+        with self._lock:
+            items = list(self._open.values())
+            if include_closed:
+                items.extend(self._closed)
+        return [i.to_dict() for i in sorted(items, key=lambda i: i.id)]
+
+    @property
+    def open_count(self) -> int:
+        with self._lock:
+            return len(self._open)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The ``GET /api/alerts`` body."""
+        incidents = self.incidents()
+        return {
+            "open": sum(1 for i in incidents if i["status"] == "open"),
+            "closed": sum(1 for i in incidents if i["status"] == "closed"),
+            "incidents": incidents,
+            "rules": [rule.describe() for rule in self.rules],
+        }
+
+
+def replay_trace(
+    source: Any,
+    engine: AlertEngine,
+    snapshot_every: int = 500,
+    slo_s: Optional[float] = None,
+) -> List[str]:
+    """Drive an engine's burn-rate rules from a recorded trace.
+
+    Rebuilds the cumulative completion / SLO-bad counters the serve tap
+    would have published -- one synthetic snapshot per
+    ``snapshot_every`` completions plus a final one per run -- so
+    offline evaluation (``repro watch --tick``) sees the same stream a
+    live server would, deterministically.  Returns the run labels
+    replayed.  ``source`` is a trace path or a prebuilt query.
+    """
+    from repro.obs.columnar.query import as_query, load_query
+
+    query = (
+        load_query(source) if isinstance(source, str) else as_query(source)
+    )
+    slo = slo_s
+    if slo is None:
+        for rule in engine.rules:
+            if isinstance(rule, BurnRateRule) and rule.slo_s is not None:
+                slo = rule.slo_s
+                break
+    if slo is None:
+        raise ValueError(
+            "replay needs an SLO: set slo_s on a burn-rate rule or pass it"
+        )
+    every = max(1, int(snapshot_every))
+    labels: List[str] = []
+    for view in query.run_views():
+        meta = view.meta
+        tag = meta.get("tag") if meta else None
+        label = (
+            "/".join(str(part) for part in tag)
+            if tag
+            else f"run-{view.run_id}"
+        )
+        labels.append(label)
+        ts_list, rt_list = view.completions()
+        completed = bad = 0
+        last_ts = None
+        for ts, rt in zip(ts_list, rt_list):
+            completed += 1
+            if rt > slo:
+                bad += 1
+            last_ts = ts
+            if completed % every == 0:
+                engine.observe_snapshot(
+                    {
+                        "ts": float(ts),
+                        "completed": completed,
+                        "slo_bad": bad,
+                        "slo_s": slo,
+                        "run": label,
+                    }
+                )
+        if completed and completed % every != 0 and last_ts is not None:
+            engine.observe_snapshot(
+                {
+                    "ts": float(last_ts),
+                    "completed": completed,
+                    "slo_bad": bad,
+                    "slo_s": slo,
+                    "run": label,
+                }
+            )
+        engine.resolve_target(label, reason="run_ended")
+    return labels

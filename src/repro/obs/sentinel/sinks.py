@@ -1,0 +1,125 @@
+"""Pluggable alert sinks: where incident transitions go.
+
+Each sink exposes ``emit(record)`` taking the same transition record
+the alert ledger stores (``{"action", "incident"}``).  Sinks must never
+cost the watched system: the engine already swallows sink exceptions,
+and the webhook sink additionally keeps its own error count so a dead
+endpoint degrades to a counter, not a crash loop.
+
+Specs (CLI ``--sink``, one flag per sink)::
+
+    stdout               human one-liners to stdout
+    file:PATH            JSONL appended to PATH
+    webhook:URL          JSON POSTed to URL (stdlib urllib, no deps)
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO
+
+__all__ = [
+    "FileSink",
+    "StdoutSink",
+    "WebhookSink",
+    "format_transition",
+    "sinks_from_specs",
+]
+
+
+def format_transition(record: Dict[str, Any]) -> str:
+    """One human-readable line per incident transition."""
+    incident = record.get("incident", {})
+    action = record.get("action", "?")
+    parts = [
+        f"[{action}]",
+        incident.get("id", "?"),
+        f"rule={incident.get('rule', '?')}",
+        f"target={incident.get('target', '?')}",
+    ]
+    if action == "close" and incident.get("close_reason"):
+        parts.append(f"reason={incident['close_reason']}")
+    summary = incident.get("summary")
+    if summary:
+        parts.append(f"-- {summary}")
+    return " ".join(str(part) for part in parts)
+
+
+class StdoutSink:
+    """Human one-liners, for ``repro watch`` and the serve console."""
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self.stream = stream
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        stream = self.stream if self.stream is not None else sys.stdout
+        stream.write(format_transition(record) + "\n")
+        stream.flush()
+
+
+class FileSink:
+    """JSONL transitions appended to a file (parents created)."""
+
+    def __init__(self, path: str):
+        self.path = Path(path)
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+class WebhookSink:
+    """JSON POST per transition; failures counted, never raised."""
+
+    def __init__(self, url: str, timeout_s: float = 5.0):
+        self.url = url
+        self.timeout_s = timeout_s
+        self.sent = 0
+        self.errors = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        import urllib.error
+        import urllib.request
+
+        body = json.dumps(record, sort_keys=True).encode("utf-8")
+        request = urllib.request.Request(
+            self.url,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                response.read()
+            self.sent += 1
+        except (urllib.error.URLError, OSError, ValueError):
+            self.errors += 1
+
+
+def sinks_from_specs(specs: Any) -> List[Any]:
+    """Build sinks from CLI specs (see module docstring)."""
+    sinks: List[Any] = []
+    for spec in specs or ():
+        if spec == "stdout":
+            sinks.append(StdoutSink())
+        elif spec.startswith("file:"):
+            path = spec[len("file:"):]
+            if not path:
+                raise ValueError("file sink needs a path: file:PATH")
+            sinks.append(FileSink(path))
+        elif spec.startswith("webhook:"):
+            url = spec[len("webhook:"):]
+            if not url:
+                raise ValueError("webhook sink needs a URL: webhook:URL")
+            sinks.append(WebhookSink(url))
+        else:
+            raise ValueError(
+                f"unknown sink spec {spec!r}; "
+                "expected stdout, file:PATH, or webhook:URL"
+            )
+    return sinks

@@ -1,0 +1,212 @@
+"""``repro watch``: one-shot rule evaluation and live alert tailing.
+
+Two modes, both backed by the same :class:`~repro.obs.sentinel.engine.AlertEngine`:
+
+* :func:`watch_tick` evaluates a rule set once, offline: burn-rate
+  rules replay a recorded trace (JSONL or ``.rcol``) through
+  :func:`~repro.obs.sentinel.engine.replay_trace`, regression rules
+  walk the run ledger's entries in append order.  Deterministic on
+  fixed inputs; exits 1 when any incident is open, 0 otherwise --
+  cron- and CI-friendly.
+* :func:`follow_alerts` attaches to a serve process's SSE channel and
+  prints incident transitions as they happen.  On disconnect it
+  reconnects with exponential backoff, presenting the last ``id:`` it
+  saw as ``Last-Event-ID`` so the broker's replay ring fills the gap.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, TextIO
+
+from repro.obs.sentinel.engine import AlertEngine, replay_trace
+from repro.obs.sentinel.sinks import format_transition
+
+__all__ = ["watch_tick", "follow_alerts"]
+
+#: Reconnect backoff: first retry after this many seconds, doubling.
+BACKOFF_INITIAL_S = 0.5
+
+#: Backoff ceiling.
+BACKOFF_MAX_S = 30.0
+
+
+def watch_tick(
+    rules: Iterable[Any],
+    trace: Optional[str] = None,
+    ledger: Any = None,
+    alerts: Any = None,
+    sinks: Iterable[Any] = (),
+    snapshot_every: int = 500,
+    slo_s: Optional[float] = None,
+    json_out: bool = False,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Evaluate the rules once over recorded inputs; returns exit code."""
+    out = stream if stream is not None else sys.stdout
+    engine = AlertEngine(
+        rules=rules, ledger=ledger, alerts=alerts, sinks=sinks
+    )
+    if trace is not None:
+        replay_trace(
+            trace, engine, snapshot_every=snapshot_every, slo_s=slo_s
+        )
+    if ledger is not None:
+        for entry in ledger.entries():
+            engine.observe_entry(entry)
+    incidents = engine.incidents()
+    if json_out:
+        out.write(
+            json.dumps(
+                {
+                    "open": sum(
+                        1 for i in incidents if i["status"] == "open"
+                    ),
+                    "incidents": incidents,
+                    "rules": [rule.describe() for rule in engine.rules],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+    else:
+        if not incidents:
+            out.write("no incidents\n")
+        for incident in incidents:
+            action = (
+                "open" if incident["status"] == "open" else "close"
+            )
+            out.write(
+                format_transition(
+                    {"action": action, "incident": incident}
+                )
+                + "\n"
+            )
+    open_count = sum(1 for i in incidents if i["status"] == "open")
+    return 1 if open_count else 0
+
+
+# ---------------------------------------------------------------------------
+# Follow mode
+# ---------------------------------------------------------------------------
+def _iter_sse(response: Any) -> Iterable[Dict[str, Any]]:
+    """Parse one SSE response into event dicts, tolerating keepalives."""
+    event: Dict[str, Any] = {}
+    for raw in response:
+        line = raw.decode("utf-8", "replace").rstrip("\r\n")
+        if not line:
+            if "event" in event:
+                yield event
+            event = {}
+            continue
+        if line.startswith(":"):
+            continue  # keepalive comment
+        if ":" in line:
+            field, _, value = line.partition(":")
+            event[field.strip()] = value.lstrip()
+    if "event" in event:  # pragma: no cover - truncated final frame
+        yield event
+
+
+def follow_alerts(
+    url: str,
+    max_events: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    events: Iterable[str] = ("alert",),
+    stream: Optional[TextIO] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    max_retries: Optional[int] = None,
+) -> int:
+    """Tail a serve process's alert stream; returns events printed.
+
+    ``url`` is the server base (or full ``/api/events`` URL).  Each
+    reconnect announces the last seen ``id:`` via ``Last-Event-ID`` so
+    the server's replay ring fills any gap; consecutive failures back
+    off exponentially (``BACKOFF_INITIAL_S`` doubling to
+    ``BACKOFF_MAX_S``) and a successful connection resets the backoff.
+    ``max_events``/``timeout_s`` bound the session for tests and CI;
+    ``max_retries`` caps *consecutive* failed connection attempts.
+    """
+    import urllib.error
+    import urllib.request
+
+    out = stream if stream is not None else sys.stdout
+    base = url.rstrip("/")
+    if not base.endswith("/api/events"):
+        base = base + "/api/events"
+    wanted = set(events)
+    printed = 0
+    last_seq: Optional[int] = None
+    failures = 0
+    deadline = (
+        time.monotonic() + timeout_s if timeout_s is not None else None
+    )
+    while max_events is None or printed < max_events:
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        query = []
+        if max_events is not None:
+            query.append(f"max_events={max_events - printed + 8}")
+        if deadline is not None:
+            remaining = max(0.1, deadline - time.monotonic())
+            query.append(f"timeout_s={remaining:.3f}")
+        target = base + ("?" + "&".join(query) if query else "")
+        request = urllib.request.Request(target)
+        if last_seq is not None:
+            request.add_header("Last-Event-ID", str(last_seq))
+        try:
+            with urllib.request.urlopen(request, timeout=30.0) as response:
+                failures = 0
+                for event in _iter_sse(response):
+                    etype = event.get("event", "")
+                    if "id" in event:
+                        try:
+                            last_seq = int(event["id"])
+                        except ValueError:
+                            pass
+                    if etype not in wanted:
+                        continue
+                    try:
+                        data = json.loads(event.get("data", "{}"))
+                    except json.JSONDecodeError:
+                        continue
+                    if etype == "alert" and "incident" in data:
+                        out.write(format_transition(data) + "\n")
+                    else:
+                        out.write(
+                            f"[{etype}] "
+                            + json.dumps(data, sort_keys=True)
+                            + "\n"
+                        )
+                    out.flush()
+                    printed += 1
+                    if (
+                        max_events is not None
+                        and printed >= max_events
+                    ):
+                        break
+        except (urllib.error.URLError, OSError, ValueError):
+            failures += 1
+            if max_retries is not None and failures > max_retries:
+                break
+            delay = min(
+                BACKOFF_INITIAL_S * (2 ** (failures - 1)), BACKOFF_MAX_S
+            )
+            out.write(
+                f"[watch] connection lost; retry {failures} "
+                f"in {delay:.1f}s\n"
+            )
+            out.flush()
+            sleep(delay)
+            continue
+        else:
+            # Server closed the stream (bounds hit or restart window).
+            if max_events is not None and printed >= max_events:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            sleep(BACKOFF_INITIAL_S)
+    return printed

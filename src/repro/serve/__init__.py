@@ -10,7 +10,7 @@ sink attached to background runs), launches fault campaigns via a
 from repro.serve.app import DEFAULT_HOST, DEFAULT_PORT, ReproServer
 from repro.serve.broker import EventBroker, Subscription
 from repro.serve.dashboard import render_dashboard
-from repro.serve.jobs import Job, JobManager
+from repro.serve.jobs import Job, JobCancelled, JobManager
 from repro.serve.tap import ServeSpec, ServeTap
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "DEFAULT_PORT",
     "EventBroker",
     "Job",
+    "JobCancelled",
     "JobManager",
     "ReproServer",
     "ServeSpec",

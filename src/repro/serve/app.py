@@ -41,9 +41,17 @@ GET   ``/api/policies``          every policy + parameter schema/labels
 GET   ``/api/scenarios``         the fault zoo (``horizon`` parameter)
 GET   ``/api/live``              latest live snapshot (or ``{}``)
 GET   ``/api/events``            Server-Sent Events stream
+                                 (``Last-Event-ID`` or ``last_event_id``
+                                 replays missed buffered events)
 GET   ``/api/campaigns``         job listing
 GET   ``/api/campaigns/<id>``    one job's status
 POST  ``/api/campaigns``         launch a campaign (JSON body)
+POST  ``/api/campaigns/<id>/cancel``  request job cancellation
+GET   ``/api/schedules``         recurring-campaign schedules
+POST  ``/api/schedules``         add a schedule (JSON spec)
+POST  ``/api/schedules/tick``    fire due schedules (virtual clock:
+                                 optional ``{"now": seconds}`` body)
+GET   ``/api/alerts``            incident table + rule set
 ====  =========================  =======================================
 """
 
@@ -89,18 +97,36 @@ class ReproServer:
         ledger_dir: Optional[str] = None,
         bench_dir: Optional[str] = None,
         title: str = "repro serve",
+        rules: Any = None,
+        alerts_dir: Optional[str] = None,
     ) -> None:
+        from repro.obs.sentinel import AlertEngine, AlertLedger, Scheduler
+        from repro.obs.sentinel.rules import rules_from_dict
+
         self.ledger_dir = ledger_dir
         self.bench_dir = bench_dir
         self.title = title
         self.broker = EventBroker()
         self.jobs = JobManager(broker=self.broker, ledger_dir=ledger_dir)
+        self.scheduler = Scheduler(self.jobs)
+        if isinstance(rules, dict):
+            rules = rules_from_dict(rules)
+        self.sentinel = AlertEngine(
+            rules=rules or (),
+            ledger=self.ledger(),
+            alerts=(
+                AlertLedger(alerts_dir) if alerts_dir is not None else None
+            ),
+        )
+        self.sentinel.attach(self.broker)
         self.started = time.monotonic()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         # The handler reaches back through the server object.
         self._httpd.repro = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._ticker: Optional[threading.Thread] = None
+        self._ticker_stop = threading.Event()
 
     # ------------------------------------------------------------------
     @property
@@ -133,7 +159,33 @@ class ReproServer:
         self._thread.start()
         return self
 
+    def start_ticker(self, every_s: float) -> None:
+        """Drive the scheduler from the wall clock (foreground serving).
+
+        Tests and CI never call this: they disable the ticker and POST
+        ``/api/schedules/tick`` with explicit virtual times instead, so
+        schedule behaviour stays deterministic.
+        """
+        if self._ticker is not None:
+            return
+
+        def _run() -> None:
+            while not self._ticker_stop.wait(every_s):
+                try:
+                    self.scheduler.tick(time.time())
+                except Exception:  # pragma: no cover - keep ticking
+                    pass
+
+        self._ticker = threading.Thread(
+            target=_run, name="repro-serve-ticker", daemon=True
+        )
+        self._ticker.start()
+
     def close(self) -> None:
+        self._ticker_stop.set()
+        if self._ticker is not None:
+            self._ticker.join(timeout=5.0)
+            self._ticker = None
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
@@ -203,6 +255,17 @@ class _Handler(BaseHTTPRequestHandler):
             if path.startswith("/api/campaigns/"):
                 job_id = path[len("/api/campaigns/") :]
                 return self._send_json({"job": self.app.jobs.get(job_id)})
+            if path == "/api/schedules":
+                return self._send_json(
+                    {"schedules": self.app.scheduler.states()}
+                )
+            if path.startswith("/api/schedules/"):
+                name = path[len("/api/schedules/") :]
+                return self._send_json(
+                    {"schedule": self.app.scheduler.get(name)}
+                )
+            if path == "/api/alerts":
+                return self._send_json(self.app.sentinel.to_payload())
             raise ApiError(404, f"no such endpoint: {path}")
         except ApiError as error:
             self._send_json({"error": str(error)}, status=error.status)
@@ -221,6 +284,36 @@ class _Handler(BaseHTTPRequestHandler):
                 except ValueError as error:
                     raise ApiError(400, str(error)) from None
                 return self._send_json({"job": job}, status=202)
+            if path.startswith("/api/campaigns/") and path.endswith(
+                "/cancel"
+            ):
+                job_id = path[len("/api/campaigns/") : -len("/cancel")]
+                try:
+                    job = self.app.jobs.cancel(job_id)
+                except LookupError as error:
+                    raise ApiError(404, str(error)) from None
+                return self._send_json({"job": job}, status=202)
+            if path == "/api/schedules":
+                body = self._read_json_body()
+                # Virtual-clock add time: a client driving explicit
+                # ticks pins "now" so first-due is deterministic.
+                now = body.pop("now", time.time())
+                try:
+                    schedule = self.app.scheduler.add(body, now=float(now))
+                except ValueError as error:
+                    raise ApiError(400, str(error)) from None
+                return self._send_json({"schedule": schedule}, status=201)
+            if path == "/api/schedules/tick":
+                body = self._read_json_body(optional=True)
+                now = body.get("now", time.time())
+                try:
+                    now = float(now)
+                except (TypeError, ValueError):
+                    raise ApiError(400, "now must be a number") from None
+                launched = self.app.scheduler.tick(now)
+                return self._send_json(
+                    {"now": now, "launched": launched}, status=200
+                )
             raise ApiError(404, f"no such endpoint: {path}")
         except ApiError as error:
             self._send_json({"error": str(error)}, status=error.status)
@@ -242,6 +335,8 @@ class _Handler(BaseHTTPRequestHandler):
             "subscribers": app.broker.subscriber_count,
             "events_published": app.broker.published,
             "jobs": len(app.jobs.jobs()),
+            "schedules": len(app.scheduler),
+            "alerts_open": app.sentinel.open_count,
             "uptime_s": round(time.monotonic() - app.started, 3),
         }
 
@@ -469,12 +564,28 @@ class _Handler(BaseHTTPRequestHandler):
         ``max_events`` / ``timeout_s`` close the stream after that many
         events or seconds -- curl- and test-friendly bounds; browsers
         simply reconnect their ``EventSource``.  The stream opens with
-        an ``sse.hello`` event (subscription id + latest snapshot seq)
-        so a client knows it is attached before anything fires.
+        an ``sse.hello`` event (subscription id + replayed count) so a
+        client knows it is attached before anything fires.
+
+        A reconnecting client sends the last ``id:`` it saw -- the
+        standard ``Last-Event-ID`` header (``EventSource`` does this
+        automatically) or a ``last_event_id`` query parameter -- and
+        the broker prefills every buffered event after it, so a restart
+        of the *client* loses nothing the replay ring still holds.
         """
         max_events = self._int_param(query, "max_events")
         timeout_s = self._float_param(query, "timeout_s")
-        subscription = self.app.broker.subscribe()
+        after_seq = self._int_param(query, "last_event_id")
+        if after_seq is None:
+            header = self.headers.get("Last-Event-ID")
+            if header is not None:
+                try:
+                    after_seq = int(header)
+                except ValueError:
+                    raise ApiError(
+                        400, "Last-Event-ID must be an integer"
+                    ) from None
+        subscription = self.app.broker.subscribe(after_seq=after_seq)
         try:
             self.send_response(200)
             self.send_header("Content-Type", "text/event-stream")
@@ -484,7 +595,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.end_headers()
             self._write_sse(
                 "sse.hello",
-                {"subscription": subscription.id},
+                {
+                    "subscription": subscription.id,
+                    "replayed": subscription.replayed,
+                },
             )
             sent = 0
             deadline = (
@@ -557,9 +671,11 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             raise ApiError(400, f"{name} must be a number") from None
 
-    def _read_json_body(self) -> Dict[str, Any]:
+    def _read_json_body(self, optional: bool = False) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
+            if optional:
+                return {}
             raise ApiError(400, "a JSON request body is required")
         if length > MAX_BODY_BYTES:
             raise ApiError(413, "request body too large")

@@ -16,7 +16,15 @@ Two disciplines keep the broker a *pure observer* of the simulation:
 
 Every event carries a broker-assigned monotonically increasing ``seq``,
 so subscribers (and the ordering tests) can assert they saw the stream
-in publish order.
+in publish order.  The broker also keeps a bounded replay ring of the
+most recent events: a subscriber that reconnects with the ``seq`` it
+last saw (SSE ``Last-Event-ID``) has the gap prefilled into its queue
+before any new event can race past it.
+
+Beyond queue subscribers, *taps* are synchronous callables invoked on
+the publishing thread after fan-out (outside the broker lock, so a tap
+may itself publish).  The alert engine rides on a tap: it sees every
+event exactly once, in order, with no queue to fall behind.
 """
 
 from __future__ import annotations
@@ -24,16 +32,20 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
 
 #: Default per-subscriber queue bound.
 DEFAULT_QUEUE_SIZE = 1024
+
+#: Events retained for ``Last-Event-ID`` replay on reconnect.
+REPLAY_BUFFER_SIZE = 512
 
 
 class Subscription:
     """One subscriber's bounded view of the event stream."""
 
-    __slots__ = ("id", "queue", "dropped", "_broker")
+    __slots__ = ("id", "queue", "dropped", "replayed", "_broker")
 
     def __init__(self, sub_id: int, maxsize: int, broker: "EventBroker"):
         self.id = sub_id
@@ -42,6 +54,8 @@ class Subscription:
         )
         #: Events lost to backpressure (oldest dropped first).
         self.dropped = 0
+        #: Buffered events prefilled on a ``Last-Event-ID`` reconnect.
+        self.replayed = 0
         self._broker = broker
 
     def get(self, timeout: Optional[float] = None) -> Dict[str, Any]:
@@ -61,11 +75,17 @@ class Subscription:
 class EventBroker:
     """Thread-safe bounded pub/sub plus the latest-snapshot register."""
 
-    def __init__(self) -> None:
+    def __init__(self, replay_size: int = REPLAY_BUFFER_SIZE) -> None:
         self._lock = threading.Lock()
         self._subscribers: List[Subscription] = []
         self._seq = itertools.count(1)
         self._ids = itertools.count(1)
+        #: Bounded ring of recent stamped events for reconnect replay.
+        self._replay: "deque[Dict[str, Any]]" = deque(maxlen=replay_size)
+        #: Synchronous observers called once per event, publish order.
+        self._taps: List[Callable[[Dict[str, Any]], None]] = []
+        #: Exceptions swallowed from taps (a broken tap never costs a run).
+        self.tap_errors = 0
         #: Most recent ``live.snapshot`` payload (what ``/api/live``
         #: serves); ``None`` until a tap publishes one.
         self.latest_snapshot: Optional[Dict[str, Any]] = None
@@ -73,11 +93,55 @@ class EventBroker:
         self.published = 0
 
     # ------------------------------------------------------------------
-    def subscribe(self, maxsize: int = DEFAULT_QUEUE_SIZE) -> Subscription:
+    def subscribe(
+        self,
+        maxsize: int = DEFAULT_QUEUE_SIZE,
+        after_seq: Optional[int] = None,
+    ) -> Subscription:
+        """Register a subscriber; optionally replay buffered events.
+
+        With ``after_seq`` the queue is prefilled -- inside the broker
+        lock, so no concurrent publish can slip between replay and live
+        delivery -- with every retained event whose ``seq`` is greater
+        than ``after_seq``.  Events older than the replay ring are gone;
+        ``Subscription.replayed`` tells the caller how many came back.
+        """
         subscription = Subscription(next(self._ids), maxsize, self)
         with self._lock:
+            if after_seq is not None:
+                for event in self._replay:
+                    if event["seq"] > after_seq:
+                        try:
+                            subscription.queue.put_nowait(event)
+                            subscription.replayed += 1
+                        except queue.Full:  # pragma: no cover - tiny queue
+                            subscription.dropped += 1
             self._subscribers.append(subscription)
         return subscription
+
+    # ------------------------------------------------------------------
+    def add_tap(self, tap: Callable[[Dict[str, Any]], None]) -> None:
+        """Attach a synchronous observer of every stamped event.
+
+        Taps run on the publishing thread *after* subscriber fan-out and
+        outside the broker lock (a tap may publish follow-up events).
+        Exceptions are swallowed and counted in :attr:`tap_errors`.
+        """
+        with self._lock:
+            self._taps.append(tap)
+
+    def remove_tap(self, tap: Callable[[Dict[str, Any]], None]) -> None:
+        with self._lock:
+            try:
+                self._taps.remove(tap)
+            except ValueError:
+                pass
+
+    @property
+    def latest_seq(self) -> int:
+        """Sequence number of the most recently published event."""
+        with self._lock:
+            return self._replay[-1]["seq"] if self._replay else 0
 
     def unsubscribe(self, subscription: Subscription) -> None:
         with self._lock:
@@ -100,9 +164,11 @@ class EventBroker:
         with self._lock:
             event = {"seq": next(self._seq), "event": etype, "data": data}
             self.published += 1
+            self._replay.append(event)
             if etype == "live.snapshot":
                 self.latest_snapshot = data
             subscribers = tuple(self._subscribers)
+            taps = tuple(self._taps)
         for subscription in subscribers:
             try:
                 subscription.queue.put_nowait(event)
@@ -117,4 +183,9 @@ class EventBroker:
                     subscription.queue.put_nowait(event)
                 except queue.Full:  # pragma: no cover - race window
                     subscription.dropped += 1
+        for tap in taps:
+            try:
+                tap(event)
+            except Exception:  # noqa: BLE001 - observer must not cost the run
+                self.tap_errors += 1
         return event

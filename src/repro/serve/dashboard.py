@@ -62,6 +62,28 @@ async function refreshJobs() {
     || '<div class="muted">no campaigns launched</div>';
 }
 
+async function refreshAlerts() {
+  const response = await fetch("/api/alerts");
+  const payload = await response.json();
+  el("alert-open").textContent = payload.open;
+  el("incidents").innerHTML = payload.incidents.slice().reverse().map(i =>
+    `<div><span class="badge">${i.status}</span> ${i.id} ` +
+    `${i.rule} target=${i.target}` +
+    `${i.close_reason ? " (" + i.close_reason + ")" : ""}<br>` +
+    `<span class="muted">${i.summary || ""}</span></div>`).join("")
+    || '<div class="muted">no incidents</div>';
+}
+
+async function refreshSchedules() {
+  const response = await fetch("/api/schedules");
+  const payload = await response.json();
+  el("schedules").innerHTML = payload.schedules.map(s =>
+    `<div>${s.name} <span class="badge">${s.enabled ? "on" : "off"}` +
+    `</span> ${s.cron || (s.every_s + "s")} &middot; runs ${s.runs}` +
+    ` &middot; skipped ${s.skipped}</div>`).join("")
+    || '<div class="muted">no schedules</div>';
+}
+
 function applySnapshot(s) {
   el("live-ts").textContent = fmt(s.ts, 1);
   el("live-rate").textContent = fmt(s.rate_per_s, 2);
@@ -96,6 +118,11 @@ function subscribe() {
     }));
   source.addEventListener("live.snapshot", event =>
     applySnapshot(JSON.parse(event.data)));
+  source.addEventListener("alert", event => {
+    const data = JSON.parse(event.data);
+    logEvent("alert." + data.action, data.incident || {});
+    refreshAlerts();
+  });
   source.onerror = () => el("sse-state").textContent = "reconnecting";
   source.onopen = () => el("sse-state").textContent = "connected";
 }
@@ -121,10 +148,13 @@ async function launchCampaign(event) {
   refreshJobs();
 }
 
-refreshRuns(); refreshJobs(); subscribe();
+refreshRuns(); refreshJobs(); refreshAlerts(); refreshSchedules();
+subscribe();
 document.getElementById("launch").addEventListener(
   "submit", launchCampaign);
 setInterval(refreshJobs, 5000);
+setInterval(refreshAlerts, 5000);
+setInterval(refreshSchedules, 10000);
 """
 
 
@@ -178,7 +208,16 @@ SLO breaches <span id="live-slo">off</span></p>
 </div>
 </div>
 
-<h2>Incidents (Server-Sent Events)</h2>
+<div class="grid">
+<div class="panel"><h2>Incidents (<span id="alert-open">0</span> open)</h2>
+<div id="incidents"></div>
+</div>
+<div class="panel"><h2>Schedules</h2>
+<div id="schedules"></div>
+</div>
+</div>
+
+<h2>Event stream (Server-Sent Events)</h2>
 <div class="panel" id="events"></div>
 
 <h2>Run ledger (<span id="run-count">0</span> recorded)</h2>

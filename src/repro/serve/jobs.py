@@ -30,6 +30,14 @@ QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+class JobCancelled(Exception):
+    """Raised inside a job body when :meth:`JobManager.cancel` hit it."""
 
 
 def _utc_now() -> str:
@@ -44,6 +52,8 @@ class Job:
         "kind",
         "params",
         "status",
+        "source",
+        "scheduled_for",
         "submitted_utc",
         "started_utc",
         "finished_utc",
@@ -51,13 +61,25 @@ class Job:
         "summary",
         "entry_id",
         "manifest_hash",
+        "cancel_requested",
     )
 
-    def __init__(self, job_id: str, kind: str, params: Dict[str, Any]):
+    def __init__(
+        self,
+        job_id: str,
+        kind: str,
+        params: Dict[str, Any],
+        source: str = "api",
+        scheduled_for: Optional[float] = None,
+    ):
         self.id = job_id
         self.kind = kind
         self.params = params
         self.status = QUEUED
+        #: Who asked for this job: ``"api"`` or ``"schedule:<name>"``.
+        self.source = source
+        #: Virtual-clock fire time for scheduler-launched jobs.
+        self.scheduled_for = scheduled_for
         self.submitted_utc = _utc_now()
         self.started_utc: Optional[str] = None
         self.finished_utc: Optional[str] = None
@@ -66,6 +88,7 @@ class Job:
         self.summary: Optional[Dict[str, Any]] = None
         self.entry_id: Optional[str] = None
         self.manifest_hash: Optional[str] = None
+        self.cancel_requested = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -73,6 +96,8 @@ class Job:
             "kind": self.kind,
             "params": self.params,
             "status": self.status,
+            "source": self.source,
+            "scheduled_for": self.scheduled_for,
             "submitted_utc": self.submitted_utc,
             "started_utc": self.started_utc,
             "finished_utc": self.finished_utc,
@@ -116,16 +141,52 @@ class JobManager:
         deadline = time.monotonic() + timeout_s
         while True:
             snapshot = self.get(job_id)
-            if snapshot["status"] in (DONE, FAILED):
+            if snapshot["status"] in TERMINAL_STATES:
                 return snapshot
             if time.monotonic() >= deadline:
                 return snapshot
             time.sleep(0.02)
 
+    def has_active(self, source: Optional[str] = None) -> bool:
+        """True while any (matching) job is queued or running."""
+        with self._lock:
+            return any(
+                job.status in (QUEUED, RUNNING)
+                and (source is None or job.source == source)
+                for job in self._jobs
+            )
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation; returns the job's current snapshot.
+
+        A queued job flips to ``cancelled`` the moment its thread wins
+        the run lock (it never starts simulating).  A running campaign
+        aborts between replication jobs via the progress hook -- partial
+        results are discarded and nothing is ledger-recorded.  Jobs
+        already terminal are left untouched.
+        """
+        with self._lock:
+            for job in self._jobs:
+                if job.id == job_id:
+                    if job.status not in TERMINAL_STATES:
+                        job.cancel_requested = True
+                    break
+            else:
+                raise LookupError(f"no job {job_id!r}")
+        return self.get(job_id)
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit_campaign(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def submit_campaign(
+        self,
+        params: Dict[str, Any],
+        source: str = "api",
+        scheduled_for: Optional[float] = None,
+    ) -> Dict[str, Any]:
         """Validate and launch a fault campaign; returns the job dict.
 
         Accepted parameters (all optional except none):
@@ -141,7 +202,9 @@ class JobManager:
         layer maps that to a 400 *before* a job is created.
         """
         normalised = self._validate_campaign(params)
-        job = self._new_job("campaign", normalised)
+        job = self._new_job(
+            "campaign", normalised, source=source, scheduled_for=scheduled_for
+        )
         thread = threading.Thread(
             target=self._execute,
             args=(job, self._run_campaign),
@@ -151,10 +214,22 @@ class JobManager:
         thread.start()
         return job.to_dict()
 
-    def _new_job(self, kind: str, params: Dict[str, Any]) -> Job:
+    def _new_job(
+        self,
+        kind: str,
+        params: Dict[str, Any],
+        source: str = "api",
+        scheduled_for: Optional[float] = None,
+    ) -> Job:
         with self._lock:
             self._counter += 1
-            job = Job(f"job-{self._counter:04d}", kind, params)
+            job = Job(
+                f"job-{self._counter:04d}",
+                kind,
+                params,
+                source=source,
+                scheduled_for=scheduled_for,
+            )
             self._jobs.append(job)
         return job
 
@@ -213,18 +288,40 @@ class JobManager:
             "slo": None if slo is None else float(slo),
         }
 
+    #: Public alias -- the scheduler validates specs at add time so a
+    #: bad schedule is a 400 at POST, not a failed job at tick time.
+    validate_campaign = _validate_campaign
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _execute(self, job: Job, body) -> None:
         with self._run_lock:
             with self._lock:
-                job.status = RUNNING
-                job.started_utc = _utc_now()
+                if job.cancel_requested:
+                    # Cancelled while queued: never starts simulating.
+                    job.status = CANCELLED
+                    job.finished_utc = _utc_now()
+                    cancelled_in_queue = True
+                else:
+                    job.status = RUNNING
+                    job.started_utc = _utc_now()
+                    cancelled_in_queue = False
+            if cancelled_in_queue:
+                if self.broker is not None:
+                    self.broker.publish(
+                        "job.finished",
+                        {"job": job.id, "status": CANCELLED, "entry_id": None},
+                    )
+                return
             if self.broker is not None:
                 self.broker.publish("job.started", {"job": job.id})
             try:
                 body(job)
+            except JobCancelled:
+                with self._lock:
+                    job.status = CANCELLED
+                    job.finished_utc = _utc_now()
             except Exception as error:  # noqa: BLE001 - reported via API
                 with self._lock:
                     job.status = FAILED
@@ -271,6 +368,12 @@ class JobManager:
         )
         import time
 
+        def _abort_on_cancel(event: Any) -> None:
+            # Runs between replication jobs on the serial backend; a
+            # cancel lands at the next job boundary, never mid-run.
+            if job.cancel_requested:
+                raise JobCancelled(job.id)
+
         started = time.perf_counter()
         campaign = run_campaign(
             scenarios=scenarios,
@@ -279,6 +382,7 @@ class JobManager:
             seed=params["seed"],
             backend=SerialBackend(),
             live=live,
+            progress=_abort_on_cancel,
         )
         wall_clock_s = time.perf_counter() - started
         manifest = campaign_manifest(

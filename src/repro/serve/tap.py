@@ -92,6 +92,7 @@ class ServeTap(LiveTap):
         "snapshot_every",
         "_since_snapshot",
         "_dumps_published",
+        "_slo_bad",
     )
 
     def __init__(self, spec: ServeSpec) -> None:
@@ -101,6 +102,9 @@ class ServeTap(LiveTap):
         self.snapshot_every = max(1, int(spec.snapshot_every))
         self._since_snapshot = 0
         self._dumps_published = 0
+        #: Cumulative completions over the recorder's SLO -- the burn-
+        #: rate numerator (per request, unlike dump-gated slo_breaches).
+        self._slo_bad = 0
 
     # ------------------------------------------------------------------
     def emit(self, ts: float, etype: str, source: str, **data: Any) -> None:
@@ -127,6 +131,9 @@ class ServeTap(LiveTap):
                 broker.publish("flight.dump", notice)
             self._dumps_published = len(recorder.dumps)
         if etype == REQUEST_COMPLETE:
+            slo = self._rec_slo
+            if slo is not None and data.get("response_time", 0.0) > slo:
+                self._slo_bad += 1
             self._since_snapshot += 1
             if self._since_snapshot >= self.snapshot_every:
                 self._since_snapshot = 0
@@ -147,6 +154,7 @@ class ServeTap(LiveTap):
             payload["flight_dumps"] = 0
             payload["slo_s"] = None
             payload["slo_breaches"] = 0
+        payload["slo_bad"] = self._slo_bad
         if self.run_tag is not None:
             payload["run"] = self.run_tag
         return payload
@@ -155,6 +163,7 @@ class ServeTap(LiveTap):
         super().clear()
         self._since_snapshot = 0
         self._dumps_published = 0
+        self._slo_bad = 0
 
     def freeze(self) -> LiveAggregator:
         """Publish the end-of-run snapshot, then hand the state home."""

@@ -17,6 +17,7 @@ def _hermetic_ledger(tmp_path, monkeypatch):
     """
     monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
     monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "bench"))
+    monkeypatch.setenv("REPRO_ALERTS_DIR", str(tmp_path / "alerts"))
 
 
 @pytest.fixture

@@ -1,0 +1,250 @@
+"""Rule families: multi-window burn-rate math and persistence streaks.
+
+The burn-rate cases feed handcrafted cumulative-counter snapshots so
+the expected window deltas are exact integers; the regression cases
+drive :class:`RegressionRule` with synthetic ledger entries (same
+manifest hash, different per-replication vectors) against a duck-typed
+ledger, pinning the streak discipline without running a simulation.
+"""
+
+import pytest
+
+from repro.obs.sentinel import BurnRateRule, RegressionRule, rules_from_dict
+
+
+def snap(ts, completed, bad, run="r1"):
+    return {
+        "ts": ts,
+        "completed": completed,
+        "slo_bad": bad,
+        "slo_s": 0.2,
+        "run": run,
+    }
+
+
+def burn_rule(**overrides):
+    params = dict(
+        slo_s=0.2,
+        objective=0.9,  # budget 0.1
+        factor=2.0,
+        long_window_s=100.0,
+        short_window_s=20.0,
+        min_count=10,
+    )
+    params.update(overrides)
+    return BurnRateRule("slo", **params)
+
+
+class TestBurnRateRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burn_rule(objective=1.0)
+        with pytest.raises(ValueError):
+            burn_rule(factor=0.0)
+        with pytest.raises(ValueError):
+            burn_rule(long_window_s=10.0, short_window_s=20.0)
+        with pytest.raises(ValueError):
+            burn_rule(min_count=0)
+
+    def test_healthy_stream_never_fires(self):
+        rule = burn_rule()
+        for step in range(1, 20):
+            signal = rule.observe_snapshot(
+                snap(10.0 * step, 10 * step, 0)
+            )
+            assert signal is not None and not signal.firing
+
+    def test_short_window_alone_does_not_fire(self):
+        rule = burn_rule()
+        rule.observe_snapshot(snap(10.0, 10, 0))
+        rule.observe_snapshot(snap(20.0, 20, 0))
+        # 5/10 bad in the last 10s: short burn 2.5x but long burn
+        # (5/30)/0.1 = 1.67x < factor -- the long window gates.
+        signal = rule.observe_snapshot(snap(30.0, 30, 5))
+        assert signal.observed["burn_short"] == pytest.approx(2.5)
+        assert signal.observed["burn_long"] == pytest.approx(5 / 30 / 0.1)
+        assert not signal.firing
+
+    def test_fires_when_both_windows_burn(self):
+        rule = burn_rule()
+        rule.observe_snapshot(snap(10.0, 10, 0))
+        rule.observe_snapshot(snap(20.0, 20, 0))
+        rule.observe_snapshot(snap(30.0, 30, 5))
+        signal = rule.observe_snapshot(snap(40.0, 40, 15))
+        assert signal.observed["burn_long"] == pytest.approx(3.75)
+        assert signal.observed["burn_short"] == pytest.approx(7.5)
+        assert signal.firing
+        assert signal.target == "r1"
+        assert signal.evidence[0]["record"] == "event"
+        assert signal.evidence[0]["kind"] == "live.snapshot"
+
+    def test_recovery_clears_the_firing_state(self):
+        rule = burn_rule()
+        rule.observe_snapshot(snap(10.0, 10, 0))
+        rule.observe_snapshot(snap(30.0, 30, 5))
+        assert rule.observe_snapshot(snap(40.0, 40, 15)).firing
+        # 100 clean completions later the window base has moved past
+        # the bad stretch: burn drops to zero.
+        signal = rule.observe_snapshot(snap(140.0, 140, 15))
+        assert signal.observed["burn_long"] == pytest.approx(0.0)
+        assert not signal.firing
+
+    def test_min_count_gates_thin_windows(self):
+        rule = burn_rule(min_count=1000)
+        rule.observe_snapshot(snap(10.0, 10, 10))
+        signal = rule.observe_snapshot(snap(20.0, 20, 20))
+        assert not signal.firing  # 100% bad but too few completions
+
+    def test_counter_reset_starts_a_fresh_window(self):
+        rule = burn_rule()
+        rule.observe_snapshot(snap(40.0, 40, 20))
+        # completed went backwards: a new replication under the same
+        # tag.  No negative deltas, no stale burn.
+        signal = rule.observe_snapshot(snap(50.0, 5, 0))
+        assert signal.observed["burn_long"] == pytest.approx(0.0)
+        assert not signal.firing
+
+    def test_targets_are_independent(self):
+        rule = burn_rule()
+        rule.observe_snapshot(snap(10.0, 10, 0, run="a"))
+        firing = rule.observe_snapshot(snap(20.0, 20, 20, run="b"))
+        quiet = rule.observe_snapshot(snap(20.0, 20, 0, run="a"))
+        assert firing.firing
+        assert not quiet.firing
+
+    def test_forget_drops_state(self):
+        rule = burn_rule()
+        rule.observe_snapshot(snap(10.0, 10, 10))
+        rule.forget("r1")
+        assert rule._windows == {}
+
+    def test_incomplete_snapshot_yields_no_signal(self):
+        rule = burn_rule()
+        assert rule.observe_snapshot({"ts": 1.0}) is None
+        assert rule.observe_snapshot({"completed": 5, "slo_bad": 1}) is None
+
+
+# ---------------------------------------------------------------------------
+# Regression rules over synthetic ledger entries
+# ---------------------------------------------------------------------------
+def entry(entry_id, rts, manifest_hash="abc123", kind="simulate"):
+    n = len(rts)
+    return {
+        "id": entry_id,
+        "kind": kind,
+        "manifest": {"manifest_hash": manifest_hash, "kind": kind},
+        "outcomes": {
+            "per_replication": {
+                "avg_response_time": list(rts),
+                "loss_fraction": [0.0] * n,
+                "rejuvenations": [1.0] * n,
+                "gc_count": [0.0] * n,
+            }
+        },
+    }
+
+
+BASELINE = entry("sim-0001", [1.0, 1.1, 0.9, 1.0])
+HEALTHY = [1.02, 0.95, 1.05, 0.99]
+DEGRADED = [3.0, 3.1, 2.9, 3.05]
+
+
+class FakeLedger:
+    """Only what RegressionRule needs: a pinned baseline lookup."""
+
+    def __init__(self, baseline=BASELINE, label="prod"):
+        self.baseline = baseline
+        self.label = label
+
+    def baseline_entry(self, label):
+        if label != self.label:
+            raise LookupError(f"no baseline {label!r}")
+        return self.baseline
+
+
+class TestRegressionRule:
+    def test_persistence_gates_the_first_exceedance(self):
+        rule = RegressionRule("regress", baseline="prod", persistence=2)
+        ledger = FakeLedger()
+        first = rule.observe_entry(entry("sim-0002", DEGRADED), ledger)
+        assert first.observed["exceeded"]
+        assert first.observed["streak"] == 1
+        assert not first.firing  # one noisy run never pages
+        second = rule.observe_entry(entry("sim-0003", DEGRADED), ledger)
+        assert second.observed["streak"] == 2
+        assert second.firing
+        assert second.target == "prod"
+
+    def test_clean_run_resets_the_streak(self):
+        rule = RegressionRule("regress", baseline="prod", persistence=2)
+        ledger = FakeLedger()
+        rule.observe_entry(entry("sim-0002", DEGRADED), ledger)
+        clean = rule.observe_entry(entry("sim-0003", HEALTHY), ledger)
+        assert not clean.observed["exceeded"]
+        assert clean.observed["streak"] == 0
+        assert not clean.firing
+        again = rule.observe_entry(entry("sim-0004", DEGRADED), ledger)
+        assert again.observed["streak"] == 1
+        assert not again.firing
+
+    def test_skips_baseline_itself_and_other_kinds(self):
+        rule = RegressionRule("regress", baseline="prod")
+        ledger = FakeLedger()
+        assert rule.observe_entry(BASELINE, ledger) is None
+        assert (
+            rule.observe_entry(
+                entry("fau-0001", DEGRADED, kind="faults"), ledger
+            )
+            is None
+        )
+
+    def test_missing_baseline_or_ledger_is_quiet(self):
+        rule = RegressionRule("regress", baseline="nope")
+        assert rule.observe_entry(entry("sim-0002", DEGRADED), None) is None
+        assert (
+            rule.observe_entry(entry("sim-0002", DEGRADED), FakeLedger())
+            is None
+        )
+
+    def test_evidence_is_the_check_report(self):
+        rule = RegressionRule("regress", baseline="prod", persistence=1)
+        signal = rule.observe_entry(
+            entry("sim-0002", DEGRADED), FakeLedger()
+        )
+        assert signal.firing
+        record = signal.evidence[0]
+        assert record["kind"] == "runs.check"
+        assert record["detail"]["candidate_id"] == "sim-0002"
+        assert record["detail"]["exceeded"]
+        assert "avg_response_time" in signal.observed["exceeded_metrics"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegressionRule("r", baseline="prod", persistence=0)
+
+
+class TestRulesFromDict:
+    def test_builds_both_families_with_default_names(self):
+        rules = rules_from_dict(
+            {
+                "burn_rate": [{"slo_s": 2.0, "factor": 6.0}],
+                "regression": [{"baseline": "prod", "persistence": 3}],
+            }
+        )
+        assert [r.name for r in rules] == ["burn-rate-1", "regression-1"]
+        assert rules[0].factor == 6.0
+        assert rules[1].persistence == 3
+
+    def test_explicit_names_win(self):
+        (rule,) = rules_from_dict(
+            {"burn_rate": [{"name": "checkout-slo", "slo_s": 1.0}]}
+        )
+        assert rule.name == "checkout-slo"
+
+    def test_rejects_unknown_families_and_bad_specs(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            rules_from_dict({"burn": []})
+        with pytest.raises(ValueError, match="baseline"):
+            rules_from_dict({"regression": [{"persistence": 2}]})
+        with pytest.raises(ValueError):
+            rules_from_dict("not a dict")

@@ -1,0 +1,268 @@
+"""Cron parsing and the virtual-clock scheduler: pure-function pins.
+
+Nothing here touches a wall clock or a real simulation: the scheduler
+is driven with explicit tick times against a stub job manager, so
+every firing decision (skip, queue, missed, max_runs) is asserted
+exactly.  Epoch 0 is Thu 1970-01-01 00:00 UTC, which makes the cron
+expectations small integers.
+"""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.obs.sentinel import ScheduleSpec, Scheduler, parse_cron
+
+DAY = 86400.0
+
+
+class StubManager:
+    """Duck-typed job manager: records submissions, never simulates."""
+
+    def __init__(self, active=False):
+        self.active = active
+        self.submitted = []
+        self._counter = 0
+
+    def validate_campaign(self, params):
+        if params.get("scenarios") == "bogus":
+            raise ValueError("unknown scenario 'bogus'")
+        return params
+
+    def submit_campaign(self, params, source="api", scheduled_for=None):
+        self._counter += 1
+        job = {
+            "id": f"job-{self._counter:04d}",
+            "params": params,
+            "source": source,
+            "scheduled_for": scheduled_for,
+        }
+        self.submitted.append(job)
+        return job
+
+    def has_active(self, source=None):
+        return self.active
+
+
+def spec(**overrides):
+    base = dict(name="nightly", campaign={"replications": 1}, every_s=60.0)
+    base.update(overrides)
+    return ScheduleSpec(**base)
+
+
+class TestCronParse:
+    def test_every_15_minutes(self):
+        cron = parse_cron("*/15 * * * *")
+        assert cron.minutes == frozenset({0, 15, 30, 45})
+        assert cron.next_fire(0.0) == 900.0
+        assert cron.next_fire(900.0) == 1800.0
+
+    def test_next_fire_is_strictly_after(self):
+        cron = parse_cron("0 * * * *")
+        assert cron.next_fire(0.0) == 3600.0
+        assert cron.next_fire(3599.0) == 3600.0
+        assert cron.next_fire(3600.0) == 7200.0
+
+    def test_weekday_names_and_ranges(self):
+        cron = parse_cron("0 3 * * mon-fri")
+        assert cron.weekdays == frozenset({0, 1, 2, 3, 4})
+        # Epoch day 0 is a Thursday: 03:00 the same day.
+        assert cron.next_fire(0.0) == 3 * 3600.0
+
+    def test_classic_sunday_aliases(self):
+        # Classic cron numbers Sunday as both 0 and 7; names use sun.
+        for field in ("0", "7", "sun"):
+            cron = parse_cron(f"0 0 * * {field}")
+            when = datetime.fromtimestamp(
+                cron.next_fire(0.0), tz=timezone.utc
+            )
+            assert when.weekday() == 6  # python convention: Sunday = 6
+            assert cron.next_fire(0.0) == 3 * DAY  # Sun 1970-01-04
+
+    def test_saturday_by_name(self):
+        assert parse_cron("0 0 * * sat").next_fire(0.0) == 2 * DAY
+
+    def test_dom_dow_or_semantics(self):
+        # Both fields restricted: a date matching either fires (classic
+        # cron).  Monday Jan 5 comes before the 1st of February.
+        cron = parse_cron("0 0 1 * mon")
+        assert cron.next_fire(0.0) == 4 * DAY  # Mon 1970-01-05
+        # Day-of-month restricted alone: weekdays don't widen it.
+        first_only = parse_cron("0 0 1 * *")
+        assert first_only.next_fire(0.0) == 31 * DAY  # Feb 1
+
+    def test_month_names_and_lists(self):
+        cron = parse_cron("30 12 * jan,feb *")
+        assert cron.months == frozenset({1, 2})
+        assert cron.next_fire(0.0) == 12 * 3600.0 + 1800.0
+
+    def test_never_firing_expression_raises(self):
+        cron = parse_cron("0 0 31 2 *")  # February 31st
+        with pytest.raises(ValueError, match="never fires"):
+            cron.next_fire(0.0)
+
+    def test_matches(self):
+        cron = parse_cron("*/10 6 * * *")
+        assert cron.matches(
+            datetime(2026, 8, 9, 6, 20, tzinfo=timezone.utc)
+        )
+        assert not cron.matches(
+            datetime(2026, 8, 9, 7, 20, tzinfo=timezone.utc)
+        )
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "* * * *",  # 4 fields
+            "x * * * *",  # not a number
+            "61 * * * *",  # minute out of range
+            "* 25 * * *",  # hour out of range
+            "* * * * 8",  # weekday out of range
+            "1,,2 * * * *",  # empty list item
+            "5/2 * * * *",  # step without a range
+            "30-10 * * * *",  # inverted range
+        ],
+    )
+    def test_parse_errors(self, text):
+        with pytest.raises(ValueError):
+            parse_cron(text)
+
+
+class TestScheduleSpec:
+    def test_needs_exactly_one_trigger(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ScheduleSpec(name="x", campaign={})
+        with pytest.raises(ValueError, match="exactly one"):
+            ScheduleSpec(
+                name="x", campaign={}, every_s=60.0, cron="* * * * *"
+            )
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            spec(every_s=0.0)
+        with pytest.raises(ValueError):
+            spec(on_overlap="pile-up")
+        with pytest.raises(ValueError):
+            spec(max_runs=0)
+        with pytest.raises(ValueError):
+            ScheduleSpec(name="x", campaign={}, cron="bad cron")
+        with pytest.raises(ValueError):
+            ScheduleSpec(name="", campaign={}, every_s=60.0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            ScheduleSpec.from_dict(
+                {"name": "x", "campaign": {}, "every_s": 60, "typo": 1}
+            )
+        with pytest.raises(ValueError, match="campaign"):
+            ScheduleSpec.from_dict({"name": "x", "every_s": 60})
+
+    def test_round_trips_through_dict(self):
+        original = spec(cron="*/5 * * * *", every_s=None, max_runs=3)
+        again = ScheduleSpec.from_dict(original.to_dict())
+        assert again == original
+
+
+class TestSchedulerTick:
+    def test_interval_fires_once_per_period(self):
+        manager = StubManager()
+        scheduler = Scheduler(manager)
+        scheduler.add(spec(), now=0.0)
+        assert scheduler.get("nightly")["next_due"] == 60.0
+        assert scheduler.tick(30.0) == []
+        launched = scheduler.tick(60.0)
+        assert [j["id"] for j in launched] == ["job-0001"]
+        assert launched[0]["source"] == "schedule:nightly"
+        assert launched[0]["scheduled_for"] == 60.0
+        assert scheduler.tick(61.0) == []
+        assert scheduler.get("nightly")["next_due"] == 120.0
+
+    def test_late_tick_fires_once_and_counts_missed(self):
+        manager = StubManager()
+        scheduler = Scheduler(manager)
+        scheduler.add(spec(), now=0.0)
+        scheduler.tick(60.0)
+        # Nobody ticked through 120..360: one firing, four misses.
+        launched = scheduler.tick(400.0)
+        assert len(launched) == 1
+        state = scheduler.get("nightly")
+        assert state["missed"] == 4
+        assert state["next_due"] == 420.0
+
+    def test_overlap_skip_counts_instead_of_submitting(self):
+        manager = StubManager(active=True)
+        scheduler = Scheduler(manager)
+        scheduler.add(spec(), now=0.0)
+        assert scheduler.tick(60.0) == []
+        state = scheduler.get("nightly")
+        assert state["skipped"] == 1
+        assert manager.submitted == []
+        # The missed period still advanced past now.
+        assert state["next_due"] == 120.0
+
+    def test_overlap_queue_submits_anyway(self):
+        manager = StubManager(active=True)
+        scheduler = Scheduler(manager)
+        scheduler.add(spec(on_overlap="queue"), now=0.0)
+        assert len(scheduler.tick(60.0)) == 1
+
+    def test_max_runs_retires_the_schedule(self):
+        manager = StubManager()
+        scheduler = Scheduler(manager)
+        scheduler.add(spec(max_runs=2), now=0.0)
+        assert len(scheduler.tick(60.0)) == 1
+        assert len(scheduler.tick(120.0)) == 1
+        state = scheduler.get("nightly")
+        assert state["next_due"] is None
+        assert state["runs"] == 2
+        assert scheduler.tick(180.0) == []
+
+    def test_disabled_schedule_never_fires(self):
+        manager = StubManager()
+        scheduler = Scheduler(manager)
+        scheduler.add(spec(enabled=False), now=0.0)
+        assert scheduler.tick(600.0) == []
+
+    def test_anchor_in_the_future_is_the_first_due(self):
+        manager = StubManager()
+        scheduler = Scheduler(manager)
+        scheduler.add(spec(every_s=50.0, anchor_s=100.0), now=0.0)
+        assert scheduler.get("nightly")["next_due"] == 100.0
+        assert scheduler.tick(99.0) == []
+        assert len(scheduler.tick(100.0)) == 1
+
+    def test_cron_schedule_uses_next_fire(self):
+        manager = StubManager()
+        scheduler = Scheduler(manager)
+        scheduler.add(
+            spec(cron="*/15 * * * *", every_s=None), now=0.0
+        )
+        assert scheduler.get("nightly")["next_due"] == 900.0
+        assert len(scheduler.tick(900.0)) == 1
+        assert scheduler.get("nightly")["next_due"] == 1800.0
+
+    def test_add_validates_campaign_and_names(self):
+        manager = StubManager()
+        scheduler = Scheduler(manager)
+        with pytest.raises(ValueError, match="bogus"):
+            scheduler.add(spec(campaign={"scenarios": "bogus"}), now=0.0)
+        scheduler.add(spec(), now=0.0)
+        with pytest.raises(ValueError, match="already exists"):
+            scheduler.add(spec(), now=0.0)
+        assert len(scheduler) == 1
+
+    def test_add_accepts_plain_dicts(self):
+        scheduler = Scheduler(StubManager())
+        state = scheduler.add(
+            {"name": "dict", "campaign": {}, "every_s": 10}, now=0.0
+        )
+        assert state["next_due"] == 10.0
+
+    def test_remove_and_lookup(self):
+        scheduler = Scheduler(StubManager())
+        scheduler.add(spec(), now=0.0)
+        assert scheduler.remove("nightly")
+        assert not scheduler.remove("nightly")
+        with pytest.raises(LookupError):
+            scheduler.get("nightly")
+        assert scheduler.states() == []

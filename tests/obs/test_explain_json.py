@@ -1,0 +1,144 @@
+"""``repro explain --json``: the machine-readable decision timeline.
+
+The JSON timeline is the same evidence format the alert engine embeds
+in incidents (``{"record": "event", ...}`` via
+:func:`repro.obs.explain.event_record`), so anything consuming alert
+evidence can consume explain output and vice versa.  Both trace
+formats must produce the identical timeline.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.columnar.convert import convert_trace
+from repro.obs.explain import (
+    event_record,
+    timeline_from_trace,
+    timeline_records,
+)
+
+SIMULATE = [
+    "simulate",
+    "--policy", "sraa",
+    "-p", "n=2", "-p", "K=5", "-p", "D=3",
+    "--load", "9",
+    "--transactions", "2000",
+    "--seed", "3",
+]
+
+
+class TestEventRecord:
+    def test_shape(self):
+        record = event_record(
+            12.5, "policy.trigger", {"level": 3}, run=0, source="policy"
+        )
+        assert record == {
+            "record": "event",
+            "ts": 12.5,
+            "kind": "policy.trigger",
+            "detail": {"level": 3},
+            "run": 0,
+            "source": "policy",
+        }
+
+    def test_optional_fields_are_omitted(self):
+        record = event_record(0.0, "runs.check")
+        assert record == {
+            "record": "event",
+            "ts": 0.0,
+            "kind": "runs.check",
+            "detail": {},
+        }
+
+    def test_matches_alert_evidence(self):
+        # The burn-rate rule's evidence is literally this format.
+        from repro.obs.sentinel import BurnRateRule
+
+        rule = BurnRateRule("slo", slo_s=0.2, min_count=1)
+        signal = rule.observe_snapshot(
+            {"ts": 5.0, "completed": 10, "slo_bad": 10, "run": "r1"}
+        )
+        evidence = signal.evidence[0]
+        assert evidence["record"] == "event"
+        assert set(evidence) == {
+            "record", "ts", "kind", "detail", "run",
+        }
+
+
+class TestTimeline:
+    @pytest.fixture(scope="class")
+    def traces(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("timeline")
+        jsonl = str(root / "t.jsonl")
+        assert main(SIMULATE + ["--trace", jsonl]) == 0
+        rcol = str(root / "t.rcol")
+        convert_trace(jsonl, rcol)
+        return jsonl, rcol
+
+    def test_formats_produce_identical_timelines(self, traces):
+        jsonl, rcol = traces
+        assert timeline_from_trace(jsonl) == timeline_from_trace(rcol)
+
+    def test_timeline_structure(self, traces):
+        jsonl, _ = traces
+        records = timeline_from_trace(jsonl)
+        header = records[0]
+        assert header["record"] == "run"
+        assert header["seed"] == 3
+        assert "avg_response_time" in header["summary"]
+        kinds = [
+            r["kind"] for r in records if r["record"] == "event"
+        ]
+        assert "policy.trigger" in kinds
+        assert "system.rejuvenation" in kinds
+        # Events arrive in trace order with non-decreasing timestamps.
+        times = [r["ts"] for r in records if r["record"] == "event"]
+        assert times == sorted(times)
+
+    def test_filters_apply(self, traces):
+        jsonl, _ = traces
+        only_rejuv = timeline_from_trace(
+            jsonl, kinds=["system.rejuvenation"]
+        )
+        kinds = {
+            r["kind"] for r in only_rejuv if r["record"] == "event"
+        }
+        assert kinds <= {"system.rejuvenation"}
+        windowed = timeline_from_trace(jsonl, until=100.0)
+        assert all(
+            r["ts"] <= 100.0
+            for r in windowed
+            if r["record"] == "event"
+        )
+
+    def test_synthetic_trace_timeline(self):
+        from repro.obs.columnar.query import as_query
+        from repro.obs.columnar.synth import synth_campaign_trace
+
+        trace = synth_campaign_trace(runs=2, events_per_run=50, seed=7)
+        records = timeline_records(as_query(trace))
+        headers = [r for r in records if r["record"] == "run"]
+        assert len(headers) == 2
+        assert headers[0]["tag"] == ["faults", "synthetic", "SRAA", 0]
+
+    def test_cli_json_flag_prints_parseable_json(self, traces, capsys):
+        jsonl, rcol = traces
+        assert main(["explain", "--json", jsonl]) == 0
+        from_jsonl = capsys.readouterr().out
+        parsed = json.loads(from_jsonl)
+        assert parsed[0]["record"] == "run"
+        assert main(["explain", "--json", rcol]) == 0
+        assert json.loads(capsys.readouterr().out) == parsed
+
+    def test_cli_json_respects_filters(self, traces, capsys):
+        jsonl, _ = traces
+        assert main(
+            ["explain", "--json", jsonl, "--kind", "policy.trigger"]
+        ) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        kinds = {
+            r["kind"] for r in parsed if r["record"] == "event"
+        }
+        assert kinds == {"policy.trigger"}

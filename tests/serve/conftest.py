@@ -71,9 +71,13 @@ class ServerClient:
         self, max_events: int, timeout_s: float = 30.0
     ):
         """Parsed events from one bounded ``/api/events`` stream."""
-        path = (
-            f"/api/events?max_events={max_events}&timeout_s={timeout_s}"
+        return self.sse_events_from(
+            f"/api/events?max_events={max_events}&timeout_s={timeout_s}",
+            timeout_s=timeout_s,
         )
+
+    def sse_events_from(self, path: str, timeout_s: float = 30.0):
+        """Parsed events from an arbitrary SSE path (resume tests)."""
         events = []
         current = {}
         with urllib.request.urlopen(

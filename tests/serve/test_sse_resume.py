@@ -1,0 +1,112 @@
+"""SSE resume: Last-Event-ID replays what the ring still holds.
+
+A follower that reconnects after missing events presents the last
+``id:`` it saw; the broker prefills everything newer from its replay
+ring, so a server-side publish burst between connections is not lost.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.serve.broker import REPLAY_BUFFER_SIZE, EventBroker
+
+
+def publish_burst(broker, count, start=0):
+    for index in range(start, start + count):
+        broker.publish("tick", {"n": index})
+
+
+class TestBrokerReplay:
+    def test_subscribe_after_seq_prefills_the_gap(self):
+        broker = EventBroker()
+        publish_burst(broker, 5)
+        live = broker.subscribe()
+        assert live.replayed == 0  # plain subscription: nothing replayed
+        resumed = broker.subscribe(after_seq=2)
+        assert resumed.replayed == 3
+        replayed = [resumed.get(timeout=1.0) for _ in range(3)]
+        assert [e["seq"] for e in replayed] == [3, 4, 5]
+        assert [e["data"]["n"] for e in replayed] == [2, 3, 4]
+        live.close()
+        resumed.close()
+
+    def test_after_the_latest_seq_replays_nothing(self):
+        broker = EventBroker()
+        publish_burst(broker, 3)
+        subscription = broker.subscribe(after_seq=broker.latest_seq)
+        assert subscription.replayed == 0
+        subscription.close()
+
+    def test_ring_is_bounded(self):
+        broker = EventBroker()
+        publish_burst(broker, REPLAY_BUFFER_SIZE + 50)
+        subscription = broker.subscribe(after_seq=0)
+        assert subscription.replayed == REPLAY_BUFFER_SIZE
+        first = subscription.get(timeout=1.0)
+        assert first["seq"] == 51  # oldest 50 fell off the ring
+        subscription.close()
+
+    def test_no_replay_race_with_concurrent_publishes(self):
+        # Prefill happens under the broker lock: an event is either in
+        # the prefill or delivered live, never both, never neither.
+        broker = EventBroker()
+        publish_burst(broker, 10)
+        subscription = broker.subscribe(after_seq=4)
+        publish_burst(broker, 5, start=10)
+        seen = [subscription.get(timeout=1.0) for _ in range(11)]
+        assert [e["seq"] for e in seen] == list(range(5, 16))
+        subscription.close()
+
+
+class TestHttpResume:
+    def test_query_param_resume(self, served):
+        for index in range(4):
+            served.server.broker.publish("tick", {"n": index})
+        events = served.sse_events(max_events=0, timeout_s=0.2)
+        assert events[0]["data"]["replayed"] == 0
+
+        path = (
+            "/api/events?last_event_id=2&max_events=2&timeout_s=5"
+        )
+        resumed = served.sse_events_from(path)
+        assert resumed[0]["event"] == "sse.hello"
+        assert resumed[0]["data"]["replayed"] == 2
+        assert [e["seq"] for e in resumed[1:]] == [3, 4]
+        assert [e["data"]["n"] for e in resumed[1:]] == [2, 3]
+
+    def test_last_event_id_header_resume(self, served):
+        for index in range(3):
+            served.server.broker.publish("tick", {"n": index})
+        request = urllib.request.Request(
+            served.url + "/api/events?max_events=2&timeout_s=5",
+            headers={"Last-Event-ID": "1"},
+        )
+        lines = []
+        with urllib.request.urlopen(request, timeout=15.0) as response:
+            for raw in response:
+                lines.append(raw.decode("utf-8").rstrip("\n"))
+        hello = next(
+            line for line in lines if line.startswith("data")
+        )
+        assert json.loads(hello.partition(": ")[2])["replayed"] == 2
+        ids = [
+            int(line.partition(": ")[2])
+            for line in lines
+            if line.startswith("id")
+        ]
+        assert ids == [2, 3]
+
+    def test_bad_last_event_id_is_a_400(self, served):
+        status, payload = served.get("/api/events?last_event_id=abc")
+        assert status == 400
+        request = urllib.request.Request(
+            served.url + "/api/events?max_events=0&timeout_s=1",
+            headers={"Last-Event-ID": "not-a-number"},
+        )
+        try:
+            urllib.request.urlopen(request, timeout=15.0)
+        except urllib.error.HTTPError as error:
+            assert error.code == 400
+        else:  # pragma: no cover
+            raise AssertionError("expected a 400")
